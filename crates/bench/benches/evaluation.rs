@@ -1,0 +1,39 @@
+//! Criterion benchmarks of the end-to-end estimators: one per paper
+//! table/figure generator, so regressions in the evaluation pipeline
+//! itself are visible.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gpu_model::{benchmark_seconds, GpuImpl, GpuModel};
+use pim_sim::{ChipCapacity, ProcessNode};
+use wave_pim::estimate::{estimate, PimSetup};
+use wavesim_dg::opcount::Benchmark;
+
+fn bench_estimators(c: &mut Criterion) {
+    c.bench_function("pim_estimate_acoustic4_2gb", |b| {
+        b.iter(|| {
+            estimate(Benchmark::Acoustic4, PimSetup::new(ChipCapacity::Gb2, ProcessNode::Nm12))
+                .total_seconds
+        });
+    });
+    c.bench_function("gpu_model_all_benchmarks", |b| {
+        b.iter(|| {
+            Benchmark::ALL
+                .iter()
+                .map(|&bm| benchmark_seconds(bm, GpuModel::TeslaV100, GpuImpl::Fused))
+                .sum::<f64>()
+        });
+    });
+    c.bench_function("table5_planner", |b| {
+        b.iter(|| wave_pim::planner::table5().len());
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2))
+        .sample_size(20);
+    targets = bench_estimators
+}
+criterion_main!(benches);

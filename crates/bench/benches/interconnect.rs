@@ -1,0 +1,48 @@
+//! Criterion benchmarks of the interconnect scheduler — the engine
+//! behind the Fig. 14 H-tree/Bus comparison.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pim_isa::BlockId;
+use pim_sim::{BusNetwork, HTreeNetwork, Interconnect, Transfer};
+
+fn flux_like_batch() -> Vec<Transfer> {
+    let mut v = Vec::new();
+    for pair in 0..128u32 {
+        let (src, dst) = (pair * 2, pair * 2 + 1);
+        for _ in 0..64 {
+            v.push(Transfer { src: BlockId(src), dst: BlockId(dst), words: 4 });
+        }
+    }
+    v
+}
+
+fn bench_schedule(c: &mut Criterion) {
+    let batch = flux_like_batch();
+    let mut g = c.benchmark_group("schedule_8k_transfers");
+    g.bench_function("htree", |b| {
+        let net = HTreeNetwork::new();
+        b.iter(|| net.schedule(&batch).makespan);
+    });
+    g.bench_function("bus", |b| {
+        let net = BusNetwork::new();
+        b.iter(|| net.schedule(&batch).makespan);
+    });
+    g.finish();
+}
+
+fn bench_routing(c: &mut Criterion) {
+    let net = HTreeNetwork::new();
+    c.bench_function("htree_route_far", |b| {
+        b.iter(|| net.route(BlockId(0), BlockId(255)).len());
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2))
+        .sample_size(20);
+    targets = bench_schedule, bench_routing
+}
+criterion_main!(benches);

@@ -1,0 +1,42 @@
+//! Criterion benchmarks of the Wave-PIM compiler and functional
+//! execution of compiled streams.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pim_sim::{ChipConfig, PimChip};
+use wave_pim::compiler::AcousticMapping;
+use wavesim_dg::{AcousticMaterial, FluxKind, State};
+use wavesim_mesh::{Boundary, HexMesh};
+
+fn bench_compile(c: &mut Criterion) {
+    let mesh = HexMesh::refinement_level(1, Boundary::Periodic);
+    let mapping = AcousticMapping::uniform(mesh, 4, FluxKind::Riemann, AcousticMaterial::UNIT);
+    c.bench_function("compile_stage_8_elements", |b| {
+        b.iter(|| mapping.compile_stage(0).len());
+    });
+}
+
+fn bench_execute(c: &mut Criterion) {
+    let mesh = HexMesh::refinement_level(1, Boundary::Periodic);
+    let mapping = AcousticMapping::uniform(mesh, 3, FluxKind::Central, AcousticMaterial::UNIT);
+    let stream = mapping.compile_stage(0);
+    let state = State::zeros(8, 4, 27);
+    c.bench_function("execute_stage_functionally", |b| {
+        b.iter(|| {
+            let mut chip = PimChip::new(ChipConfig::default_2gb());
+            mapping.preload(&mut chip, &state, 1e-3);
+            chip.execute(&mapping.compile_lut_setup());
+            chip.execute(&stream);
+            chip.elapsed()
+        });
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2))
+        .sample_size(20);
+    targets = bench_compile, bench_execute
+}
+criterion_main!(benches);

@@ -1,0 +1,33 @@
+//! Regenerates Figure 11: performance comparison between GPU and PIM.
+//!
+//! Each cell is simulation time normalized to the unfused GTX 1080Ti
+//! (lower is better); the paper plots these as grouped bars.
+
+use wavepim_bench::figures::fig11_data;
+use wavepim_bench::report::Table;
+
+fn main() {
+    let data = fig11_data();
+    let labels: Vec<&str> = data[0].1.iter().map(|(l, _)| l.as_str()).collect();
+    let mut headers = vec!["Benchmark"];
+    headers.extend(labels.iter());
+    let mut t = Table::new(
+        "Figure 11: Time Normalized to Unfused GTX 1080Ti (lower is better)",
+        &headers,
+    );
+    for (b, row) in &data {
+        let mut cells = vec![b.name().to_string()];
+        cells.extend(row.iter().map(|(_, v)| format!("{v:.4}")));
+        t.row(cells);
+    }
+    t.print();
+    println!();
+    // Speedup view (reciprocal) for the PIM columns.
+    let mut s = Table::new("Figure 11 (speedup view): Unfused-1080Ti time / config time", &headers);
+    for (b, row) in &data {
+        let mut cells = vec![b.name().to_string()];
+        cells.extend(row.iter().map(|(_, v)| format!("{:.2}x", 1.0 / v)));
+        s.row(cells);
+    }
+    s.print();
+}

@@ -1,0 +1,29 @@
+//! Regenerates Figure 12: energy comparison between GPU and PIM.
+
+use wavepim_bench::figures::fig12_data;
+use wavepim_bench::report::Table;
+
+fn main() {
+    let data = fig12_data();
+    let labels: Vec<&str> = data[0].1.iter().map(|(l, _)| l.as_str()).collect();
+    let mut headers = vec!["Benchmark"];
+    headers.extend(labels.iter());
+    let mut t = Table::new(
+        "Figure 12: Energy Normalized to Unfused GTX 1080Ti (lower is better)",
+        &headers,
+    );
+    for (b, row) in &data {
+        let mut cells = vec![b.name().to_string()];
+        cells.extend(row.iter().map(|(_, v)| format!("{v:.4}")));
+        t.row(cells);
+    }
+    t.print();
+    println!();
+    let mut s = Table::new("Figure 12 (savings view): Unfused-1080Ti energy / config energy", &headers);
+    for (b, row) in &data {
+        let mut cells = vec![b.name().to_string()];
+        cells.extend(row.iter().map(|(_, v)| format!("{:.2}x", 1.0 / v)));
+        s.row(cells);
+    }
+    s.print();
+}

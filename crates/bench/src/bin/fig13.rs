@@ -1,0 +1,36 @@
+//! Regenerates Figure 13: the pipelined stage timeline (Acoustic_4 on
+//! the 2 GB chip) and the §7.5 pipelining ablation.
+
+use wavepim_bench::figures::fig13_data;
+use wavepim_bench::report::fmt_seconds;
+
+fn main() {
+    let (timeline, ratio) = fig13_data();
+    println!("== Figure 13: Pipeline Breakdown (Acoustic_4, PIM-2GB, one LSRK stage) ==");
+    println!("{:<14} {:<16} {:>10} {:>10}", "Lane", "Segment", "Start", "End");
+    println!("{}", "-".repeat(54));
+    for s in &timeline.segments {
+        println!(
+            "{:<14} {:<16} {:>10} {:>10}",
+            s.lane,
+            s.label,
+            fmt_seconds(s.start),
+            fmt_seconds(s.end)
+        );
+    }
+    println!("{}", "-".repeat(54));
+    println!("Pipelined stage makespan: {}", fmt_seconds(timeline.makespan));
+    println!(
+        "Throughput without pipelining: {ratio:.2}x of pipelined (paper reports 0.77x)"
+    );
+    // ASCII rendering of the swimlanes.
+    println!("\nTimeline ({} total):", fmt_seconds(timeline.makespan));
+    let width = 64.0;
+    for s in &timeline.segments {
+        let a = (s.start / timeline.makespan * width) as usize;
+        let b = ((s.end / timeline.makespan * width) as usize).max(a + 1);
+        let bar: String =
+            (0..width as usize).map(|i| if i >= a && i < b { '#' } else { '.' }).collect();
+        println!("{:<14} |{bar}| {}", s.lane, s.label);
+    }
+}

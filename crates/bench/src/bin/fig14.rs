@@ -1,0 +1,30 @@
+//! Regenerates Figure 14: H-tree vs Bus intra/inter-element time for the
+//! four §7.6 case studies.
+
+use wavepim_bench::figures::fig14_data;
+use wavepim_bench::report::Table;
+
+fn main() {
+    let mut t = Table::new(
+        "Figure 14: Comparison between H-Tree and Bus (per-stage time, us)",
+        &["Case", "Interconnect", "Intra-element", "Inter-element", "Inter share"],
+    );
+    let cases = fig14_data();
+    for c in &cases {
+        for (name, (intra, inter)) in [("H-tree", c.htree), ("Bus", c.bus)] {
+            t.row(vec![
+                format!("{}{}", c.name, if c.expansion { " (expanded)" } else { "" }),
+                name.into(),
+                format!("{:.1}", intra * 1e6),
+                format!("{:.1}", inter * 1e6),
+                format!("{:.1}%", 100.0 * inter / (intra + inter)),
+            ]);
+        }
+    }
+    t.print();
+    let avg: f64 =
+        cases.iter().map(|c| c.bus.1 / c.htree.1).sum::<f64>() / cases.len() as f64;
+    println!("\nAverage H-tree fetch-time saving over Bus: {avg:.2}x (paper: ~2.16x)");
+    println!("Paper inter-element shares: 21.62% (H-tree) / 58.41% (Bus) without");
+    println!("expansion; 42.77% / 69.96% with expansion.");
+}

@@ -1,0 +1,30 @@
+//! Regenerates the §3.1 motivation numbers: GPU speedups over the CPU
+//! implementation for refinement levels 4 and 5 (1,024 time-steps).
+
+use gpu_model::cpu::{cpu_seconds, predicted_speedup};
+use gpu_model::GpuModel;
+use wavepim_bench::report::{fmt_seconds, Table};
+use wavesim_dg::opcount::Benchmark;
+
+fn main() {
+    let mut t = Table::new(
+        "Section 3.1: GPU Speedup over Dual Xeon Platinum 8160 (48 cores)",
+        &["Level", "CPU time", "GTX 1080Ti", "Tesla P100", "Tesla V100", "Paper"],
+    );
+    for (b, paper) in [
+        (Benchmark::Acoustic4, "94.35x / 100.25x / 123.38x"),
+        (Benchmark::Acoustic5, "131.10x / 223.95x / 369.05x"),
+    ] {
+        t.row(vec![
+            b.level().to_string(),
+            fmt_seconds(cpu_seconds(b)),
+            format!("{:.2}x", predicted_speedup(b, GpuModel::Gtx1080Ti)),
+            format!("{:.2}x", predicted_speedup(b, GpuModel::TeslaP100)),
+            format!("{:.2}x", predicted_speedup(b, GpuModel::TeslaV100)),
+            paper.into(),
+        ]);
+    }
+    t.print();
+    println!("\nThe 1080Ti column is the calibration anchor (see gpu_model::cpu);");
+    println!("the P100/V100 columns are predictions of the GPU roofline model.");
+}

@@ -1,0 +1,64 @@
+//! Regenerates the paper's aggregate claims (§1, §7.3, §7.4, §8).
+
+use wavepim_bench::report::Table;
+use wavepim_bench::summary::headline;
+
+fn main() {
+    let s = headline();
+
+    let mut t = Table::new(
+        "Average PIM speedup / energy savings by capacity (vs Unfused GTX 1080Ti)",
+        &["Capacity", "Speedup (12nm)", "Paper", "Energy savings (28nm)", "Paper"],
+    );
+    let paper_speed = ["10.28x", "35.80x", "72.21x", "172.76x"];
+    let paper_energy = ["26.62x", "26.82x", "14.28x", "16.01x"];
+    for (i, ((c, sp), (_, en))) in
+        s.speedup_vs_unfused_1080ti.iter().zip(&s.energy_vs_unfused_1080ti).enumerate()
+    {
+        t.row(vec![
+            c.name().into(),
+            format!("{sp:.2}x"),
+            paper_speed[i].into(),
+            format!("{en:.2}x"),
+            paper_energy[i].into(),
+        ]);
+    }
+    t.print();
+
+    println!();
+    let mut t2 = Table::new(
+        "Average PIM speedup vs Fused Tesla V100 (12nm)",
+        &["Capacity", "Speedup", "Paper"],
+    );
+    let paper_fused = ["2.30x", "7.89x", "15.97x", "37.39x"];
+    for (i, (c, sp)) in s.speedup_vs_fused_v100.iter().enumerate() {
+        t2.row(vec![c.name().into(), format!("{sp:.2}x"), paper_fused[i].into()]);
+    }
+    t2.print();
+
+    println!();
+    let mut t3 = Table::new(
+        "16GB PIM vs each GPU platform (averaged over the six benchmarks)",
+        &["GPU", "Speedup (12nm)", "Paper", "Energy savings (28nm)", "Paper"],
+    );
+    let paper_s = ["45.31x", "34.52x", "15.89x"];
+    let paper_e = ["13.75x", "10.67x", "5.66x"];
+    for (i, ((g, sp), (_, en))) in
+        s.speedup_vs_each_gpu.iter().zip(&s.energy_vs_each_gpu).enumerate()
+    {
+        t3.row(vec![
+            g.name().into(),
+            format!("{sp:.2}x"),
+            paper_s[i].into(),
+            format!("{en:.2}x"),
+            paper_e[i].into(),
+        ]);
+    }
+    t3.print();
+
+    println!();
+    println!("Headline (average over the three GPUs):");
+    println!("  speedup        {:.2}x   (paper: 41.98x)", s.headline_speedup);
+    println!("  energy savings {:.2}x   (paper: 12.66x)", s.headline_energy);
+    println!("  H-tree fetch-time saving over Bus: {:.2}x (paper: ~2.16x)", s.htree_over_bus);
+}

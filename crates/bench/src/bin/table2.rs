@@ -1,0 +1,48 @@
+//! Regenerates Table 2: hardware configurations of the four platforms.
+
+use gpu_model::GpuModel;
+use pim_sim::{ChipCapacity, InterconnectKind};
+use wavepim_bench::report::Table;
+
+fn main() {
+    let mut t = Table::new(
+        "Table 2: Hardware Configurations",
+        &["Platform", "Name", "Process", "Clock", "Memory", "Mem BW", "FP32 peak"],
+    );
+    for gpu in GpuModel::ALL {
+        let s = gpu.spec();
+        t.row(vec![
+            "GPU".into(),
+            s.name.into(),
+            format!("{}nm", s.process_nm),
+            format!("{:.0}MHz", s.clock_hz / 1e6),
+            match gpu {
+                GpuModel::Gtx1080Ti => "11GB GDDR5X".into(),
+                _ => "16GB HBM2".into(),
+            },
+            format!("{:.0}GBps", s.mem_bandwidth / 1e9),
+            format!("{:.1}TFLOPS", s.peak_fp32 / 1e12),
+        ]);
+    }
+    let caps: Vec<String> =
+        ChipCapacity::ALL.iter().map(|c| c.name().to_string()).collect();
+    // PIM throughput: max parallel rows under the 50/50 add/mul mix.
+    let rows = ChipCapacity::Gb2.max_parallel_rows() as f64;
+    let avg = (pim_sim::params::FP32_ADD_CYCLES + pim_sim::params::FP32_MUL_CYCLES) as f64 / 2.0;
+    let tflops = rows / (avg * pim_sim::params::T_NOR) / 1e12;
+    t.row(vec![
+        "PIM".into(),
+        "Wave-PIM".into(),
+        "28nm".into(),
+        format!("{:.0}MHz", pim_sim::params::CLOCK_HZ / 1e6),
+        caps.join("/"),
+        "900GBps".into(),
+        format!("{tflops:.2}TFLOPS (2GB)"),
+    ]);
+    t.print();
+    println!(
+        "\nPIM static power (2GB): {:.2}W (H-tree) / {:.2}W (Bus)",
+        ChipCapacity::Gb2.static_power(InterconnectKind::HTree),
+        ChipCapacity::Gb2.static_power(InterconnectKind::Bus)
+    );
+}

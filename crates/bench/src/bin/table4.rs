@@ -1,0 +1,23 @@
+//! Regenerates Table 4: PIM basic operation energy and time.
+
+use pim_sim::params as p;
+use wavepim_bench::report::Table;
+
+fn main() {
+    let mut t = Table::new(
+        "Table 4: PIM Basic Operation Energy (E) and Time (T)",
+        &["E_set", "E_reset", "E_NOR", "E_search", "T_NOR", "T_search"],
+    );
+    t.row(vec![
+        format!("{:.1}fJ", p::E_SET * 1e15),
+        format!("{:.2}fJ", p::E_RESET * 1e15),
+        format!("{:.2}fJ", p::E_NOR * 1e15),
+        format!("{:.2}pJ", p::E_SEARCH * 1e12),
+        format!("{:.1}ns", p::T_NOR * 1e9),
+        format!("{:.1}ns", p::T_SEARCH * 1e9),
+    ]);
+    t.print();
+    println!("\nDerived bit-serial FP32 latencies (calibrated to the Table 2 throughput):");
+    println!("  add: {} NOR cycles   mul: {} NOR cycles   mac: {} NOR cycles",
+        p::FP32_ADD_CYCLES, p::FP32_MUL_CYCLES, p::FP32_MAC_CYCLES);
+}

@@ -1,0 +1,35 @@
+//! Regenerates Table 5: mapping technique per (benchmark × PIM size).
+
+use pim_sim::ChipCapacity;
+use wave_pim::planner::plan;
+use wavepim_bench::report::Table;
+use wavesim_dg::opcount::Benchmark;
+
+fn main() {
+    let mut t = Table::new(
+        "Table 5: PIM Implementation Configuration",
+        &["Configuration", "512MB", "2GB", "8GB", "16GB"],
+    );
+    for (label, b) in [
+        ("Acoustic_4", Benchmark::Acoustic4),
+        ("Elastic_4", Benchmark::ElasticCentral4),
+        ("Acoustic_5", Benchmark::Acoustic5),
+        ("Elastic_5", Benchmark::ElasticCentral5),
+    ] {
+        let mut row = vec![label.to_string()];
+        for c in ChipCapacity::ALL {
+            let tech = plan(b, c);
+            let mut cell = tech.label();
+            if tech.batches > 1 {
+                cell.push_str(&format!("({})", tech.batches));
+            }
+            row.push(cell);
+        }
+        t.row(row);
+    }
+    t.print();
+    println!("\nN = naive, E_p = parallelism expansion, E_r = row-size expansion,");
+    println!("B = batching (batch count in parentheses).");
+    println!("Paper Table 5: Acoustic_4: N E_p E_p E_p | Elastic_4: E_r&B E_r E_p&E_r E_p&E_r");
+    println!("               Acoustic_5: B B N E_p    | Elastic_5: E_r&B E_r&B E_r&B E_r");
+}

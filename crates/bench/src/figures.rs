@@ -1,0 +1,247 @@
+//! Data assembly for Figures 11–14.
+
+use gpu_model::{benchmark_seconds, GpuImpl, GpuModel};
+use pim_sim::{ChipCapacity, InterconnectKind, ProcessNode};
+use wave_pim::estimate::{estimate, PimSetup};
+use wave_pim::pipeline::{pipelined_timeline, StageTimeline};
+use wavesim_dg::opcount::Benchmark;
+
+/// One column of Figs. 11/12: a platform/configuration under evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EvalColumn {
+    Gpu(GpuModel, GpuImpl),
+    Pim(ChipCapacity, ProcessNode),
+    /// The §7.5 ablation: the 2 GB PIM with pipelining disabled.
+    PimNoPipeline(ChipCapacity, ProcessNode),
+}
+
+impl EvalColumn {
+    /// The paper's Fig. 11/12 column set: three unfused GPUs, two fused
+    /// GPUs, the four PIM capacities at 12 nm, the 16 GB PIM at 28 nm,
+    /// and the unpipelined ablation.
+    pub fn all() -> Vec<EvalColumn> {
+        let mut cols = vec![
+            EvalColumn::Gpu(GpuModel::Gtx1080Ti, GpuImpl::Unfused),
+            EvalColumn::Gpu(GpuModel::TeslaP100, GpuImpl::Unfused),
+            EvalColumn::Gpu(GpuModel::TeslaV100, GpuImpl::Unfused),
+            EvalColumn::Gpu(GpuModel::Gtx1080Ti, GpuImpl::Fused),
+            EvalColumn::Gpu(GpuModel::TeslaV100, GpuImpl::Fused),
+        ];
+        for c in ChipCapacity::ALL {
+            cols.push(EvalColumn::Pim(c, ProcessNode::Nm12));
+        }
+        cols.push(EvalColumn::Pim(ChipCapacity::Gb16, ProcessNode::Nm28));
+        cols.push(EvalColumn::PimNoPipeline(ChipCapacity::Gb2, ProcessNode::Nm12));
+        cols
+    }
+
+    /// Column label matching the paper's legend style.
+    pub fn label(&self) -> String {
+        match self {
+            EvalColumn::Gpu(g, v) => format!("{}-{}", v.name(), g.name().replace(' ', "")),
+            EvalColumn::Pim(c, n) => format!("PIM-{}-{}", c.name(), n.name()),
+            EvalColumn::PimNoPipeline(c, n) => {
+                format!("PIM-{}-{}-nopipe", c.name(), n.name())
+            }
+        }
+    }
+
+    /// Wall-clock seconds for a benchmark on this column.
+    pub fn seconds(&self, b: Benchmark) -> f64 {
+        match self {
+            EvalColumn::Gpu(g, v) => benchmark_seconds(b, *g, *v),
+            EvalColumn::Pim(c, n) => estimate(b, PimSetup::new(*c, *n)).total_seconds,
+            EvalColumn::PimNoPipeline(c, n) => {
+                let mut s = PimSetup::new(*c, *n);
+                s.pipelined = false;
+                estimate(b, s).total_seconds
+            }
+        }
+    }
+
+    /// Energy in joules for a benchmark on this column.
+    pub fn joules(&self, b: Benchmark) -> f64 {
+        match self {
+            EvalColumn::Gpu(g, v) => gpu_model::energy::benchmark_joules(b, *g, *v),
+            EvalColumn::Pim(c, n) => estimate(b, PimSetup::new(*c, *n)).total_joules(),
+            EvalColumn::PimNoPipeline(c, n) => {
+                let mut s = PimSetup::new(*c, *n);
+                s.pipelined = false;
+                estimate(b, s).total_joules()
+            }
+        }
+    }
+}
+
+/// The baseline every bar is normalized to (§7.2: "The unfused GPU
+/// implementation runs on GTX 1080Ti is used as the baseline").
+pub fn baseline() -> EvalColumn {
+    EvalColumn::Gpu(GpuModel::Gtx1080Ti, GpuImpl::Unfused)
+}
+
+/// Fig. 11: per benchmark, (column label, time normalized to the
+/// unfused 1080Ti).
+pub fn fig11_data() -> Vec<(Benchmark, Vec<(String, f64)>)> {
+    let cols = EvalColumn::all();
+    Benchmark::ALL
+        .iter()
+        .map(|&b| {
+            let base = baseline().seconds(b);
+            let row =
+                cols.iter().map(|c| (c.label(), c.seconds(b) / base)).collect::<Vec<_>>();
+            (b, row)
+        })
+        .collect()
+}
+
+/// Fig. 12: per benchmark, (column label, energy normalized to the
+/// unfused 1080Ti).
+pub fn fig12_data() -> Vec<(Benchmark, Vec<(String, f64)>)> {
+    let cols = EvalColumn::all();
+    Benchmark::ALL
+        .iter()
+        .map(|&b| {
+            let base = baseline().joules(b);
+            let row =
+                cols.iter().map(|c| (c.label(), c.joules(b) / base)).collect::<Vec<_>>();
+            (b, row)
+        })
+        .collect()
+}
+
+/// Fig. 13: the pipelined stage timeline of Acoustic_4 on the 2 GB chip,
+/// plus the serial/pipelined throughput ratio (§7.5's 0.77×).
+pub fn fig13_data() -> (StageTimeline, f64) {
+    let e = estimate(
+        Benchmark::Acoustic4,
+        PimSetup::new(ChipCapacity::Gb2, ProcessNode::Nm28),
+    );
+    let timeline = pipelined_timeline(&e.breakdown);
+    let serial = e.breakdown.serial();
+    let throughput_without_pipelining = timeline.makespan / serial;
+    (timeline, throughput_without_pipelining)
+}
+
+/// One Fig. 14 case: intra/inter-element time (seconds per stage) for
+/// both interconnects.
+#[derive(Debug, Clone)]
+pub struct Fig14Case {
+    pub name: String,
+    pub expansion: bool,
+    /// (intra, inter) for the H-tree.
+    pub htree: (f64, f64),
+    /// (intra, inter) for the bus.
+    pub bus: (f64, f64),
+}
+
+/// Fig. 14: the four case studies of §7.6.
+pub fn fig14_data() -> Vec<Fig14Case> {
+    let cases = [
+        (Benchmark::Acoustic4, ChipCapacity::Mb512),
+        (Benchmark::Acoustic4, ChipCapacity::Gb2),
+        (Benchmark::ElasticCentral4, ChipCapacity::Gb2),
+        (Benchmark::ElasticCentral4, ChipCapacity::Gb8),
+    ];
+    cases
+        .iter()
+        .map(|&(b, c)| {
+            let run = |ic: InterconnectKind| {
+                let mut s = PimSetup::new(c, ProcessNode::Nm28);
+                s.interconnect = ic;
+                s.pipelined = false;
+                let e = estimate(b, s);
+                (e.intra_element_seconds, e.inter_element_seconds)
+            };
+            let technique = wave_pim::planner::plan(b, c);
+            Fig14Case {
+                name: format!("{} / PIM-{}", b.name(), c.name()),
+                expansion: technique.parallel_expansion,
+                htree: run(InterconnectKind::HTree),
+                bus: run(InterconnectKind::Bus),
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn columns_have_unique_labels() {
+        let cols = EvalColumn::all();
+        let mut labels: Vec<String> = cols.iter().map(|c| c.label()).collect();
+        let before = labels.len();
+        labels.sort();
+        labels.dedup();
+        assert_eq!(labels.len(), before);
+        assert!(before >= 10, "the paper's figure shows ≥10 configurations");
+    }
+
+    #[test]
+    fn baseline_normalizes_to_one() {
+        let data = fig11_data();
+        for (b, row) in &data {
+            let base = row.iter().find(|(l, _)| l == "Unfused-GTX1080Ti").unwrap();
+            assert!((base.1 - 1.0).abs() < 1e-12, "{}", b.name());
+        }
+    }
+
+    #[test]
+    fn pim_beats_every_gpu_everywhere_in_fig11() {
+        // The paper's headline: all PIM configurations outperform all GPU
+        // configurations on all six benchmarks.
+        for (b, row) in fig11_data() {
+            let worst_pim = row
+                .iter()
+                .filter(|(l, _)| l.starts_with("PIM") && !l.ends_with("nopipe"))
+                .map(|(_, v)| *v)
+                .fold(0.0f64, f64::max);
+            let best_gpu = row
+                .iter()
+                .filter(|(l, _)| !l.starts_with("PIM"))
+                .map(|(_, v)| *v)
+                .fold(f64::INFINITY, f64::min);
+            assert!(
+                worst_pim < best_gpu,
+                "{}: worst PIM {worst_pim} vs best GPU {best_gpu}",
+                b.name()
+            );
+        }
+    }
+
+    #[test]
+    fn fig12_pim_energy_is_far_below_gpu_energy() {
+        for (b, row) in fig12_data() {
+            for (label, v) in &row {
+                if label.starts_with("PIM") {
+                    assert!(*v < 0.5, "{}: {label} normalized energy {v}", b.name());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn fig13_ratio_is_near_the_paper_value() {
+        // §7.5: without pipelining only 0.77× throughput, i.e. the
+        // pipelined stage is ~77% of the serial stage length.
+        let (timeline, ratio) = fig13_data();
+        assert!((0.55..0.95).contains(&ratio), "ratio {ratio}");
+        assert!(!timeline.segments.is_empty());
+    }
+
+    #[test]
+    fn fig14_htree_always_wins_and_expansion_raises_inter_share() {
+        let cases = fig14_data();
+        assert_eq!(cases.len(), 4);
+        for c in &cases {
+            assert!(c.htree.1 < c.bus.1, "{}: H-tree must fetch faster", c.name);
+        }
+        // §7.6: expansion raises the inter-element share on both
+        // interconnects (21.62→42.77% for H-tree).
+        let share = |(intra, inter): (f64, f64)| inter / (intra + inter);
+        let naive = &cases[0];
+        let expanded = &cases[1];
+        assert!(share(expanded.htree) > share(naive.htree));
+    }
+}

@@ -1,0 +1,125 @@
+//! Cross-artifact consistency: the tables and figures must tell one
+//! coherent story, because they are generated from the same models.
+
+use gpu_model::{benchmark_seconds, GpuImpl, GpuModel};
+use pim_sim::{ChipCapacity, ProcessNode};
+use wave_pim::estimate::{estimate, PimSetup};
+use wave_pim::planner::plan;
+use wavepim_bench::figures::{fig11_data, fig12_data, EvalColumn};
+use wavesim_dg::opcount::Benchmark;
+
+#[test]
+fn fig11_times_are_reciprocal_consistent_with_raw_models() {
+    // The normalized figure must equal the raw model ratio for a spot
+    // check on every benchmark.
+    for (b, row) in fig11_data() {
+        let baseline = benchmark_seconds(b, GpuModel::Gtx1080Ti, GpuImpl::Unfused);
+        let v100 = benchmark_seconds(b, GpuModel::TeslaV100, GpuImpl::Unfused);
+        let cell = row
+            .iter()
+            .find(|(l, _)| l == "Unfused-TeslaV100")
+            .map(|(_, v)| *v)
+            .unwrap();
+        assert!((cell - v100 / baseline).abs() < 1e-12, "{}", b.name());
+    }
+}
+
+#[test]
+fn fig11_jumps_align_with_table5_technique_changes() {
+    // Where Table 5 keeps the technique fixed across capacities, the
+    // normalized time must not change (same mapping, same chip-internal
+    // behavior in our model); where it changes, time must improve.
+    for b in Benchmark::ALL {
+        let caps = ChipCapacity::ALL;
+        for w in caps.windows(2) {
+            let (c1, c2) = (w[0], w[1]);
+            let t1 = plan(b, c1);
+            let t2 = plan(b, c2);
+            let e1 = estimate(b, PimSetup::new(c1, ProcessNode::Nm12)).total_seconds;
+            let e2 = estimate(b, PimSetup::new(c2, ProcessNode::Nm12)).total_seconds;
+            if t1 == t2 {
+                assert!(
+                    (e1 - e2).abs() < 1e-9 * e1,
+                    "{} {}->{}: same technique, different time {e1} vs {e2}",
+                    b.name(),
+                    c1.name(),
+                    c2.name()
+                );
+            } else {
+                assert!(
+                    e2 < e1,
+                    "{} {}->{}: technique changed ({} -> {}) but no speedup",
+                    b.name(),
+                    c1.name(),
+                    c2.name(),
+                    t1.label(),
+                    t2.label()
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn energy_and_time_figures_share_the_pim_ranking_per_benchmark() {
+    // Within one benchmark, if a PIM config is slower AND burns more
+    // power (bigger chip), it must not come out cheaper in energy at the
+    // same process node… energy = power × time makes faster+smaller
+    // dominate. (Spot-check with 512MB vs 16GB on a level-4 workload,
+    // where 16GB has idle tiles.)
+    let small = estimate(
+        Benchmark::Acoustic4,
+        PimSetup::new(ChipCapacity::Gb2, ProcessNode::Nm28),
+    );
+    let big = estimate(
+        Benchmark::Acoustic4,
+        PimSetup::new(ChipCapacity::Gb16, ProcessNode::Nm28),
+    );
+    assert!(big.total_seconds <= small.total_seconds * 1.0001);
+    assert!(
+        big.total_joules() > small.total_joules(),
+        "idle capacity must cost energy: {} vs {}",
+        big.total_joules(),
+        small.total_joules()
+    );
+}
+
+#[test]
+fn fig12_normalization_is_consistent_with_fig11_columns() {
+    // Same column set, same order.
+    let t = fig11_data();
+    let e = fig12_data();
+    for ((b1, r1), (b2, r2)) in t.iter().zip(&e) {
+        assert_eq!(b1.name(), b2.name());
+        let l1: Vec<&String> = r1.iter().map(|(l, _)| l).collect();
+        let l2: Vec<&String> = r2.iter().map(|(l, _)| l).collect();
+        assert_eq!(l1, l2);
+    }
+}
+
+#[test]
+fn nopipeline_column_is_slower_than_its_pipelined_twin() {
+    for (b, row) in fig11_data() {
+        let piped = row.iter().find(|(l, _)| l == "PIM-2GB-12nm").unwrap().1;
+        let nopipe = row.iter().find(|(l, _)| l == "PIM-2GB-12nm-nopipe").unwrap().1;
+        assert!(nopipe > piped, "{}: {nopipe} vs {piped}", b.name());
+    }
+}
+
+#[test]
+fn eval_columns_cover_the_paper_legend() {
+    let labels: Vec<String> = EvalColumn::all().iter().map(|c| c.label()).collect();
+    for needed in [
+        "Unfused-GTX1080Ti",
+        "Unfused-TeslaP100",
+        "Unfused-TeslaV100",
+        "Fused-TeslaV100",
+        "PIM-512MB-12nm",
+        "PIM-2GB-12nm",
+        "PIM-8GB-12nm",
+        "PIM-16GB-12nm",
+        "PIM-16GB-28nm",
+    ] {
+        assert!(labels.iter().any(|l| l == needed), "missing column {needed}");
+    }
+}

@@ -1,0 +1,253 @@
+//! Functional execution of a *batched* acoustic simulation (§6.1):
+//! a model larger than the chip, processed per kernel in resident
+//! batches of y-slices with off-chip swaps between them.
+//!
+//! The paper's scheme (Figs. 6–7) batches each kernel separately:
+//!
+//! * **Volume** and **Integration** "simply mean executing our initial
+//!   solution multiple times, since there is no inter-element data
+//!   dependency" (§6.1.1) — load a batch, compute, store, next batch;
+//! * **Flux** partitions the mesh into y-slices. x- and z-flux are
+//!   intra-slice; the y-direction needs the neighboring slice, so each
+//!   batch is loaded *together with its boundary slices* (step 5 of
+//!   Fig. 7: "store Slice 0 and load Slice 16") so every resident
+//!   element sees its neighbors' pre-stage variables.
+//!
+//! Crucially, Flux of **every** batch completes before Integration of
+//! **any** batch — otherwise a batch-boundary face would mix pre- and
+//! post-stage values. Host-side `State` arrays play the role of the
+//! off-chip HBM2 DRAM, and the contributions travel through them
+//! between kernel passes, exactly the extra DRAM traffic the paper's
+//! batching overhead model charges.
+
+use pim_sim::PimChip;
+use wavesim_dg::{AcousticMaterial, FluxKind, Lsrk5, State};
+use wavesim_mesh::HexMesh;
+
+use crate::compiler::AcousticMapping;
+
+/// A batched acoustic simulation runner: the functional counterpart of
+/// the `B` technique rows of Table 5.
+pub struct BatchedAcousticRunner {
+    mapping: AcousticMapping,
+    /// Element lists per batch (whole y-slices).
+    batches: Vec<Vec<usize>>,
+    /// Per batch: the out-of-batch boundary elements whose variables
+    /// must be resident during the batch's Flux pass.
+    boundary: Vec<Vec<usize>>,
+    dt: f64,
+    /// Off-chip state (the host-side HBM2 image).
+    vars: State,
+    aux: State,
+    contribs: State,
+}
+
+impl BatchedAcousticRunner {
+    /// Builds a runner that splits the mesh into `num_batches` groups of
+    /// consecutive y-slices.
+    ///
+    /// # Panics
+    /// Panics if the slice count is not divisible by `num_batches`, or a
+    /// batch plus its boundary slices would not fit `capacity_blocks`.
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        mesh: HexMesh,
+        n: usize,
+        flux_kind: FluxKind,
+        material: AcousticMaterial,
+        initial: &State,
+        dt: f64,
+        num_batches: usize,
+        capacity_blocks: usize,
+    ) -> Self {
+        let slices = mesh.num_slices();
+        assert!(num_batches >= 2, "batching needs at least two batches");
+        assert_eq!(slices % num_batches, 0, "slices must split evenly into batches");
+        let slices_per_batch = slices / num_batches;
+
+        let mut batches = Vec::new();
+        let mut boundary = Vec::new();
+        for b in 0..num_batches {
+            let first = b * slices_per_batch;
+            let last = first + slices_per_batch - 1;
+            let mut elems = Vec::new();
+            for s in first..=last {
+                elems.extend(mesh.slice_elements(s).map(|e| e.index()));
+            }
+            // Boundary slices: the y-neighbors just outside the batch
+            // (wrapping only on periodic meshes; a wall face needs no
+            // neighbor slice).
+            let periodic = mesh.boundary() == wavesim_mesh::Boundary::Periodic;
+            let mut candidates = Vec::new();
+            if first > 0 {
+                candidates.push(first - 1);
+            } else if periodic {
+                candidates.push(slices - 1);
+            }
+            if last + 1 < slices {
+                candidates.push(last + 1);
+            } else if periodic {
+                candidates.push(0);
+            }
+            let mut extra = Vec::new();
+            for s in candidates {
+                if !(first..=last).contains(&s) {
+                    extra.extend(mesh.slice_elements(s).map(|e| e.index()));
+                }
+            }
+            extra.sort_unstable();
+            extra.dedup();
+            assert!(
+                elems.len() + extra.len() < capacity_blocks,
+                "batch {b}: {} resident + {} boundary elements exceed {capacity_blocks} blocks",
+                elems.len(),
+                extra.len()
+            );
+            batches.push(elems);
+            boundary.push(extra);
+        }
+
+        // Placement: within a batch pass, residents pack from block 0
+        // and boundary slices take the following blocks. Because every
+        // batch reuses the same window, the block map is installed fresh
+        // per pass (`install_map`).
+        let nodes = initial.nodes_per_element();
+        let materials = vec![material; mesh.num_elements()];
+        let mapping = AcousticMapping::new(mesh, n, flux_kind, materials);
+        assert_eq!(initial.nodes_per_element(), nodes);
+
+        Self {
+            mapping,
+            batches,
+            boundary,
+            dt,
+            vars: initial.clone(),
+            aux: State::zeros(initial.num_elements(), 4, nodes),
+            contribs: State::zeros(initial.num_elements(), 4, nodes),
+        }
+    }
+
+    /// Number of batches.
+    pub fn num_batches(&self) -> usize {
+        self.batches.len()
+    }
+
+    /// The current off-chip variable state.
+    pub fn vars(&self) -> &State {
+        &self.vars
+    }
+
+    /// Installs the block map for a batch pass: residents first, then
+    /// the boundary elements, everything else parked past the window
+    /// (never touched during this pass).
+    fn install_map(&mut self, batch: usize, with_boundary: bool) -> (Vec<usize>, Vec<usize>) {
+        let residents = self.batches[batch].clone();
+        let extras = if with_boundary { self.boundary[batch].clone() } else { Vec::new() };
+        let total = self.vars.num_elements();
+        let mut map = vec![0u32; total];
+        let mut next = 0u32;
+        for &e in residents.iter().chain(&extras) {
+            map[e] = next;
+            next += 1;
+        }
+        // Park non-resident elements after the window; they are never
+        // addressed during this pass.
+        for (e, slot) in map.iter_mut().enumerate() {
+            if !residents.contains(&e) && !extras.contains(&e) {
+                *slot = next;
+                next += 1;
+            }
+        }
+        self.mapping.set_block_map(map);
+        (residents, extras)
+    }
+
+    /// Advances one time-step: five LSRK stages, each as three batched
+    /// kernel passes with off-chip swaps.
+    pub fn step(&mut self, chip: &mut PimChip) {
+        for stage in 0..Lsrk5::STAGES {
+            // --- Volume pass (Fig. 6): per batch, load → compute → store.
+            for b in 0..self.num_batches() {
+                let (residents, _) = self.install_map(b, false);
+                self.mapping.preload_static_subset(chip, self.dt, &residents);
+                self.mapping.load_vars_subset(chip, &self.vars, &residents);
+                chip.execute(&self.mapping.compile_volume_for(&residents));
+                self.mapping.extract_contribs_subset(chip, &residents, &mut self.contribs);
+            }
+
+            // --- Flux pass (Fig. 7): per batch, load batch + boundary
+            // slices, accumulate flux into the stored contributions.
+            for b in 0..self.num_batches() {
+                let (residents, extras) = self.install_map(b, true);
+                let mut all = residents.clone();
+                all.extend_from_slice(&extras);
+                self.mapping.preload_static_subset(chip, self.dt, &all);
+                // Pre-stage variables for everyone visible this pass.
+                self.mapping.load_vars_subset(chip, &self.vars, &all);
+                // Resume the residents' contributions from off-chip.
+                self.mapping.load_contribs_subset(chip, &self.contribs, &residents);
+                chip.execute(&self.mapping.compile_lut_setup_for(&residents));
+                chip.execute(&self.mapping.compile_flux_for(&residents));
+                self.mapping.extract_contribs_subset(chip, &residents, &mut self.contribs);
+            }
+
+            // --- Integration pass (Fig. 6): per batch, with aux state.
+            for b in 0..self.num_batches() {
+                let (residents, _) = self.install_map(b, false);
+                self.mapping.preload_static_subset(chip, self.dt, &residents);
+                self.mapping.load_vars_subset(chip, &self.vars, &residents);
+                self.mapping.load_aux_subset(chip, &self.aux, &residents);
+                self.mapping.load_contribs_subset(chip, &self.contribs, &residents);
+                chip.execute(&self.mapping.compile_integration_for(&residents, stage));
+                self.mapping.extract_vars_subset(chip, &residents, &mut self.vars);
+                self.mapping.extract_aux_subset(chip, &residents, &mut self.aux);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wavesim_mesh::Boundary;
+
+    #[test]
+    fn batches_partition_the_mesh() {
+        let mesh = HexMesh::refinement_level(1, Boundary::Periodic);
+        let state = State::zeros(8, 4, 27);
+        let r = BatchedAcousticRunner::new(
+            mesh,
+            3,
+            FluxKind::Central,
+            AcousticMaterial::UNIT,
+            &state,
+            1e-3,
+            2,
+            64,
+        );
+        assert_eq!(r.num_batches(), 2);
+        let mut all: Vec<usize> = r.batches.iter().flatten().copied().collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..8).collect::<Vec<_>>());
+        // Each batch of a 2-slice mesh half has exactly the other half
+        // as boundary (periodic wrap, level 1 → only 2 slices).
+        assert_eq!(r.boundary[0].len(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceed")]
+    fn capacity_violations_are_caught() {
+        let mesh = HexMesh::refinement_level(1, Boundary::Periodic);
+        let state = State::zeros(8, 4, 27);
+        let _ = BatchedAcousticRunner::new(
+            mesh,
+            3,
+            FluxKind::Central,
+            AcousticMaterial::UNIT,
+            &state,
+            1e-3,
+            2,
+            4, // too small: 4 residents + 4 boundary + LUT
+        );
+    }
+}

@@ -1,0 +1,180 @@
+//! The batching technique (§6.1, Figs. 6–7): processing a model larger
+//! than the chip in resident batches.
+//!
+//! Volume and Integration batch trivially (no inter-element dependency);
+//! the cost is "two additional transactions between off- and on-chip
+//! memory: store the outputs of the first batch and load the inputs of
+//! the second batch" (§6.1.1). Flux is subtler: elements are partitioned
+//! into slices along the y-axis, x/z flux is intra-slice, and the y-axis
+//! `+1` sweep needs one extra boundary slice loaded per batch exchange
+//! (§6.1.2's twelve-step walkthrough, Fig. 7).
+
+use serde::{Deserialize, Serialize};
+use wavesim_dg::opcount::Benchmark;
+
+use crate::planner::Technique;
+
+/// Concrete batch schedule for one (benchmark, technique) pair.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BatchPlan {
+    /// Number of batches per kernel launch (1 = everything resident).
+    pub batches: u32,
+    /// Elements resident per batch.
+    pub elements_per_batch: u64,
+    /// y-slices per batch (the Fig. 7 partition unit).
+    pub slices_per_batch: u64,
+    /// Bytes of persistent state (variables + auxiliaries) per element.
+    pub state_bytes_per_element: u64,
+    /// Bytes moved per batch exchange: store the finished batch, load the
+    /// next one.
+    pub swap_bytes_per_exchange: u64,
+    /// Extra bytes per batch exchange for the Fig. 7 y-axis boundary
+    /// slice (step 5: "load the elements in Slice 16 to PIM").
+    pub boundary_slice_bytes: u64,
+}
+
+impl BatchPlan {
+    /// Builds the plan for a benchmark under a planned technique,
+    /// assuming 32-bit values (the paper's evaluation precision).
+    pub fn new(benchmark: Benchmark, technique: &Technique) -> Self {
+        let elements = benchmark.num_elements();
+        let batches = technique.batches;
+        let elements_per_batch = elements.div_ceil(batches as u64);
+        let per_axis = 1u64 << benchmark.level();
+        let elements_per_slice = per_axis * per_axis;
+        let slices_per_batch = elements_per_batch / elements_per_slice;
+        let nodes = 512u64;
+        let vars = benchmark.physics().num_vars() as u64;
+        // Variables + auxiliaries persist across stages; contributions are
+        // recomputed on-chip.
+        let state_bytes_per_element = 2 * vars * nodes * 4;
+        let swap_bytes_per_exchange = 2 * elements_per_batch * state_bytes_per_element;
+        let boundary_slice_bytes = if batches > 1 {
+            elements_per_slice * state_bytes_per_element / 2 // variables only
+        } else {
+            0
+        };
+        Self {
+            batches,
+            elements_per_batch,
+            slices_per_batch,
+            state_bytes_per_element,
+            swap_bytes_per_exchange,
+            boundary_slice_bytes,
+        }
+    }
+
+    /// Batch exchanges per kernel round: one per batch boundary.
+    pub fn exchanges_per_round(&self) -> u64 {
+        self.batches.saturating_sub(1) as u64
+    }
+
+    /// Total off-chip bytes per full (Volume + Flux + Integration) stage.
+    pub fn offchip_bytes_per_stage(&self) -> u64 {
+        self.exchanges_per_round() * (self.swap_bytes_per_exchange + self.boundary_slice_bytes)
+    }
+}
+
+/// One step of the Fig. 7 two-batch Flux walkthrough.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Fig7Step {
+    pub index: u8,
+    pub description: &'static str,
+}
+
+/// The twelve steps of Fig. 7 (level-5 model, 32 slices, 2 GB chip
+/// holding 16 slices) — used by the documentation bench and tested for
+/// the invariants the paper's scheme relies on.
+pub fn fig7_steps() -> Vec<Fig7Step> {
+    [
+        "load slices 0-15 to PIM",
+        "calculate flux of slices 0-15, x axis (-1, +1)",
+        "calculate flux of slices 0-15, z axis (-1, +1)",
+        "calculate flux of slices 0-15, y axis (-1)",
+        "store slice 0 and load slice 16",
+        "calculate flux of slices 1-16, y axis (+1)",
+        "store slices 1-15 and load slices 17-31",
+        "calculate flux of slices 16-31, x axis (-1, +1)",
+        "calculate flux of slices 16-31, z axis (-1, +1)",
+        "calculate flux of slices 16-31, y axis (-1)",
+        "calculate flux of slices 17-30, y axis (+1)",
+        "store slices 16-31",
+    ]
+    .iter()
+    .enumerate()
+    .map(|(i, d)| Fig7Step { index: i as u8 + 1, description: d })
+    .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pim_sim::ChipCapacity;
+    use wavesim_dg::opcount::Benchmark::*;
+
+    fn plan_for(b: Benchmark, c: ChipCapacity) -> BatchPlan {
+        BatchPlan::new(b, &crate::planner::plan(b, c))
+    }
+
+    #[test]
+    fn single_batch_has_no_offchip_traffic() {
+        let p = plan_for(Acoustic4, ChipCapacity::Mb512);
+        assert_eq!(p.batches, 1);
+        assert_eq!(p.offchip_bytes_per_stage(), 0);
+        assert_eq!(p.boundary_slice_bytes, 0);
+    }
+
+    #[test]
+    fn level5_on_2gb_matches_the_paper_walkthrough() {
+        // §6.1.2: level 5 (32×32×32) on 2 GB → half the elements resident:
+        // 16 of 32 slices.
+        let p = plan_for(Acoustic5, ChipCapacity::Gb2);
+        assert_eq!(p.batches, 2);
+        assert_eq!(p.elements_per_batch, 16384);
+        assert_eq!(p.slices_per_batch, 16);
+        assert!(p.offchip_bytes_per_stage() > 0);
+    }
+
+    #[test]
+    fn state_bytes_match_the_layout() {
+        // Acoustic: (4 vars + 4 aux) × 512 nodes × 4 B = 16 KiB/element.
+        let p = plan_for(Acoustic5, ChipCapacity::Gb2);
+        assert_eq!(p.state_bytes_per_element, 16 * 1024);
+        // Elastic: (9 + 9) × 512 × 4 = 36 KiB/element.
+        let q = plan_for(ElasticCentral5, ChipCapacity::Gb8);
+        assert_eq!(q.state_bytes_per_element, 36 * 1024);
+    }
+
+    #[test]
+    fn more_batches_means_more_offchip_traffic() {
+        let two = plan_for(Acoustic5, ChipCapacity::Gb2);
+        let eight = plan_for(Acoustic5, ChipCapacity::Mb512);
+        assert_eq!(eight.batches, 8);
+        assert!(eight.offchip_bytes_per_stage() > two.offchip_bytes_per_stage());
+    }
+
+    #[test]
+    fn fig7_walkthrough_is_complete_and_ordered() {
+        let steps = fig7_steps();
+        assert_eq!(steps.len(), 12);
+        for (i, s) in steps.iter().enumerate() {
+            assert_eq!(s.index as usize, i + 1);
+        }
+        // Every slice is eventually stored: steps 5, 7 and 12 cover
+        // slices 0, 1-15 and 16-31.
+        let stored: Vec<&str> =
+            steps.iter().filter(|s| s.description.starts_with("store")).map(|s| s.description).collect();
+        assert_eq!(stored.len(), 3);
+    }
+
+    #[test]
+    fn fig7_y_plus_sweep_needs_the_boundary_slice() {
+        // The +1 y sweep of the first batch covers slices 1-16, which is
+        // only possible after slice 16 is loaded (step 5) — the extra
+        // boundary-slice traffic the plan accounts for.
+        let p = plan_for(Acoustic5, ChipCapacity::Gb2);
+        assert!(p.boundary_slice_bytes > 0);
+        // One slice of variables: 1024 elements × 8 KiB.
+        assert_eq!(p.boundary_slice_bytes, 1024 * 8 * 1024);
+    }
+}

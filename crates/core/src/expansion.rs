@@ -1,0 +1,123 @@
+//! The expansion technique (§6.2, Figs. 8–9): spreading one element over
+//! four memory blocks.
+//!
+//! Under parallel expansion (`E_p`) the four variable groups of an
+//! acoustic element (p and the three velocity components) compute in
+//! separate blocks simultaneously "with an overhead of data duplication
+//! and inter-block data movement" (§6.2.1):
+//!
+//! * **Integration** splits perfectly — "there is no inter-block data
+//!   dependency" — so each block updates its own variable: 4× fewer
+//!   serial operations per block.
+//! * **Volume** splits imperfectly (Fig. 8): each block evaluates the
+//!   derivative of its own variable (2 of the 6 serial derivative passes
+//!   land on each block: one `grad p` component and one `div v` term),
+//!   but `jacobian_det_w_star` is recomputed in all four blocks and the
+//!   `div_v` partial sums must be exchanged and reduced (3 inter-block
+//!   copies + 2 additions on the pressure block).
+//! * **Flux** (Fig. 9) dedicates one block to buffering neighbor data and
+//!   one per axis to computation; the buffer block forwards the trace to
+//!   the compute blocks (one extra short hop), and each compute block
+//!   handles its axis's two faces: 3× fewer serial face evaluations, with
+//!   the fetch overhead partly amortized behind `jacobian_det_w_star`.
+
+/// Per-kernel effects of the four-block expansion relative to the naive
+/// single-block mapping.
+#[derive(Debug, Clone, Copy)]
+pub struct ExpansionModel {
+    /// Serial-work divisor for the Volume kernel (Fig. 8: 6 derivative
+    /// passes → 2 per block, minus the shared-constant recompute).
+    pub volume_speedup: f64,
+    /// Serial-work divisor for the Flux compute (Fig. 9: 6 face phases →
+    /// 2 per compute block).
+    pub flux_compute_speedup: f64,
+    /// Serial-work divisor for Integration (perfect split).
+    pub integration_speedup: f64,
+    /// Extra inter-block copies per element per Volume launch (the
+    /// `div_v` exchange of Fig. 8).
+    pub volume_exchange_copies: u64,
+    /// Extra row-parallel additions on the reducing block per Volume
+    /// launch.
+    pub volume_exchange_adds: u64,
+    /// Multiplier on ghost-fetch traffic (the buffer block forwards the
+    /// neighbor trace to the three compute blocks over sibling links).
+    pub fetch_traffic_factor: f64,
+    /// Dynamic-energy multiplier (constants recomputed 4×, duplicated
+    /// broadcasts — §6.2.1: "With more dynamic power consumption").
+    pub energy_overhead: f64,
+}
+
+impl ExpansionModel {
+    /// The paper's four-block expansion.
+    pub fn four_block() -> Self {
+        Self {
+            // 6 serial derivative passes → 2 per block, but
+            // jacobian_det_w_star is recomputed everywhere: net 3×.
+            volume_speedup: 3.0,
+            // 6 face phases → 2 per axis block.
+            flux_compute_speedup: 3.0,
+            integration_speedup: 4.0,
+            volume_exchange_copies: 3,
+            volume_exchange_adds: 2,
+            // Buffer block receives once, forwards to 3 siblings.
+            fetch_traffic_factor: 1.75,
+            energy_overhead: 1.35,
+        }
+    }
+
+    /// Identity model (no expansion).
+    pub fn naive() -> Self {
+        Self {
+            volume_speedup: 1.0,
+            flux_compute_speedup: 1.0,
+            integration_speedup: 1.0,
+            volume_exchange_copies: 0,
+            volume_exchange_adds: 0,
+            fetch_traffic_factor: 1.0,
+            energy_overhead: 1.0,
+        }
+    }
+
+    /// Selects the model for a planned technique.
+    pub fn for_technique(t: &crate::planner::Technique) -> Self {
+        if t.parallel_expansion {
+            Self::four_block()
+        } else {
+            Self::naive()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::planner::Technique;
+
+    #[test]
+    fn expansion_is_sublinear_in_blocks() {
+        // Four blocks never give 4× on the kernels with cross-block
+        // dependencies (§6.2.1: Volume "is much more complicated").
+        let e = ExpansionModel::four_block();
+        assert!(e.volume_speedup > 1.0 && e.volume_speedup < 4.0);
+        assert!(e.flux_compute_speedup > 1.0 && e.flux_compute_speedup < 4.0);
+        // Integration splits perfectly.
+        assert_eq!(e.integration_speedup, 4.0);
+    }
+
+    #[test]
+    fn expansion_costs_energy_and_traffic() {
+        let e = ExpansionModel::four_block();
+        let n = ExpansionModel::naive();
+        assert!(e.energy_overhead > n.energy_overhead);
+        assert!(e.fetch_traffic_factor > n.fetch_traffic_factor);
+        assert!(e.volume_exchange_copies > 0);
+    }
+
+    #[test]
+    fn technique_selects_the_right_model() {
+        let t_exp = Technique { row_expansion: false, parallel_expansion: true, batches: 1 };
+        let t_naive = Technique { row_expansion: true, parallel_expansion: false, batches: 4 };
+        assert_eq!(ExpansionModel::for_technique(&t_exp).integration_speedup, 4.0);
+        assert_eq!(ExpansionModel::for_technique(&t_naive).integration_speedup, 1.0);
+    }
+}

@@ -1,0 +1,102 @@
+//! Functional validation of the four-block elastic mapping (`E_r`):
+//! executing the compiled streams on the functional chip must track the
+//! native nine-variable elastic solver.
+//!
+//! Unlike the acoustic one-block mapping (bit-exact), the cross-block
+//! partial sums of the expanded Volume kernel re-associate a few
+//! floating-point reductions, so agreement is to roundoff accumulation
+//! (~1e-12 relative over a couple of steps), not bit equality.
+
+use pim_sim::{ChipConfig, PimChip};
+use wave_pim::compiler_elastic::ElasticMapping;
+use wavesim_dg::{Elastic, ElasticMaterial, FluxKind, Solver};
+use wavesim_mesh::{Boundary, HexMesh};
+
+const TAU: f64 = 2.0 * std::f64::consts::PI;
+
+fn run_both(
+    boundary: Boundary,
+    flux: FluxKind,
+    materials: Vec<ElasticMaterial>,
+    steps: usize,
+) -> (wavesim_dg::State, wavesim_dg::State) {
+    let mesh = HexMesh::refinement_level(1, boundary);
+    assert_eq!(materials.len(), mesh.num_elements());
+    let n = 3;
+    let dt = 1.0e-3;
+
+    let mut native = Solver::<Elastic>::new(mesh.clone(), n, flux, materials.clone());
+    native.set_initial(|v, x| match v {
+        0 => 0.3 * (TAU * x.x).sin(),
+        1 => 0.2 * (TAU * x.y).cos(),
+        2 => -0.1 * (TAU * x.z).sin(),
+        3..=5 => 0.15 * (TAU * x.x).cos() * (v as f64 - 3.5),
+        _ => 0.1 * (TAU * x.y).sin() * (v as f64 - 7.0),
+    });
+    let initial = native.state().clone();
+
+    let mapping = ElasticMapping::new(mesh, n, flux, materials);
+    let mut chip = PimChip::new(ChipConfig::default_2gb());
+    mapping.preload(&mut chip, &initial, dt);
+    chip.execute(&mapping.compile_lut_setup());
+    let streams = mapping.compile_step();
+    for _ in 0..steps {
+        for s in &streams {
+            chip.execute(s);
+        }
+    }
+    native.run(dt, steps);
+    let pim = mapping.extract_state(&mut chip);
+    (native.state().clone(), pim)
+}
+
+fn assert_matches(native: &wavesim_dg::State, pim: &wavesim_dg::State, label: &str) {
+    let diff = native.max_abs_diff(pim);
+    let scale = native.max_abs().max(1e-30);
+    assert!(
+        diff / scale < 1e-11,
+        "{label}: four-block elastic mapping diverged: |Δ|∞ = {diff:.3e} (scale {scale:.3e})"
+    );
+}
+
+#[test]
+fn elastic_pim_matches_native_central_periodic() {
+    let materials = vec![ElasticMaterial::new(2.0, 1.0, 1.0); 8];
+    let (native, pim) = run_both(Boundary::Periodic, FluxKind::Central, materials, 2);
+    assert_matches(&native, &pim, "central periodic");
+}
+
+#[test]
+fn elastic_pim_matches_native_riemann_periodic() {
+    let materials = vec![ElasticMaterial::new(2.0, 1.0, 1.5); 8];
+    let (native, pim) = run_both(Boundary::Periodic, FluxKind::Riemann, materials, 2);
+    assert_matches(&native, &pim, "Riemann periodic");
+}
+
+#[test]
+fn elastic_pim_matches_native_with_walls() {
+    let materials = vec![ElasticMaterial::new(1.0, 1.0, 1.0); 8];
+    let (native, pim) = run_both(Boundary::Wall, FluxKind::Riemann, materials, 2);
+    assert_matches(&native, &pim, "Riemann wall");
+}
+
+#[test]
+fn elastic_pim_matches_native_heterogeneous() {
+    // Checkerboard of hard/soft solids: every face crosses an impedance
+    // contrast in both the P and S characteristics, exercising the
+    // six-constant LUT entries.
+    let materials: Vec<ElasticMaterial> = (0..8)
+        .map(|e| {
+            if e % 2 == 0 {
+                ElasticMaterial::new(1.0, 1.0, 1.0)
+            } else {
+                ElasticMaterial::new(4.0, 2.0, 2.0)
+            }
+        })
+        .collect();
+    let mesh = HexMesh::refinement_level(1, Boundary::Periodic);
+    let probe = ElasticMapping::new(mesh, 3, FluxKind::Riemann, materials.clone());
+    assert!(probe.num_material_pairs() >= 2);
+    let (native, pim) = run_both(Boundary::Periodic, FluxKind::Riemann, materials, 2);
+    assert_matches(&native, &pim, "heterogeneous Riemann");
+}

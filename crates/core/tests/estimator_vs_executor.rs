@@ -1,0 +1,148 @@
+//! Cross-validation of the two cost paths: the *analytic estimator*
+//! (used for the paper-scale figures) against the *functional executor*
+//! (which actually runs the compiled instruction streams and accumulates
+//! per-resource timelines).
+//!
+//! Both model the same hardware from the same `pim_sim::params`
+//! constants, but through completely different code: the estimator from
+//! closed-form per-kernel formulas, the executor from instruction-by-
+//! instruction simulation. Their per-kernel times for the paper's
+//! element geometry (8×8×8 nodes, one block per element) must agree to
+//! a small factor — this pins the figures to the executable truth.
+
+use pim_sim::{ChipCapacity, ChipConfig, InterconnectKind, PimChip, ProcessNode};
+use wave_pim::compiler::AcousticMapping;
+use wave_pim::estimate::{estimate, PimSetup};
+use wavesim_dg::opcount::Benchmark;
+use wavesim_dg::{AcousticMaterial, FluxKind, State};
+use wavesim_mesh::{Boundary, HexMesh};
+
+/// Executes one kernel stream on a fresh chip and returns its elapsed
+/// seconds (28 nm).
+fn run_kernel(
+    mapping: &AcousticMapping,
+    state: &State,
+    build: impl Fn(&AcousticMapping) -> pim_isa::InstrStream,
+) -> f64 {
+    let mut chip = PimChip::new(ChipConfig {
+        capacity: ChipCapacity::Gb2,
+        interconnect: InterconnectKind::HTree,
+        node: ProcessNode::Nm28,
+    });
+    mapping.preload(&mut chip, state, 1e-3);
+    chip.execute(&mapping.compile_lut_setup());
+    let after_setup = chip.elapsed();
+    chip.execute(&build(mapping));
+    chip.elapsed() - after_setup
+}
+
+#[test]
+fn per_kernel_times_agree_between_estimator_and_executor() {
+    // The paper's element: 8 nodes per axis, 512 compute rows. Level-1
+    // periodic mesh (8 elements) so every face has a real neighbor.
+    let mesh = HexMesh::refinement_level(1, Boundary::Periodic);
+    let material = AcousticMaterial::new(2.0, 1.0);
+    let mapping = AcousticMapping::uniform(mesh, 8, FluxKind::Riemann, material);
+    let state = State::zeros(8, 4, 512);
+    let elems: Vec<usize> = (0..8).collect();
+
+    let vol = run_kernel(&mapping, &state, |m| m.compile_volume_for(&elems));
+    let flux = run_kernel(&mapping, &state, |m| m.compile_flux_phased_for(&elems));
+    let integ = run_kernel(&mapping, &state, |m| m.compile_integration_for(&elems, 0));
+
+    // The estimator's naive-technique breakdown for the same geometry
+    // (Acoustic_4 on 512 MB is the naive one-block mapping of Table 5).
+    let e = estimate(
+        Benchmark::Acoustic4,
+        PimSetup {
+            capacity: ChipCapacity::Mb512,
+            interconnect: InterconnectKind::HTree,
+            node: ProcessNode::Nm28,
+            pipelined: false,
+        },
+    );
+    let b = &e.breakdown;
+
+    // Executor volume time is per-element-serial with all 8 elements in
+    // parallel blocks; the estimator models exactly one element's serial
+    // path. Same for Integration. Flux adds executor-side instruction
+    // interleaving effects; allow a wider band there.
+    let check = |name: &str, measured: f64, modeled: f64, lo: f64, hi: f64| {
+        let ratio = measured / modeled;
+        assert!(
+            (lo..hi).contains(&ratio),
+            "{name}: executor {measured:.3e}s vs estimator {modeled:.3e}s (ratio {ratio:.2})"
+        );
+    };
+    check("volume", vol, b.volume, 0.5, 2.0);
+    check("integration", integ, b.integration, 0.5, 2.0);
+    // Measured with the *phased* schedule the compiler defaults to: the
+    // naive per-element fetch/compute interleaving runs ~7× slower here
+    // because ghost fetches contend with the source element's own flux
+    // compute on its block — the contention §6.3's pipelining removes
+    // (see `phased_flux_schedule_beats_the_sequential_one` below).
+    check("flux (fetch+compute)", flux, b.flux_fetch + b.flux_compute, 0.3, 2.0);
+}
+
+#[test]
+fn executor_utilization_reflects_parallel_occupancy() {
+    // During the Volume kernel every element's block works continuously:
+    // mean active utilization must be high.
+    let mesh = HexMesh::refinement_level(1, Boundary::Periodic);
+    let mapping =
+        AcousticMapping::uniform(mesh, 4, FluxKind::Central, AcousticMaterial::UNIT);
+    let state = State::zeros(8, 4, 64);
+    let mut chip = PimChip::new(ChipConfig::default_2gb());
+    mapping.preload(&mut chip, &state, 1e-3);
+    let elems: Vec<usize> = (0..8).collect();
+    chip.execute(&mapping.compile_volume_for(&elems));
+    let util = chip.mean_active_utilization();
+    assert!(
+        util > 0.5,
+        "volume should keep the element blocks busy, got {util:.2}"
+    );
+}
+
+#[test]
+fn phased_flux_schedule_beats_the_sequential_one() {
+    // §6.3 functionally: splitting Flux into fetch phases and compute
+    // phases removes the fetch-vs-compute block contention, so the
+    // executor must time the phased stream meaningfully faster — and the
+    // result must be numerically identical (same operations per block in
+    // the same per-block order).
+    let mesh = HexMesh::refinement_level(1, Boundary::Periodic);
+    let material = AcousticMaterial::new(2.0, 1.0);
+    let mapping = AcousticMapping::uniform(mesh, 8, FluxKind::Riemann, material);
+    let mut state = State::zeros(8, 4, 512);
+    state.fill_with(|e, v, n| (((e * 7 + v * 3 + n) % 11) as f64 - 5.0) * 0.05);
+    let elems: Vec<usize> = (0..8).collect();
+
+    let run = |stream: &pim_isa::InstrStream| {
+        let mut chip = PimChip::new(ChipConfig::default_2gb());
+        mapping.preload(&mut chip, &state, 1e-3);
+        chip.execute(&mapping.compile_lut_setup());
+        let t0 = chip.elapsed();
+        chip.execute(stream);
+        let dt = chip.elapsed() - t0;
+        // Snapshot the contributions of element 0 as the numeric witness.
+        let mut contribs = Vec::new();
+        for v in 0..4 {
+            for node in 0..512 {
+                contribs.push(
+                    chip.block(mapping.block_of(0))
+                        .get(node, 8 + v), // contribution columns
+                );
+            }
+        }
+        (dt, contribs)
+    };
+
+    let (t_seq, c_seq) = run(&mapping.compile_flux_for(&elems));
+    let (t_phased, c_phased) = run(&mapping.compile_flux_phased_for(&elems));
+
+    assert_eq!(c_seq, c_phased, "schedules must compute identical contributions");
+    assert!(
+        t_phased < 0.8 * t_seq,
+        "phasing should cut flux time: sequential {t_seq:.3e}s vs phased {t_phased:.3e}s"
+    );
+}

@@ -1,0 +1,125 @@
+//! Functional validation of the expanded acoustic mapping (`E_p`):
+//! four blocks per element must compute the same time-steps as the
+//! native solver (and hence as the one-block mapping).
+
+use pim_sim::{ChipConfig, PimChip};
+use wave_pim::compiler_expanded::ExpandedAcousticMapping;
+use wavesim_dg::{Acoustic, AcousticMaterial, FluxKind, Solver};
+use wavesim_mesh::{Boundary, HexMesh};
+
+const TAU: f64 = 2.0 * std::f64::consts::PI;
+
+fn run_both(
+    boundary: Boundary,
+    flux: FluxKind,
+    materials: Vec<AcousticMaterial>,
+    steps: usize,
+) -> (wavesim_dg::State, wavesim_dg::State) {
+    let mesh = HexMesh::refinement_level(1, boundary);
+    let n = 3;
+    let dt = 1.5e-3;
+
+    let mut native = Solver::<Acoustic>::new(mesh.clone(), n, flux, materials.clone());
+    native.set_initial(|v, x| match v {
+        0 => (TAU * x.x).sin() + 0.4 * (TAU * x.z).cos(),
+        1 => 0.3 * (TAU * x.y).sin(),
+        2 => -0.2 * (TAU * x.z).cos(),
+        _ => 0.1 * (TAU * x.x).cos(),
+    });
+    let initial = native.state().clone();
+
+    let mapping = ExpandedAcousticMapping::new(mesh, n, flux, materials);
+    let mut chip = PimChip::new(ChipConfig::default_2gb());
+    mapping.preload(&mut chip, &initial, dt);
+    chip.execute(&mapping.compile_lut_setup());
+    let streams = mapping.compile_step();
+    for _ in 0..steps {
+        for s in &streams {
+            chip.execute(s);
+        }
+    }
+    native.run(dt, steps);
+    (native.state().clone(), mapping.extract_state(&mut chip))
+}
+
+fn assert_matches(native: &wavesim_dg::State, pim: &wavesim_dg::State, label: &str) {
+    let diff = native.max_abs_diff(pim);
+    let scale = native.max_abs().max(1e-30);
+    assert!(
+        diff / scale < 1e-11,
+        "{label}: expanded mapping diverged: |Δ|∞ = {diff:.3e} (scale {scale:.3e})"
+    );
+}
+
+#[test]
+fn expanded_matches_native_riemann_periodic() {
+    let materials = vec![AcousticMaterial::new(2.0, 0.5); 8];
+    let (native, pim) = run_both(Boundary::Periodic, FluxKind::Riemann, materials, 2);
+    assert_matches(&native, &pim, "Riemann periodic");
+}
+
+#[test]
+fn expanded_matches_native_central_periodic() {
+    let materials = vec![AcousticMaterial::UNIT; 8];
+    let (native, pim) = run_both(Boundary::Periodic, FluxKind::Central, materials, 2);
+    assert_matches(&native, &pim, "central periodic");
+}
+
+#[test]
+fn expanded_matches_native_with_walls() {
+    let materials = vec![AcousticMaterial::new(1.0, 2.0); 8];
+    let (native, pim) = run_both(Boundary::Wall, FluxKind::Riemann, materials, 2);
+    assert_matches(&native, &pim, "Riemann wall");
+}
+
+#[test]
+fn expanded_matches_native_heterogeneous() {
+    let materials: Vec<AcousticMaterial> = (0..8)
+        .map(|e| {
+            if e % 2 == 0 {
+                AcousticMaterial::new(1.0, 1.0)
+            } else {
+                AcousticMaterial::new(9.0, 3.0)
+            }
+        })
+        .collect();
+    let (native, pim) = run_both(Boundary::Periodic, FluxKind::Riemann, materials, 2);
+    assert_matches(&native, &pim, "heterogeneous Riemann");
+}
+
+#[test]
+fn expanded_and_naive_mappings_agree_with_each_other() {
+    // The two acoustic mappings are alternative schedules of the same
+    // dataflow; both track the native solver, so they track each other.
+    use wave_pim::compiler::AcousticMapping;
+    let mesh = HexMesh::refinement_level(1, Boundary::Periodic);
+    let material = AcousticMaterial::new(2.0, 1.0);
+    let dt = 1.5e-3;
+
+    let mut native = Solver::<Acoustic>::uniform(mesh.clone(), 3, FluxKind::Riemann, material);
+    native.set_initial(|v, x| if v == 0 { (TAU * x.x).sin() } else { 0.1 * (TAU * x.y).cos() });
+    let initial = native.state().clone();
+
+    let run_naive = {
+        let m = AcousticMapping::uniform(mesh.clone(), 3, FluxKind::Riemann, material);
+        let mut chip = PimChip::new(ChipConfig::default_2gb());
+        m.preload(&mut chip, &initial, dt);
+        chip.execute(&m.compile_lut_setup());
+        for s in &m.compile_step() {
+            chip.execute(s);
+        }
+        m.extract_state(&mut chip)
+    };
+    let run_expanded = {
+        let m = ExpandedAcousticMapping::uniform(mesh, 3, FluxKind::Riemann, material);
+        let mut chip = PimChip::new(ChipConfig::default_2gb());
+        m.preload(&mut chip, &initial, dt);
+        chip.execute(&m.compile_lut_setup());
+        for s in &m.compile_step() {
+            chip.execute(s);
+        }
+        m.extract_state(&mut chip)
+    };
+    let diff = run_naive.max_abs_diff(&run_expanded);
+    assert!(diff < 1e-13, "naive vs expanded |Δ|∞ = {diff:.3e}");
+}

@@ -1,0 +1,174 @@
+//! The keystone validation: executing the compiled PIM instruction
+//! streams on the functional chip reproduces the native dG solver.
+//!
+//! This closes the loop on the whole stack — mesh, dG kernels, ISA,
+//! chip executor, data layout and compiler: if any column assignment,
+//! gather pattern, flux term or integration constant were wrong, the two
+//! trajectories would diverge immediately. The only tolerated deviation
+//! is floating-point roundoff where the PIM multiplies by host-
+//! precomputed reciprocals instead of dividing (§4.3's host offload).
+
+use pim_sim::{ChipConfig, PimChip};
+use wave_pim::compiler::AcousticMapping;
+use wavesim_dg::{Acoustic, AcousticMaterial, FluxKind, Solver};
+use wavesim_mesh::{Boundary, HexMesh};
+
+const TAU: f64 = 2.0 * std::f64::consts::PI;
+
+fn run_both(
+    boundary: Boundary,
+    flux: FluxKind,
+    n: usize,
+    steps: usize,
+) -> (wavesim_dg::State, wavesim_dg::State) {
+    let material = AcousticMaterial::new(2.0, 0.5);
+    let mesh = HexMesh::refinement_level(1, boundary);
+    let dt = 2.0e-3;
+
+    // Native reference.
+    let mut native = Solver::<Acoustic>::uniform(mesh.clone(), n, flux, material);
+    native.set_initial(|v, x| match v {
+        0 => (TAU * x.x).sin() + 0.5 * (TAU * x.y).cos(),
+        1 => 0.3 * (TAU * x.y).sin(),
+        2 => -0.2 * (TAU * x.z).cos(),
+        3 => 0.1 * (TAU * x.x).cos() * (TAU * x.z).sin(),
+        _ => unreachable!(),
+    });
+    let initial = native.state().clone();
+
+    // PIM execution of the compiled streams.
+    let mapping = AcousticMapping::uniform(mesh, n, flux, material);
+    let mut chip = PimChip::new(ChipConfig::default_2gb());
+    mapping.preload(&mut chip, &initial, dt);
+    chip.execute(&mapping.compile_lut_setup());
+    let stage_streams = mapping.compile_step();
+    for _ in 0..steps {
+        for stream in &stage_streams {
+            chip.execute(stream);
+        }
+    }
+    let pim_state = mapping.extract_state(&mut chip);
+
+    native.run(dt, steps);
+    (native.state().clone(), pim_state)
+}
+
+fn assert_matches(native: &wavesim_dg::State, pim: &wavesim_dg::State, tol: f64, label: &str) {
+    let diff = native.max_abs_diff(pim);
+    let scale = native.max_abs().max(1e-30);
+    assert!(
+        diff / scale < tol,
+        "{label}: PIM diverged from native solver: |Δ|∞ = {diff:.3e} (scale {scale:.3e})"
+    );
+}
+
+#[test]
+fn pim_matches_native_riemann_periodic() {
+    let (native, pim) = run_both(Boundary::Periodic, FluxKind::Riemann, 3, 2);
+    assert_matches(&native, &pim, 1e-12, "Riemann periodic");
+}
+
+#[test]
+fn pim_matches_native_central_periodic() {
+    let (native, pim) = run_both(Boundary::Periodic, FluxKind::Central, 3, 2);
+    assert_matches(&native, &pim, 1e-12, "central periodic");
+}
+
+#[test]
+fn pim_matches_native_with_wall_boundaries() {
+    // Exercises the mirror-ghost emission path.
+    let (native, pim) = run_both(Boundary::Wall, FluxKind::Riemann, 3, 2);
+    assert_matches(&native, &pim, 1e-12, "Riemann wall");
+}
+
+#[test]
+fn pim_matches_native_at_higher_order() {
+    // n = 4 exercises longer derivative dot-products and bigger faces.
+    let (native, pim) = run_both(Boundary::Periodic, FluxKind::Riemann, 4, 1);
+    assert_matches(&native, &pim, 1e-12, "Riemann n=4");
+}
+
+#[test]
+fn pim_execution_accumulates_time_and_energy() {
+    let material = AcousticMaterial::UNIT;
+    let mesh = HexMesh::refinement_level(1, Boundary::Periodic);
+    let mapping = AcousticMapping::uniform(mesh, 3, FluxKind::Riemann, material);
+    let mut chip = PimChip::new(ChipConfig::default_2gb());
+    let state = wavesim_dg::State::zeros(8, 4, 27);
+    mapping.preload(&mut chip, &state, 1e-3);
+    chip.execute(&mapping.compile_lut_setup());
+    let stream = mapping.compile_stage(0);
+    chip.execute(&stream);
+    let report = chip.finish();
+    assert!(report.seconds > 0.0);
+    let l = &report.ledger;
+    assert!(l.compute > 0.0, "arith energy");
+    assert!(l.reads > 0.0, "read energy");
+    assert!(l.writes > 0.0, "write energy");
+    assert!(l.interconnect > 0.0, "ghost fetches must cross the interconnect");
+    assert!(l.static_energy > 0.0);
+}
+
+#[test]
+fn pim_matches_native_with_heterogeneous_materials() {
+    // A two-material checkerboard: every interface is an impedance
+    // contrast, so the Riemann flux exercises the full impedance-pair
+    // LUT machinery of §4.3 (distinct Z⁺, Z⁻Z⁺, 1/(Z⁻+Z⁺) per face).
+    let mesh = HexMesh::refinement_level(1, Boundary::Periodic);
+    let materials: Vec<AcousticMaterial> = (0..mesh.num_elements())
+        .map(|e| {
+            if e % 2 == 0 {
+                AcousticMaterial::new(1.0, 1.0)
+            } else {
+                AcousticMaterial::new(4.0, 2.0)
+            }
+        })
+        .collect();
+    let dt = 1.5e-3;
+
+    let mut native =
+        Solver::<Acoustic>::new(mesh.clone(), 3, FluxKind::Riemann, materials.clone());
+    native.set_initial(|v, x| match v {
+        0 => (TAU * x.x).sin(),
+        1 => 0.2 * (TAU * x.y).cos(),
+        _ => 0.1 * (TAU * x.z).sin(),
+    });
+    let initial = native.state().clone();
+
+    let mapping = AcousticMapping::new(mesh, 3, FluxKind::Riemann, materials);
+    assert!(
+        mapping.num_impedance_pairs() >= 2,
+        "the checkerboard must produce multiple impedance pairs"
+    );
+    let mut chip = PimChip::new(ChipConfig::default_2gb());
+    mapping.preload(&mut chip, &initial, dt);
+    chip.execute(&mapping.compile_lut_setup());
+    let streams = mapping.compile_step();
+    for _ in 0..2 {
+        for s in &streams {
+            chip.execute(s);
+        }
+    }
+    native.run(dt, 2);
+    let pim = mapping.extract_state(&mut chip);
+    assert_matches(native.state(), &pim, 1e-12, "heterogeneous Riemann");
+}
+
+#[test]
+fn lut_setup_is_empty_for_central_flux() {
+    // The central flux needs no interface impedances: §4.3's offload is
+    // specific to the square-root/inverse preprocessing.
+    let mesh = HexMesh::refinement_level(1, Boundary::Periodic);
+    let mapping = AcousticMapping::uniform(mesh, 3, FluxKind::Central, AcousticMaterial::UNIT);
+    assert!(mapping.compile_lut_setup().is_empty());
+}
+
+#[test]
+fn lut_setup_stream_shape() {
+    // One Lut instruction per (element, face, constant): 8 × 6 × 3.
+    let mesh = HexMesh::refinement_level(1, Boundary::Periodic);
+    let mapping = AcousticMapping::uniform(mesh, 3, FluxKind::Riemann, AcousticMaterial::UNIT);
+    let setup = mapping.compile_lut_setup();
+    assert_eq!(setup.stats().luts, 8 * 6 * 3);
+    assert_eq!(mapping.num_impedance_pairs(), 1, "uniform medium: one pair");
+}

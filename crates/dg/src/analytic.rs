@@ -1,0 +1,246 @@
+//! Analytic plane-wave solutions used for verification.
+//!
+//! On a periodic domain, plane waves are exact solutions of both wave
+//! systems and give the gold-standard convergence tests for the solver
+//! (and, transitively, for the PIM functional execution that must
+//! reproduce the solver).
+
+use wavesim_numerics::Vec3;
+
+use crate::material::{AcousticMaterial, ElasticMaterial};
+use crate::physics::{acoustic_vars, elastic_vars};
+
+/// A traveling acoustic plane wave
+/// `p = A·cos(k·x − ωt)`, `v = (A/Z)·k̂·cos(k·x − ωt)`, `ω = c·|k|`.
+#[derive(Debug, Clone, Copy)]
+pub struct AcousticPlaneWave {
+    pub k: Vec3,
+    pub amplitude: f64,
+    pub material: AcousticMaterial,
+}
+
+impl AcousticPlaneWave {
+    pub fn new(k: Vec3, amplitude: f64, material: AcousticMaterial) -> Self {
+        assert!(k.norm() > 0.0, "wave vector must be nonzero");
+        Self { k, amplitude, material }
+    }
+
+    /// Angular frequency `ω = c|k|`.
+    pub fn omega(&self) -> f64 {
+        self.material.sound_speed() * self.k.norm()
+    }
+
+    /// The 4 state variables at position `x`, time `t`.
+    pub fn eval(&self, x: Vec3, t: f64) -> [f64; 4] {
+        let phase = (self.k.dot(x) - self.omega() * t).cos();
+        let khat = self.k * (1.0 / self.k.norm());
+        let v = khat * (self.amplitude / self.material.impedance() * phase);
+        let mut out = [0.0; 4];
+        out[acoustic_vars::P] = self.amplitude * phase;
+        out[acoustic_vars::VX] = v.x;
+        out[acoustic_vars::VY] = v.y;
+        out[acoustic_vars::VZ] = v.z;
+        out
+    }
+
+    /// One temporal period.
+    pub fn period(&self) -> f64 {
+        2.0 * std::f64::consts::PI / self.omega()
+    }
+}
+
+/// Polarization of an elastic plane wave.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ElasticMode {
+    /// Compressional: polarization parallel to `k`, speed `c_p`.
+    P,
+    /// Shear: polarization orthogonal to `k`, speed `c_s`.
+    S,
+}
+
+/// A traveling elastic plane wave with velocity
+/// `v = d·A·cos(k·x − ωt)` and the compatible stress
+/// `S = −(A/ω)·[μ(d⊗k + k⊗d) + λ(d·k)I]·cos(k·x − ωt)`.
+#[derive(Debug, Clone, Copy)]
+pub struct ElasticPlaneWave {
+    pub k: Vec3,
+    pub d: Vec3,
+    pub amplitude: f64,
+    pub material: ElasticMaterial,
+    pub mode: ElasticMode,
+}
+
+impl ElasticPlaneWave {
+    /// Builds a P wave along `k`.
+    pub fn p_wave(k: Vec3, amplitude: f64, material: ElasticMaterial) -> Self {
+        assert!(k.norm() > 0.0, "wave vector must be nonzero");
+        let d = k * (1.0 / k.norm());
+        Self { k, d, amplitude, material, mode: ElasticMode::P }
+    }
+
+    /// Builds an S wave along `k` with polarization `d` (must be orthogonal
+    /// to `k` and unit length up to normalization).
+    pub fn s_wave(k: Vec3, d: Vec3, amplitude: f64, material: ElasticMaterial) -> Self {
+        assert!(k.norm() > 0.0, "wave vector must be nonzero");
+        assert!(
+            (d.dot(k)).abs() < 1e-12 * k.norm() * d.norm(),
+            "shear polarization must be orthogonal to k"
+        );
+        let d = d * (1.0 / d.norm());
+        Self { k, d, amplitude, material, mode: ElasticMode::S }
+    }
+
+    /// Angular frequency `ω = c·|k|` with the mode's speed.
+    pub fn omega(&self) -> f64 {
+        let c = match self.mode {
+            ElasticMode::P => self.material.p_speed(),
+            ElasticMode::S => self.material.s_speed(),
+        };
+        c * self.k.norm()
+    }
+
+    /// One temporal period.
+    pub fn period(&self) -> f64 {
+        2.0 * std::f64::consts::PI / self.omega()
+    }
+
+    /// The 9 state variables at position `x`, time `t`.
+    pub fn eval(&self, x: Vec3, t: f64) -> [f64; 9] {
+        use elastic_vars::*;
+        let omega = self.omega();
+        let phase = (self.k.dot(x) - omega * t).cos();
+        let v = self.d * (self.amplitude * phase);
+        // S = −(A/ω)·[μ(d⊗k + k⊗d) + λ(d·k)I]·cos(φ)
+        let c = -self.amplitude / omega * phase;
+        let (mu, lam) = (self.material.mu, self.material.lambda);
+        let dk = self.d.dot(self.k);
+        let mut out = [0.0; 9];
+        out[VX] = v.x;
+        out[VY] = v.y;
+        out[VZ] = v.z;
+        out[SXX] = c * (2.0 * mu * self.d.x * self.k.x + lam * dk);
+        out[SYY] = c * (2.0 * mu * self.d.y * self.k.y + lam * dk);
+        out[SZZ] = c * (2.0 * mu * self.d.z * self.k.z + lam * dk);
+        out[SXY] = c * mu * (self.d.x * self.k.y + self.d.y * self.k.x);
+        out[SXZ] = c * mu * (self.d.x * self.k.z + self.d.z * self.k.x);
+        out[SYZ] = c * mu * (self.d.y * self.k.z + self.d.z * self.k.y);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const TAU: f64 = 2.0 * std::f64::consts::PI;
+
+    #[test]
+    fn acoustic_wave_satisfies_pde_numerically() {
+        // Check ∂p/∂t = −κ ∇·v and ∂v/∂t = −(1/ρ)∇p by finite differences.
+        let m = AcousticMaterial::new(2.0, 0.5);
+        let w = AcousticPlaneWave::new(Vec3::new(TAU, -TAU, 2.0 * TAU), 1.3, m);
+        let x = Vec3::new(0.21, 0.47, 0.83);
+        let t = 0.37;
+        let h = 1e-6;
+
+        let ddt: Vec<f64> = (0..4)
+            .map(|v| (w.eval(x, t + h)[v] - w.eval(x, t - h)[v]) / (2.0 * h))
+            .collect();
+        let ddx = |v: usize, axis: usize| {
+            let e = Vec3::unit(axis) * h;
+            (w.eval(x + e, t)[v] - w.eval(x - e, t)[v]) / (2.0 * h)
+        };
+
+        let divv = ddx(1, 0) + ddx(2, 1) + ddx(3, 2);
+        assert!((ddt[0] + m.kappa * divv).abs() < 1e-4);
+        for axis in 0..3 {
+            let grad_p = ddx(0, axis);
+            assert!((ddt[1 + axis] + grad_p / m.rho).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn elastic_p_wave_satisfies_pde_numerically() {
+        let m = ElasticMaterial::new(2.0, 1.0, 1.5);
+        let w = ElasticPlaneWave::p_wave(Vec3::new(TAU, TAU, 0.0), 0.7, m);
+        check_elastic_pde(&w, &m);
+    }
+
+    #[test]
+    fn elastic_s_wave_satisfies_pde_numerically() {
+        let m = ElasticMaterial::new(1.0, 2.0, 1.0);
+        let w = ElasticPlaneWave::s_wave(
+            Vec3::new(TAU, 0.0, 0.0),
+            Vec3::new(0.0, 1.0, 0.0),
+            0.9,
+            m,
+        );
+        check_elastic_pde(&w, &m);
+    }
+
+    fn check_elastic_pde(w: &ElasticPlaneWave, m: &ElasticMaterial) {
+        use elastic_vars::*;
+        let x = Vec3::new(0.31, 0.55, 0.12);
+        let t = 0.19;
+        let h = 1e-6;
+        let ddt: Vec<f64> = (0..9)
+            .map(|v| (w.eval(x, t + h)[v] - w.eval(x, t - h)[v]) / (2.0 * h))
+            .collect();
+        let ddx = |v: usize, axis: usize| {
+            let e = Vec3::unit(axis) * h;
+            (w.eval(x + e, t)[v] - w.eval(x - e, t)[v]) / (2.0 * h)
+        };
+
+        // ρ v̇ = ∇·S.
+        let div_s = [
+            ddx(SXX, 0) + ddx(SXY, 1) + ddx(SXZ, 2),
+            ddx(SXY, 0) + ddx(SYY, 1) + ddx(SYZ, 2),
+            ddx(SXZ, 0) + ddx(SYZ, 1) + ddx(SZZ, 2),
+        ];
+        for i in 0..3 {
+            assert!(
+                (ddt[VX + i] - div_s[i] / m.rho).abs() < 1e-4,
+                "velocity eq {i}: {} vs {}",
+                ddt[VX + i],
+                div_s[i] / m.rho
+            );
+        }
+
+        // Ṡ = μ(∇v + ∇vᵀ) + λ(∇·v)I.
+        let dv = |i: usize, j: usize| ddx(VX + i, j);
+        let divv = dv(0, 0) + dv(1, 1) + dv(2, 2);
+        let checks = [
+            (SXX, 2.0 * m.mu * dv(0, 0) + m.lambda * divv),
+            (SYY, 2.0 * m.mu * dv(1, 1) + m.lambda * divv),
+            (SZZ, 2.0 * m.mu * dv(2, 2) + m.lambda * divv),
+            (SXY, m.mu * (dv(0, 1) + dv(1, 0))),
+            (SXZ, m.mu * (dv(0, 2) + dv(2, 0))),
+            (SYZ, m.mu * (dv(1, 2) + dv(2, 1))),
+        ];
+        for (var, expected) in checks {
+            assert!(
+                (ddt[var] - expected).abs() < 1e-4,
+                "stress var {var}: {} vs {expected}",
+                ddt[var]
+            );
+        }
+    }
+
+    #[test]
+    fn p_wave_frequency_uses_p_speed() {
+        let m = ElasticMaterial::new(2.0, 1.0, 1.0);
+        let k = Vec3::new(3.0, 0.0, 4.0);
+        let p = ElasticPlaneWave::p_wave(k, 1.0, m);
+        let s = ElasticPlaneWave::s_wave(k, Vec3::new(0.0, 1.0, 0.0), 1.0, m);
+        assert!((p.omega() - m.p_speed() * 5.0).abs() < 1e-12);
+        assert!((s.omega() - m.s_speed() * 5.0).abs() < 1e-12);
+        assert!(p.omega() > s.omega());
+    }
+
+    #[test]
+    #[should_panic(expected = "orthogonal")]
+    fn s_wave_rejects_parallel_polarization() {
+        let m = ElasticMaterial::UNIT;
+        let _ = ElasticPlaneWave::s_wave(Vec3::new(1.0, 0.0, 0.0), Vec3::new(1.0, 0.0, 0.0), 1.0, m);
+    }
+}

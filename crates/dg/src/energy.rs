@@ -1,0 +1,138 @@
+//! Discrete energy functionals.
+//!
+//! The semi-discrete dG scheme with GLL collocation conserves the discrete
+//! energy exactly under the central flux and dissipates it under the
+//! Riemann flux — the sharpest whole-solver invariants available, used
+//! heavily by the test suites.
+
+use crate::material::{AcousticMaterial, ElasticMaterial};
+use crate::physics::{acoustic_vars, elastic_vars, Acoustic, Elastic};
+use crate::solver::Solver;
+
+/// Acoustic energy `Σ ∫ p²/(2κ) + ρ|v|²/2` over the mesh, evaluated with
+/// the GLL quadrature (`jacobian_det_w_star` weights).
+pub fn acoustic_energy(solver: &Solver<Acoustic>) -> f64 {
+    use acoustic_vars::*;
+    let jdws = solver.geometry().jacobian_det_w_star();
+    let state = solver.state();
+    let mut total = 0.0;
+    for e in 0..state.num_elements() {
+        let m: &AcousticMaterial = &solver.materials()[e];
+        let inv_2k = 0.5 / m.kappa;
+        let half_rho = 0.5 * m.rho;
+        #[allow(clippy::needless_range_loop)]
+        for node in 0..state.nodes_per_element() {
+            let p = state.value(e, P, node);
+            let vx = state.value(e, VX, node);
+            let vy = state.value(e, VY, node);
+            let vz = state.value(e, VZ, node);
+            total += jdws[node] * (inv_2k * p * p + half_rho * (vx * vx + vy * vy + vz * vz));
+        }
+    }
+    total
+}
+
+/// Elastic energy `Σ ∫ ρ|v|²/2 + ½ S:C⁻¹:S` with the isotropic compliance
+/// `½S:C⁻¹:S = S:S/(4μ) − λ(tr S)²/(4μ(3λ+2μ))`.
+pub fn elastic_energy(solver: &Solver<Elastic>) -> f64 {
+    use elastic_vars::*;
+    let jdws = solver.geometry().jacobian_det_w_star();
+    let state = solver.state();
+    let mut total = 0.0;
+    for e in 0..state.num_elements() {
+        let m: &ElasticMaterial = &solver.materials()[e];
+        let half_rho = 0.5 * m.rho;
+        let inv_4mu = 0.25 / m.mu;
+        let lam_term = m.lambda / (4.0 * m.mu * (3.0 * m.lambda + 2.0 * m.mu));
+        #[allow(clippy::needless_range_loop)]
+        for node in 0..state.nodes_per_element() {
+            let v2 = (0..3)
+                .map(|i| {
+                    let c = state.value(e, VX + i, node);
+                    c * c
+                })
+                .sum::<f64>();
+            let (sxx, syy, szz) = (
+                state.value(e, SXX, node),
+                state.value(e, SYY, node),
+                state.value(e, SZZ, node),
+            );
+            let (sxy, sxz, syz) = (
+                state.value(e, SXY, node),
+                state.value(e, SXZ, node),
+                state.value(e, SYZ, node),
+            );
+            let ss = sxx * sxx
+                + syy * syy
+                + szz * szz
+                + 2.0 * (sxy * sxy + sxz * sxz + syz * syz);
+            let tr = sxx + syy + szz;
+            total += jdws[node] * (half_rho * v2 + inv_4mu * ss - lam_term * tr * tr);
+        }
+    }
+    total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::physics::FluxKind;
+    use wavesim_mesh::{Boundary, HexMesh};
+
+    #[test]
+    fn acoustic_energy_of_zero_state_is_zero() {
+        let mesh = HexMesh::refinement_level(1, Boundary::Periodic);
+        let s = Solver::<Acoustic>::uniform(mesh, 3, FluxKind::Central, AcousticMaterial::UNIT);
+        assert_eq!(acoustic_energy(&s), 0.0);
+    }
+
+    #[test]
+    fn acoustic_energy_of_uniform_pressure() {
+        // E = p²/(2κ) × volume for constant p, zero v on the unit cube.
+        let mesh = HexMesh::refinement_level(1, Boundary::Periodic);
+        let mut s =
+            Solver::<Acoustic>::uniform(mesh, 4, FluxKind::Central, AcousticMaterial::new(2.0, 1.0));
+        s.set_initial(|v, _| if v == 0 { 3.0 } else { 0.0 });
+        let e = acoustic_energy(&s);
+        assert!((e - 9.0 / 4.0).abs() < 1e-12, "{e}");
+    }
+
+    #[test]
+    fn elastic_energy_is_positive_definite() {
+        // Random-ish states must have strictly positive energy (the
+        // compliance quadratic form is positive definite for λ ≥ 0, μ > 0).
+        let mesh = HexMesh::refinement_level(1, Boundary::Periodic);
+        let mut s = Solver::<Elastic>::uniform(
+            mesh,
+            3,
+            FluxKind::Central,
+            ElasticMaterial::new(2.0, 0.7, 1.3),
+        );
+        s.state_mut().fill_with(|e, v, n| (((e + v * 5 + n * 11) % 17) as f64 - 8.0) * 0.1);
+        assert!(elastic_energy(&s) > 0.0);
+    }
+
+    #[test]
+    fn elastic_energy_of_pure_pressure_stress() {
+        // S = qI: energy density = 3q²/(2(3λ+2μ)) × volume.
+        let (lam, mu, q) = (2.0, 1.0, 1.5);
+        let mesh = HexMesh::refinement_level(0, Boundary::Periodic);
+        let mut s = Solver::<Elastic>::uniform(
+            mesh,
+            4,
+            FluxKind::Central,
+            ElasticMaterial::new(lam, mu, 1.0),
+        );
+        use crate::physics::elastic_vars::*;
+        s.state_mut().fill_with(|_, v, _| {
+            if v == SXX || v == SYY || v == SZZ {
+                q
+            } else {
+                0.0
+            }
+        });
+        let expected = 3.0 * q * q / (2.0 * (3.0 * lam + 2.0 * mu));
+        let e = elastic_energy(&s);
+        assert!((e - expected).abs() < 1e-12, "{e} vs {expected}");
+    }
+}

@@ -1,0 +1,249 @@
+//! The *Flux* kernel: interface reconciliation between neighboring
+//! elements.
+//!
+//! For every element face, the kernel gathers the matching interface node
+//! values from the neighbor (the paper's "data values of corresponding
+//! interface nodes from a neighboring element", §2.2), evaluates the
+//! numerical flux, and lifts the difference `F⁻·n − F*·n` onto the face
+//! nodes. On a wall boundary a mirror ghost state substitutes for the
+//! neighbor.
+//!
+//! This is the only non-local kernel: on the PIM it is the kernel that
+//! exercises the H-tree/Bus interconnect (inter-block memcpy), and on GPUs
+//! it is the divergent one (§3.1).
+
+use rayon::prelude::*;
+use wavesim_mesh::{Face, HexMesh, Neighbor};
+use wavesim_numerics::tensor::face_nodes;
+
+use crate::physics::{FluxKind, Physics};
+use crate::state::State;
+
+/// Upper bound on `NUM_VARS` so per-node gathers can use stack arrays.
+const MAX_VARS: usize = 16;
+
+/// Precomputed face-node index tables, one per face code. The `t`-th entry
+/// of a face's table tangentially matches the `t`-th entry of the opposite
+/// face's table, which is how minus/plus interface nodes pair up on a
+/// conforming structured mesh.
+#[derive(Debug, Clone)]
+pub struct FluxTopology {
+    n: usize,
+    tables: [Vec<usize>; 6],
+}
+
+impl FluxTopology {
+    /// Builds the tables for elements with `n` nodes per axis.
+    pub fn new(n: usize) -> Self {
+        let build = |face: Face| -> Vec<usize> {
+            face_nodes(n, face.axis(), face.is_plus()).collect()
+        };
+        Self {
+            n,
+            tables: [
+                build(Face::XMinus),
+                build(Face::XPlus),
+                build(Face::YMinus),
+                build(Face::YPlus),
+                build(Face::ZMinus),
+                build(Face::ZPlus),
+            ],
+        }
+    }
+
+    /// Nodes per axis this topology was built for.
+    #[inline]
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Node-index table of one face.
+    #[inline]
+    pub fn face_table(&self, face: Face) -> &[usize] {
+        &self.tables[face.code()]
+    }
+
+    /// Number of nodes on one face, `n²`.
+    #[inline]
+    pub fn nodes_per_face(&self) -> usize {
+        self.n * self.n
+    }
+}
+
+/// Accumulates the flux contribution of every element into `rhs`
+/// (adding to whatever the Volume kernel already wrote).
+///
+/// `lift` is the GLL lift constant `1/(w_end · h/2)`.
+#[allow(clippy::too_many_arguments)]
+pub fn apply<P: Physics>(
+    topo: &FluxTopology,
+    mesh: &HexMesh,
+    kind: FluxKind,
+    lift: f64,
+    materials: &[P::Material],
+    u: &State,
+    rhs: &mut State,
+) {
+    assert_eq!(u.num_elements(), mesh.num_elements());
+    assert_eq!(u.num_vars(), P::NUM_VARS);
+    assert!(P::NUM_VARS <= MAX_VARS, "raise MAX_VARS for this physics");
+    let stride = rhs.element_stride();
+    let nodes = u.nodes_per_element();
+
+    rhs.as_mut_slice()
+        .par_chunks_mut(stride)
+        .enumerate()
+        .for_each(|(e, chunk)| {
+            element_flux::<P>(topo, mesh, kind, lift, materials, u, e, chunk, nodes);
+        });
+}
+
+/// Flux accumulation for a single element (exposed for the PIM functional
+/// validation, which replays elements one at a time).
+#[allow(clippy::too_many_arguments)]
+pub fn element_flux<P: Physics>(
+    topo: &FluxTopology,
+    mesh: &HexMesh,
+    kind: FluxKind,
+    lift: f64,
+    materials: &[P::Material],
+    u: &State,
+    e: usize,
+    rhs_chunk: &mut [f64],
+    nodes: usize,
+) {
+    let elem_id = wavesim_mesh::ElemId(e);
+    let mut um = [0.0; MAX_VARS];
+    let mut up = [0.0; MAX_VARS];
+    let mut out = [0.0; MAX_VARS];
+    let nv = P::NUM_VARS;
+
+    for face in Face::ALL {
+        let normal = face.normal();
+        let minus_table = topo.face_table(face);
+        let plus_table = topo.face_table(face.opposite());
+        let neighbor = mesh.neighbor(elem_id, face);
+        for t in 0..topo.nodes_per_face() {
+            let m_node = minus_table[t];
+            #[allow(clippy::needless_range_loop)]
+            for v in 0..nv {
+                um[v] = u.value(e, v, m_node);
+            }
+            match neighbor {
+                Neighbor::Element(nb) => {
+                    let p_node = plus_table[t];
+                    #[allow(clippy::needless_range_loop)]
+                    for v in 0..nv {
+                        up[v] = u.value(nb.index(), v, p_node);
+                    }
+                    P::face_flux(
+                        kind,
+                        &materials[e],
+                        &materials[nb.index()],
+                        normal,
+                        &um[..nv],
+                        &up[..nv],
+                        &mut out[..nv],
+                    );
+                }
+                Neighbor::Boundary => {
+                    P::wall_ghost(normal, &um[..nv], &mut up[..nv]);
+                    P::face_flux(
+                        kind,
+                        &materials[e],
+                        &materials[e],
+                        normal,
+                        &um[..nv],
+                        &up[..nv],
+                        &mut out[..nv],
+                    );
+                }
+            }
+            for v in 0..nv {
+                rhs_chunk[v * nodes + m_node] += lift * out[v];
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::material::AcousticMaterial;
+    use crate::physics::Acoustic;
+    use wavesim_mesh::Boundary;
+
+    #[test]
+    fn uniform_state_has_zero_flux() {
+        // With no jumps anywhere (periodic mesh, identical states), the
+        // flux kernel must add nothing.
+        let n = 3;
+        let nn = n * n * n;
+        let topo = FluxTopology::new(n);
+        let mesh = HexMesh::refinement_level(1, Boundary::Periodic);
+        let mats = vec![AcousticMaterial::UNIT; mesh.num_elements()];
+        let mut u = State::zeros(mesh.num_elements(), 4, nn);
+        u.fill_with(|_, v, _| v as f64 * 0.25 + 1.0);
+        let mut rhs = State::zeros(mesh.num_elements(), 4, nn);
+        for kind in [FluxKind::Central, FluxKind::Riemann] {
+            rhs.fill_zero();
+            apply::<Acoustic>(&topo, &mesh, kind, 10.0, &mats, &u, &mut rhs);
+            assert!(rhs.max_abs() < 1e-13, "kind {kind:?}");
+        }
+    }
+
+    #[test]
+    fn flux_touches_only_face_nodes() {
+        let n = 4;
+        let nn = n * n * n;
+        let topo = FluxTopology::new(n);
+        let mesh = HexMesh::refinement_level(1, Boundary::Periodic);
+        let mats = vec![AcousticMaterial::UNIT; mesh.num_elements()];
+        let mut u = State::zeros(mesh.num_elements(), 4, nn);
+        u.fill_with(|e, v, node| ((e * 31 + v * 17 + node) % 7) as f64 - 3.0);
+        let mut rhs = State::zeros(mesh.num_elements(), 4, nn);
+        apply::<Acoustic>(&topo, &mesh, FluxKind::Central, 1.0, &mats, &u, &mut rhs);
+
+        // Interior nodes (not on any face) must be untouched.
+        for e in 0..mesh.num_elements() {
+            for v in 0..4 {
+                for k in 1..n - 1 {
+                    for j in 1..n - 1 {
+                        for i in 1..n - 1 {
+                            let idx = wavesim_numerics::tensor::node_index(n, i, j, k);
+                            assert_eq!(rhs.value(e, v, idx), 0.0);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn flux_accumulates_on_top_of_existing_rhs() {
+        let n = 3;
+        let nn = n * n * n;
+        let topo = FluxTopology::new(n);
+        let mesh = HexMesh::refinement_level(1, Boundary::Wall);
+        let mats = vec![AcousticMaterial::UNIT; mesh.num_elements()];
+        let mut u = State::zeros(mesh.num_elements(), 4, nn);
+        u.fill_with(|e, _, _| e as f64);
+        let mut rhs_a = State::zeros(mesh.num_elements(), 4, nn);
+        let mut rhs_b = State::zeros(mesh.num_elements(), 4, nn);
+        rhs_b.fill_with(|_, _, _| 5.0);
+        apply::<Acoustic>(&topo, &mesh, FluxKind::Riemann, 2.0, &mats, &u, &mut rhs_a);
+        apply::<Acoustic>(&topo, &mesh, FluxKind::Riemann, 2.0, &mats, &u, &mut rhs_b);
+        for (a, b) in rhs_a.as_slice().iter().zip(rhs_b.as_slice()) {
+            assert!((b - a - 5.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn topology_tables_have_face_size() {
+        let topo = FluxTopology::new(5);
+        assert_eq!(topo.nodes_per_face(), 25);
+        for face in Face::ALL {
+            assert_eq!(topo.face_table(face).len(), 25);
+        }
+    }
+}

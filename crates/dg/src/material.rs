@@ -1,0 +1,124 @@
+//! Material models.
+//!
+//! The paper (Table 1) carries two constant material properties per element
+//! for the acoustic equation — bulk modulus `K` and density `ρ` — and the
+//! Lamé parameters `λ`, `μ` (plus `ρ`) for the elastic equation. Wave
+//! speeds and impedances are *derived* quantities involving square roots,
+//! which is precisely why the paper offloads `sqrt`/`inverse` to the host
+//! CPU and serves them from look-up tables (§4.3, §5.1): only two materials
+//! appear per element, so the handful of roots is negligible next to the
+//! node count.
+
+use serde::{Deserialize, Serialize};
+
+/// Acoustic material: bulk modulus `kappa` (the paper's `K`) and density
+/// `rho`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AcousticMaterial {
+    pub kappa: f64,
+    pub rho: f64,
+}
+
+impl AcousticMaterial {
+    /// A convenient reference material with unit wave speed and impedance.
+    pub const UNIT: AcousticMaterial = AcousticMaterial { kappa: 1.0, rho: 1.0 };
+
+    pub fn new(kappa: f64, rho: f64) -> Self {
+        assert!(kappa > 0.0 && rho > 0.0, "material properties must be positive");
+        Self { kappa, rho }
+    }
+
+    /// Sound speed `c = √(κ/ρ)`.
+    #[inline]
+    pub fn sound_speed(&self) -> f64 {
+        (self.kappa / self.rho).sqrt()
+    }
+
+    /// Acoustic impedance `Z = ρ c = √(κ ρ)`.
+    #[inline]
+    pub fn impedance(&self) -> f64 {
+        (self.kappa * self.rho).sqrt()
+    }
+}
+
+/// Elastic material: Lamé parameters `lambda`, `mu` and density `rho`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ElasticMaterial {
+    pub lambda: f64,
+    pub mu: f64,
+    pub rho: f64,
+}
+
+impl ElasticMaterial {
+    /// Reference material with `λ = μ = ρ = 1`.
+    pub const UNIT: ElasticMaterial = ElasticMaterial { lambda: 1.0, mu: 1.0, rho: 1.0 };
+
+    pub fn new(lambda: f64, mu: f64, rho: f64) -> Self {
+        assert!(
+            lambda >= 0.0 && mu > 0.0 && rho > 0.0,
+            "elastic material must have λ ≥ 0, μ > 0, ρ > 0"
+        );
+        Self { lambda, mu, rho }
+    }
+
+    /// Compressional (P) wave speed `√((λ + 2μ)/ρ)`.
+    #[inline]
+    pub fn p_speed(&self) -> f64 {
+        ((self.lambda + 2.0 * self.mu) / self.rho).sqrt()
+    }
+
+    /// Shear (S) wave speed `√(μ/ρ)`.
+    #[inline]
+    pub fn s_speed(&self) -> f64 {
+        (self.mu / self.rho).sqrt()
+    }
+
+    /// P-wave impedance `ρ c_p`.
+    #[inline]
+    pub fn p_impedance(&self) -> f64 {
+        self.rho * self.p_speed()
+    }
+
+    /// S-wave impedance `ρ c_s`.
+    #[inline]
+    pub fn s_impedance(&self) -> f64 {
+        self.rho * self.s_speed()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn acoustic_derived_quantities() {
+        let m = AcousticMaterial::new(4.0, 1.0);
+        assert_eq!(m.sound_speed(), 2.0);
+        assert_eq!(m.impedance(), 2.0);
+        let water = AcousticMaterial::new(2.2e9, 1000.0);
+        assert!((water.sound_speed() - 1483.2).abs() < 1.0);
+    }
+
+    #[test]
+    fn elastic_derived_quantities() {
+        let m = ElasticMaterial::new(2.0, 1.0, 1.0);
+        assert_eq!(m.p_speed(), 2.0);
+        assert_eq!(m.s_speed(), 1.0);
+        assert_eq!(m.p_impedance(), 2.0);
+        assert_eq!(m.s_impedance(), 1.0);
+        // P waves are always faster than S waves.
+        assert!(ElasticMaterial::UNIT.p_speed() > ElasticMaterial::UNIT.s_speed());
+    }
+
+    #[test]
+    #[should_panic(expected = "must be positive")]
+    fn acoustic_rejects_nonpositive() {
+        let _ = AcousticMaterial::new(0.0, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "λ ≥ 0")]
+    fn elastic_rejects_negative_lambda() {
+        let _ = ElasticMaterial::new(-1.0, 1.0, 1.0);
+    }
+}

@@ -1,0 +1,500 @@
+//! Workload characterization: floating-point operation and memory-traffic
+//! counts per kernel.
+//!
+//! The paper's Table 6 characterizes its six benchmarks by total
+//! instruction count and single-precision FP operation count, "the total
+//! from each kernel launched once" (collected with nvprof on a V100).
+//! We cannot run nvprof, so this module derives the same quantities
+//! analytically from the structure of our kernels — each formula is
+//! annotated with the loop structure it counts. The absolute values differ
+//! from the authors' CUDA implementation (different code), but the shape
+//! relations Table 6 exhibits are structural and must hold here too:
+//! elastic > acoustic, Riemann > central, and level 5 = 8 × level 4.
+
+use serde::{Deserialize, Serialize};
+
+use crate::physics::FluxKind;
+
+/// Counts of scalar floating-point operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct OpCounts {
+    pub adds: u64,
+    pub muls: u64,
+    pub divs: u64,
+    pub sqrts: u64,
+}
+
+impl OpCounts {
+    /// Total FP operations.
+    pub fn flops(&self) -> u64 {
+        self.adds + self.muls + self.divs + self.sqrts
+    }
+
+    /// Scales every count by an element/launch multiplier.
+    pub fn scaled(&self, by: u64) -> OpCounts {
+        OpCounts {
+            adds: self.adds * by,
+            muls: self.muls * by,
+            divs: self.divs * by,
+            sqrts: self.sqrts * by,
+        }
+    }
+}
+
+impl std::ops::Add for OpCounts {
+    type Output = OpCounts;
+    fn add(self, rhs: OpCounts) -> OpCounts {
+        OpCounts {
+            adds: self.adds + rhs.adds,
+            muls: self.muls + rhs.muls,
+            divs: self.divs + rhs.divs,
+            sqrts: self.sqrts + rhs.sqrts,
+        }
+    }
+}
+
+/// Bytes moved between the accelerator's main memory and its compute
+/// units, per kernel launch, assuming `precision_bytes` per value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct MemTraffic {
+    pub read_bytes: u64,
+    pub write_bytes: u64,
+}
+
+impl MemTraffic {
+    pub fn total(&self) -> u64 {
+        self.read_bytes + self.write_bytes
+    }
+
+    pub fn scaled(&self, by: u64) -> MemTraffic {
+        MemTraffic { read_bytes: self.read_bytes * by, write_bytes: self.write_bytes * by }
+    }
+}
+
+impl std::ops::Add for MemTraffic {
+    type Output = MemTraffic;
+    fn add(self, rhs: MemTraffic) -> MemTraffic {
+        MemTraffic {
+            read_bytes: self.read_bytes + rhs.read_bytes,
+            write_bytes: self.write_bytes + rhs.write_bytes,
+        }
+    }
+}
+
+/// Work of one kernel launch for one element.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct KernelProfile {
+    pub ops: OpCounts,
+    pub mem: MemTraffic,
+    /// `sqrt`/`1/x` evaluations offloaded to the host CPU (the paper's
+    /// LUT preprocessing, §4.3/§5.1) — not part of the device FP count.
+    pub host_sqrts: u64,
+    pub host_divs: u64,
+}
+
+/// Per-element, per-launch profiles of the three kernels.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct ElementWorkload {
+    pub volume: KernelProfile,
+    pub flux: KernelProfile,
+    pub integration: KernelProfile,
+}
+
+impl ElementWorkload {
+    /// Total device FP ops of one launch of each kernel.
+    pub fn flops(&self) -> u64 {
+        self.volume.ops.flops() + self.flux.ops.flops() + self.integration.ops.flops()
+    }
+
+    /// Total memory traffic of one launch of each kernel.
+    pub fn mem_bytes(&self) -> u64 {
+        self.volume.mem.total() + self.flux.mem.total() + self.integration.mem.total()
+    }
+}
+
+/// FP-value size used in the evaluation (the paper fixes 32-bit precision
+/// for both PIM and GPU, §7.1).
+pub const PRECISION_BYTES: u64 = 4;
+
+fn cube(n: u64) -> u64 {
+    n * n * n
+}
+
+/// One tensor-product derivative pass over an `n³` element: `n³` dense
+/// dot-products of length `n`.
+fn derivative_pass(n: u64) -> OpCounts {
+    OpCounts { adds: cube(n) * (n - 1), muls: cube(n) * n, ..Default::default() }
+}
+
+/// Acoustic per-element workload for elements with `n` nodes per axis.
+pub fn acoustic_workload(n: usize, flux: FluxKind) -> ElementWorkload {
+    let n = n as u64;
+    let nn = cube(n);
+    let face_nodes = 6 * n * n;
+
+    // Volume: 6 derivative passes (grad p: 3, div v: 3) + pointwise
+    // scaling (3 muls for grad p) and accumulation (mul+add × 3 for div v).
+    let mut volume = OpCounts::default();
+    for _ in 0..6 {
+        volume = volume + derivative_pass(n);
+    }
+    volume.muls += 6 * nn;
+    volume.adds += 3 * nn;
+
+    // Flux per face node (from `Acoustic::face_flux` + lift application):
+    //   central:  2 normal dots (6m+4a), starred states (2m+2a),
+    //             flux diffs (2m+2a+1d), velocity spread (3m),
+    //             lift accumulate (4m+4a)
+    //   riemann:  central's dots + impedance-weighted stars
+    //             (8m+6a+1d extra) and the same tail.
+    let (fm, fa, fd) = match flux {
+        FluxKind::Central => (12 + 4, 8 + 4, 1),
+        FluxKind::Riemann => (18 + 4, 13 + 4, 2),
+    };
+    let flux_ops = OpCounts {
+        muls: fm * face_nodes,
+        adds: fa * face_nodes,
+        divs: fd * face_nodes,
+        sqrts: 0,
+    };
+    // Host offload: the Riemann flux needs the element impedance Z = √(κρ)
+    // once per element (the paper's "only two materials are used throughout
+    // each element", §5.1).
+    let host_sqrts = match flux {
+        FluxKind::Central => 0,
+        FluxKind::Riemann => 1,
+    };
+
+    // Integration per stage: aux = A·aux + dt·rhs (2m+1a), u += B·aux
+    // (1m+1a), per variable per node.
+    let integ_ops = OpCounts { muls: 3 * 4 * nn, adds: 2 * 4 * nn, ..Default::default() };
+
+    let b = PRECISION_BYTES;
+    ElementWorkload {
+        volume: KernelProfile {
+            ops: volume,
+            mem: MemTraffic {
+                // read 4 variables + dshape (n²) + jacobian table (n³);
+                // write 4 contribution fields.
+                read_bytes: (4 * nn + n * n + nn) * b,
+                write_bytes: 4 * nn * b,
+            },
+            host_sqrts: 0,
+            host_divs: 0,
+        },
+        flux: KernelProfile {
+            ops: flux_ops,
+            mem: MemTraffic {
+                // read own + neighbor face values, accumulate (read+write)
+                // the 4 contribution fields.
+                read_bytes: (2 * 4 * face_nodes + 4 * nn) * b,
+                write_bytes: 4 * nn * b,
+            },
+            host_sqrts,
+            host_divs: host_sqrts, // 1/(Z⁻+Z⁺) preprocessing pairs with it
+        },
+        integration: KernelProfile {
+            ops: integ_ops,
+            mem: MemTraffic {
+                // read contributions, read+write variables and auxiliaries.
+                read_bytes: 3 * 4 * nn * b,
+                write_bytes: 2 * 4 * nn * b,
+            },
+            host_sqrts: 0,
+            host_divs: 0,
+        },
+    }
+}
+
+/// Elastic per-element workload for elements with `n` nodes per axis.
+pub fn elastic_workload(n: usize, flux: FluxKind) -> ElementWorkload {
+    let n = n as u64;
+    let nn = cube(n);
+    let face_nodes = 6 * n * n;
+
+    // Volume: 18 derivative passes (9 stress → velocity, 9 velocity →
+    // stress) + pointwise accumulation: 9 (velocity) + 9 (diagonal
+    // scatter) + 6 (shear) mul/add pairs per node.
+    let mut volume = OpCounts::default();
+    for _ in 0..18 {
+        volume = volume + derivative_pass(n);
+    }
+    volume.muls += 24 * nn;
+    volume.adds += 24 * nn;
+
+    // Flux per face node (from `Elastic::face_flux` + lift):
+    //   central:  2 tractions (18m+12a), starred avgs (6m+6a),
+    //             velocity flux (3m+3a+1d), Δv/Δv·n (3m+5a),
+    //             stress spread (16m+9a), lift (9m+9a)
+    //   riemann:  adds the characteristic normal/tangential split:
+    //             ~(50m, 46a, 2d) over central's starred averages.
+    let (fm, fa, fd) = match flux {
+        FluxKind::Central => (46 + 9, 35 + 9, 1),
+        FluxKind::Riemann => (96 + 9, 81 + 9, 3),
+    };
+    let flux_ops = OpCounts {
+        muls: fm * face_nodes,
+        adds: fa * face_nodes,
+        divs: fd * face_nodes,
+        sqrts: 0,
+    };
+    // Host offload: z_p = ρc_p and z_s = ρc_s per element for Riemann.
+    let host_sqrts = match flux {
+        FluxKind::Central => 0,
+        FluxKind::Riemann => 2,
+    };
+
+    let integ_ops = OpCounts { muls: 3 * 9 * nn, adds: 2 * 9 * nn, ..Default::default() };
+
+    let b = PRECISION_BYTES;
+    ElementWorkload {
+        volume: KernelProfile {
+            ops: volume,
+            mem: MemTraffic {
+                read_bytes: (9 * nn + n * n + nn) * b,
+                write_bytes: 9 * nn * b,
+            },
+            host_sqrts: 0,
+            host_divs: 0,
+        },
+        flux: KernelProfile {
+            ops: flux_ops,
+            mem: MemTraffic {
+                read_bytes: (2 * 9 * face_nodes + 9 * nn) * b,
+                write_bytes: 9 * nn * b,
+            },
+            host_sqrts,
+            host_divs: host_sqrts,
+        },
+        integration: KernelProfile {
+            ops: integ_ops,
+            mem: MemTraffic {
+                read_bytes: 3 * 9 * nn * b,
+                write_bytes: 2 * 9 * nn * b,
+            },
+            host_sqrts: 0,
+            host_divs: 0,
+        },
+    }
+}
+
+/// Which wave system a benchmark solves.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PhysicsKind {
+    Acoustic,
+    Elastic,
+}
+
+impl PhysicsKind {
+    /// Unknowns per node: 4 acoustic, 9 elastic (§2.1).
+    pub fn num_vars(self) -> usize {
+        match self {
+            PhysicsKind::Acoustic => 4,
+            PhysicsKind::Elastic => 9,
+        }
+    }
+}
+
+/// The six evaluation benchmarks of the paper (Table 6).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Benchmark {
+    Acoustic4,
+    ElasticCentral4,
+    ElasticRiemann4,
+    Acoustic5,
+    ElasticCentral5,
+    ElasticRiemann5,
+}
+
+impl Benchmark {
+    /// All six, in the paper's Table 6 order.
+    pub const ALL: [Benchmark; 6] = [
+        Benchmark::Acoustic4,
+        Benchmark::ElasticCentral4,
+        Benchmark::ElasticRiemann4,
+        Benchmark::Acoustic5,
+        Benchmark::ElasticCentral5,
+        Benchmark::ElasticRiemann5,
+    ];
+
+    /// Name as printed in the paper.
+    pub fn name(self) -> &'static str {
+        match self {
+            Benchmark::Acoustic4 => "Acoustic_4",
+            Benchmark::ElasticCentral4 => "Elastic-Central_4",
+            Benchmark::ElasticRiemann4 => "Elastic-Riemann_4",
+            Benchmark::Acoustic5 => "Acoustic_5",
+            Benchmark::ElasticCentral5 => "Elastic-Central_5",
+            Benchmark::ElasticRiemann5 => "Elastic-Riemann_5",
+        }
+    }
+
+    /// Mesh refinement level (4 or 5).
+    pub fn level(self) -> u32 {
+        match self {
+            Benchmark::Acoustic4 | Benchmark::ElasticCentral4 | Benchmark::ElasticRiemann4 => 4,
+            _ => 5,
+        }
+    }
+
+    /// Element count, `(2^level)³`.
+    pub fn num_elements(self) -> u64 {
+        let per_axis = 1u64 << self.level();
+        per_axis * per_axis * per_axis
+    }
+
+    /// Wave system.
+    pub fn physics(self) -> PhysicsKind {
+        match self {
+            Benchmark::Acoustic4 | Benchmark::Acoustic5 => PhysicsKind::Acoustic,
+            _ => PhysicsKind::Elastic,
+        }
+    }
+
+    /// Flux solver. The paper's acoustic benchmarks use the upwind
+    /// (Riemann) acoustic flux; the elastic ones come in both variants.
+    pub fn flux(self) -> FluxKind {
+        match self {
+            Benchmark::ElasticCentral4 | Benchmark::ElasticCentral5 => FluxKind::Central,
+            _ => FluxKind::Riemann,
+        }
+    }
+
+    /// Nodes per axis in the paper's element (8³ = 512 nodes, Fig. 5).
+    pub const NODES_PER_AXIS: usize = 8;
+
+    /// Per-element workload of this benchmark.
+    pub fn element_workload(self) -> ElementWorkload {
+        match self.physics() {
+            PhysicsKind::Acoustic => acoustic_workload(Self::NODES_PER_AXIS, self.flux()),
+            PhysicsKind::Elastic => elastic_workload(Self::NODES_PER_AXIS, self.flux()),
+        }
+    }
+
+    /// Total device FP ops for one launch of each kernel over the whole
+    /// mesh (the Table 6 accounting).
+    pub fn total_flops(self) -> u64 {
+        self.element_workload().flops() * self.num_elements()
+    }
+
+    /// Total memory traffic for one launch of each kernel.
+    pub fn total_mem_bytes(self) -> u64 {
+        self.element_workload().mem_bytes() * self.num_elements()
+    }
+
+    /// Estimated thread-level instruction count for one launch of each
+    /// kernel: every FP op is one instruction, every value moved costs a
+    /// load/store plus an address instruction, and each face node of the
+    /// Flux kernel pays a control/divergence overhead (the paper: "the
+    /// compute Flux kernel … has a large divergence", §3.1). The Riemann
+    /// solver's branchy characteristic decomposition costs roughly twice
+    /// the control overhead of the central average.
+    pub fn total_instructions(self) -> u64 {
+        let w = self.element_workload();
+        let mem_values = self.total_mem_bytes() / PRECISION_BYTES;
+        let face_nodes = 6 * 64u64 * self.num_elements();
+        let control_per_face_node = match self.flux() {
+            FluxKind::Central => 24,
+            FluxKind::Riemann => 56,
+        };
+        w.flops() * self.num_elements() + 2 * mem_values + control_per_face_node * face_nodes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table6_shape_relations_hold() {
+        // Level 5 is exactly 8 × level 4 work.
+        assert_eq!(
+            Benchmark::Acoustic5.total_flops(),
+            8 * Benchmark::Acoustic4.total_flops()
+        );
+        assert_eq!(
+            Benchmark::ElasticRiemann5.total_instructions(),
+            8 * Benchmark::ElasticRiemann4.total_instructions()
+        );
+        // Elastic central > acoustic; Riemann > central — both in FP ops
+        // and instructions (Table 6 ordering).
+        assert!(Benchmark::ElasticCentral4.total_flops() > Benchmark::Acoustic4.total_flops());
+        assert!(
+            Benchmark::ElasticRiemann4.total_flops() > Benchmark::ElasticCentral4.total_flops()
+        );
+        assert!(
+            Benchmark::ElasticRiemann4.total_instructions()
+                > Benchmark::ElasticCentral4.total_instructions()
+        );
+    }
+
+    #[test]
+    fn element_counts_match_the_paper() {
+        assert_eq!(Benchmark::Acoustic4.num_elements(), 4096);
+        assert_eq!(Benchmark::ElasticCentral5.num_elements(), 32768);
+    }
+
+    #[test]
+    fn totals_are_in_the_paper_order_of_magnitude() {
+        // Table 6 reports 391 M – 11.8 G FP ops across the six benchmarks;
+        // an independent implementation must land within a small factor.
+        for b in Benchmark::ALL {
+            let flops = b.total_flops();
+            assert!(
+                (50_000_000..50_000_000_000).contains(&flops),
+                "{}: {flops}",
+                b.name()
+            );
+        }
+        let a4 = Benchmark::Acoustic4.total_flops() as f64;
+        assert!(
+            (0.1..10.0).contains(&(a4 / 391_380_992.0)),
+            "Acoustic_4 flops {a4} too far from the paper's 391M"
+        );
+    }
+
+    #[test]
+    fn volume_dominates_element_local_work() {
+        // The paper maps Volume as the compute-heavy kernel; for 8³
+        // elements its FP ops must dominate Flux and Integration.
+        for b in Benchmark::ALL {
+            let w = b.element_workload();
+            assert!(w.volume.ops.flops() > w.flux.ops.flops(), "{}", b.name());
+            assert!(w.volume.ops.flops() > w.integration.ops.flops(), "{}", b.name());
+        }
+    }
+
+    #[test]
+    fn integration_is_memory_bound() {
+        // "the Integration kernel does not scale so well … since the
+        // memory accesses dominate this kernel" (§3.1): bytes per flop for
+        // Integration must exceed Volume's.
+        for b in Benchmark::ALL {
+            let w = b.element_workload();
+            let vol = w.volume.mem.total() as f64 / w.volume.ops.flops() as f64;
+            let integ = w.integration.mem.total() as f64 / w.integration.ops.flops() as f64;
+            assert!(integ > vol, "{}: {integ} vs {vol}", b.name());
+        }
+    }
+
+    #[test]
+    fn riemann_offloads_roots_to_host() {
+        let c = elastic_workload(8, FluxKind::Central);
+        let r = elastic_workload(8, FluxKind::Riemann);
+        assert_eq!(c.flux.host_sqrts, 0);
+        assert_eq!(r.flux.host_sqrts, 2);
+        assert_eq!(r.flux.ops.sqrts, 0, "device must not execute sqrt");
+    }
+
+    #[test]
+    fn opcount_arithmetic() {
+        let a = OpCounts { adds: 1, muls: 2, divs: 3, sqrts: 4 };
+        let b = OpCounts { adds: 10, muls: 20, divs: 30, sqrts: 40 };
+        let c = a + b;
+        assert_eq!(c.flops(), 110);
+        assert_eq!(a.scaled(3).flops(), 30);
+        let m = MemTraffic { read_bytes: 5, write_bytes: 7 };
+        assert_eq!(m.total(), 12);
+        assert_eq!(m.scaled(2).total(), 24);
+    }
+}

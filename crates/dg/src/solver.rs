@@ -1,0 +1,337 @@
+//! The dG wave solver: mesh + kernels + time integration.
+
+use wavesim_mesh::{ElementGeometry, HexMesh};
+use wavesim_numerics::gll::GllRule;
+use wavesim_numerics::lagrange::DiffMatrix;
+use wavesim_numerics::tensor::node_coords;
+use wavesim_numerics::Vec3;
+
+use crate::integrator::Lsrk5;
+use crate::kernels::flux::{self, FluxTopology};
+use crate::kernels::{integration, volume};
+use crate::physics::{FluxKind, Physics};
+use crate::state::State;
+
+/// A complete dG solver for one physics on one mesh.
+///
+/// Holds the solution [`State`], the LSRK auxiliaries (the paper's
+/// *auxiliaries*, Table 1) and the contributions buffer (the paper's
+/// *contributions*), and advances them with the Volume → Flux →
+/// Integration sequence, five stages per time-step.
+///
+/// ```
+/// use wavesim_dg::{Acoustic, AcousticMaterial, FluxKind, Solver};
+/// use wavesim_mesh::{Boundary, HexMesh};
+///
+/// let mesh = HexMesh::refinement_level(1, Boundary::Periodic);
+/// let mut solver =
+///     Solver::<Acoustic>::uniform(mesh, 4, FluxKind::Riemann, AcousticMaterial::UNIT);
+/// solver.set_initial(|var, x| if var == 0 { (6.28 * x.x).sin() } else { 0.0 });
+/// let dt = solver.stable_dt(0.3);
+/// solver.run(dt, 10);
+/// assert!(solver.state().max_abs().is_finite());
+/// ```
+pub struct Solver<P: Physics> {
+    mesh: HexMesh,
+    rule: GllRule,
+    d: DiffMatrix,
+    geom: ElementGeometry,
+    topo: FluxTopology,
+    lift: f64,
+    flux_kind: FluxKind,
+    materials: Vec<P::Material>,
+    state: State,
+    aux: State,
+    rhs: State,
+    time: f64,
+    steps_taken: usize,
+}
+
+impl<P: Physics> Solver<P> {
+    /// Builds a solver with per-element materials.
+    ///
+    /// # Panics
+    /// Panics if `materials.len()` differs from the element count or
+    /// `nodes_per_axis < 2`.
+    pub fn new(
+        mesh: HexMesh,
+        nodes_per_axis: usize,
+        flux_kind: FluxKind,
+        materials: Vec<P::Material>,
+    ) -> Self {
+        assert_eq!(
+            materials.len(),
+            mesh.num_elements(),
+            "one material per element required"
+        );
+        let rule = GllRule::new(nodes_per_axis);
+        let d = DiffMatrix::for_gll(&rule);
+        let geom = ElementGeometry::new(mesh.h(), &rule);
+        let topo = FluxTopology::new(nodes_per_axis);
+        let lift = geom.lift_factor(rule.weights()[0]);
+        let nn = geom.nodes_per_element();
+        let ne = mesh.num_elements();
+        Self {
+            mesh,
+            rule,
+            d,
+            geom,
+            topo,
+            lift,
+            flux_kind,
+            materials,
+            state: State::zeros(ne, P::NUM_VARS, nn),
+            aux: State::zeros(ne, P::NUM_VARS, nn),
+            rhs: State::zeros(ne, P::NUM_VARS, nn),
+            time: 0.0,
+            steps_taken: 0,
+        }
+    }
+
+    /// Builds a solver with one material everywhere.
+    pub fn uniform(
+        mesh: HexMesh,
+        nodes_per_axis: usize,
+        flux_kind: FluxKind,
+        material: P::Material,
+    ) -> Self {
+        let n = mesh.num_elements();
+        Self::new(mesh, nodes_per_axis, flux_kind, vec![material; n])
+    }
+
+    /// The mesh.
+    pub fn mesh(&self) -> &HexMesh {
+        &self.mesh
+    }
+
+    /// The GLL rule (per-axis nodes).
+    pub fn rule(&self) -> &GllRule {
+        &self.rule
+    }
+
+    /// The element geometry constants.
+    pub fn geometry(&self) -> &ElementGeometry {
+        &self.geom
+    }
+
+    /// The flux solver in use.
+    pub fn flux_kind(&self) -> FluxKind {
+        self.flux_kind
+    }
+
+    /// Per-element materials.
+    pub fn materials(&self) -> &[P::Material] {
+        &self.materials
+    }
+
+    /// Current solution.
+    pub fn state(&self) -> &State {
+        &self.state
+    }
+
+    /// Mutable access to the solution (for initial conditions / sources).
+    pub fn state_mut(&mut self) -> &mut State {
+        &mut self.state
+    }
+
+    /// Most recently computed contributions (volume + flux RHS).
+    pub fn contributions(&self) -> &State {
+        &self.rhs
+    }
+
+    /// Simulation time.
+    pub fn time(&self) -> f64 {
+        self.time
+    }
+
+    /// Completed time-steps.
+    pub fn steps_taken(&self) -> usize {
+        self.steps_taken
+    }
+
+    /// Physical position of a node of an element.
+    pub fn node_position(&self, elem: usize, node: usize) -> Vec3 {
+        let n = self.rule.len();
+        let (i, j, k) = node_coords(n, node);
+        let p = self.rule.points();
+        self.mesh.to_physical(
+            wavesim_mesh::ElemId(elem),
+            Vec3::new(p[i], p[j], p[k]),
+        )
+    }
+
+    /// Initializes the state from a function of (variable, position).
+    pub fn set_initial(&mut self, f: impl Fn(usize, Vec3) -> f64) {
+        let ne = self.state.num_elements();
+        let nn = self.state.nodes_per_element();
+        for e in 0..ne {
+            for node in 0..nn {
+                let x = self.node_position(e, node);
+                for v in 0..P::NUM_VARS {
+                    self.state.set_value(e, v, node, f(v, x));
+                }
+            }
+        }
+        self.time = 0.0;
+        self.steps_taken = 0;
+        self.aux.fill_zero();
+    }
+
+    /// A stable time-step: `cfl · h / (c_max · (n−1)²)`, the standard dG
+    /// estimate with polynomial degree `n−1`.
+    pub fn stable_dt(&self, cfl: f64) -> f64 {
+        let c_max = self
+            .materials
+            .iter()
+            .map(P::max_speed)
+            .fold(0.0f64, f64::max);
+        assert!(c_max > 0.0, "no positive wave speed in materials");
+        let degree = (self.rule.len() - 1).max(1) as f64;
+        cfl * self.mesh.h() / (c_max * degree * degree)
+    }
+
+    /// Evaluates the spatial RHS (Volume then Flux) of the current state
+    /// into the contributions buffer.
+    pub fn compute_rhs(&mut self) {
+        let n = self.rule.len();
+        volume::apply::<P>(
+            n,
+            &self.d,
+            self.geom.jacobian_inverse_domain(),
+            &self.materials,
+            &self.state,
+            &mut self.rhs,
+        );
+        flux::apply::<P>(
+            &self.topo,
+            &self.mesh,
+            self.flux_kind,
+            self.lift,
+            &self.materials,
+            &self.state,
+            &mut self.rhs,
+        );
+    }
+
+    /// Advances one time-step: five (Volume → Flux → Integration) rounds.
+    pub fn step(&mut self, dt: f64) {
+        for s in 0..Lsrk5::STAGES {
+            self.compute_rhs();
+            integration::stage(s, dt, &mut self.state, &mut self.aux, &self.rhs);
+        }
+        self.time += dt;
+        self.steps_taken += 1;
+    }
+
+    /// Advances `steps` time-steps.
+    pub fn run(&mut self, dt: f64, steps: usize) {
+        for _ in 0..steps {
+            self.step(dt);
+        }
+    }
+
+    /// Maximum absolute nodal error against an analytic solution evaluated
+    /// at the current time.
+    pub fn max_error_against(&self, exact: impl Fn(usize, Vec3, f64) -> f64) -> f64 {
+        let mut worst = 0.0f64;
+        for e in 0..self.state.num_elements() {
+            for node in 0..self.state.nodes_per_element() {
+                let x = self.node_position(e, node);
+                for v in 0..P::NUM_VARS {
+                    let err = (self.state.value(e, v, node) - exact(v, x, self.time)).abs();
+                    worst = worst.max(err);
+                }
+            }
+        }
+        worst
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::material::AcousticMaterial;
+    use crate::physics::Acoustic;
+    use wavesim_mesh::Boundary;
+
+    fn small_solver(flux: FluxKind) -> Solver<Acoustic> {
+        let mesh = HexMesh::refinement_level(1, Boundary::Periodic);
+        Solver::<Acoustic>::uniform(mesh, 4, flux, AcousticMaterial::UNIT)
+    }
+
+    #[test]
+    fn zero_state_stays_zero() {
+        let mut s = small_solver(FluxKind::Riemann);
+        s.run(0.01, 10);
+        assert_eq!(s.state().max_abs(), 0.0);
+        assert_eq!(s.steps_taken(), 10);
+        assert!((s.time() - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn constant_pressure_is_steady_state() {
+        // Uniform pressure with zero velocity on a periodic mesh is an
+        // exact steady solution; the solver must preserve it to round-off.
+        let mut s = small_solver(FluxKind::Riemann);
+        s.set_initial(|v, _| if v == 0 { 2.5 } else { 0.0 });
+        let dt = s.stable_dt(0.3);
+        s.run(dt, 20);
+        for e in 0..s.state().num_elements() {
+            for node in 0..s.state().nodes_per_element() {
+                assert!((s.state().value(e, 0, node) - 2.5).abs() < 1e-12);
+                for v in 1..4 {
+                    assert!(s.state().value(e, v, node).abs() < 1e-12);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn node_positions_cover_the_domain() {
+        let s = small_solver(FluxKind::Central);
+        let mut min = f64::INFINITY;
+        let mut max = f64::NEG_INFINITY;
+        for e in 0..s.state().num_elements() {
+            for node in 0..s.state().nodes_per_element() {
+                let p = s.node_position(e, node);
+                for c in [p.x, p.y, p.z] {
+                    min = min.min(c);
+                    max = max.max(c);
+                }
+            }
+        }
+        assert_eq!(min, 0.0);
+        assert_eq!(max, 1.0);
+    }
+
+    #[test]
+    fn stable_dt_scales_with_mesh_and_order() {
+        let coarse = Solver::<Acoustic>::uniform(
+            HexMesh::refinement_level(1, Boundary::Periodic),
+            4,
+            FluxKind::Riemann,
+            AcousticMaterial::UNIT,
+        );
+        let fine = Solver::<Acoustic>::uniform(
+            HexMesh::refinement_level(2, Boundary::Periodic),
+            4,
+            FluxKind::Riemann,
+            AcousticMaterial::UNIT,
+        );
+        let high_order = Solver::<Acoustic>::uniform(
+            HexMesh::refinement_level(1, Boundary::Periodic),
+            8,
+            FluxKind::Riemann,
+            AcousticMaterial::UNIT,
+        );
+        assert!((coarse.stable_dt(0.5) / fine.stable_dt(0.5) - 2.0).abs() < 1e-12);
+        assert!(high_order.stable_dt(0.5) < coarse.stable_dt(0.5));
+    }
+
+    #[test]
+    #[should_panic(expected = "one material per element")]
+    fn rejects_wrong_material_count() {
+        let mesh = HexMesh::refinement_level(1, Boundary::Periodic);
+        let _ = Solver::<Acoustic>::new(mesh, 4, FluxKind::Central, vec![AcousticMaterial::UNIT]);
+    }
+}

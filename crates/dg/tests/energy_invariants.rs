@@ -1,0 +1,202 @@
+//! Whole-solver energy invariants.
+//!
+//! These are the sharpest correctness checks on the dG discretization:
+//! with the central flux the semi-discrete scheme conserves the discrete
+//! energy exactly (the time integrator adds only O(dt⁴) drift), and with
+//! the Riemann (upwind) flux the energy must never increase. A sign error
+//! anywhere in the volume terms, flux terms, lift constant or ghost states
+//! makes these tests blow up.
+
+use wavesim_dg::energy::{acoustic_energy, elastic_energy};
+use wavesim_dg::{Acoustic, AcousticMaterial, Elastic, ElasticMaterial, FluxKind, Solver};
+use wavesim_mesh::{Boundary, HexMesh};
+
+const TAU: f64 = 2.0 * std::f64::consts::PI;
+
+fn smooth_acoustic_init(s: &mut Solver<Acoustic>) {
+    s.set_initial(|v, x| match v {
+        0 => (TAU * x.x).sin() * (TAU * x.y).cos() + 0.3 * (TAU * x.z).cos(),
+        1 => 0.2 * (TAU * x.y).sin(),
+        2 => -0.1 * (TAU * x.z).cos(),
+        3 => 0.15 * (TAU * x.x).cos(),
+        _ => unreachable!(),
+    });
+}
+
+fn smooth_elastic_init(s: &mut Solver<Elastic>) {
+    s.set_initial(|v, x| {
+        let base = (TAU * x.x).sin() + (TAU * x.y).cos() * 0.5 + (TAU * x.z).sin() * 0.25;
+        match v {
+            0..=2 => 0.1 * base * (v as f64 + 1.0),
+            _ => 0.05 * base * ((v as f64) - 2.0),
+        }
+    });
+}
+
+#[test]
+fn acoustic_central_flux_conserves_energy() {
+    let mesh = HexMesh::refinement_level(1, Boundary::Periodic);
+    let mut s =
+        Solver::<Acoustic>::uniform(mesh, 5, FluxKind::Central, AcousticMaterial::new(2.0, 1.5));
+    smooth_acoustic_init(&mut s);
+    let e0 = acoustic_energy(&s);
+    assert!(e0 > 0.0);
+    let dt = s.stable_dt(0.2);
+    s.run(dt, 60);
+    let e1 = acoustic_energy(&s);
+    let drift = (e1 - e0).abs() / e0;
+    assert!(drift < 1e-7, "central-flux energy drift {drift}");
+}
+
+#[test]
+fn acoustic_riemann_flux_dissipates_monotonically() {
+    let mesh = HexMesh::refinement_level(1, Boundary::Periodic);
+    let mut s =
+        Solver::<Acoustic>::uniform(mesh, 5, FluxKind::Riemann, AcousticMaterial::UNIT);
+    smooth_acoustic_init(&mut s);
+    let dt = s.stable_dt(0.2);
+    let mut prev = acoustic_energy(&s);
+    let e0 = prev;
+    for _ in 0..40 {
+        s.step(dt);
+        let e = acoustic_energy(&s);
+        assert!(
+            e <= prev * (1.0 + 1e-12),
+            "upwind energy increased: {prev} -> {e}"
+        );
+        prev = e;
+    }
+    // The discontinuous nodal interpolation of a smooth-but-not-resolved
+    // field guarantees some dissipation actually happened.
+    assert!(prev < e0, "no dissipation at all is suspicious");
+}
+
+#[test]
+fn acoustic_wall_boundary_keeps_energy_bounded() {
+    // Rigid walls do no work: central flux conserves, upwind dissipates.
+    let mesh = HexMesh::refinement_level(1, Boundary::Wall);
+    for (kind, tol) in [(FluxKind::Central, 1e-7), (FluxKind::Riemann, 1.0)] {
+        let mut s = Solver::<Acoustic>::uniform(mesh.clone(), 5, kind, AcousticMaterial::UNIT);
+        smooth_acoustic_init(&mut s);
+        let e0 = acoustic_energy(&s);
+        let dt = s.stable_dt(0.2);
+        s.run(dt, 40);
+        let e1 = acoustic_energy(&s);
+        assert!(
+            e1 <= e0 * (1.0 + tol),
+            "{kind:?}: wall boundary grew energy {e0} -> {e1}"
+        );
+        if kind == FluxKind::Central {
+            assert!((e1 - e0).abs() / e0 < tol, "{kind:?} drift {}", (e1 - e0).abs() / e0);
+        }
+    }
+}
+
+#[test]
+fn elastic_central_flux_conserves_energy() {
+    let mesh = HexMesh::refinement_level(1, Boundary::Periodic);
+    let mut s = Solver::<Elastic>::uniform(
+        mesh,
+        4,
+        FluxKind::Central,
+        ElasticMaterial::new(2.0, 1.0, 1.0),
+    );
+    smooth_elastic_init(&mut s);
+    let e0 = elastic_energy(&s);
+    assert!(e0 > 0.0);
+    let dt = s.stable_dt(0.2);
+    s.run(dt, 60);
+    let drift = (elastic_energy(&s) - e0).abs() / e0;
+    assert!(drift < 1e-6, "elastic central-flux energy drift {drift}");
+}
+
+#[test]
+fn elastic_riemann_flux_dissipates_monotonically() {
+    let mesh = HexMesh::refinement_level(1, Boundary::Periodic);
+    let mut s = Solver::<Elastic>::uniform(
+        mesh,
+        4,
+        FluxKind::Riemann,
+        ElasticMaterial::new(1.0, 1.0, 2.0),
+    );
+    smooth_elastic_init(&mut s);
+    let dt = s.stable_dt(0.2);
+    let mut prev = elastic_energy(&s);
+    for _ in 0..40 {
+        s.step(dt);
+        let e = elastic_energy(&s);
+        assert!(e <= prev * (1.0 + 1e-12), "elastic upwind energy grew: {prev} -> {e}");
+        prev = e;
+    }
+}
+
+#[test]
+fn heterogeneous_materials_still_dissipate_with_riemann() {
+    // Mixed impedances across interfaces: the impedance-weighted Riemann
+    // flux must remain dissipative.
+    let mesh = HexMesh::refinement_level(1, Boundary::Periodic);
+    let materials: Vec<AcousticMaterial> = (0..mesh.num_elements())
+        .map(|e| {
+            if e % 2 == 0 {
+                AcousticMaterial::new(1.0, 1.0)
+            } else {
+                AcousticMaterial::new(4.0, 2.0)
+            }
+        })
+        .collect();
+    let mut s = Solver::<Acoustic>::new(mesh, 5, FluxKind::Riemann, materials);
+    smooth_acoustic_init(&mut s);
+    let dt = s.stable_dt(0.15);
+    let mut prev = acoustic_energy(&s);
+    for _ in 0..40 {
+        s.step(dt);
+        let e = acoustic_energy(&s);
+        assert!(e <= prev * (1.0 + 1e-12), "heterogeneous energy grew: {prev} -> {e}");
+        prev = e;
+    }
+}
+
+#[test]
+fn long_run_remains_stable() {
+    // 200 steps at CFL 0.3 without blow-up (L∞ bounded by the initial
+    // data for a dissipative scheme, modulo a small constant).
+    let mesh = HexMesh::refinement_level(1, Boundary::Periodic);
+    let mut s = Solver::<Acoustic>::uniform(mesh, 4, FluxKind::Riemann, AcousticMaterial::UNIT);
+    smooth_acoustic_init(&mut s);
+    let m0 = s.state().max_abs();
+    let dt = s.stable_dt(0.3);
+    s.run(dt, 200);
+    let m1 = s.state().max_abs();
+    assert!(m1.is_finite());
+    assert!(m1 < 3.0 * m0, "state grew suspiciously: {m0} -> {m1}");
+}
+
+#[test]
+fn exceeding_the_cfl_limit_actually_blows_up() {
+    // `stable_dt` must not be wildly conservative: at ~6x the suggested
+    // step the explicit scheme must go unstable (otherwise the PIM/GPU
+    // time-step counts in the evaluation would be inflated).
+    let mesh = HexMesh::refinement_level(1, Boundary::Periodic);
+    let mut s = Solver::<Acoustic>::uniform(mesh, 5, FluxKind::Riemann, AcousticMaterial::UNIT);
+    smooth_acoustic_init(&mut s);
+    let dt = s.stable_dt(0.3) * 20.0;
+    s.run(dt, 60);
+    let m = s.state().max_abs();
+    assert!(
+        !m.is_finite() || m > 1e3,
+        "the scheme stayed bounded ({m}) at 20x the stable step — stable_dt is too conservative"
+    );
+}
+
+#[test]
+fn the_recommended_cfl_is_stable() {
+    // And the suggested step itself must be stable over a long run.
+    let mesh = HexMesh::refinement_level(1, Boundary::Periodic);
+    let mut s = Solver::<Acoustic>::uniform(mesh, 5, FluxKind::Riemann, AcousticMaterial::UNIT);
+    smooth_acoustic_init(&mut s);
+    let m0 = s.state().max_abs();
+    let dt = s.stable_dt(0.5);
+    s.run(dt, 300);
+    let m = s.state().max_abs();
+    assert!(m.is_finite() && m < 2.0 * m0, "unstable at the recommended step: {m}");
+}

@@ -1,0 +1,137 @@
+//! Property-based tests of the whole solver over randomized materials,
+//! initial data and discretization parameters.
+
+use proptest::prelude::*;
+use wavesim_dg::energy::{acoustic_energy, elastic_energy};
+use wavesim_dg::{Acoustic, AcousticMaterial, Elastic, ElasticMaterial, FluxKind, Solver};
+use wavesim_mesh::{Boundary, HexMesh};
+
+fn arb_acoustic_material() -> impl Strategy<Value = AcousticMaterial> {
+    (0.2f64..5.0, 0.2f64..5.0).prop_map(|(k, r)| AcousticMaterial::new(k, r))
+}
+
+fn arb_elastic_material() -> impl Strategy<Value = ElasticMaterial> {
+    (0.0f64..4.0, 0.2f64..3.0, 0.2f64..3.0).prop_map(|(l, m, r)| ElasticMaterial::new(l, m, r))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// The upwind scheme never creates energy, whatever the materials
+    /// and whatever (smooth-ish) initial data we throw at it.
+    #[test]
+    fn acoustic_riemann_never_gains_energy(
+        mats in proptest::collection::vec(arb_acoustic_material(), 8),
+        seed in 0u64..1000,
+        boundary in prop_oneof![Just(Boundary::Periodic), Just(Boundary::Wall)],
+    ) {
+        let mesh = HexMesh::refinement_level(1, boundary);
+        let mut s = Solver::<Acoustic>::new(mesh, 4, FluxKind::Riemann, mats);
+        s.set_initial(|v, x| {
+            let phase = seed as f64 * 0.37 + v as f64;
+            (6.28 * x.x + phase).sin() * 0.3 + (6.28 * (x.y + x.z)).cos() * 0.2
+        });
+        let dt = s.stable_dt(0.15);
+        let mut prev = acoustic_energy(&s);
+        for _ in 0..10 {
+            s.step(dt);
+            let e = acoustic_energy(&s);
+            prop_assert!(e <= prev * (1.0 + 1e-12), "energy grew: {prev} -> {e}");
+            prop_assert!(e.is_finite());
+            prev = e;
+        }
+    }
+
+    /// Same for the elastic system with random Lamé parameters.
+    #[test]
+    fn elastic_riemann_never_gains_energy(
+        mat in arb_elastic_material(),
+        seed in 0u64..1000,
+    ) {
+        let mesh = HexMesh::refinement_level(1, Boundary::Periodic);
+        let mut s = Solver::<Elastic>::uniform(mesh, 3, FluxKind::Riemann, mat);
+        s.set_initial(|v, x| {
+            ((seed % 7) as f64 * 0.1 + v as f64 * 0.05) * (6.28 * (x.x + 0.5 * x.y)).sin()
+        });
+        let dt = s.stable_dt(0.15);
+        let mut prev = elastic_energy(&s);
+        for _ in 0..8 {
+            s.step(dt);
+            let e = elastic_energy(&s);
+            prop_assert!(e <= prev * (1.0 + 1e-12), "energy grew: {prev} -> {e}");
+            prev = e;
+        }
+    }
+
+    /// Linearity of the whole update: step(αu) = α·step(u). The scheme is
+    /// linear in the state, so scaling commutes with time-stepping.
+    #[test]
+    fn time_step_is_linear_in_the_state(
+        alpha in 0.1f64..4.0,
+        seed in 0u64..100,
+    ) {
+        let mesh = HexMesh::refinement_level(1, Boundary::Periodic);
+        let make = |scale: f64| {
+            let mut s = Solver::<Acoustic>::uniform(
+                mesh.clone(), 3, FluxKind::Riemann, AcousticMaterial::new(2.0, 0.5));
+            s.set_initial(|v, x| {
+                scale * ((6.28 * x.x + v as f64 + seed as f64 * 0.01).sin())
+            });
+            s.step(1e-3);
+            s
+        };
+        let base = make(1.0);
+        let scaled = make(alpha);
+        for e in 0..8 {
+            for v in 0..4 {
+                for node in 0..27 {
+                    let a = alpha * base.state().value(e, v, node);
+                    let b = scaled.state().value(e, v, node);
+                    prop_assert!(
+                        (a - b).abs() <= 1e-11 * (1.0 + a.abs()),
+                        "linearity broke at ({e},{v},{node}): {a} vs {b}"
+                    );
+                }
+            }
+        }
+    }
+
+    /// Mesh symmetry: relabeling axes of an axis-symmetric initial state
+    /// produces an axis-relabeled solution (x→y rotation invariance of
+    /// the cube + periodic boundary).
+    #[test]
+    fn axis_permutation_symmetry(seed in 0u64..50) {
+        let mesh = HexMesh::refinement_level(1, Boundary::Periodic);
+        let phase = seed as f64 * 0.1;
+        // State A: wave along x with vx; state B: same along y with vy.
+        let mut sa = Solver::<Acoustic>::uniform(
+            mesh.clone(), 3, FluxKind::Riemann, AcousticMaterial::UNIT);
+        sa.set_initial(|v, x| match v {
+            0 => (6.28 * x.x + phase).sin(),
+            1 => 0.5 * (6.28 * x.x + phase).sin(),
+            _ => 0.0,
+        });
+        let mut sb = Solver::<Acoustic>::uniform(
+            mesh, 3, FluxKind::Riemann, AcousticMaterial::UNIT);
+        sb.set_initial(|v, x| match v {
+            0 => (6.28 * x.y + phase).sin(),
+            2 => 0.5 * (6.28 * x.y + phase).sin(),
+            _ => 0.0,
+        });
+        let dt = 2e-3;
+        sa.run(dt, 3);
+        sb.run(dt, 3);
+        // Compare p fields through the (x,y) swap.
+        for e in 0..8 {
+            let (ex, ey, ez) = sa.mesh().elem_coords(wavesim_mesh::ElemId(e));
+            let e_swapped = sa.mesh().elem_id(ey, ex, ez).index();
+            for node in 0..27 {
+                let (i, j, k) = wavesim_numerics::tensor::node_coords(3, node);
+                let node_swapped = wavesim_numerics::tensor::node_index(3, j, i, k);
+                let a = sa.state().value(e, 0, node);
+                let b = sb.state().value(e_swapped, 0, node_swapped);
+                prop_assert!((a - b).abs() < 1e-11, "symmetry broke: {a} vs {b}");
+            }
+        }
+    }
+}

@@ -1,0 +1,73 @@
+//! GPU + host energy model.
+//!
+//! The paper measures energy with `nvidia-smi` (GPU board) and RAPL
+//! (host package) over the simulation run (§7.1–7.2). We model the same
+//! quantity as `time × (board power at utilization + host package
+//! power)`: memory-bound kernels hold the board near, but not at, TDP.
+
+use wavesim_dg::opcount::Benchmark;
+
+use crate::kernel_model::{benchmark_seconds, GpuImpl};
+use crate::specs::GpuModel;
+
+/// Fraction of TDP a memory-bound kernel sustains on the board.
+pub const BOARD_UTILIZATION: f64 = 0.75;
+
+/// Fraction of the host package power drawn while the host mostly waits
+/// on kernel completions (driver threads, memcpy staging).
+pub const HOST_UTILIZATION: f64 = 0.60;
+
+/// Average board + host power, watts.
+pub fn average_power(gpu: GpuModel) -> f64 {
+    let spec = gpu.spec();
+    spec.tdp * BOARD_UTILIZATION + spec.host_power * HOST_UTILIZATION
+}
+
+/// Whole-benchmark energy, joules.
+pub fn benchmark_joules(benchmark: Benchmark, gpu: GpuModel, variant: GpuImpl) -> f64 {
+    benchmark_seconds(benchmark, gpu, variant) * average_power(gpu)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wavesim_dg::opcount::Benchmark::*;
+
+    #[test]
+    fn power_figures_are_plausible() {
+        for gpu in GpuModel::ALL {
+            let p = average_power(gpu);
+            assert!((200.0..400.0).contains(&p), "{}: {p} W", gpu.name());
+        }
+    }
+
+    #[test]
+    fn energy_tracks_time_and_power() {
+        let t = benchmark_seconds(Acoustic4, GpuModel::TeslaV100, GpuImpl::Unfused);
+        let e = benchmark_joules(Acoustic4, GpuModel::TeslaV100, GpuImpl::Unfused);
+        assert!((e / t - average_power(GpuModel::TeslaV100)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn faster_gpu_is_not_proportionally_cheaper() {
+        // The V100 is faster but burns more power than the 1080Ti; its
+        // energy advantage is smaller than its time advantage — part of
+        // why the paper's energy savings exceed its speedups on small
+        // chips.
+        let t_ratio = benchmark_seconds(Acoustic5, GpuModel::Gtx1080Ti, GpuImpl::Unfused)
+            / benchmark_seconds(Acoustic5, GpuModel::TeslaV100, GpuImpl::Unfused);
+        let e_ratio = benchmark_joules(Acoustic5, GpuModel::Gtx1080Ti, GpuImpl::Unfused)
+            / benchmark_joules(Acoustic5, GpuModel::TeslaV100, GpuImpl::Unfused);
+        assert!(e_ratio < t_ratio);
+    }
+
+    #[test]
+    fn fused_saves_energy() {
+        for gpu in GpuModel::ALL {
+            assert!(
+                benchmark_joules(ElasticCentral5, gpu, GpuImpl::Fused)
+                    < benchmark_joules(ElasticCentral5, gpu, GpuImpl::Unfused)
+            );
+        }
+    }
+}

@@ -1,0 +1,186 @@
+//! Roofline kernel timing for the GPU baselines.
+//!
+//! Each kernel launch costs `max(compute time, memory time) + launch
+//! overhead`, with per-kernel efficiency factors reflecting the paper's
+//! §3.1 profiling:
+//!
+//! * *Volume* "can benefit from more Streaming Multiprocessors … until
+//!   the memory bandwidth becomes the bottleneck" — decent compute and
+//!   memory efficiency;
+//! * *Integration* "does not scale so well … since the memory accesses
+//!   dominate" — streaming, high memory efficiency, trivial compute;
+//! * *Flux* "is the most inefficient kernel, since it has a large
+//!   divergence that degrades the parallelism" — low compute efficiency
+//!   (lower still for the branchy Riemann solver) and gather-limited
+//!   memory efficiency.
+//!
+//! The factors are fixed once here and shared by all three GPUs; the
+//! differences between platforms come purely from the Table 2 bandwidth
+//! and FLOPS columns.
+
+use serde::{Deserialize, Serialize};
+use wavesim_dg::opcount::{Benchmark, KernelProfile};
+use wavesim_dg::FluxKind;
+
+use crate::specs::{GpuModel, LAUNCH_OVERHEAD};
+
+/// GPU implementation variant (§7.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum GpuImpl {
+    /// Three kernels per stage (Volume, Flux, Integration), contributions
+    /// round-tripping through DRAM between them.
+    Unfused,
+    /// Volume and Flux fused into one kernel "to minimize the data
+    /// movements", with "more data locality for each thread".
+    Fused,
+}
+
+impl GpuImpl {
+    pub fn name(self) -> &'static str {
+        match self {
+            GpuImpl::Unfused => "Unfused",
+            GpuImpl::Fused => "Fused",
+        }
+    }
+}
+
+/// Per-kernel efficiency factors (fractions of the Table 2 peaks).
+#[derive(Debug, Clone, Copy)]
+struct Efficiency {
+    compute: f64,
+    memory: f64,
+}
+
+fn volume_eff() -> Efficiency {
+    Efficiency { compute: 0.50, memory: 0.30 }
+}
+
+fn integration_eff() -> Efficiency {
+    Efficiency { compute: 0.50, memory: 0.45 }
+}
+
+fn flux_eff(flux: FluxKind) -> Efficiency {
+    // Divergence hurts both pipes: warps replay gathers they partially
+    // mask, so the branchy Riemann solver also wastes bandwidth.
+    match flux {
+        FluxKind::Central => Efficiency { compute: 0.15, memory: 0.18 },
+        FluxKind::Riemann => Efficiency { compute: 0.08, memory: 0.11 },
+    }
+}
+
+/// Fused kernels keep per-thread state in registers, improving effective
+/// bandwidth utilization.
+const FUSED_MEMORY_BONUS: f64 = 1.6;
+
+fn kernel_seconds(gpu: GpuModel, profile: &KernelProfile, elements: u64, eff: Efficiency) -> f64 {
+    let spec = gpu.spec();
+    let flops = profile.ops.flops() as f64 * elements as f64;
+    let bytes = profile.mem.total() as f64 * elements as f64;
+    let compute = flops / (spec.peak_fp32 * eff.compute);
+    let memory = bytes / (spec.mem_bandwidth * eff.memory);
+    compute.max(memory) + LAUNCH_OVERHEAD
+}
+
+/// Seconds for one LSRK stage (one launch of each kernel) of a benchmark.
+pub fn stage_seconds(benchmark: Benchmark, gpu: GpuModel, variant: GpuImpl) -> f64 {
+    let w = benchmark.element_workload();
+    let e = benchmark.num_elements();
+    let flux = benchmark.flux();
+    match variant {
+        GpuImpl::Unfused => {
+            kernel_seconds(gpu, &w.volume, e, volume_eff())
+                + kernel_seconds(gpu, &w.flux, e, flux_eff(flux))
+                + kernel_seconds(gpu, &w.integration, e, integration_eff())
+        }
+        GpuImpl::Fused => {
+            // Volume+Flux fused: the contribution fields written by Volume
+            // and re-read by Flux never leave the chip.
+            let spec = gpu.spec();
+            let vars = benchmark.physics().num_vars() as u64;
+            let saved_bytes = 2 * vars * 512 * 4 * e;
+            let flops = (w.volume.ops.flops() + w.flux.ops.flops()) as f64 * e as f64;
+            let bytes =
+                (w.volume.mem.total() + w.flux.mem.total()) as f64 * e as f64 - saved_bytes as f64;
+            // Fused kernel inherits the flux divergence on its flux part;
+            // blend compute efficiencies by op share.
+            let fshare = w.flux.ops.flops() as f64 / (w.flux.ops.flops() + w.volume.ops.flops()) as f64;
+            let ceff = volume_eff().compute * (1.0 - fshare) + flux_eff(flux).compute * fshare;
+            let meff = volume_eff().memory * FUSED_MEMORY_BONUS;
+            let fused = (flops / (spec.peak_fp32 * ceff))
+                .max(bytes / (spec.mem_bandwidth * meff))
+                + LAUNCH_OVERHEAD;
+            fused + kernel_seconds(gpu, &w.integration, e, integration_eff())
+        }
+    }
+}
+
+/// Whole-benchmark wall-clock: 5 stages × 1,024 time-steps.
+pub fn benchmark_seconds(benchmark: Benchmark, gpu: GpuModel, variant: GpuImpl) -> f64 {
+    stage_seconds(benchmark, gpu, variant) * 5.0 * 1024.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wavesim_dg::opcount::Benchmark::*;
+
+    #[test]
+    fn faster_memory_means_faster_simulation() {
+        // §3.1: the workload is memory-bound, so the bandwidth ordering
+        // must carry over to time.
+        for b in Benchmark::ALL {
+            let ti = benchmark_seconds(b, GpuModel::Gtx1080Ti, GpuImpl::Unfused);
+            let p100 = benchmark_seconds(b, GpuModel::TeslaP100, GpuImpl::Unfused);
+            let v100 = benchmark_seconds(b, GpuModel::TeslaV100, GpuImpl::Unfused);
+            assert!(ti > p100 && p100 > v100, "{}: {ti} {p100} {v100}", b.name());
+        }
+    }
+
+    #[test]
+    fn fused_beats_unfused_on_every_platform() {
+        for b in Benchmark::ALL {
+            for gpu in GpuModel::ALL {
+                let u = benchmark_seconds(b, gpu, GpuImpl::Unfused);
+                let f = benchmark_seconds(b, gpu, GpuImpl::Fused);
+                assert!(f < u, "{} on {}: fused {f} vs unfused {u}", b.name(), gpu.name());
+            }
+        }
+    }
+
+    #[test]
+    fn level_5_is_about_8x_level_4() {
+        // 8× the elements; launch overhead dilutes slightly below 8×.
+        let l4 = benchmark_seconds(Acoustic4, GpuModel::TeslaV100, GpuImpl::Unfused);
+        let l5 = benchmark_seconds(Acoustic5, GpuModel::TeslaV100, GpuImpl::Unfused);
+        let ratio = l5 / l4;
+        assert!((6.0..8.1).contains(&ratio), "ratio {ratio}");
+    }
+
+    #[test]
+    fn riemann_is_slower_than_central() {
+        for gpu in GpuModel::ALL {
+            let r = benchmark_seconds(ElasticRiemann4, gpu, GpuImpl::Unfused);
+            let c = benchmark_seconds(ElasticCentral4, gpu, GpuImpl::Unfused);
+            assert!(r > c, "{}", gpu.name());
+        }
+    }
+
+    #[test]
+    fn stage_times_are_milliseconds_scale() {
+        // Sanity: a level-4 stage moves ~hundreds of MB; at hundreds of
+        // GB/s that is milliseconds, not seconds or nanoseconds.
+        let s = stage_seconds(Acoustic4, GpuModel::Gtx1080Ti, GpuImpl::Unfused);
+        assert!((1e-4..1e-1).contains(&s), "stage {s}");
+    }
+
+    #[test]
+    fn bandwidth_advantage_grows_with_problem_size() {
+        // §3.1's measurements: V100/1080Ti speedup grows from level 4 to
+        // level 5 (1.31× → 2.82× relative) as fixed overheads wash out.
+        let r4 = benchmark_seconds(Acoustic4, GpuModel::Gtx1080Ti, GpuImpl::Unfused)
+            / benchmark_seconds(Acoustic4, GpuModel::TeslaV100, GpuImpl::Unfused);
+        let r5 = benchmark_seconds(Acoustic5, GpuModel::Gtx1080Ti, GpuImpl::Unfused)
+            / benchmark_seconds(Acoustic5, GpuModel::TeslaV100, GpuImpl::Unfused);
+        assert!(r5 >= r4 * 0.99, "level4 {r4} vs level5 {r5}");
+    }
+}

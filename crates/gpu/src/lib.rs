@@ -1,0 +1,19 @@
+//! Analytical baseline models for the Wave-PIM evaluation: the three GPU
+//! platforms of Table 2 (GTX 1080Ti, Tesla P100, Tesla V100) in unfused
+//! and fused variants, plus the dual-Xeon CPU baseline of §3.1.
+//!
+//! We have no GPUs (see DESIGN.md's substitution table), so each platform
+//! is a roofline model driven by the same per-kernel operation and
+//! memory-traffic counts (`wavesim_dg::opcount`) that characterize the
+//! workload for the PIM mapper. The paper's own profiling conclusion —
+//! "the GPU implementation of the acoustic wave simulation turns out to
+//! be bounded by memory bandwidth, even for Tesla V100 GPUs" (§3.1) —
+//! is exactly the regime a bandwidth roofline reproduces.
+
+pub mod cpu;
+pub mod energy;
+pub mod kernel_model;
+pub mod specs;
+
+pub use kernel_model::{benchmark_seconds, stage_seconds, GpuImpl};
+pub use specs::{GpuModel, GpuSpec};

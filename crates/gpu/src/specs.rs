@@ -1,0 +1,120 @@
+//! Hardware specifications of the baseline platforms (paper Table 2).
+
+use serde::{Deserialize, Serialize};
+
+/// The three evaluated GPU platforms.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum GpuModel {
+    Gtx1080Ti,
+    TeslaP100,
+    TeslaV100,
+}
+
+impl GpuModel {
+    /// All three, in the paper's order.
+    pub const ALL: [GpuModel; 3] = [GpuModel::Gtx1080Ti, GpuModel::TeslaP100, GpuModel::TeslaV100];
+
+    /// The Table 2 spec sheet.
+    pub fn spec(self) -> GpuSpec {
+        match self {
+            GpuModel::Gtx1080Ti => GpuSpec {
+                name: "GTX 1080Ti",
+                mem_bandwidth: 484.0e9,
+                peak_fp32: 11.5e12,
+                cuda_cores: 3_584,
+                clock_hz: 1_530.0e6,
+                process_nm: 16,
+                tdp: 250.0,
+                // Host: Xeon E5-2697 v4 (Table 2), 145 W TDP.
+                host_power: 145.0,
+            },
+            GpuModel::TeslaP100 => GpuSpec {
+                name: "Tesla P100",
+                mem_bandwidth: 720.0e9,
+                peak_fp32: 10.6e12,
+                cuda_cores: 3_584,
+                clock_hz: 1_480.0e6,
+                process_nm: 16,
+                tdp: 300.0,
+                // Host: Xeon Platinum 8160, 150 W TDP.
+                host_power: 150.0,
+            },
+            GpuModel::TeslaV100 => GpuSpec {
+                name: "Tesla V100",
+                mem_bandwidth: 900.0e9,
+                peak_fp32: 15.7e12,
+                cuda_cores: 5_120,
+                clock_hz: 1_582.0e6,
+                process_nm: 12,
+                tdp: 300.0,
+                host_power: 150.0,
+            },
+        }
+    }
+
+    pub fn name(self) -> &'static str {
+        self.spec().name
+    }
+}
+
+/// One GPU's model parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GpuSpec {
+    pub name: &'static str,
+    /// Off-chip memory bandwidth, bytes/second (Table 2: 484/720/900 GBps).
+    pub mem_bandwidth: f64,
+    /// Peak FP32 throughput, FLOP/s (Table 2: 11.5/10.6/15.7 TFLOPS).
+    pub peak_fp32: f64,
+    /// FP32 CUDA cores (Table 2).
+    pub cuda_cores: u32,
+    /// Boost clock (Table 2).
+    pub clock_hz: f64,
+    /// Process node (Table 2: 16/16/12 nm).
+    pub process_nm: u32,
+    /// Board power, watts.
+    pub tdp: f64,
+    /// Host CPU package power, watts.
+    pub host_power: f64,
+}
+
+/// Kernel launch overhead (driver + grid setup), seconds. The unfused
+/// implementation launches three kernels per stage × five stages per
+/// step × 1,024 steps, so this is not negligible for small problems.
+pub const LAUNCH_OVERHEAD: f64 = 8.0e-6;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_2_figures() {
+        let v100 = GpuModel::TeslaV100.spec();
+        assert_eq!(v100.mem_bandwidth, 900.0e9);
+        assert_eq!(v100.cuda_cores, 5_120);
+        assert_eq!(v100.process_nm, 12);
+        let p100 = GpuModel::TeslaP100.spec();
+        assert_eq!(p100.mem_bandwidth, 720.0e9);
+        let ti = GpuModel::Gtx1080Ti.spec();
+        assert_eq!(ti.mem_bandwidth, 484.0e9);
+        assert_eq!(ti.cuda_cores, 3_584);
+    }
+
+    #[test]
+    fn bandwidth_ordering_matches_the_paper() {
+        // 1080Ti < P100 < V100 in memory bandwidth — the axis that
+        // matters for this memory-bound workload.
+        let bw: Vec<f64> = GpuModel::ALL.iter().map(|g| g.spec().mem_bandwidth).collect();
+        assert!(bw[0] < bw[1] && bw[1] < bw[2]);
+    }
+
+    #[test]
+    fn peak_flops_are_not_monotone() {
+        // The P100 has *fewer* peak FLOPS than the 1080Ti but more
+        // bandwidth — the reason Volume scales with SMs while the overall
+        // app scales with bandwidth (§3.1).
+        let ti = GpuModel::Gtx1080Ti.spec();
+        let p100 = GpuModel::TeslaP100.spec();
+        assert!(p100.peak_fp32 < ti.peak_fp32);
+        assert!(p100.mem_bandwidth > ti.mem_bandwidth);
+    }
+}

@@ -1,0 +1,118 @@
+//! Disassembly: human-readable listings of instructions and programs —
+//! the debugging view of what the Wave-PIM compiler emits.
+
+use std::fmt;
+
+use crate::instr::{AluOp, Instr};
+use crate::stream::InstrStream;
+
+impl fmt::Display for AluOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            AluOp::Add => "add",
+            AluOp::Sub => "sub",
+            AluOp::Mul => "mul",
+            AluOp::Mac => "mac",
+            AluOp::Neg => "neg",
+            AluOp::Mov => "mov",
+        };
+        f.write_str(s)
+    }
+}
+
+impl fmt::Display for Instr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Instr::Read { block, row, offset, words } => {
+                write!(f, "read    b{} r{row} +{offset} x{words}", block.0)
+            }
+            Instr::Write { block, row, offset, words } => {
+                write!(f, "write   b{} r{row} +{offset} x{words}", block.0)
+            }
+            Instr::Broadcast { block, dst_first, dst_last, offset, words } => {
+                write!(f, "bcast   b{} r{dst_first}..={dst_last} +{offset} x{words}", block.0)
+            }
+            Instr::Copy { src, dst, words } => {
+                write!(f, "memcpy  b{} -> b{} x{words}", src.0, dst.0)
+            }
+            Instr::Arith { block, op, first_row, last_row, dst, a, b } => {
+                write!(f, "{op:<4}    b{} r{first_row}..={last_row} c{dst} <- c{a}, c{b}", block.0)
+            }
+            Instr::Lut { row, offset_s, lut_block, offset_d } => {
+                write!(f, "lut     row {row} +{offset_s} via b{lut_block} -> +{offset_d}")
+            }
+            Instr::LoadOffchip { block, bytes } => {
+                write!(f, "dma_in  b{} {bytes}B", block.0)
+            }
+            Instr::StoreOffchip { block, bytes } => {
+                write!(f, "dma_out b{} {bytes}B", block.0)
+            }
+            Instr::Sync => write!(f, "sync"),
+        }
+    }
+}
+
+/// Renders a full program listing with instruction indices; `limit` caps
+/// the listed instructions (an ellipsis line marks the cut).
+pub fn listing(stream: &InstrStream, limit: usize) -> String {
+    let mut out = String::new();
+    for (i, instr) in stream.instrs().iter().enumerate() {
+        if i >= limit {
+            out.push_str(&format!("… {} more instructions\n", stream.len() - limit));
+            break;
+        }
+        out.push_str(&format!("{i:>6}: {instr}\n"));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instr::BlockId;
+
+    #[test]
+    fn every_form_renders_distinctly() {
+        let instrs = [
+            Instr::Read { block: BlockId(1), row: 2, offset: 3, words: 4 },
+            Instr::Write { block: BlockId(1), row: 2, offset: 3, words: 4 },
+            Instr::Broadcast { block: BlockId(5), dst_first: 0, dst_last: 511, offset: 7, words: 1 },
+            Instr::Copy { src: BlockId(1), dst: BlockId(9), words: 4 },
+            Instr::Arith {
+                block: BlockId(0),
+                op: AluOp::Mac,
+                first_row: 0,
+                last_row: 511,
+                dst: 8,
+                a: 23,
+                b: 22,
+            },
+            Instr::Lut { row: 1000, offset_s: 16, lut_block: 64, offset_d: 0 },
+            Instr::LoadOffchip { block: BlockId(3), bytes: 2048 },
+            Instr::StoreOffchip { block: BlockId(3), bytes: 2048 },
+            Instr::Sync,
+        ];
+        let rendered: Vec<String> = instrs.iter().map(|i| i.to_string()).collect();
+        let mut unique = rendered.clone();
+        unique.sort();
+        unique.dedup();
+        assert_eq!(unique.len(), rendered.len(), "{rendered:?}");
+        assert!(rendered[0].contains("read"));
+        assert!(rendered[3].contains("b1 -> b9"));
+        assert!(rendered[4].contains("mac"));
+        assert!(rendered[5].contains("via b64"));
+    }
+
+    #[test]
+    fn listing_respects_the_limit() {
+        let mut s = InstrStream::new();
+        for _ in 0..10 {
+            s.push(Instr::Sync);
+        }
+        let full = listing(&s, 100);
+        assert_eq!(full.lines().count(), 10);
+        let cut = listing(&s, 3);
+        assert_eq!(cut.lines().count(), 4);
+        assert!(cut.contains("7 more instructions"));
+    }
+}

@@ -1,0 +1,248 @@
+//! 64-bit binary encoding of the ISA.
+//!
+//! Every instruction packs into one `u64` with the opcode in bits 63:57.
+//! The look-up-table instruction uses the exact field layout of the
+//! paper's Fig. 4; the remaining layouts are chosen so all fields of the
+//! largest instruction (Broadcast: 17-bit block + two 10-bit rows + 5-bit
+//! offset + 6-bit word count) still fit beneath the opcode.
+
+use crate::instr::{AluOp, BlockId, Instr};
+
+/// Error cases for [`decode`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DecodeError {
+    /// The opcode bits name no instruction.
+    UnknownOpcode(u8),
+    /// The ALU sub-opcode of an Arith instruction is invalid.
+    UnknownAluOp(u8),
+}
+
+impl std::fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DecodeError::UnknownOpcode(op) => write!(f, "unknown opcode {op:#x}"),
+            DecodeError::UnknownAluOp(op) => write!(f, "unknown ALU sub-op {op:#x}"),
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+const fn field(value: u64, shift: u32, bits: u32) -> u64 {
+    (value & ((1 << bits) - 1)) << shift
+}
+
+const fn extract(word: u64, shift: u32, bits: u32) -> u64 {
+    (word >> shift) & ((1 << bits) - 1)
+}
+
+fn alu_code(op: AluOp) -> u64 {
+    match op {
+        AluOp::Add => 0,
+        AluOp::Sub => 1,
+        AluOp::Mul => 2,
+        AluOp::Mac => 3,
+        AluOp::Neg => 4,
+        AluOp::Mov => 5,
+    }
+}
+
+fn alu_from_code(code: u8) -> Result<AluOp, DecodeError> {
+    Ok(match code {
+        0 => AluOp::Add,
+        1 => AluOp::Sub,
+        2 => AluOp::Mul,
+        3 => AluOp::Mac,
+        4 => AluOp::Neg,
+        5 => AluOp::Mov,
+        other => return Err(DecodeError::UnknownAluOp(other)),
+    })
+}
+
+/// Encodes an instruction into its 64-bit form.
+///
+/// Field layouts (opcode always bits 63:57):
+/// * Read/Write:  `block[56:40] row[39:30] offset[29:25] words[24:19]`
+/// * Broadcast:   `block[56:40] dst_first[39:30] dst_last[29:20]
+///   offset[19:15] words[14:9]`
+/// * Copy:        `src[56:40] dst[39:23] words[22:7]`
+/// * Arith:       `block[56:40] alu[39:36] first[35:26] last[25:16]
+///   dst[15:11] a[10:6] b[5:1]`
+/// * Lut (Fig 4): `row[56:31] offset_s[30:26] lut_block[25:5]
+///   offset_d[4:0]`
+/// * Load/Store:  `block[56:40] bytes[39:8]`
+pub fn encode(instr: &Instr) -> u64 {
+    let op = field(instr.opcode() as u64, 57, 7);
+    match *instr {
+        Instr::Sync => op,
+        Instr::Read { block, row, offset, words }
+        | Instr::Write { block, row, offset, words } => {
+            op | field(block.0 as u64, 40, 17)
+                | field(row as u64, 30, 10)
+                | field(offset as u64, 25, 5)
+                | field(words as u64, 19, 6)
+        }
+        Instr::Broadcast { block, dst_first, dst_last, offset, words } => {
+            op | field(block.0 as u64, 40, 17)
+                | field(dst_first as u64, 30, 10)
+                | field(dst_last as u64, 20, 10)
+                | field(offset as u64, 15, 5)
+                | field(words as u64, 9, 6)
+        }
+        Instr::Copy { src, dst, words } => {
+            op | field(src.0 as u64, 40, 17)
+                | field(dst.0 as u64, 23, 17)
+                | field(words as u64, 7, 16)
+        }
+        Instr::Arith { block, op: alu, first_row, last_row, dst, a, b } => {
+            op | field(block.0 as u64, 40, 17)
+                | field(alu_code(alu), 36, 4)
+                | field(first_row as u64, 26, 10)
+                | field(last_row as u64, 16, 10)
+                | field(dst as u64, 11, 5)
+                | field(a as u64, 6, 5)
+                | field(b as u64, 1, 5)
+        }
+        Instr::Lut { row, offset_s, lut_block, offset_d } => {
+            // Exactly Fig. 4 of the paper.
+            op | field(row as u64, 31, 26)
+                | field(offset_s as u64, 26, 5)
+                | field(lut_block as u64, 5, 21)
+                | field(offset_d as u64, 0, 5)
+        }
+        Instr::LoadOffchip { block, bytes } | Instr::StoreOffchip { block, bytes } => {
+            op | field(block.0 as u64, 40, 17) | field(bytes as u64, 8, 32)
+        }
+    }
+}
+
+/// Decodes a 64-bit word back into an instruction.
+pub fn decode(word: u64) -> Result<Instr, DecodeError> {
+    let opcode = extract(word, 57, 7) as u8;
+    Ok(match opcode {
+        0x00 => Instr::Sync,
+        0x01 | 0x02 => {
+            let block = BlockId(extract(word, 40, 17) as u32);
+            let row = extract(word, 30, 10) as u16;
+            let offset = extract(word, 25, 5) as u8;
+            let words = extract(word, 19, 6) as u8;
+            if opcode == 0x01 {
+                Instr::Read { block, row, offset, words }
+            } else {
+                Instr::Write { block, row, offset, words }
+            }
+        }
+        0x03 => Instr::Broadcast {
+            block: BlockId(extract(word, 40, 17) as u32),
+            dst_first: extract(word, 30, 10) as u16,
+            dst_last: extract(word, 20, 10) as u16,
+            offset: extract(word, 15, 5) as u8,
+            words: extract(word, 9, 6) as u8,
+        },
+        0x04 => Instr::Copy {
+            src: BlockId(extract(word, 40, 17) as u32),
+            dst: BlockId(extract(word, 23, 17) as u32),
+            words: extract(word, 7, 16) as u16,
+        },
+        0x05 => Instr::Arith {
+            block: BlockId(extract(word, 40, 17) as u32),
+            op: alu_from_code(extract(word, 36, 4) as u8)?,
+            first_row: extract(word, 26, 10) as u16,
+            last_row: extract(word, 16, 10) as u16,
+            dst: extract(word, 11, 5) as u8,
+            a: extract(word, 6, 5) as u8,
+            b: extract(word, 1, 5) as u8,
+        },
+        0x06 => Instr::Lut {
+            row: extract(word, 31, 26) as u32,
+            offset_s: extract(word, 26, 5) as u8,
+            lut_block: extract(word, 5, 21) as u32,
+            offset_d: extract(word, 0, 5) as u8,
+        },
+        0x07 | 0x08 => {
+            let block = BlockId(extract(word, 40, 17) as u32);
+            let bytes = extract(word, 8, 32) as u32;
+            if opcode == 0x07 {
+                Instr::LoadOffchip { block, bytes }
+            } else {
+                Instr::StoreOffchip { block, bytes }
+            }
+        }
+        other => return Err(DecodeError::UnknownOpcode(other)),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip(i: Instr) {
+        let encoded = encode(&i);
+        let decoded = decode(encoded).expect("decodes");
+        assert_eq!(decoded, i, "round trip failed, encoded {encoded:#018x}");
+    }
+
+    #[test]
+    fn round_trips_every_form() {
+        round_trip(Instr::Sync);
+        round_trip(Instr::Read { block: BlockId(131071), row: 1023, offset: 31, words: 32 });
+        round_trip(Instr::Write { block: BlockId(5), row: 512, offset: 0, words: 1 });
+        round_trip(Instr::Broadcast {
+            block: BlockId(777),
+            dst_first: 0,
+            dst_last: 511,
+            offset: 30,
+            words: 32,
+        });
+        round_trip(Instr::Copy { src: BlockId(0), dst: BlockId(131071), words: 65535 });
+        for op in AluOp::ALL {
+            round_trip(Instr::Arith {
+                block: BlockId(9999),
+                op,
+                first_row: 0,
+                last_row: 511,
+                dst: 31,
+                a: 15,
+                b: 7,
+            });
+        }
+        round_trip(Instr::Lut {
+            row: (1 << 26) - 1,
+            offset_s: 31,
+            lut_block: (1 << 21) - 1,
+            offset_d: 31,
+        });
+        round_trip(Instr::LoadOffchip { block: BlockId(42), bytes: u32::MAX });
+        round_trip(Instr::StoreOffchip { block: BlockId(42), bytes: 131072 });
+    }
+
+    #[test]
+    fn lut_encoding_matches_figure_4_layout() {
+        let i = Instr::Lut { row: 0x2AB_CDEF, offset_s: 0b10101, lut_block: 0x1F_F00F, offset_d: 0b01010 };
+        let w = encode(&i);
+        assert_eq!((w >> 57) & 0x7F, 0x06, "opcode bits 63:57");
+        assert_eq!((w >> 31) & 0x3FF_FFFF, 0x2AB_CDEF, "Row ID bits 56:31");
+        assert_eq!((w >> 26) & 0x1F, 0b10101, "Offset_S bits 30:26");
+        assert_eq!((w >> 5) & 0x1F_FFFF, 0x1F_F00F, "LUT Block ID bits 25:5");
+        assert_eq!(w & 0x1F, 0b01010, "Offset_D bits 4:0");
+    }
+
+    #[test]
+    fn unknown_opcode_is_an_error() {
+        let bogus = 0x7Fu64 << 57;
+        assert_eq!(decode(bogus), Err(DecodeError::UnknownOpcode(0x7F)));
+    }
+
+    #[test]
+    fn unknown_alu_sub_op_is_an_error() {
+        // Opcode 0x05 with ALU code 15.
+        let word = (0x05u64 << 57) | (15u64 << 36);
+        assert_eq!(decode(word), Err(DecodeError::UnknownAluOp(15)));
+    }
+
+    #[test]
+    fn error_messages_are_descriptive() {
+        assert!(DecodeError::UnknownOpcode(9).to_string().contains("0x9"));
+        assert!(DecodeError::UnknownAluOp(12).to_string().contains("0xc"));
+    }
+}

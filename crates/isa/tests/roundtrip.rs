@@ -1,0 +1,89 @@
+//! Property-based encode/decode round-trip tests for the PIM ISA.
+
+use pim_isa::{decode, encode, AluOp, BlockId, Instr};
+use proptest::prelude::*;
+
+fn arb_block() -> impl Strategy<Value = BlockId> {
+    (0u32..=BlockId::MAX).prop_map(BlockId)
+}
+
+fn arb_alu() -> impl Strategy<Value = AluOp> {
+    prop_oneof![
+        Just(AluOp::Add),
+        Just(AluOp::Sub),
+        Just(AluOp::Mul),
+        Just(AluOp::Mac),
+        Just(AluOp::Neg),
+        Just(AluOp::Mov),
+    ]
+}
+
+fn arb_instr() -> impl Strategy<Value = Instr> {
+    prop_oneof![
+        Just(Instr::Sync),
+        (arb_block(), 0u16..1024, 0u8..32, 0u8..=32)
+            .prop_map(|(block, row, offset, words)| Instr::Read { block, row, offset, words }),
+        (arb_block(), 0u16..1024, 0u8..32, 0u8..=32)
+            .prop_map(|(block, row, offset, words)| Instr::Write { block, row, offset, words }),
+        (arb_block(), 0u16..1024, 0u16..1024, 0u8..32, 0u8..=32).prop_map(
+            |(block, dst_first, dst_last, offset, words)| Instr::Broadcast {
+                block,
+                dst_first,
+                dst_last,
+                offset,
+                words
+            }
+        ),
+        (arb_block(), arb_block(), any::<u16>())
+            .prop_map(|(src, dst, words)| Instr::Copy { src, dst, words }),
+        (arb_block(), arb_alu(), 0u16..1024, 0u16..1024, 0u8..32, 0u8..32, 0u8..32).prop_map(
+            |(block, op, first_row, last_row, dst, a, b)| Instr::Arith {
+                block,
+                op,
+                first_row,
+                last_row,
+                dst,
+                a,
+                b
+            }
+        ),
+        (0u32..(1 << 26), 0u8..32, 0u32..(1 << 21), 0u8..32).prop_map(
+            |(row, offset_s, lut_block, offset_d)| Instr::Lut {
+                row,
+                offset_s,
+                lut_block,
+                offset_d
+            }
+        ),
+        (arb_block(), any::<u32>())
+            .prop_map(|(block, bytes)| Instr::LoadOffchip { block, bytes }),
+        (arb_block(), any::<u32>())
+            .prop_map(|(block, bytes)| Instr::StoreOffchip { block, bytes }),
+    ]
+}
+
+proptest! {
+    /// Every instruction encodes to 64 bits and decodes back identically.
+    #[test]
+    fn encode_decode_round_trip(instr in arb_instr()) {
+        let word = encode(&instr);
+        let back = decode(word).expect("valid encoding must decode");
+        prop_assert_eq!(back, instr);
+    }
+
+    /// The opcode field is stable under encoding.
+    #[test]
+    fn opcode_survives_encoding(instr in arb_instr()) {
+        let word = encode(&instr);
+        prop_assert_eq!(((word >> 57) & 0x7F) as u8, instr.opcode());
+    }
+
+    /// Distinct instructions get distinct encodings (encode is injective
+    /// over the generated domain).
+    #[test]
+    fn encoding_is_injective(a in arb_instr(), b in arb_instr()) {
+        if a != b {
+            prop_assert_ne!(encode(&a), encode(&b));
+        }
+    }
+}

@@ -1,0 +1,150 @@
+//! Element faces and neighbor results.
+
+use wavesim_numerics::tensor::Axis;
+use wavesim_numerics::Vec3;
+
+use crate::hexmesh::ElemId;
+
+/// One of the six faces of a hexahedral element, identified by the outward
+/// normal direction. The paper enumerates these as "3 axes, x, y, and z, and
+/// 2 normal vectors, −1 and +1" (§6.1.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Face {
+    XMinus,
+    XPlus,
+    YMinus,
+    YPlus,
+    ZMinus,
+    ZPlus,
+}
+
+impl Face {
+    /// All six faces, minus before plus, x then y then z.
+    pub const ALL: [Face; 6] = [
+        Face::XMinus,
+        Face::XPlus,
+        Face::YMinus,
+        Face::YPlus,
+        Face::ZMinus,
+        Face::ZPlus,
+    ];
+
+    /// The axis this face is normal to.
+    #[inline]
+    pub fn axis(self) -> Axis {
+        match self {
+            Face::XMinus | Face::XPlus => Axis::X,
+            Face::YMinus | Face::YPlus => Axis::Y,
+            Face::ZMinus | Face::ZPlus => Axis::Z,
+        }
+    }
+
+    /// True for the `+1` normal direction.
+    #[inline]
+    pub fn is_plus(self) -> bool {
+        matches!(self, Face::XPlus | Face::YPlus | Face::ZPlus)
+    }
+
+    /// Outward unit normal of this face.
+    #[inline]
+    pub fn normal(self) -> Vec3 {
+        let sign = if self.is_plus() { 1.0 } else { -1.0 };
+        Vec3::unit(self.axis().index()) * sign
+    }
+
+    /// The face that touches this one on the neighboring element.
+    #[inline]
+    pub fn opposite(self) -> Face {
+        match self {
+            Face::XMinus => Face::XPlus,
+            Face::XPlus => Face::XMinus,
+            Face::YMinus => Face::YPlus,
+            Face::YPlus => Face::YMinus,
+            Face::ZMinus => Face::ZPlus,
+            Face::ZPlus => Face::ZMinus,
+        }
+    }
+
+    /// Compact 0..6 code, used for indexing per-face tables.
+    #[inline]
+    pub fn code(self) -> usize {
+        match self {
+            Face::XMinus => 0,
+            Face::XPlus => 1,
+            Face::YMinus => 2,
+            Face::YPlus => 3,
+            Face::ZMinus => 4,
+            Face::ZPlus => 5,
+        }
+    }
+
+    /// Inverse of [`Face::code`].
+    #[inline]
+    pub fn from_code(code: usize) -> Face {
+        Face::ALL[code]
+    }
+
+    /// Builds a face from an axis and a normal sign.
+    #[inline]
+    pub fn from_axis(axis: Axis, plus: bool) -> Face {
+        match (axis, plus) {
+            (Axis::X, false) => Face::XMinus,
+            (Axis::X, true) => Face::XPlus,
+            (Axis::Y, false) => Face::YMinus,
+            (Axis::Y, true) => Face::YPlus,
+            (Axis::Z, false) => Face::ZMinus,
+            (Axis::Z, true) => Face::ZPlus,
+        }
+    }
+}
+
+/// What lies across a face: another element, or the domain boundary.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Neighbor {
+    /// A neighboring element (possibly via periodic wrap-around).
+    Element(ElemId),
+    /// The domain boundary (rigid wall); the solver applies the mirror
+    /// condition `v·n = 0` there.
+    Boundary,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn codes_round_trip() {
+        for face in Face::ALL {
+            assert_eq!(Face::from_code(face.code()), face);
+        }
+        for code in 0..6 {
+            assert_eq!(Face::from_code(code).code(), code);
+        }
+    }
+
+    #[test]
+    fn opposite_is_involution_and_flips_sign() {
+        for face in Face::ALL {
+            assert_eq!(face.opposite().opposite(), face);
+            assert_eq!(face.opposite().axis(), face.axis());
+            assert_ne!(face.opposite().is_plus(), face.is_plus());
+        }
+    }
+
+    #[test]
+    fn normals_are_unit_and_outward() {
+        for face in Face::ALL {
+            let n = face.normal();
+            assert_eq!(n.norm(), 1.0);
+            let along = n.component(face.axis().index());
+            assert_eq!(along, if face.is_plus() { 1.0 } else { -1.0 });
+        }
+    }
+
+    #[test]
+    fn from_axis_matches_axis_and_sign() {
+        for face in Face::ALL {
+            assert_eq!(Face::from_axis(face.axis(), face.is_plus()), face);
+        }
+    }
+}

@@ -1,0 +1,170 @@
+//! Affine-element geometry constants.
+//!
+//! On a uniform structured mesh every element is an axis-aligned cube of
+//! edge `h`, so the reference-to-physical map is affine and the Jacobian
+//! constants of the paper's Table 1 reduce to scalars shared by all
+//! elements:
+//!
+//! * `jacobian_det_domain`     = `(h/2)³`   (volume Jacobian determinant),
+//! * `jacobian_inverse_domain` = `2/h`      (∂r/∂x, same along each axis),
+//! * `jacobian_det_boundary`   = `(h/2)²`   (face Jacobian determinant),
+//! * `jacobian_det_w_star`     = per-node `w_i w_j w_k (h/2)³` (the
+//!   precombined quadrature constant the Volume timeline of Fig. 5
+//!   computes first).
+
+use wavesim_numerics::gll::GllRule;
+use wavesim_numerics::tensor::node_index;
+
+/// Geometry constants for the affine elements of a [`crate::HexMesh`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct ElementGeometry {
+    h: f64,
+    nodes_per_axis: usize,
+    jacobian_det_domain: f64,
+    jacobian_inverse_domain: f64,
+    jacobian_det_boundary: f64,
+    jacobian_det_w_star: Vec<f64>,
+}
+
+impl ElementGeometry {
+    /// Builds the constants for elements of edge `h` with `rule.len()` GLL
+    /// nodes per axis.
+    pub fn new(h: f64, rule: &GllRule) -> Self {
+        assert!(h > 0.0, "element edge must be positive");
+        let n = rule.len();
+        let half = 0.5 * h;
+        let det = half * half * half;
+        let w = rule.weights();
+        let mut jdws = vec![0.0; n * n * n];
+        for k in 0..n {
+            for j in 0..n {
+                for i in 0..n {
+                    jdws[node_index(n, i, j, k)] = w[i] * w[j] * w[k] * det;
+                }
+            }
+        }
+        Self {
+            h,
+            nodes_per_axis: n,
+            jacobian_det_domain: det,
+            jacobian_inverse_domain: 1.0 / half,
+            jacobian_det_boundary: half * half,
+            jacobian_det_w_star: jdws,
+        }
+    }
+
+    /// Element edge length.
+    #[inline]
+    pub fn h(&self) -> f64 {
+        self.h
+    }
+
+    /// GLL nodes per axis.
+    #[inline]
+    pub fn nodes_per_axis(&self) -> usize {
+        self.nodes_per_axis
+    }
+
+    /// Nodes per element, `nodes_per_axis³`.
+    #[inline]
+    pub fn nodes_per_element(&self) -> usize {
+        let n = self.nodes_per_axis;
+        n * n * n
+    }
+
+    /// `jacobian_det_domain` of Table 1.
+    #[inline]
+    pub fn jacobian_det_domain(&self) -> f64 {
+        self.jacobian_det_domain
+    }
+
+    /// `jacobian_inverse_domain` of Table 1: the factor turning a
+    /// reference-coordinate derivative into a physical derivative.
+    #[inline]
+    pub fn jacobian_inverse_domain(&self) -> f64 {
+        self.jacobian_inverse_domain
+    }
+
+    /// `jacobian_det_boundary` of Table 1.
+    #[inline]
+    pub fn jacobian_det_boundary(&self) -> f64 {
+        self.jacobian_det_boundary
+    }
+
+    /// Per-node `jacobian_det_w_star` table, indexed by node index.
+    #[inline]
+    pub fn jacobian_det_w_star(&self) -> &[f64] {
+        &self.jacobian_det_w_star
+    }
+
+    /// The lift constant applied at a face node during Flux: on GLL
+    /// collocation, the surface mass over volume mass reduces to
+    /// `1 / (w_end · h/2)` where `w_end` is the 1-D endpoint weight.
+    #[inline]
+    pub fn lift_factor(&self, endpoint_weight: f64) -> f64 {
+        1.0 / (endpoint_weight * 0.5 * self.h)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_close(a: f64, b: f64, tol: f64) {
+        assert!((a - b).abs() <= tol, "{a} vs {b} (tol {tol})");
+    }
+
+    #[test]
+    fn unit_element_constants() {
+        let rule = GllRule::new(4);
+        let g = ElementGeometry::new(2.0, &rule);
+        // h = 2 means the element *is* the reference cube.
+        assert_close(g.jacobian_det_domain(), 1.0, 1e-15);
+        assert_close(g.jacobian_inverse_domain(), 1.0, 1e-15);
+        assert_close(g.jacobian_det_boundary(), 1.0, 1e-15);
+    }
+
+    #[test]
+    fn scaling_with_h() {
+        let rule = GllRule::new(3);
+        let g = ElementGeometry::new(0.5, &rule);
+        assert_close(g.jacobian_det_domain(), 0.25f64.powi(3), 1e-15);
+        assert_close(g.jacobian_inverse_domain(), 4.0, 1e-15);
+        assert_close(g.jacobian_det_boundary(), 0.0625, 1e-15);
+    }
+
+    #[test]
+    fn jacobian_det_w_star_sums_to_volume() {
+        // Σ_ijk w_i w_j w_k (h/2)³ = 2³ (h/2)³ = h³, the element volume.
+        let rule = GllRule::new(8);
+        let h = 0.125;
+        let g = ElementGeometry::new(h, &rule);
+        let total: f64 = g.jacobian_det_w_star().iter().sum();
+        assert_close(total, h * h * h, 1e-12);
+        assert_eq!(g.jacobian_det_w_star().len(), 512);
+    }
+
+    #[test]
+    fn nodes_per_element_matches_paper_element() {
+        // The paper's element is 512 nodes = 8³ (Fig. 5 uses a 512-node
+        // element on a 1K×1K block).
+        let rule = GllRule::new(8);
+        let g = ElementGeometry::new(1.0, &rule);
+        assert_eq!(g.nodes_per_element(), 512);
+    }
+
+    #[test]
+    fn lift_factor_definition() {
+        let rule = GllRule::new(4);
+        let g = ElementGeometry::new(0.5, &rule);
+        let w0 = rule.weights()[0];
+        assert_close(g.lift_factor(w0), 1.0 / (w0 * 0.25), 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "edge must be positive")]
+    fn rejects_bad_h() {
+        let rule = GllRule::new(3);
+        let _ = ElementGeometry::new(-1.0, &rule);
+    }
+}

@@ -1,0 +1,238 @@
+//! Gauss-Legendre-Lobatto (GLL) quadrature rules.
+//!
+//! A GLL rule with `n` points on `[-1, 1]` includes both endpoints and
+//! integrates polynomials up to degree `2n - 3` exactly. The interior
+//! points are the roots of `P'_{n-1}(x)`; the weights are
+//! `w_i = 2 / (n (n - 1) P_{n-1}(x_i)²)`.
+//!
+//! These are the *GLL Point* and *GLL Weight* constants of Table 1 in the
+//! Wave-PIM paper: per-element constants that the PIM data layout stores in
+//! the constants rows of each memory block (Fig. 5).
+
+use crate::legendre::{legendre, legendre_and_deriv, legendre_second_deriv};
+use crate::{NEWTON_MAX_ITER, NEWTON_TOL};
+
+/// A GLL quadrature rule: `n` collocation points with weights on `[-1, 1]`.
+///
+/// ```
+/// use wavesim_numerics::gll::GllRule;
+///
+/// let rule = GllRule::new(8); // the paper's 8-point (512-node) element
+/// assert_eq!(rule.points().first(), Some(&-1.0));
+/// assert_eq!(rule.points().last(), Some(&1.0));
+/// // Integrates x² over [-1, 1] exactly.
+/// assert!((rule.integrate(|x| x * x) - 2.0 / 3.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct GllRule {
+    points: Vec<f64>,
+    weights: Vec<f64>,
+}
+
+impl GllRule {
+    /// Builds the `n`-point GLL rule. `n` must be at least 2 (the endpoints
+    /// are always included).
+    ///
+    /// # Panics
+    /// Panics if `n < 2`.
+    pub fn new(n: usize) -> Self {
+        assert!(n >= 2, "a GLL rule needs at least the two endpoints");
+        let mut points = vec![0.0; n];
+        let mut weights = vec![0.0; n];
+        points[0] = -1.0;
+        points[n - 1] = 1.0;
+
+        // Interior points: roots of P'_{n-1}. Seed Newton with
+        // Chebyshev-Gauss-Lobatto points, which interlace the GLL points
+        // closely enough for guaranteed convergence.
+        let degree = n - 1;
+        #[allow(clippy::needless_range_loop)]
+        for i in 1..n - 1 {
+            let mut x = -(std::f64::consts::PI * i as f64 / degree as f64).cos();
+            for _ in 0..NEWTON_MAX_ITER {
+                let (_, dp) = legendre_and_deriv(degree, x);
+                let d2p = legendre_second_deriv(degree, x);
+                let step = dp / d2p;
+                x -= step;
+                if step.abs() < NEWTON_TOL {
+                    break;
+                }
+            }
+            points[i] = x;
+        }
+        // Enforce exact symmetry: the rule is symmetric about 0 and small
+        // asymmetries from Newton round-off would otherwise leak into the
+        // differentiation matrix.
+        for i in 0..n / 2 {
+            let avg = 0.5 * (points[i] - points[n - 1 - i]);
+            points[i] = avg;
+            points[n - 1 - i] = -avg;
+        }
+        if n % 2 == 1 {
+            points[n / 2] = 0.0;
+        }
+
+        let nf = n as f64;
+        for i in 0..n {
+            let p = legendre(degree, points[i]);
+            weights[i] = 2.0 / (nf * (nf - 1.0) * p * p);
+        }
+        Self { points, weights }
+    }
+
+    /// Number of points in the rule.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// True when the rule is empty (never, by construction).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// The collocation points in ascending order, `x_0 = -1 … x_{n-1} = 1`.
+    #[inline]
+    pub fn points(&self) -> &[f64] {
+        &self.points
+    }
+
+    /// The quadrature weights, positive and summing to 2.
+    #[inline]
+    pub fn weights(&self) -> &[f64] {
+        &self.weights
+    }
+
+    /// Integrates `f` over `[-1, 1]` with this rule.
+    pub fn integrate(&self, mut f: impl FnMut(f64) -> f64) -> f64 {
+        self.points
+            .iter()
+            .zip(&self.weights)
+            .map(|(&x, &w)| w * f(x))
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_close(a: f64, b: f64, tol: f64) {
+        assert!((a - b).abs() <= tol, "{a} vs {b} (tol {tol})");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least the two endpoints")]
+    fn rejects_n_below_two() {
+        let _ = GllRule::new(1);
+    }
+
+    #[test]
+    fn two_point_rule_is_trapezoid() {
+        let rule = GllRule::new(2);
+        assert_eq!(rule.points(), &[-1.0, 1.0]);
+        assert_close(rule.weights()[0], 1.0, 1e-15);
+        assert_close(rule.weights()[1], 1.0, 1e-15);
+    }
+
+    #[test]
+    fn three_point_rule_closed_form() {
+        let rule = GllRule::new(3);
+        assert_close(rule.points()[1], 0.0, 1e-15);
+        assert_close(rule.weights()[0], 1.0 / 3.0, 1e-14);
+        assert_close(rule.weights()[1], 4.0 / 3.0, 1e-14);
+        assert_close(rule.weights()[2], 1.0 / 3.0, 1e-14);
+    }
+
+    #[test]
+    fn four_point_rule_closed_form() {
+        let rule = GllRule::new(4);
+        let x = (1.0f64 / 5.0).sqrt();
+        assert_close(rule.points()[1], -x, 1e-13);
+        assert_close(rule.points()[2], x, 1e-13);
+        assert_close(rule.weights()[0], 1.0 / 6.0, 1e-13);
+        assert_close(rule.weights()[1], 5.0 / 6.0, 1e-13);
+    }
+
+    #[test]
+    fn eight_point_rule_matches_reference() {
+        // Reference values for the 8-point GLL rule (the paper's 512-node
+        // element is 8×8×8), from Abramowitz & Stegun style tabulations.
+        let rule = GllRule::new(8);
+        let expected_points = [
+            -1.0,
+            -0.871_740_148_509_606_6,
+            -0.591_700_181_433_142_3,
+            -0.209_299_217_902_478_87,
+            0.209_299_217_902_478_87,
+            0.591_700_181_433_142_3,
+            0.871_740_148_509_606_6,
+            1.0,
+        ];
+        let expected_weights = [
+            0.035_714_285_714_285_71,
+            0.210_704_227_143_506_44,
+            0.341_122_692_483_504_4,
+            0.412_458_794_658_703_9,
+            0.412_458_794_658_703_9,
+            0.341_122_692_483_504_4,
+            0.210_704_227_143_506_44,
+            0.035_714_285_714_285_71,
+        ];
+        for i in 0..8 {
+            assert_close(rule.points()[i], expected_points[i], 1e-12);
+            assert_close(rule.weights()[i], expected_weights[i], 1e-12);
+        }
+    }
+
+    #[test]
+    fn weights_sum_to_two_and_are_positive() {
+        for n in 2..=16 {
+            let rule = GllRule::new(n);
+            let sum: f64 = rule.weights().iter().sum();
+            assert_close(sum, 2.0, 1e-12);
+            assert!(rule.weights().iter().all(|&w| w > 0.0));
+        }
+    }
+
+    #[test]
+    fn points_sorted_and_symmetric() {
+        for n in 2..=16 {
+            let rule = GllRule::new(n);
+            let pts = rule.points();
+            for w in pts.windows(2) {
+                assert!(w[0] < w[1], "points must strictly increase");
+            }
+            for i in 0..n {
+                assert_close(pts[i], -pts[n - 1 - i], 1e-14);
+            }
+        }
+    }
+
+    #[test]
+    fn integrates_polynomials_exactly_up_to_2n_minus_3() {
+        for n in 2..=12 {
+            let rule = GllRule::new(n);
+            for degree in 0..=(2 * n - 3) {
+                let integral = rule.integrate(|x| x.powi(degree as i32));
+                let exact = if degree % 2 == 1 {
+                    0.0
+                } else {
+                    2.0 / (degree as f64 + 1.0)
+                };
+                assert_close(integral, exact, 1e-11);
+            }
+        }
+    }
+
+    #[test]
+    fn quadrature_converges_on_smooth_function() {
+        // ∫_{-1}^{1} e^x dx = e - 1/e.
+        let exact = std::f64::consts::E - 1.0 / std::f64::consts::E;
+        let coarse = (GllRule::new(3).integrate(f64::exp) - exact).abs();
+        let fine = (GllRule::new(8).integrate(f64::exp) - exact).abs();
+        assert!(fine < coarse);
+        assert!(fine < 1e-10);
+    }
+}

@@ -1,0 +1,272 @@
+//! Barycentric Lagrange interpolation and the 1-D differentiation matrix.
+//!
+//! In a nodal dG method, derivatives of the solution within an element are
+//! computed by a dense matrix-vector product with the differentiation matrix
+//! `D`, where `D[i][j] = l'_j(x_i)` and `l_j` is the Lagrange basis on the
+//! GLL points. The paper calls the stored derivative values *dshape*
+//! (Table 1); the per-node dot-product between a line of nodes and a row of
+//! `D` is exactly the "derivative computation" of footnote 2(b).
+
+use crate::gll::GllRule;
+
+/// Barycentric weights for a set of distinct interpolation nodes.
+///
+/// `w_j = 1 / Π_{k≠j} (x_j - x_k)`, normalized so the largest magnitude is 1
+/// for numerical robustness (normalization cancels in all uses).
+pub fn barycentric_weights(points: &[f64]) -> Vec<f64> {
+    let n = points.len();
+    let mut w = vec![1.0; n];
+    for j in 0..n {
+        for k in 0..n {
+            if k != j {
+                w[j] /= points[j] - points[k];
+            }
+        }
+    }
+    let max = w.iter().fold(0.0f64, |m, &v| m.max(v.abs()));
+    for v in &mut w {
+        *v /= max;
+    }
+    w
+}
+
+/// Evaluates the Lagrange interpolant of `values` (given at `points`) at `x`
+/// using the numerically stable barycentric formula of the second kind.
+pub fn barycentric_interpolate(points: &[f64], weights: &[f64], values: &[f64], x: f64) -> f64 {
+    debug_assert_eq!(points.len(), weights.len());
+    debug_assert_eq!(points.len(), values.len());
+    let mut num = 0.0;
+    let mut den = 0.0;
+    for ((&xj, &wj), &fj) in points.iter().zip(weights).zip(values) {
+        let dx = x - xj;
+        if dx == 0.0 {
+            return fj;
+        }
+        let t = wj / dx;
+        num += t * fj;
+        den += t;
+    }
+    num / den
+}
+
+/// A dense square differentiation matrix on a nodal basis.
+///
+/// Stored row-major; `apply` computes `out[i] = Σ_j D[i][j] v[j]`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DiffMatrix {
+    n: usize,
+    entries: Vec<f64>,
+}
+
+impl DiffMatrix {
+    /// Builds the differentiation matrix for the nodes of a GLL rule using
+    /// the barycentric formulas
+    ///
+    /// `D[i][j] = (w_j / w_i) / (x_i - x_j)` for `i ≠ j`, and
+    /// `D[i][i] = -Σ_{j≠i} D[i][j]` (negative row-sum trick, which enforces
+    /// that differentiating a constant gives exactly zero).
+    pub fn for_gll(rule: &GllRule) -> Self {
+        Self::for_points(rule.points())
+    }
+
+    /// Builds the differentiation matrix for arbitrary distinct nodes.
+    pub fn for_points(points: &[f64]) -> Self {
+        let n = points.len();
+        let w = barycentric_weights(points);
+        let mut entries = vec![0.0; n * n];
+        for i in 0..n {
+            let mut diag = 0.0;
+            for j in 0..n {
+                if i != j {
+                    let d = (w[j] / w[i]) / (points[i] - points[j]);
+                    entries[i * n + j] = d;
+                    diag -= d;
+                }
+            }
+            entries[i * n + i] = diag;
+        }
+        Self { n, entries }
+    }
+
+    /// Matrix dimension (number of nodes).
+    #[inline]
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Row-major entry access.
+    #[inline]
+    pub fn get(&self, i: usize, j: usize) -> f64 {
+        self.entries[i * self.n + j]
+    }
+
+    /// Raw row-major entries, length `n²`. This is the *dshape* table the
+    /// Wave-PIM layout broadcasts into the constants rows of each block.
+    #[inline]
+    pub fn entries(&self) -> &[f64] {
+        &self.entries
+    }
+
+    /// One row of the matrix.
+    #[inline]
+    pub fn row(&self, i: usize) -> &[f64] {
+        &self.entries[i * self.n..(i + 1) * self.n]
+    }
+
+    /// Dense matrix-vector product `out = D v`.
+    pub fn apply(&self, v: &[f64], out: &mut [f64]) {
+        debug_assert_eq!(v.len(), self.n);
+        debug_assert_eq!(out.len(), self.n);
+        #[allow(clippy::needless_range_loop)]
+        for i in 0..self.n {
+            let row = self.row(i);
+            let mut acc = 0.0;
+            #[allow(clippy::needless_range_loop)]
+            for j in 0..self.n {
+                acc += row[j] * v[j];
+            }
+            out[i] = acc;
+        }
+    }
+
+    /// Transposed product `out = Dᵀ v`, used by weak-form operators.
+    pub fn apply_transpose(&self, v: &[f64], out: &mut [f64]) {
+        debug_assert_eq!(v.len(), self.n);
+        debug_assert_eq!(out.len(), self.n);
+        out.fill(0.0);
+        #[allow(clippy::needless_range_loop)]
+        for j in 0..self.n {
+            let row = self.row(j);
+            let vj = v[j];
+            for (o, &d) in out.iter_mut().zip(row) {
+                *o += d * vj;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gll::GllRule;
+
+    fn assert_close(a: f64, b: f64, tol: f64) {
+        assert!((a - b).abs() <= tol, "{a} vs {b} (tol {tol})");
+    }
+
+    #[test]
+    fn interpolation_reproduces_nodal_values() {
+        let rule = GllRule::new(6);
+        let w = barycentric_weights(rule.points());
+        let values: Vec<f64> = rule.points().iter().map(|&x| x.sin()).collect();
+        for (i, &x) in rule.points().iter().enumerate() {
+            assert_close(
+                barycentric_interpolate(rule.points(), &w, &values, x),
+                values[i],
+                0.0,
+            );
+        }
+    }
+
+    #[test]
+    fn interpolation_is_exact_for_polynomials() {
+        let rule = GllRule::new(5);
+        let w = barycentric_weights(rule.points());
+        let poly = |x: f64| 3.0 * x.powi(4) - 2.0 * x.powi(2) + 0.5 * x - 1.0;
+        let values: Vec<f64> = rule.points().iter().map(|&x| poly(x)).collect();
+        for &x in &[-0.83, -0.11, 0.47, 0.92] {
+            assert_close(
+                barycentric_interpolate(rule.points(), &w, &values, x),
+                poly(x),
+                1e-12,
+            );
+        }
+    }
+
+    #[test]
+    fn diff_matrix_kills_constants() {
+        for n in 2..=12 {
+            let rule = GllRule::new(n);
+            let d = DiffMatrix::for_gll(&rule);
+            let v = vec![7.5; n];
+            let mut out = vec![0.0; n];
+            d.apply(&v, &mut out);
+            for &o in &out {
+                assert_close(o, 0.0, 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn diff_matrix_differentiates_polynomials_exactly() {
+        // On n GLL points, D differentiates polynomials up to degree n-1
+        // exactly at the nodes.
+        for n in 2..=10 {
+            let rule = GllRule::new(n);
+            let d = DiffMatrix::for_gll(&rule);
+            for degree in 0..n {
+                let v: Vec<f64> = rule.points().iter().map(|&x| x.powi(degree as i32)).collect();
+                let mut out = vec![0.0; n];
+                d.apply(&v, &mut out);
+                for (i, &x) in rule.points().iter().enumerate() {
+                    let exact = if degree == 0 {
+                        0.0
+                    } else {
+                        degree as f64 * x.powi(degree as i32 - 1)
+                    };
+                    assert_close(out[i], exact, 1e-9);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn diff_matrix_two_points_is_half_jump() {
+        // With nodes {-1, 1}, l0 = (1-x)/2 and l1 = (1+x)/2, so D = [[-.5, .5], [-.5, .5]].
+        let d = DiffMatrix::for_gll(&GllRule::new(2));
+        assert_close(d.get(0, 0), -0.5, 1e-15);
+        assert_close(d.get(0, 1), 0.5, 1e-15);
+        assert_close(d.get(1, 0), -0.5, 1e-15);
+        assert_close(d.get(1, 1), 0.5, 1e-15);
+    }
+
+    #[test]
+    fn transpose_apply_matches_manual_transpose() {
+        let rule = GllRule::new(7);
+        let d = DiffMatrix::for_gll(&rule);
+        let v: Vec<f64> = (0..7).map(|i| (i as f64 * 0.37).cos()).collect();
+        let mut out_t = vec![0.0; 7];
+        d.apply_transpose(&v, &mut out_t);
+        for i in 0..7 {
+            let mut manual = 0.0;
+            for j in 0..7 {
+                manual += d.get(j, i) * v[j];
+            }
+            assert_close(out_t[i], manual, 1e-13);
+        }
+    }
+
+    #[test]
+    fn gll_diagonal_mass_summation_by_parts() {
+        // GLL collocation satisfies the summation-by-parts property
+        // M D + (M D)ᵀ = B where M = diag(w) and B = diag(-1, 0, …, 0, 1).
+        for n in 2..=10 {
+            let rule = GllRule::new(n);
+            let d = DiffMatrix::for_gll(&rule);
+            let w = rule.weights();
+            for i in 0..n {
+                for j in 0..n {
+                    let q = w[i] * d.get(i, j) + w[j] * d.get(j, i);
+                    let b = if i == j && i == 0 {
+                        -1.0
+                    } else if i == j && i == n - 1 {
+                        1.0
+                    } else {
+                        0.0
+                    };
+                    assert_close(q, b, 1e-11);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,149 @@
+//! Legendre polynomials and their derivatives.
+//!
+//! The GLL points of order `n` are the roots of `(1 - x²) P'_n(x)` where
+//! `P_n` is the Legendre polynomial of degree `n`. The recurrences used here
+//! are the standard three-term forms and are numerically stable over the
+//! `[-1, 1]` interval that matters for quadrature.
+
+/// Evaluates the Legendre polynomial `P_n(x)` by the three-term recurrence.
+///
+/// `P_0(x) = 1`, `P_1(x) = x`,
+/// `(k + 1) P_{k+1}(x) = (2k + 1) x P_k(x) - k P_{k-1}(x)`.
+pub fn legendre(n: usize, x: f64) -> f64 {
+    match n {
+        0 => 1.0,
+        1 => x,
+        _ => {
+            let mut pkm1 = 1.0;
+            let mut pk = x;
+            for k in 1..n {
+                let kf = k as f64;
+                let pkp1 = ((2.0 * kf + 1.0) * x * pk - kf * pkm1) / (kf + 1.0);
+                pkm1 = pk;
+                pk = pkp1;
+            }
+            pk
+        }
+    }
+}
+
+/// Evaluates `P_n(x)` and its first derivative `P'_n(x)` together.
+///
+/// The derivative uses the identity
+/// `(1 - x²) P'_n(x) = n (P_{n-1}(x) - x P_n(x))`,
+/// rearranged to avoid the singularity at `x = ±1` by falling back to the
+/// closed form `P'_n(±1) = ±1^{n-1} n (n + 1) / 2` at the endpoints.
+pub fn legendre_and_deriv(n: usize, x: f64) -> (f64, f64) {
+    if n == 0 {
+        return (1.0, 0.0);
+    }
+    if n == 1 {
+        return (x, 1.0);
+    }
+    let mut pkm1 = 1.0;
+    let mut pk = x;
+    for k in 1..n {
+        let kf = k as f64;
+        let pkp1 = ((2.0 * kf + 1.0) * x * pk - kf * pkm1) / (kf + 1.0);
+        pkm1 = pk;
+        pk = pkp1;
+    }
+    let denom = 1.0 - x * x;
+    let deriv = if denom.abs() > 1e-12 {
+        (n as f64) * (pkm1 - x * pk) / denom
+    } else {
+        // Endpoint closed form: P'_n(1) = n(n+1)/2, P'_n(-1) = (-1)^{n-1} n(n+1)/2.
+        let magnitude = (n as f64) * (n as f64 + 1.0) / 2.0;
+        if x > 0.0 {
+            magnitude
+        } else if n.is_multiple_of(2) {
+            -magnitude
+        } else {
+            magnitude
+        }
+    };
+    (pk, deriv)
+}
+
+/// Evaluates the *second* derivative of `P_n` via the Legendre ODE
+/// `(1 - x²) P''_n = 2 x P'_n - n (n + 1) P_n`, valid for `|x| < 1`.
+pub fn legendre_second_deriv(n: usize, x: f64) -> f64 {
+    let (p, dp) = legendre_and_deriv(n, x);
+    let denom = 1.0 - x * x;
+    debug_assert!(
+        denom.abs() > 1e-12,
+        "second derivative via ODE is singular at the endpoints"
+    );
+    (2.0 * x * dp - (n as f64) * (n as f64 + 1.0) * p) / denom
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_close(a: f64, b: f64, tol: f64) {
+        assert!((a - b).abs() <= tol, "{a} vs {b} (tol {tol})");
+    }
+
+    #[test]
+    fn low_order_closed_forms() {
+        for &x in &[-1.0, -0.7, -0.25, 0.0, 0.3, 0.99, 1.0] {
+            assert_close(legendre(0, x), 1.0, 1e-15);
+            assert_close(legendre(1, x), x, 1e-15);
+            assert_close(legendre(2, x), 0.5 * (3.0 * x * x - 1.0), 1e-14);
+            assert_close(legendre(3, x), 0.5 * (5.0 * x * x * x - 3.0 * x), 1e-14);
+            let x2 = x * x;
+            assert_close(
+                legendre(4, x),
+                (35.0 * x2 * x2 - 30.0 * x2 + 3.0) / 8.0,
+                1e-13,
+            );
+        }
+    }
+
+    #[test]
+    fn endpoint_values() {
+        // P_n(1) = 1, P_n(-1) = (-1)^n for all n.
+        for n in 0..20 {
+            assert_close(legendre(n, 1.0), 1.0, 1e-12);
+            let expected = if n % 2 == 0 { 1.0 } else { -1.0 };
+            assert_close(legendre(n, -1.0), expected, 1e-12);
+        }
+    }
+
+    #[test]
+    fn derivative_matches_finite_difference() {
+        let h = 1e-6;
+        for n in 1..12 {
+            for &x in &[-0.9, -0.5, -0.1, 0.2, 0.6, 0.95] {
+                let (_, dp) = legendre_and_deriv(n, x);
+                let fd = (legendre(n, x + h) - legendre(n, x - h)) / (2.0 * h);
+                assert_close(dp, fd, 1e-6 * (1.0 + dp.abs()));
+            }
+        }
+    }
+
+    #[test]
+    fn derivative_endpoints_closed_form() {
+        for n in 1..15 {
+            let (_, dp1) = legendre_and_deriv(n, 1.0);
+            assert_close(dp1, (n * (n + 1)) as f64 / 2.0, 1e-9);
+            let (_, dpm1) = legendre_and_deriv(n, -1.0);
+            let sign = if n % 2 == 0 { -1.0 } else { 1.0 };
+            assert_close(dpm1, sign * (n * (n + 1)) as f64 / 2.0, 1e-9);
+        }
+    }
+
+    #[test]
+    fn second_derivative_matches_finite_difference() {
+        let h = 1e-5;
+        for n in 2..10 {
+            for &x in &[-0.8, -0.3, 0.0, 0.4, 0.85] {
+                let d2 = legendre_second_deriv(n, x);
+                let fd =
+                    (legendre(n, x + h) - 2.0 * legendre(n, x) + legendre(n, x - h)) / (h * h);
+                assert_close(d2, fd, 1e-4 * (1.0 + d2.abs()));
+            }
+        }
+    }
+}

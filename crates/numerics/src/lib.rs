@@ -1,0 +1,36 @@
+//! Numerical building blocks for nodal discontinuous Galerkin (dG) wave
+//! solvers on tensor-product hexahedral elements.
+//!
+//! The Wave-PIM paper (ICPP 2021, §2.2) discretizes the acoustic and elastic
+//! wave equations with the dG method on hexahedral elements whose nodes are
+//! Gauss-Legendre-Lobatto (GLL) points. This crate provides:
+//!
+//! * [`legendre`] — Legendre polynomial evaluation and derivatives,
+//! * [`gll`] — GLL quadrature points and weights (the paper's *GLL Point*
+//!   and *GLL Weight* constants, Table 1),
+//! * [`lagrange`] — barycentric Lagrange interpolation and the 1-D
+//!   differentiation matrix (the paper's *dshape* constants, Table 1),
+//! * [`tensor`] — application of 1-D operators along each axis of an
+//!   `n × n × n` nodal field, the core of the *Volume* kernel,
+//! * [`vec3`] — a minimal 3-vector used across the solver crates.
+//!
+//! Everything here is deterministic, allocation-conscious and free of
+//! external dependencies so that the higher layers (mesh, solver, PIM
+//! mapper) can rely on bit-reproducible results.
+
+pub mod gll;
+pub mod lagrange;
+pub mod legendre;
+pub mod tensor;
+pub mod vec3;
+
+pub use gll::GllRule;
+pub use lagrange::DiffMatrix;
+pub use vec3::Vec3;
+
+/// Machine tolerance used by the Newton solves in this crate.
+pub(crate) const NEWTON_TOL: f64 = 1e-15;
+
+/// Maximum Newton iterations for root finding; generous because GLL root
+/// finding from Chebyshev initial guesses converges in < 10 iterations.
+pub(crate) const NEWTON_MAX_ITER: usize = 100;

@@ -1,0 +1,145 @@
+//! A minimal 3-vector shared by the mesh and solver crates.
+
+use std::ops::{Add, AddAssign, Mul, Neg, Sub};
+
+/// A 3-component vector of `f64`, used for coordinates, velocities and
+/// face normals.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Vec3 {
+    pub x: f64,
+    pub y: f64,
+    pub z: f64,
+}
+
+impl Vec3 {
+    pub const ZERO: Vec3 = Vec3 { x: 0.0, y: 0.0, z: 0.0 };
+
+    #[inline]
+    pub const fn new(x: f64, y: f64, z: f64) -> Self {
+        Self { x, y, z }
+    }
+
+    /// Unit vector along the given axis index (0 = x, 1 = y, 2 = z).
+    #[inline]
+    pub fn unit(axis: usize) -> Self {
+        match axis {
+            0 => Self::new(1.0, 0.0, 0.0),
+            1 => Self::new(0.0, 1.0, 0.0),
+            2 => Self::new(0.0, 0.0, 1.0),
+            _ => panic!("axis index must be 0, 1 or 2"),
+        }
+    }
+
+    #[inline]
+    pub fn dot(self, other: Vec3) -> f64 {
+        self.x * other.x + self.y * other.y + self.z * other.z
+    }
+
+    #[inline]
+    pub fn norm(self) -> f64 {
+        self.dot(self).sqrt()
+    }
+
+    /// Component access by axis index.
+    #[inline]
+    pub fn component(self, axis: usize) -> f64 {
+        match axis {
+            0 => self.x,
+            1 => self.y,
+            2 => self.z,
+            _ => panic!("axis index must be 0, 1 or 2"),
+        }
+    }
+}
+
+impl Add for Vec3 {
+    type Output = Vec3;
+    #[inline]
+    fn add(self, rhs: Vec3) -> Vec3 {
+        Vec3::new(self.x + rhs.x, self.y + rhs.y, self.z + rhs.z)
+    }
+}
+
+impl AddAssign for Vec3 {
+    #[inline]
+    fn add_assign(&mut self, rhs: Vec3) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub for Vec3 {
+    type Output = Vec3;
+    #[inline]
+    fn sub(self, rhs: Vec3) -> Vec3 {
+        Vec3::new(self.x - rhs.x, self.y - rhs.y, self.z - rhs.z)
+    }
+}
+
+impl Mul<f64> for Vec3 {
+    type Output = Vec3;
+    #[inline]
+    fn mul(self, s: f64) -> Vec3 {
+        Vec3::new(self.x * s, self.y * s, self.z * s)
+    }
+}
+
+impl Mul<Vec3> for f64 {
+    type Output = Vec3;
+    #[inline]
+    fn mul(self, v: Vec3) -> Vec3 {
+        v * self
+    }
+}
+
+impl Neg for Vec3 {
+    type Output = Vec3;
+    #[inline]
+    fn neg(self) -> Vec3 {
+        Vec3::new(-self.x, -self.y, -self.z)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic_identities() {
+        let a = Vec3::new(1.0, -2.0, 3.0);
+        let b = Vec3::new(0.5, 4.0, -1.0);
+        assert_eq!(a + b, Vec3::new(1.5, 2.0, 2.0));
+        assert_eq!(a - b, Vec3::new(0.5, -6.0, 4.0));
+        assert_eq!(a * 2.0, Vec3::new(2.0, -4.0, 6.0));
+        assert_eq!(2.0 * a, a * 2.0);
+        assert_eq!(-a, Vec3::new(-1.0, 2.0, -3.0));
+        assert_eq!(a + Vec3::ZERO, a);
+    }
+
+    #[test]
+    fn dot_and_norm() {
+        let a = Vec3::new(3.0, 4.0, 0.0);
+        assert_eq!(a.dot(a), 25.0);
+        assert_eq!(a.norm(), 5.0);
+        assert_eq!(a.dot(Vec3::new(0.0, 0.0, 7.0)), 0.0);
+    }
+
+    #[test]
+    fn units_and_components() {
+        for axis in 0..3 {
+            let u = Vec3::unit(axis);
+            assert_eq!(u.component(axis), 1.0);
+            assert_eq!(u.norm(), 1.0);
+            for other in 0..3 {
+                if other != axis {
+                    assert_eq!(u.component(other), 0.0);
+                }
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "axis index")]
+    fn unit_rejects_bad_axis() {
+        let _ = Vec3::unit(3);
+    }
+}

@@ -1,0 +1,110 @@
+//! Property-based tests for the numerics crate.
+
+use proptest::prelude::*;
+use wavesim_numerics::gll::GllRule;
+use wavesim_numerics::lagrange::{barycentric_interpolate, barycentric_weights, DiffMatrix};
+use wavesim_numerics::tensor::{apply_along_axis, node_index, Axis};
+
+proptest! {
+    /// GLL quadrature integrates random polynomials of admissible degree
+    /// exactly.
+    #[test]
+    fn gll_exact_on_random_polynomials(
+        n in 3usize..10,
+        coeffs in proptest::collection::vec(-5.0f64..5.0, 1..8),
+    ) {
+        let rule = GllRule::new(n);
+        let max_degree = (2 * n - 3).min(coeffs.len() - 1);
+        let coeffs = &coeffs[..=max_degree];
+        let poly = |x: f64| {
+            coeffs.iter().rev().fold(0.0, |acc, &c| acc * x + c)
+        };
+        let integral = rule.integrate(poly);
+        let exact: f64 = coeffs
+            .iter()
+            .enumerate()
+            .map(|(d, &c)| if d % 2 == 0 { 2.0 * c / (d as f64 + 1.0) } else { 0.0 })
+            .sum();
+        prop_assert!((integral - exact).abs() < 1e-9 * (1.0 + exact.abs()));
+    }
+
+    /// The barycentric interpolant of polynomial data is exact anywhere in
+    /// the interval, not just at nodes.
+    #[test]
+    fn interpolation_exact_for_polynomials(
+        n in 4usize..10,
+        coeffs in proptest::collection::vec(-3.0f64..3.0, 3),
+        x in -1.0f64..1.0,
+    ) {
+        let rule = GllRule::new(n);
+        let w = barycentric_weights(rule.points());
+        let poly = |x: f64| coeffs[0] + coeffs[1] * x + coeffs[2] * x * x;
+        let values: Vec<f64> = rule.points().iter().map(|&p| poly(p)).collect();
+        let interp = barycentric_interpolate(rule.points(), &w, &values, x);
+        prop_assert!((interp - poly(x)).abs() < 1e-10);
+    }
+
+    /// Differentiation is linear: D(a·u + b·v) = a·Du + b·Dv.
+    #[test]
+    fn differentiation_is_linear(
+        n in 2usize..8,
+        a in -2.0f64..2.0,
+        b in -2.0f64..2.0,
+        seed in 0u64..1000,
+    ) {
+        let rule = GllRule::new(n);
+        let d = DiffMatrix::for_gll(&rule);
+        let u: Vec<f64> = (0..n).map(|i| ((i as u64 * 2654435761 + seed) % 1000) as f64 / 500.0 - 1.0).collect();
+        let v: Vec<f64> = (0..n).map(|i| ((i as u64 * 40503 + seed * 7) % 1000) as f64 / 500.0 - 1.0).collect();
+        let combo: Vec<f64> = u.iter().zip(&v).map(|(&x, &y)| a * x + b * y).collect();
+        let mut du = vec![0.0; n];
+        let mut dv = vec![0.0; n];
+        let mut dc = vec![0.0; n];
+        d.apply(&u, &mut du);
+        d.apply(&v, &mut dv);
+        d.apply(&combo, &mut dc);
+        for i in 0..n {
+            let expect = a * du[i] + b * dv[i];
+            prop_assert!((dc[i] - expect).abs() < 1e-9 * (1.0 + expect.abs()));
+        }
+    }
+
+    /// Tensor derivatives along distinct axes commute (mixed partials of a
+    /// nodal field agree regardless of order).
+    #[test]
+    fn tensor_axis_derivatives_commute(n in 2usize..6, seed in 0u64..100) {
+        let rule = GllRule::new(n);
+        let d = DiffMatrix::for_gll(&rule);
+        let total = n * n * n;
+        let field: Vec<f64> = (0..total)
+            .map(|i| (((i as u64).wrapping_mul(6364136223846793005).wrapping_add(seed)) % 2048) as f64 / 1024.0 - 1.0)
+            .collect();
+        let mut tmp1 = vec![0.0; total];
+        let mut xy = vec![0.0; total];
+        let mut tmp2 = vec![0.0; total];
+        let mut yx = vec![0.0; total];
+        apply_along_axis(&d, Axis::X, n, &field, &mut tmp1);
+        apply_along_axis(&d, Axis::Y, n, &tmp1, &mut xy);
+        apply_along_axis(&d, Axis::Y, n, &field, &mut tmp2);
+        apply_along_axis(&d, Axis::X, n, &tmp2, &mut yx);
+        for idx in 0..total {
+            prop_assert!((xy[idx] - yx[idx]).abs() < 1e-8 * (1.0 + xy[idx].abs()));
+        }
+    }
+
+    /// node_index is a bijection onto 0..n³.
+    #[test]
+    fn node_index_is_bijective(n in 1usize..8) {
+        let mut seen = vec![false; n * n * n];
+        for k in 0..n {
+            for j in 0..n {
+                for i in 0..n {
+                    let idx = node_index(n, i, j, k);
+                    prop_assert!(!seen[idx]);
+                    seen[idx] = true;
+                }
+            }
+        }
+        prop_assert!(seen.iter().all(|&s| s));
+    }
+}

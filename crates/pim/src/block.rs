@@ -1,0 +1,250 @@
+//! The memory block: a 1K×1K memristor crossbar that both stores and
+//! computes.
+//!
+//! Functionally, a block is 1,024 rows of 32 words plus a row buffer;
+//! row-parallel arithmetic applies one bit-serial operation to every row
+//! of a range simultaneously (§4.1: "computations are performed inside
+//! memristor cells in a row-parallel way"). Costs (time and energy) come
+//! from [`crate::params`].
+//!
+//! Note on precision: the functional model stores `f64` so the PIM
+//! execution can be compared bit-for-bit against the native `f64` dG
+//! solver; the *cost* model charges 32-bit operation prices throughout,
+//! matching the paper's FP32 evaluation. Mapping correctness and numeric
+//! precision are orthogonal concerns.
+
+use pim_isa::{AluOp, BLOCK_ROWS, WORDS_PER_ROW};
+
+use crate::params;
+
+/// Time and energy charged by one block operation.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct OpCost {
+    pub seconds: f64,
+    pub joules: f64,
+}
+
+/// One memory block.
+#[derive(Debug, Clone)]
+pub struct MemBlock {
+    words: Vec<f64>,
+    row_buffer: [f64; WORDS_PER_ROW],
+}
+
+impl Default for MemBlock {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl MemBlock {
+    /// An all-zero block.
+    pub fn new() -> Self {
+        Self { words: vec![0.0; BLOCK_ROWS * WORDS_PER_ROW], row_buffer: [0.0; WORDS_PER_ROW] }
+    }
+
+    /// Word accessor (row 0..1024, col 0..32).
+    #[inline]
+    pub fn get(&self, row: usize, col: usize) -> f64 {
+        debug_assert!(row < BLOCK_ROWS && col < WORDS_PER_ROW);
+        self.words[row * WORDS_PER_ROW + col]
+    }
+
+    /// Word setter — host-side preload (DMA), not charged here.
+    #[inline]
+    pub fn set(&mut self, row: usize, col: usize, value: f64) {
+        debug_assert!(row < BLOCK_ROWS && col < WORDS_PER_ROW);
+        self.words[row * WORDS_PER_ROW + col] = value;
+    }
+
+    /// Current row-buffer contents.
+    pub fn row_buffer(&self) -> &[f64; WORDS_PER_ROW] {
+        &self.row_buffer
+    }
+
+    /// Overwrites the row buffer (used by inter-block copies).
+    pub fn load_row_buffer(&mut self, values: &[f64]) {
+        assert!(values.len() <= WORDS_PER_ROW);
+        self.row_buffer[..values.len()].copy_from_slice(values);
+    }
+
+    /// `Read`: cells → row buffer. One search per read.
+    pub fn read_to_buffer(&mut self, row: usize, offset: usize, words: usize) -> OpCost {
+        assert!(offset + words <= WORDS_PER_ROW, "read crosses the row edge");
+        for w in 0..words {
+            self.row_buffer[w] = self.get(row, offset + w);
+        }
+        OpCost { seconds: params::T_SEARCH, joules: params::E_SEARCH }
+    }
+
+    /// `Write`: row buffer → cells. Each bit pays the average of set and
+    /// reset energy; the write takes one set plus one reset phase.
+    pub fn write_from_buffer(&mut self, row: usize, offset: usize, words: usize) -> OpCost {
+        assert!(offset + words <= WORDS_PER_ROW, "write crosses the row edge");
+        for w in 0..words {
+            self.set(row, offset + w, self.row_buffer[w]);
+        }
+        let bits = (words * 32) as f64;
+        OpCost {
+            seconds: 2.0 * params::T_SEARCH,
+            joules: bits * 0.5 * (params::E_SET + params::E_RESET),
+        }
+    }
+
+    /// `Broadcast`: row buffer replicated into rows
+    /// `dst_first..=dst_last` at `offset` — the constants distribution of
+    /// the paper's Fig. 5 ("constants need to be copied to the scratchpad
+    /// and broadcast to the first 512 rows before the computation
+    /// begins"). Every destination row pays a write.
+    pub fn broadcast(
+        &mut self,
+        dst_first: usize,
+        dst_last: usize,
+        offset: usize,
+        words: usize,
+    ) -> OpCost {
+        assert!(dst_first <= dst_last && dst_last < BLOCK_ROWS, "bad broadcast range");
+        assert!(offset + words <= WORDS_PER_ROW, "broadcast crosses the row edge");
+        for row in dst_first..=dst_last {
+            for w in 0..words {
+                self.set(row, offset + w, self.row_buffer[w]);
+            }
+        }
+        let rows = (dst_last - dst_first + 1) as f64;
+        let bits = (words * 32) as f64;
+        OpCost {
+            seconds: rows * 2.0 * params::T_SEARCH,
+            joules: rows * bits * 0.5 * (params::E_SET + params::E_RESET),
+        }
+    }
+
+    /// `Arith`: row-parallel `dst ← a op b` over `first_row..=last_row`.
+    /// Every selected row computes simultaneously, so the *time* is one
+    /// bit-serial pass regardless of the row count — that is the PIM's
+    /// parallelism — while the *energy* scales with the rows touched.
+    pub fn arith(
+        &mut self,
+        op: AluOp,
+        first_row: usize,
+        last_row: usize,
+        dst: usize,
+        a: usize,
+        b: usize,
+    ) -> OpCost {
+        assert!(first_row <= last_row && last_row < BLOCK_ROWS, "bad row range");
+        assert!(dst < WORDS_PER_ROW && a < WORDS_PER_ROW && b < WORDS_PER_ROW);
+        for row in first_row..=last_row {
+            let x = self.get(row, a);
+            let y = self.get(row, b);
+            let r = match op {
+                AluOp::Add => x + y,
+                AluOp::Sub => x - y,
+                AluOp::Mul => x * y,
+                AluOp::Mac => x * y + self.get(row, dst),
+                AluOp::Neg => -x,
+                AluOp::Mov => x,
+            };
+            self.set(row, dst, r);
+        }
+        let rows = (last_row - first_row + 1) as u64;
+        OpCost {
+            seconds: params::nor_seconds(params::alu_cycles(op)),
+            joules: params::alu_energy(op, rows),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn read_write_round_trip_via_buffer() {
+        let mut b = MemBlock::new();
+        b.set(3, 5, 1.25);
+        b.set(3, 6, -2.5);
+        let c1 = b.read_to_buffer(3, 5, 2);
+        assert_eq!(b.row_buffer()[0], 1.25);
+        assert_eq!(b.row_buffer()[1], -2.5);
+        let c2 = b.write_from_buffer(10, 0, 2);
+        assert_eq!(b.get(10, 0), 1.25);
+        assert_eq!(b.get(10, 1), -2.5);
+        assert!(c1.seconds > 0.0 && c1.joules > 0.0);
+        assert!(c2.seconds > c1.seconds, "writes are slower than reads");
+    }
+
+    #[test]
+    fn broadcast_replicates_and_charges_per_row() {
+        let mut b = MemBlock::new();
+        b.load_row_buffer(&[7.0, 8.0]);
+        let c = b.broadcast(0, 511, 30, 2);
+        for row in 0..512 {
+            assert_eq!(b.get(row, 30), 7.0);
+            assert_eq!(b.get(row, 31), 8.0);
+        }
+        assert_eq!(b.get(512, 30), 0.0, "rows beyond the range untouched");
+        let single = b.broadcast(0, 0, 0, 2);
+        assert!((c.joules / single.joules - 512.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn arith_is_row_parallel_in_time_not_energy() {
+        let mut b = MemBlock::new();
+        for row in 0..512 {
+            b.set(row, 0, row as f64);
+            b.set(row, 1, 2.0);
+        }
+        let many = b.arith(AluOp::Mul, 0, 511, 2, 0, 1);
+        for row in 0..512 {
+            assert_eq!(b.get(row, 2), row as f64 * 2.0);
+        }
+        let mut b2 = MemBlock::new();
+        let one = b2.arith(AluOp::Mul, 0, 0, 2, 0, 1);
+        assert_eq!(many.seconds, one.seconds, "time independent of rows");
+        assert!((many.joules / one.joules - 512.0).abs() < 1e-9, "energy scales with rows");
+    }
+
+    #[test]
+    fn all_alu_ops_compute_correctly() {
+        let mut b = MemBlock::new();
+        b.set(0, 0, 6.0);
+        b.set(0, 1, -2.0);
+        b.set(0, 2, 10.0); // pre-existing dst for MAC
+        b.arith(AluOp::Add, 0, 0, 3, 0, 1);
+        assert_eq!(b.get(0, 3), 4.0);
+        b.arith(AluOp::Sub, 0, 0, 3, 0, 1);
+        assert_eq!(b.get(0, 3), 8.0);
+        b.arith(AluOp::Mul, 0, 0, 3, 0, 1);
+        assert_eq!(b.get(0, 3), -12.0);
+        b.arith(AluOp::Mac, 0, 0, 2, 0, 1);
+        assert_eq!(b.get(0, 2), -2.0); // 10 + 6·(−2)
+        b.arith(AluOp::Neg, 0, 0, 3, 0, 1);
+        assert_eq!(b.get(0, 3), -6.0);
+        b.arith(AluOp::Mov, 0, 0, 3, 1, 0);
+        assert_eq!(b.get(0, 3), -2.0);
+    }
+
+    #[test]
+    fn mul_costs_more_time_than_add() {
+        let mut b = MemBlock::new();
+        let add = b.arith(AluOp::Add, 0, 0, 2, 0, 1);
+        let mul = b.arith(AluOp::Mul, 0, 0, 2, 0, 1);
+        let mac = b.arith(AluOp::Mac, 0, 0, 2, 0, 1);
+        assert!(mul.seconds > add.seconds);
+        assert!(mac.seconds > mul.seconds);
+    }
+
+    #[test]
+    #[should_panic(expected = "crosses the row edge")]
+    fn read_past_row_edge_panics() {
+        let mut b = MemBlock::new();
+        let _ = b.read_to_buffer(0, 31, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "bad row range")]
+    fn arith_bad_range_panics() {
+        let mut b = MemBlock::new();
+        let _ = b.arith(AluOp::Add, 5, 4, 0, 1, 2);
+    }
+}

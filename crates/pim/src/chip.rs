@@ -1,0 +1,513 @@
+//! The assembled PIM chip: tiles, blocks, interconnect, controller.
+//!
+//! [`PimChip::execute`] runs a `pim-isa` instruction stream both
+//! *functionally* (block contents change) and *temporally* (a resource
+//! timeline tracks when each block, switch and the off-chip channel is
+//! busy, so independent work on different blocks overlaps exactly as the
+//! row-parallel hardware would). This is the "cycle-accurate PIM
+//! simulator" role of §7: fine-grained enough that interconnect conflicts,
+//! broadcast costs and off-chip batching transfers all surface in the
+//! reported time and energy.
+
+use std::collections::HashMap;
+
+use pim_isa::{BlockId, Instr, InstrStream, BLOCK_ROWS, WORDS_PER_ROW};
+
+use crate::block::MemBlock;
+use crate::energy::EnergyLedger;
+use crate::host::HostModel;
+use crate::interconnect::{
+    BusNetwork, HTreeNetwork, Interconnect, InterconnectKind, Resource, Transfer,
+};
+use crate::params::{self, ChipCapacity, ProcessNode};
+
+/// Chip configuration: capacity (Table 2), interconnect (§4.2), process
+/// node (§7.3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ChipConfig {
+    pub capacity: ChipCapacity,
+    pub interconnect: InterconnectKind,
+    pub node: ProcessNode,
+}
+
+impl ChipConfig {
+    /// The paper's headline configuration: 2 GB, H-tree, 28 nm.
+    pub fn default_2gb() -> Self {
+        Self {
+            capacity: ChipCapacity::Gb2,
+            interconnect: InterconnectKind::HTree,
+            node: ProcessNode::Nm28,
+        }
+    }
+}
+
+/// Result of a finished execution.
+#[derive(Debug, Clone, Copy)]
+pub struct ExecReport {
+    /// Wall-clock seconds (after process-node performance scaling).
+    pub seconds: f64,
+    /// Energy ledger (after process-node energy scaling), including
+    /// static energy for the elapsed time.
+    pub ledger: EnergyLedger,
+}
+
+/// The chip simulator.
+///
+/// ```
+/// use pim_isa::{AluOp, BlockId, Instr, InstrStream};
+/// use pim_sim::{ChipConfig, PimChip};
+///
+/// let mut chip = PimChip::new(ChipConfig::default_2gb());
+/// chip.block_mut(BlockId(0)).set(0, 0, 2.0);
+/// chip.block_mut(BlockId(0)).set(0, 1, 3.0);
+/// let mut program = InstrStream::new();
+/// program.push(Instr::Arith {
+///     block: BlockId(0), op: AluOp::Mul, first_row: 0, last_row: 0, dst: 2, a: 0, b: 1,
+/// });
+/// chip.execute(&program);
+/// assert_eq!(chip.block(BlockId(0)).get(0, 2), 6.0);
+/// assert!(chip.finish().ledger.compute > 0.0);
+/// ```
+pub struct PimChip {
+    config: ChipConfig,
+    htree: HTreeNetwork,
+    bus: BusNetwork,
+    host: HostModel,
+    blocks: HashMap<u32, MemBlock>,
+    block_ready: HashMap<u32, f64>,
+    block_busy: HashMap<u32, f64>,
+    resource_ready: HashMap<Resource, f64>,
+    offchip_ready: f64,
+    barrier: f64,
+    elapsed: f64,
+    ledger: EnergyLedger,
+}
+
+impl PimChip {
+    pub fn new(config: ChipConfig) -> Self {
+        Self {
+            config,
+            htree: HTreeNetwork::new(),
+            bus: BusNetwork::new(),
+            host: HostModel::default(),
+            blocks: HashMap::new(),
+            block_ready: HashMap::new(),
+            block_busy: HashMap::new(),
+            resource_ready: HashMap::new(),
+            offchip_ready: 0.0,
+            barrier: 0.0,
+            elapsed: 0.0,
+            ledger: EnergyLedger::default(),
+        }
+    }
+
+    pub fn config(&self) -> ChipConfig {
+        self.config
+    }
+
+    pub fn host(&self) -> &HostModel {
+        &self.host
+    }
+
+    /// Read access to a block's storage (allocating it zeroed if new).
+    pub fn block(&mut self, id: BlockId) -> &MemBlock {
+        self.check_block(id);
+        self.blocks.entry(id.0).or_default()
+    }
+
+    /// Mutable access for host-side preloading of inputs and LUT contents
+    /// (§4.3: contents are loaded "before the computation begins"; the
+    /// time/energy for bulk preload is charged via `LoadOffchip`
+    /// instructions, not here).
+    pub fn block_mut(&mut self, id: BlockId) -> &mut MemBlock {
+        self.check_block(id);
+        self.blocks.entry(id.0).or_default()
+    }
+
+    fn check_block(&self, id: BlockId) {
+        assert!(
+            (id.0 as u64) < self.config.capacity.num_blocks(),
+            "block {} exceeds the {} chip's {} blocks",
+            id.0,
+            self.config.capacity.name(),
+            self.config.capacity.num_blocks()
+        );
+    }
+
+    /// Unscaled simulated seconds so far.
+    pub fn elapsed(&self) -> f64 {
+        self.elapsed
+    }
+
+    /// Fraction of the elapsed time a block spent busy (0 for untouched
+    /// blocks) — the per-block view of the paper's resource-utilization
+    /// discussion (§6.2.1).
+    pub fn block_utilization(&self, id: BlockId) -> f64 {
+        if self.elapsed <= 0.0 {
+            return 0.0;
+        }
+        self.block_busy.get(&id.0).copied().unwrap_or(0.0) / self.elapsed
+    }
+
+    /// Mean utilization over the blocks that were touched at all.
+    pub fn mean_active_utilization(&self) -> f64 {
+        if self.block_busy.is_empty() || self.elapsed <= 0.0 {
+            return 0.0;
+        }
+        self.block_busy.values().sum::<f64>() / (self.block_busy.len() as f64 * self.elapsed)
+    }
+
+    fn route(&self, src: BlockId, dst: BlockId) -> Vec<Resource> {
+        match self.config.interconnect {
+            InterconnectKind::HTree => self.htree.route(src, dst),
+            InterconnectKind::Bus => self.bus.route(src, dst),
+        }
+    }
+
+    fn transfer_cost(&self, t: &Transfer) -> (f64, f64) {
+        match self.config.interconnect {
+            InterconnectKind::HTree => (self.htree.duration(t), self.htree.energy(t)),
+            InterconnectKind::Bus => (self.bus.duration(t), self.bus.energy(t)),
+        }
+    }
+
+    fn block_start(&self, id: BlockId) -> f64 {
+        self.block_ready.get(&id.0).copied().unwrap_or(0.0).max(self.barrier)
+    }
+
+    fn finish_block(&mut self, id: BlockId, at: f64) {
+        let start = self.block_ready.get(&id.0).copied().unwrap_or(0.0).max(self.barrier);
+        *self.block_busy.entry(id.0).or_insert(0.0) += (at - start).max(0.0);
+        self.block_ready.insert(id.0, at);
+        self.elapsed = self.elapsed.max(at);
+    }
+
+    /// Executes a stream. Instructions issue in order; execution overlaps
+    /// wherever the resources (blocks, switches, off-chip channel) are
+    /// disjoint. `Sync` is a full barrier.
+    pub fn execute(&mut self, stream: &InstrStream) {
+        for instr in stream.instrs() {
+            self.execute_one(instr);
+        }
+        // Host dispatch of the whole stream is a lower bound on elapsed
+        // time: the chip cannot outrun its instruction feed.
+        let dispatch = self.host.dispatch_time(stream.len() as u64);
+        self.ledger.host += dispatch * self.host.power();
+        self.elapsed = self.elapsed.max(dispatch);
+    }
+
+    fn execute_one(&mut self, instr: &Instr) {
+        match *instr {
+            Instr::Sync => {
+                self.barrier = self.elapsed;
+            }
+            Instr::Read { block, row, offset, words } => {
+                let start = self.block_start(block);
+                let cost = self.block_mut(block).read_to_buffer(
+                    row as usize,
+                    offset as usize,
+                    words as usize,
+                );
+                self.ledger.reads += cost.joules;
+                self.finish_block(block, start + cost.seconds);
+            }
+            Instr::Write { block, row, offset, words } => {
+                let start = self.block_start(block);
+                let cost = self.block_mut(block).write_from_buffer(
+                    row as usize,
+                    offset as usize,
+                    words as usize,
+                );
+                self.ledger.writes += cost.joules;
+                self.finish_block(block, start + cost.seconds);
+            }
+            Instr::Broadcast { block, dst_first, dst_last, offset, words } => {
+                let start = self.block_start(block);
+                let cost = self.block_mut(block).broadcast(
+                    dst_first as usize,
+                    dst_last as usize,
+                    offset as usize,
+                    words as usize,
+                );
+                self.ledger.writes += cost.joules;
+                self.finish_block(block, start + cost.seconds);
+            }
+            Instr::Arith { block, op, first_row, last_row, dst, a, b } => {
+                let start = self.block_start(block);
+                let cost = self.block_mut(block).arith(
+                    op,
+                    first_row as usize,
+                    last_row as usize,
+                    dst as usize,
+                    a as usize,
+                    b as usize,
+                );
+                self.ledger.compute += cost.joules;
+                self.finish_block(block, start + cost.seconds);
+            }
+            Instr::Copy { src, dst, words } => {
+                let t = Transfer { src, dst, words: words as u32 };
+                let path = self.route(src, dst);
+                let (dur, joules) = self.transfer_cost(&t);
+                let mut start = self.block_start(src).max(self.block_start(dst));
+                for r in &path {
+                    start = start.max(self.resource_ready.get(r).copied().unwrap_or(0.0));
+                }
+                let finish = start + dur;
+                for r in path {
+                    self.resource_ready.insert(r, finish);
+                }
+                // Move the data: source row buffer → destination buffer.
+                let buf = *self.block(src).row_buffer();
+                self.block_mut(dst).load_row_buffer(&buf[..(words as usize).min(WORDS_PER_ROW)]);
+                self.ledger.interconnect += joules;
+                self.finish_block(src, finish);
+                self.finish_block(dst, finish);
+            }
+            Instr::Lut { row, offset_s, lut_block, offset_d } => {
+                // Algorithm 1: read the index, fetch the content from the
+                // LUT block, write it back — "a special case of
+                // inter-block data transmission" (§4.3).
+                let holder = BlockId(row / BLOCK_ROWS as u32);
+                let row_in_block = (row as usize) % BLOCK_ROWS;
+                let lut = BlockId(lut_block);
+
+                let start = self.block_start(holder).max(self.block_start(lut));
+
+                let (index, read1_joules) = {
+                    let b = self.block_mut(holder);
+                    let cost = b.read_to_buffer(row_in_block, offset_s as usize, 1);
+                    (b.row_buffer()[0], cost.joules)
+                };
+                self.ledger.reads += read1_joules;
+                let index = index.round() as usize;
+                assert!(
+                    index < BLOCK_ROWS * WORDS_PER_ROW,
+                    "LUT index {index} exceeds one block"
+                );
+                let (content, read2_joules) = {
+                    let b = self.block_mut(lut);
+                    let cost =
+                        b.read_to_buffer(index / WORDS_PER_ROW, index % WORDS_PER_ROW, 1);
+                    (b.row_buffer()[0], cost.joules)
+                };
+                self.ledger.reads += read2_joules;
+
+                let t = Transfer { src: lut, dst: holder, words: 1 };
+                let path = self.route(lut, holder);
+                let (dur, joules) = self.transfer_cost(&t);
+                let mut xfer_start = start + 2.0 * params::T_SEARCH;
+                for r in &path {
+                    xfer_start =
+                        xfer_start.max(self.resource_ready.get(r).copied().unwrap_or(0.0));
+                }
+                let xfer_finish = xfer_start + dur;
+                for r in path {
+                    self.resource_ready.insert(r, xfer_finish);
+                }
+                self.ledger.interconnect += joules;
+
+                let b = self.block_mut(holder);
+                b.load_row_buffer(&[content]);
+                let wcost = b.write_from_buffer(row_in_block, offset_d as usize, 1);
+                self.ledger.writes += wcost.joules;
+                let finish = xfer_finish + wcost.seconds;
+                self.finish_block(holder, finish);
+                self.finish_block(lut, finish);
+            }
+            Instr::LoadOffchip { block, bytes } | Instr::StoreOffchip { block, bytes } => {
+                let dur = bytes as f64 / params::OFFCHIP_BANDWIDTH;
+                let start = self.block_start(block).max(self.offchip_ready);
+                let finish = start + dur;
+                self.offchip_ready = finish;
+                self.ledger.offchip +=
+                    bytes as f64 * (params::OFFCHIP_POWER / params::OFFCHIP_BANDWIDTH);
+                self.finish_block(block, finish);
+            }
+        }
+    }
+
+    /// Charges host preprocessing work (sqrt/inverse for the LUTs).
+    pub fn charge_host_preprocess(&mut self, sqrts: u64, divs: u64) {
+        let (seconds, joules) = self.host.preprocess(sqrts, divs);
+        self.ledger.host += joules;
+        self.elapsed = self.elapsed.max(seconds);
+    }
+
+    /// Finalizes the run: applies process-node scaling and charges static
+    /// power for the (scaled) elapsed time.
+    pub fn finish(&self) -> ExecReport {
+        let seconds = self.elapsed / self.config.node.perf_scale();
+        let mut ledger = self.ledger.scaled(1.0 / self.config.node.energy_scale());
+        ledger.charge_static(self.config.capacity.static_power(self.config.interconnect), seconds);
+        ExecReport { seconds, ledger }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pim_isa::AluOp;
+
+    fn chip() -> PimChip {
+        PimChip::new(ChipConfig::default_2gb())
+    }
+
+    fn arith(block: u32, op: AluOp, rows: u16) -> Instr {
+        Instr::Arith { block: BlockId(block), op, first_row: 0, last_row: rows - 1, dst: 2, a: 0, b: 1 }
+    }
+
+    #[test]
+    fn arith_on_distinct_blocks_overlaps() {
+        let mut c = chip();
+        let mut s = InstrStream::new();
+        s.push(arith(0, AluOp::Mul, 512));
+        s.push(arith(1, AluOp::Mul, 512));
+        c.execute(&s);
+        let overlapped = c.elapsed();
+
+        let mut c2 = chip();
+        let mut s2 = InstrStream::new();
+        s2.push(arith(0, AluOp::Mul, 512));
+        s2.push(arith(0, AluOp::Mul, 512));
+        c2.execute(&s2);
+        let serialized = c2.elapsed();
+        assert!(
+            overlapped < serialized * 0.6,
+            "distinct blocks must overlap: {overlapped} vs {serialized}"
+        );
+    }
+
+    #[test]
+    fn sync_is_a_barrier() {
+        let mut c = chip();
+        let mut s = InstrStream::new();
+        s.push(arith(0, AluOp::Mul, 1));
+        s.push(Instr::Sync);
+        s.push(arith(1, AluOp::Add, 1));
+        c.execute(&s);
+        let with_sync = c.elapsed();
+        let mul = params::nor_seconds(params::FP32_MUL_CYCLES);
+        let add = params::nor_seconds(params::FP32_ADD_CYCLES);
+        assert!((with_sync - (mul + add)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn functional_read_copy_write_moves_data_between_blocks() {
+        let mut c = chip();
+        c.block_mut(BlockId(0)).set(7, 3, 42.5);
+        let mut s = InstrStream::new();
+        s.push(Instr::Read { block: BlockId(0), row: 7, offset: 3, words: 1 });
+        s.push(Instr::Copy { src: BlockId(0), dst: BlockId(5), words: 1 });
+        s.push(Instr::Write { block: BlockId(5), row: 9, offset: 0, words: 1 });
+        c.execute(&s);
+        assert_eq!(c.block(BlockId(5)).get(9, 0), 42.5);
+        assert!(c.finish().ledger.interconnect > 0.0);
+    }
+
+    #[test]
+    fn lut_instruction_executes_algorithm_1() {
+        let mut c = chip();
+        // LUT block 2 holds sqrt values; index 9 → 3.0.
+        c.block_mut(BlockId(2)).set(0, 9, 3.0);
+        // Row 100 of block 0 holds the index 9 at column 4.
+        c.block_mut(BlockId(0)).set(100, 4, 9.0);
+        let mut s = InstrStream::new();
+        s.push(Instr::Lut { row: 100, offset_s: 4, lut_block: 2, offset_d: 11 });
+        c.execute(&s);
+        assert_eq!(c.block(BlockId(0)).get(100, 11), 3.0);
+    }
+
+    #[test]
+    fn offchip_transfers_serialize_on_the_channel() {
+        let mut c = chip();
+        let mut s = InstrStream::new();
+        s.push(Instr::LoadOffchip { block: BlockId(0), bytes: 1 << 20 });
+        s.push(Instr::LoadOffchip { block: BlockId(1), bytes: 1 << 20 });
+        c.execute(&s);
+        let two = c.elapsed();
+        let one = (1u64 << 20) as f64 / params::OFFCHIP_BANDWIDTH;
+        assert!((two - 2.0 * one).abs() < 1e-12, "HBM2 channel must serialize");
+        assert!(c.finish().ledger.offchip > 0.0);
+    }
+
+    #[test]
+    fn process_scaling_speeds_up_and_saves_energy() {
+        let run = |node: ProcessNode| {
+            let mut c = PimChip::new(ChipConfig {
+                capacity: ChipCapacity::Gb2,
+                interconnect: InterconnectKind::HTree,
+                node,
+            });
+            let mut s = InstrStream::new();
+            for _ in 0..10 {
+                s.push(arith(0, AluOp::Mul, 512));
+            }
+            c.execute(&s);
+            c.finish()
+        };
+        let r28 = run(ProcessNode::Nm28);
+        let r12 = run(ProcessNode::Nm12);
+        assert!((r28.seconds / r12.seconds - 3.81).abs() < 1e-9);
+        assert!(r12.ledger.total() < r28.ledger.total());
+    }
+
+    #[test]
+    fn bus_chip_burns_less_static_power_than_htree() {
+        let run = |ic: InterconnectKind| {
+            let mut c = PimChip::new(ChipConfig {
+                capacity: ChipCapacity::Gb2,
+                interconnect: ic,
+                node: ProcessNode::Nm28,
+            });
+            let mut s = InstrStream::new();
+            s.push(arith(0, AluOp::Mul, 512));
+            c.execute(&s);
+            c.finish()
+        };
+        let h = run(InterconnectKind::HTree);
+        let b = run(InterconnectKind::Bus);
+        assert!(b.ledger.static_energy < h.ledger.static_energy);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds the 512MB chip")]
+    fn block_bounds_are_enforced() {
+        let mut c = PimChip::new(ChipConfig {
+            capacity: ChipCapacity::Mb512,
+            interconnect: InterconnectKind::HTree,
+            node: ProcessNode::Nm28,
+        });
+        let _ = c.block(BlockId(ChipCapacity::Mb512.num_blocks() as u32));
+    }
+
+    #[test]
+    fn utilization_tracks_busy_blocks() {
+        let mut c = chip();
+        let mut s = InstrStream::new();
+        // Block 0 works twice as long as block 1.
+        s.push(arith(0, AluOp::Mul, 512));
+        s.push(arith(0, AluOp::Mul, 512));
+        s.push(arith(1, AluOp::Mul, 512));
+        c.execute(&s);
+        let u0 = c.block_utilization(BlockId(0));
+        let u1 = c.block_utilization(BlockId(1));
+        assert!((u0 - 1.0).abs() < 1e-9, "block 0 busy the whole time: {u0}");
+        assert!((u1 - 0.5).abs() < 1e-9, "block 1 busy half the time: {u1}");
+        assert_eq!(c.block_utilization(BlockId(99)), 0.0);
+        let mean = c.mean_active_utilization();
+        assert!((mean - 0.75).abs() < 1e-9, "{mean}");
+    }
+
+    #[test]
+    fn host_dispatch_bounds_elapsed_time() {
+        // A stream of cheap syncs is dispatch-bound.
+        let mut c = chip();
+        let mut s = InstrStream::new();
+        for _ in 0..1000 {
+            s.push(Instr::Sync);
+        }
+        c.execute(&s);
+        assert!(c.elapsed() >= c.host().dispatch_time(1000));
+    }
+}

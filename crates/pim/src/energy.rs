@@ -1,0 +1,110 @@
+//! Energy accounting.
+//!
+//! The paper measures "the total power consumption of both host CPU and
+//! accelerator" (§7.2). The ledger splits dynamic energy by mechanism so
+//! the evaluation can attribute savings (e.g. Fig. 12's PIM-vs-GPU gap is
+//! dominated by eliminated off-chip traffic), and adds static energy as
+//! `power × elapsed time` at the end of a run.
+
+use serde::{Deserialize, Serialize};
+
+/// Dynamic + static energy in joules, split by mechanism.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct EnergyLedger {
+    /// Bit-serial NOR computation inside blocks.
+    pub compute: f64,
+    /// Cell reads (search operations) into row buffers.
+    pub reads: f64,
+    /// Cell writes (set/reset) from row buffers, incl. broadcasts.
+    pub writes: f64,
+    /// Inter-block transfers through H-tree/bus switches.
+    pub interconnect: f64,
+    /// Off-chip HBM2 traffic.
+    pub offchip: f64,
+    /// Host CPU work (instruction dispatch, sqrt/inverse preprocessing).
+    pub host: f64,
+    /// Static (leakage + idle) energy of the whole system.
+    pub static_energy: f64,
+}
+
+impl EnergyLedger {
+    /// Total joules.
+    pub fn total(&self) -> f64 {
+        self.compute
+            + self.reads
+            + self.writes
+            + self.interconnect
+            + self.offchip
+            + self.host
+            + self.static_energy
+    }
+
+    /// Dynamic-only joules (everything but static).
+    pub fn dynamic(&self) -> f64 {
+        self.total() - self.static_energy
+    }
+
+    /// Adds another ledger into this one.
+    pub fn merge(&mut self, other: &EnergyLedger) {
+        self.compute += other.compute;
+        self.reads += other.reads;
+        self.writes += other.writes;
+        self.interconnect += other.interconnect;
+        self.offchip += other.offchip;
+        self.host += other.host;
+        self.static_energy += other.static_energy;
+    }
+
+    /// Charges static energy for `seconds` at `watts`.
+    pub fn charge_static(&mut self, watts: f64, seconds: f64) {
+        debug_assert!(watts >= 0.0 && seconds >= 0.0);
+        self.static_energy += watts * seconds;
+    }
+
+    /// Scales the whole ledger (used for process-node energy scaling and
+    /// per-element → whole-mesh extrapolation).
+    pub fn scaled(&self, by: f64) -> EnergyLedger {
+        EnergyLedger {
+            compute: self.compute * by,
+            reads: self.reads * by,
+            writes: self.writes * by,
+            interconnect: self.interconnect * by,
+            offchip: self.offchip * by,
+            host: self.host * by,
+            static_energy: self.static_energy * by,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn totals_and_merge() {
+        let mut a = EnergyLedger { compute: 1.0, reads: 2.0, ..Default::default() };
+        let b = EnergyLedger { writes: 3.0, offchip: 4.0, host: 0.5, ..Default::default() };
+        a.merge(&b);
+        assert_eq!(a.total(), 10.5);
+        assert_eq!(a.dynamic(), 10.5);
+        a.charge_static(100.0, 0.01);
+        assert_eq!(a.static_energy, 1.0);
+        assert_eq!(a.total(), 11.5);
+        assert_eq!(a.dynamic(), 10.5);
+    }
+
+    #[test]
+    fn scaling() {
+        let a = EnergyLedger {
+            compute: 1.0,
+            interconnect: 2.0,
+            static_energy: 3.0,
+            ..Default::default()
+        };
+        let s = a.scaled(0.5);
+        assert_eq!(s.compute, 0.5);
+        assert_eq!(s.interconnect, 1.0);
+        assert_eq!(s.static_energy, 1.5);
+        assert_eq!(s.total(), a.total() * 0.5);
+    }
+}

@@ -1,0 +1,110 @@
+//! Fuzzing the chip executor: arbitrary *valid* instruction streams must
+//! execute without panicking, with monotone time and finite non-negative
+//! energy — the invariants the evaluation's cost accounting rests on.
+
+use pim_isa::{AluOp, BlockId, Instr, InstrStream};
+use pim_sim::{ChipConfig, PimChip};
+use proptest::prelude::*;
+
+const BLOCKS: u32 = 64;
+
+fn arb_alu() -> impl Strategy<Value = AluOp> {
+    prop_oneof![
+        Just(AluOp::Add),
+        Just(AluOp::Sub),
+        Just(AluOp::Mul),
+        Just(AluOp::Mac),
+        Just(AluOp::Neg),
+        Just(AluOp::Mov),
+    ]
+}
+
+fn arb_instr() -> impl Strategy<Value = Instr> {
+    prop_oneof![
+        (0..BLOCKS, 0u16..1024, 0u8..31, 1u8..=1)
+            .prop_map(|(b, row, off, w)| Instr::Read { block: BlockId(b), row, offset: off, words: w }),
+        (0..BLOCKS, 0u16..1024, 0u8..31, 1u8..=1)
+            .prop_map(|(b, row, off, w)| Instr::Write { block: BlockId(b), row, offset: off, words: w }),
+        (0..BLOCKS, 0u16..512, 0u8..31)
+            .prop_map(|(b, last, off)| Instr::Broadcast {
+                block: BlockId(b), dst_first: 0, dst_last: last, offset: off, words: 1
+            }),
+        (0..BLOCKS, 0..BLOCKS, 1u16..32)
+            .prop_map(|(a, b, w)| Instr::Copy { src: BlockId(a), dst: BlockId(b), words: w }),
+        (0..BLOCKS, arb_alu(), 0u16..512, 0u8..32, 0u8..32, 0u8..32)
+            .prop_map(|(b, op, last, d, x, y)| Instr::Arith {
+                block: BlockId(b), op, first_row: 0, last_row: last, dst: d, a: x, b: y
+            }),
+        (0..BLOCKS, 1u32..4096)
+            .prop_map(|(b, bytes)| Instr::LoadOffchip { block: BlockId(b), bytes }),
+        (0..BLOCKS, 1u32..4096)
+            .prop_map(|(b, bytes)| Instr::StoreOffchip { block: BlockId(b), bytes }),
+        Just(Instr::Sync),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn random_streams_execute_cleanly(
+        instrs in proptest::collection::vec(arb_instr(), 1..80)
+    ) {
+        let mut chip = PimChip::new(ChipConfig::default_2gb());
+        let mut stream = InstrStream::new();
+        for i in instrs {
+            stream.push(i);
+        }
+        chip.execute(&stream);
+        let report = chip.finish();
+        prop_assert!(report.seconds.is_finite() && report.seconds >= 0.0);
+        let l = &report.ledger;
+        for (name, v) in [
+            ("compute", l.compute),
+            ("reads", l.reads),
+            ("writes", l.writes),
+            ("interconnect", l.interconnect),
+            ("offchip", l.offchip),
+            ("host", l.host),
+            ("static", l.static_energy),
+        ] {
+            prop_assert!(v.is_finite() && v >= 0.0, "{} = {}", name, v);
+        }
+    }
+
+    #[test]
+    fn elapsed_time_is_monotone_under_appends(
+        base in proptest::collection::vec(arb_instr(), 1..40),
+        extra in arb_instr(),
+    ) {
+        let run = |instrs: &[Instr]| {
+            let mut chip = PimChip::new(ChipConfig::default_2gb());
+            let mut stream = InstrStream::new();
+            for &i in instrs {
+                stream.push(i);
+            }
+            chip.execute(&stream);
+            chip.elapsed()
+        };
+        let mut longer = base.clone();
+        longer.push(extra);
+        prop_assert!(run(&base) <= run(&longer) + 1e-15);
+    }
+
+    #[test]
+    fn execution_is_deterministic(
+        instrs in proptest::collection::vec(arb_instr(), 1..60)
+    ) {
+        let run = || {
+            let mut chip = PimChip::new(ChipConfig::default_2gb());
+            let mut stream = InstrStream::new();
+            for &i in &instrs {
+                stream.push(i);
+            }
+            chip.execute(&stream);
+            let r = chip.finish();
+            (r.seconds, r.ledger.total())
+        };
+        prop_assert_eq!(run(), run());
+    }
+}

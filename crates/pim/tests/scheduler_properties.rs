@@ -1,0 +1,109 @@
+//! Property-based tests of the interconnect scheduler: the makespans the
+//! evaluation relies on must come from *feasible* schedules.
+
+use pim_isa::BlockId;
+use pim_sim::{BusNetwork, HTreeNetwork, Interconnect, Transfer};
+use proptest::prelude::*;
+
+fn arb_transfer() -> impl Strategy<Value = Transfer> {
+    (0u32..512, 0u32..512, 1u32..64).prop_filter_map("distinct blocks", |(a, b, w)| {
+        if a == b {
+            None
+        } else {
+            Some(Transfer { src: BlockId(a), dst: BlockId(b), words: w })
+        }
+    })
+}
+
+/// Independent feasibility checker: reconstruct each transfer's busy
+/// interval and assert no two transfers sharing a resource overlap.
+fn check_no_conflicts<I: Interconnect>(net: &I, transfers: &[Transfer]) {
+    let schedule = net.schedule(transfers);
+    let intervals: Vec<(f64, f64, Vec<_>)> = transfers
+        .iter()
+        .zip(&schedule.finish_times)
+        .map(|(t, &finish)| {
+            let dur = net.duration(t);
+            (finish - dur, finish, net.route(t.src, t.dst))
+        })
+        .collect();
+    for i in 0..intervals.len() {
+        for j in i + 1..intervals.len() {
+            let (s1, f1, r1) = &intervals[i];
+            let (s2, f2, r2) = &intervals[j];
+            let shares = r1.iter().any(|r| r2.contains(r));
+            if shares {
+                let overlap = s1.max(*s2) < f1.min(*f2) - 1e-15;
+                assert!(
+                    !overlap,
+                    "transfers {i} and {j} share a switch yet overlap: \
+                     [{s1}, {f1}] vs [{s2}, {f2}]"
+                );
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn htree_schedules_are_conflict_free(
+        transfers in proptest::collection::vec(arb_transfer(), 1..40)
+    ) {
+        check_no_conflicts(&HTreeNetwork::new(), &transfers);
+    }
+
+    #[test]
+    fn bus_schedules_are_conflict_free(
+        transfers in proptest::collection::vec(arb_transfer(), 1..40)
+    ) {
+        check_no_conflicts(&BusNetwork::new(), &transfers);
+    }
+
+    #[test]
+    fn bus_never_beats_htree_makespan(
+        transfers in proptest::collection::vec(arb_transfer(), 1..40)
+    ) {
+        // The H-tree can always at least match the bus (it serializes in
+        // the worst case, and every intra-tile bus transfer is a single
+        // shared switch anyway).
+        let h = HTreeNetwork::new().schedule(&transfers).makespan;
+        let b = BusNetwork::new().schedule(&transfers).makespan;
+        prop_assert!(h <= b * (1.0 + 1e-12), "H-tree {} vs bus {}", h, b);
+    }
+
+    #[test]
+    fn makespan_is_monotone_in_workload(
+        transfers in proptest::collection::vec(arb_transfer(), 2..30)
+    ) {
+        let net = HTreeNetwork::new();
+        let all = net.schedule(&transfers).makespan;
+        let fewer = net.schedule(&transfers[..transfers.len() - 1]).makespan;
+        prop_assert!(fewer <= all * (1.0 + 1e-12));
+    }
+
+    #[test]
+    fn energy_is_additive(
+        a in proptest::collection::vec(arb_transfer(), 1..20),
+        b in proptest::collection::vec(arb_transfer(), 1..20),
+    ) {
+        let net = HTreeNetwork::new();
+        let mut both = a.clone();
+        both.extend_from_slice(&b);
+        let ea = net.schedule(&a).energy;
+        let eb = net.schedule(&b).energy;
+        let eab = net.schedule(&both).energy;
+        prop_assert!((eab - (ea + eb)).abs() < 1e-12 * eab.max(1e-30));
+    }
+
+    #[test]
+    fn routes_never_repeat_a_switch(t in arb_transfer()) {
+        let net = HTreeNetwork::new();
+        let mut route = net.route(t.src, t.dst);
+        let len = route.len();
+        route.sort();
+        route.dedup();
+        prop_assert_eq!(route.len(), len, "a route must not visit a switch twice");
+    }
+}

@@ -1,0 +1,105 @@
+//! A miniature seismic-survey scenario — the oil & gas exploration use
+//! case that motivates the paper (§1): a Ricker-wavelet point source
+//! fires near the surface of a two-layer medium and an array of
+//! receivers records the pressure field, showing the direct arrival and
+//! the reflection from the impedance contrast.
+//!
+//! ```text
+//! cargo run --release -p wavepim-bench --example acoustic_point_source
+//! ```
+
+use wavesim_dg::source::{PointSource, Ricker};
+use wavesim_dg::{Acoustic, AcousticMaterial, FluxKind, Solver};
+use wavesim_mesh::{Boundary, ElemId, HexMesh};
+use wavesim_numerics::Vec3;
+
+fn main() {
+    // Two-layer medium: slow overburden on a fast basement (z < 0.5).
+    let mesh = HexMesh::refinement_level(2, Boundary::Wall);
+    let overburden = AcousticMaterial::new(1.0, 1.0); // c = 1
+    let basement = AcousticMaterial::new(9.0, 1.0); // c = 3
+    let materials: Vec<AcousticMaterial> = mesh
+        .elements()
+        .map(|e| {
+            if mesh.elem_center(e).z < 0.5 {
+                basement
+            } else {
+                overburden
+            }
+        })
+        .collect();
+    println!(
+        "Two-layer medium: overburden c = {}, basement c = {} (interface at z = 0.5)",
+        overburden.sound_speed(),
+        basement.sound_speed()
+    );
+
+    let mut solver = Solver::<Acoustic>::new(mesh, 5, FluxKind::Riemann, materials);
+
+    // Ricker source near the "surface" (z = 0.9).
+    let freq = 6.0;
+    let source = PointSource::at(
+        &solver,
+        Vec3::new(0.5, 0.5, 0.9),
+        0,
+        Ricker::new(freq, 1.2 / freq, 50.0),
+    );
+    // Receiver line across the surface.
+    let receivers: Vec<(usize, usize)> = (0..8)
+        .map(|i| {
+            let x = 0.1 + 0.8 * i as f64 / 7.0;
+            let s = PointSource::at(&solver, Vec3::new(x, 0.5, 0.95), 0, Ricker::new(1.0, 0.0, 0.0));
+            (s.elem, s.node)
+        })
+        .collect();
+
+    let dt = solver.stable_dt(0.25);
+    let steps = (1.0 / dt).ceil() as usize;
+    println!("Running {steps} steps of dt = {dt:.5} (to t = 1.0)\n");
+
+    let mut traces: Vec<Vec<f64>> = vec![Vec::new(); receivers.len()];
+    let record_every = (steps / 48).max(1);
+    for step in 0..steps {
+        solver.step(dt);
+        source.inject(&mut solver, dt);
+        if step % record_every == 0 {
+            for (r, &(e, n)) in receivers.iter().enumerate() {
+                traces[r].push(solver.state().value(e, 0, n));
+            }
+        }
+    }
+
+    // ASCII seismogram: one row per receiver, '#' above threshold.
+    let peak = traces
+        .iter()
+        .flat_map(|t| t.iter())
+        .fold(0.0f64, |m, &v| m.max(v.abs()));
+    println!("Seismogram (time -> right; rows are receivers across the surface):");
+    for (r, trace) in traces.iter().enumerate() {
+        let line: String = trace
+            .iter()
+            .map(|&v| {
+                let a = v.abs() / peak;
+                if a > 0.5 {
+                    '#'
+                } else if a > 0.2 {
+                    '+'
+                } else if a > 0.05 {
+                    '.'
+                } else {
+                    ' '
+                }
+            })
+            .collect();
+        println!("rx{r}: |{line}|");
+    }
+
+    // The wavefield must have reached the far corner of the domain.
+    let far = ElemId(0);
+    let far_amp: f64 = (0..solver.state().nodes_per_element())
+        .map(|n| solver.state().value(far.index(), 0, n).abs())
+        .fold(0.0, f64::max);
+    println!("\npeak |p| at receivers: {peak:.4}; far-corner element peak |p|: {far_amp:.4}");
+    assert!(peak > 0.0 && peak.is_finite());
+    assert!(solver.state().max_abs().is_finite(), "simulation stayed stable");
+}

@@ -1,0 +1,58 @@
+//! Batching in action (§6.1, Figs. 6–7): a 64-element model executed on
+//! a PIM window holding only 49 blocks, in two batches of y-slices with
+//! off-chip swaps between kernel passes — and the result compared to the
+//! unbatched native solver.
+//!
+//! ```text
+//! cargo run --release -p wavepim-bench --example batched_run
+//! ```
+
+use pim_sim::{ChipConfig, PimChip};
+use wave_pim::batched::BatchedAcousticRunner;
+use wave_pim::batching::fig7_steps;
+use wavesim_dg::{Acoustic, AcousticMaterial, FluxKind, Solver};
+use wavesim_mesh::{Boundary, HexMesh};
+
+fn main() {
+    let tau = 2.0 * std::f64::consts::PI;
+    let mesh = HexMesh::refinement_level(2, Boundary::Wall); // 64 elements, 4 slices
+    let material = AcousticMaterial::new(2.0, 1.0);
+    let dt = 1.0e-3;
+    let steps = 3;
+
+    let mut native = Solver::<Acoustic>::uniform(mesh.clone(), 3, FluxKind::Riemann, material);
+    native.set_initial(|v, x| match v {
+        0 => (tau * x.x).sin() + 0.5 * (tau * x.y).cos(),
+        _ => 0.2 * (tau * x.z).sin(),
+    });
+
+    println!("Model: 64 elements (4 y-slices); window: 49 blocks (2 slices resident");
+    println!("+ 1 boundary slice + the LUT block). Two batches per kernel pass.\n");
+    println!("The paper's Fig. 7 schedule for the two-batch Flux:");
+    for s in fig7_steps() {
+        println!("  ({:2}) {}", s.index, s.description);
+    }
+
+    let mut runner = BatchedAcousticRunner::new(
+        mesh,
+        3,
+        FluxKind::Riemann,
+        material,
+        native.state(),
+        dt,
+        2,
+        49,
+    );
+    let mut chip = PimChip::new(ChipConfig::default_2gb());
+    for _ in 0..steps {
+        runner.step(&mut chip);
+    }
+    native.run(dt, steps);
+
+    let diff = native.state().max_abs_diff(runner.vars());
+    println!("\nAfter {steps} time-steps (15 batched kernel passes each):");
+    println!("  |batched PIM - native|_inf = {diff:.3e}");
+    assert!(diff < 1e-11, "batching broke the numerics");
+    println!("\nOK: kernel-wise batching with boundary slices is semantically exact;");
+    println!("the cost is purely the off-chip swap traffic the estimator charges.");
+}

@@ -1,0 +1,56 @@
+//! Capacity-planning walkthrough: how each paper benchmark maps onto
+//! each PIM chip size — technique selection (Table 5), batch schedules
+//! (Figs. 6–7), and the resulting time/energy estimates (Figs. 11–12).
+//!
+//! ```text
+//! cargo run --release -p wavepim-bench --example pim_mapping
+//! ```
+
+use pim_sim::{ChipCapacity, ProcessNode};
+use wave_pim::batching::{fig7_steps, BatchPlan};
+use wave_pim::estimate::{estimate, PimSetup};
+use wave_pim::planner::plan;
+use wavesim_dg::opcount::Benchmark;
+
+fn main() {
+    println!("How the six paper benchmarks map onto the four chip sizes:\n");
+    for b in Benchmark::ALL {
+        println!(
+            "{} — {} elements, {} variables, {:?} flux",
+            b.name(),
+            b.num_elements(),
+            b.physics().num_vars(),
+            b.flux()
+        );
+        for c in ChipCapacity::ALL {
+            let t = plan(b, c);
+            let e = estimate(b, PimSetup::new(c, ProcessNode::Nm12));
+            println!(
+                "  {:>5}: {:7} ({} blocks/element, {} batch(es))  time {:8.3}s  energy {:9.1}J",
+                c.name(),
+                t.label(),
+                t.blocks_per_element(),
+                t.batches,
+                e.total_seconds,
+                e.total_joules()
+            );
+        }
+        println!();
+    }
+
+    println!("The Fig. 7 two-batch Flux schedule (level-5 model on a 2 GB chip):");
+    for step in fig7_steps() {
+        println!("  ({:2}) {}", step.index, step.description);
+    }
+
+    let p = BatchPlan::new(Benchmark::Acoustic5, &plan(Benchmark::Acoustic5, ChipCapacity::Gb2));
+    println!(
+        "\nBatch plan for Acoustic_5 on 2 GB: {} batches x {} elements ({} slices each),",
+        p.batches, p.elements_per_batch, p.slices_per_batch
+    );
+    println!(
+        "swapping {:.1} MB per exchange (+{:.1} MB boundary slice) over HBM2.",
+        p.swap_bytes_per_exchange as f64 / 1e6,
+        p.boundary_slice_bytes as f64 / 1e6
+    );
+}

@@ -9,14 +9,14 @@ use wavesim_mesh::{Boundary, HexMesh};
 fn acoustic_solver(level: u32, n: usize, flux: FluxKind) -> Solver<Acoustic> {
     let mesh = HexMesh::refinement_level(level, Boundary::Periodic);
     let mut s = Solver::<Acoustic>::uniform(mesh, n, flux, AcousticMaterial::UNIT);
-    s.set_initial(|v, x| ((v + 1) as f64 * x.x * 6.28).sin() * 0.1);
+    s.set_initial(|v, x| ((v + 1) as f64 * x.x * std::f64::consts::TAU).sin() * 0.1);
     s
 }
 
 fn elastic_solver(level: u32, n: usize, flux: FluxKind) -> Solver<Elastic> {
     let mesh = HexMesh::refinement_level(level, Boundary::Periodic);
     let mut s = Solver::<Elastic>::uniform(mesh, n, flux, ElasticMaterial::UNIT);
-    s.set_initial(|v, x| ((v + 1) as f64 * x.y * 6.28).cos() * 0.1);
+    s.set_initial(|v, x| ((v + 1) as f64 * x.y * std::f64::consts::TAU).cos() * 0.1);
     s
 }
 

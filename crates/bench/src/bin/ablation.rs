@@ -120,10 +120,8 @@ fn main() {
     println!();
 
     // 5. Process node.
-    let mut t5 = Table::new(
-        "Ablation 5: process node (Acoustic_5, 16GB)",
-        &["Node", "Time", "Energy"],
-    );
+    let mut t5 =
+        Table::new("Ablation 5: process node (Acoustic_5, 16GB)", &["Node", "Time", "Energy"]);
     for node in [ProcessNode::Nm28, ProcessNode::Nm12] {
         let e = estimate(Benchmark::Acoustic5, PimSetup::new(ChipCapacity::Gb16, node));
         t5.row(vec![

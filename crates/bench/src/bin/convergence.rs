@@ -51,12 +51,7 @@ fn main() {
     for nodes in [3usize, 4, 5, 6, 8] {
         let e = error(1, nodes);
         let ratio = prev.map_or("-".to_string(), |p| format!("{:.1}x", p / e));
-        t2.row(vec![
-            nodes.to_string(),
-            (nodes - 1).to_string(),
-            format!("{e:.3e}"),
-            ratio,
-        ]);
+        t2.row(vec![nodes.to_string(), (nodes - 1).to_string(), format!("{e:.3e}"), ratio]);
         prev = Some(e);
     }
     t2.print();

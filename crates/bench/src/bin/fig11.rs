@@ -11,10 +11,8 @@ fn main() {
     let labels: Vec<&str> = data[0].1.iter().map(|(l, _)| l.as_str()).collect();
     let mut headers = vec!["Benchmark"];
     headers.extend(labels.iter());
-    let mut t = Table::new(
-        "Figure 11: Time Normalized to Unfused GTX 1080Ti (lower is better)",
-        &headers,
-    );
+    let mut t =
+        Table::new("Figure 11: Time Normalized to Unfused GTX 1080Ti (lower is better)", &headers);
     for (b, row) in &data {
         let mut cells = vec![b.name().to_string()];
         cells.extend(row.iter().map(|(_, v)| format!("{v:.4}")));

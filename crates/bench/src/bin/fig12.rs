@@ -19,7 +19,8 @@ fn main() {
     }
     t.print();
     println!();
-    let mut s = Table::new("Figure 12 (savings view): Unfused-1080Ti energy / config energy", &headers);
+    let mut s =
+        Table::new("Figure 12 (savings view): Unfused-1080Ti energy / config energy", &headers);
     for (b, row) in &data {
         let mut cells = vec![b.name().to_string()];
         cells.extend(row.iter().map(|(_, v)| format!("{:.2}x", 1.0 / v)));

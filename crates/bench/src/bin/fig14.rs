@@ -22,8 +22,7 @@ fn main() {
         }
     }
     t.print();
-    let avg: f64 =
-        cases.iter().map(|c| c.bus.1 / c.htree.1).sum::<f64>() / cases.len() as f64;
+    let avg: f64 = cases.iter().map(|c| c.bus.1 / c.htree.1).sum::<f64>() / cases.len() as f64;
     println!("\nAverage H-tree fetch-time saving over Bus: {avg:.2}x (paper: ~2.16x)");
     println!("Paper inter-element shares: 21.62% (H-tree) / 58.41% (Bus) without");
     println!("expansion; 42.77% / 69.96% with expansion.");

@@ -1,7 +1,79 @@
-//! Regenerates the paper's aggregate claims (§1, §7.3, §7.4, §8).
+//! Regenerates the paper's aggregate claims (§1, §7.3, §7.4, §8), and
+//! writes them as the machine-readable `BENCH_summary.json` for the
+//! repository's perf-trajectory tracking.
 
+use std::fmt::Write as _;
+
+use pim_trace::json::{escape, number};
 use wavepim_bench::report::Table;
-use wavepim_bench::summary::headline;
+use wavepim_bench::summary::{headline, Summary};
+
+/// Renders the summary as a stable-schema JSON document.
+fn summary_json(s: &Summary) -> String {
+    let mut out = String::with_capacity(1024);
+    out.push_str("{\n  \"schema_version\": 1,\n");
+    let pairs = |out: &mut String, key: &str, rows: &[(String, f64)]| {
+        let _ = writeln!(out, "  {}: {{", escape(key));
+        for (i, (name, v)) in rows.iter().enumerate() {
+            let _ = write!(out, "    {}: {}", escape(name), number(*v));
+            out.push_str(if i + 1 < rows.len() { ",\n" } else { "\n" });
+        }
+        out.push_str("  },\n");
+    };
+    let named = |rows: &[(&str, f64)]| -> Vec<(String, f64)> {
+        rows.iter().map(|&(n, v)| (n.to_string(), v)).collect()
+    };
+    pairs(
+        &mut out,
+        "speedup_vs_unfused_1080ti",
+        &s.speedup_vs_unfused_1080ti
+            .iter()
+            .map(|&(c, v)| (c.name().to_string(), v))
+            .collect::<Vec<_>>(),
+    );
+    pairs(
+        &mut out,
+        "speedup_vs_fused_v100",
+        &s.speedup_vs_fused_v100
+            .iter()
+            .map(|&(c, v)| (c.name().to_string(), v))
+            .collect::<Vec<_>>(),
+    );
+    pairs(
+        &mut out,
+        "energy_vs_unfused_1080ti",
+        &s.energy_vs_unfused_1080ti
+            .iter()
+            .map(|&(c, v)| (c.name().to_string(), v))
+            .collect::<Vec<_>>(),
+    );
+    pairs(
+        &mut out,
+        "speedup_vs_each_gpu",
+        &s.speedup_vs_each_gpu.iter().map(|&(g, v)| (g.name().to_string(), v)).collect::<Vec<_>>(),
+    );
+    pairs(
+        &mut out,
+        "energy_vs_each_gpu",
+        &s.energy_vs_each_gpu.iter().map(|&(g, v)| (g.name().to_string(), v)).collect::<Vec<_>>(),
+    );
+    pairs(
+        &mut out,
+        "headline",
+        &named(&[
+            ("speedup", s.headline_speedup),
+            ("energy_savings", s.headline_energy),
+            ("htree_over_bus", s.htree_over_bus),
+        ]),
+    );
+    // Trailing-comma fix: the last block above ends with ",\n".
+    if out.ends_with(",\n") {
+        out.truncate(out.len() - 2);
+        out.push('\n');
+    }
+    out.push_str("}\n");
+    out
+}
 
 fn main() {
     let s = headline();
@@ -61,4 +133,9 @@ fn main() {
     println!("  speedup        {:.2}x   (paper: 41.98x)", s.headline_speedup);
     println!("  energy savings {:.2}x   (paper: 12.66x)", s.headline_energy);
     println!("  H-tree fetch-time saving over Bus: {:.2}x (paper: ~2.16x)", s.htree_over_bus);
+
+    let doc = summary_json(&s);
+    pim_trace::json::parse(&doc).expect("BENCH_summary.json must be valid JSON");
+    std::fs::write("BENCH_summary.json", doc).expect("write BENCH_summary.json");
+    println!("\nWrote BENCH_summary.json.");
 }

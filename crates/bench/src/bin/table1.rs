@@ -9,19 +9,59 @@ fn main() {
         &["Term", "Meaning", "Implemented in"],
     );
     let rows: [(&str, &str, &str); 14] = [
-        ("Mass Inverse", "inverse diagonal mass matrix (constant)", "folded into geometry::lift_factor (GLL collocation)"),
-        ("Unknown variables", "p and v per node (4 acoustic / 9 elastic)", "dg::state::State, physics::{acoustic,elastic}_vars"),
+        (
+            "Mass Inverse",
+            "inverse diagonal mass matrix (constant)",
+            "folded into geometry::lift_factor (GLL collocation)",
+        ),
+        (
+            "Unknown variables",
+            "p and v per node (4 acoustic / 9 elastic)",
+            "dg::state::State, physics::{acoustic,elastic}_vars",
+        ),
         ("Contributions", "incremental updates from Volume and Flux", "dg::Solver::contributions"),
-        ("Auxiliaries", "temporary storage for temporal integration", "dg::integrator::Lsrk5 registers"),
+        (
+            "Auxiliaries",
+            "temporary storage for temporal integration",
+            "dg::integrator::Lsrk5 registers",
+        ),
         ("GLL Weight", "Gauss-Legendre-Lobatto weights", "numerics::gll::GllRule::weights"),
         ("GLL Point", "Gauss-Legendre-Lobatto points", "numerics::gll::GllRule::points"),
-        ("jacobian_det_w_star", "volume-integration constant", "mesh::ElementGeometry::jacobian_det_w_star"),
-        ("jacobian_det_domain", "volume Jacobian determinant", "mesh::ElementGeometry::jacobian_det_domain"),
-        ("jacobian_inverse_domain", "reference-to-physical derivative factor", "mesh::ElementGeometry::jacobian_inverse_domain"),
-        ("jacobian_det_boundary", "face Jacobian determinant", "mesh::ElementGeometry::jacobian_det_boundary"),
-        ("dshape", "derivative values of shape functions", "numerics::lagrange::DiffMatrix::entries"),
-        ("K, rho / lambda, mu", "material constants", "dg::material::{AcousticMaterial, ElasticMaterial}"),
-        ("grad p / div v / grad v / div S", "derivative fields", "dg::physics::{Acoustic,Elastic}::volume"),
+        (
+            "jacobian_det_w_star",
+            "volume-integration constant",
+            "mesh::ElementGeometry::jacobian_det_w_star",
+        ),
+        (
+            "jacobian_det_domain",
+            "volume Jacobian determinant",
+            "mesh::ElementGeometry::jacobian_det_domain",
+        ),
+        (
+            "jacobian_inverse_domain",
+            "reference-to-physical derivative factor",
+            "mesh::ElementGeometry::jacobian_inverse_domain",
+        ),
+        (
+            "jacobian_det_boundary",
+            "face Jacobian determinant",
+            "mesh::ElementGeometry::jacobian_det_boundary",
+        ),
+        (
+            "dshape",
+            "derivative values of shape functions",
+            "numerics::lagrange::DiffMatrix::entries",
+        ),
+        (
+            "K, rho / lambda, mu",
+            "material constants",
+            "dg::material::{AcousticMaterial, ElasticMaterial}",
+        ),
+        (
+            "grad p / div v / grad v / div S",
+            "derivative fields",
+            "dg::physics::{Acoustic,Elastic}::volume",
+        ),
         ("Refinement Level n", "(2^n)^3 elements", "mesh::HexMesh::refinement_level"),
     ];
     for (term, meaning, module) in rows {

@@ -24,8 +24,7 @@ fn main() {
             format!("{:.1}TFLOPS", s.peak_fp32 / 1e12),
         ]);
     }
-    let caps: Vec<String> =
-        ChipCapacity::ALL.iter().map(|c| c.name().to_string()).collect();
+    let caps: Vec<String> = ChipCapacity::ALL.iter().map(|c| c.name().to_string()).collect();
     // PIM throughput: max parallel rows under the 50/50 add/mul mix.
     let rows = ChipCapacity::Gb2.max_parallel_rows() as f64;
     let avg = (pim_sim::params::FP32_ADD_CYCLES + pim_sim::params::FP32_MUL_CYCLES) as f64 / 2.0;

@@ -18,6 +18,10 @@ fn main() {
     ]);
     t.print();
     println!("\nDerived bit-serial FP32 latencies (calibrated to the Table 2 throughput):");
-    println!("  add: {} NOR cycles   mul: {} NOR cycles   mac: {} NOR cycles",
-        p::FP32_ADD_CYCLES, p::FP32_MUL_CYCLES, p::FP32_MAC_CYCLES);
+    println!(
+        "  add: {} NOR cycles   mul: {} NOR cycles   mac: {} NOR cycles",
+        p::FP32_ADD_CYCLES,
+        p::FP32_MUL_CYCLES,
+        p::FP32_MAC_CYCLES
+    );
 }

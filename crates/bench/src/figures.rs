@@ -87,8 +87,7 @@ pub fn fig11_data() -> Vec<(Benchmark, Vec<(String, f64)>)> {
         .iter()
         .map(|&b| {
             let base = baseline().seconds(b);
-            let row =
-                cols.iter().map(|c| (c.label(), c.seconds(b) / base)).collect::<Vec<_>>();
+            let row = cols.iter().map(|c| (c.label(), c.seconds(b) / base)).collect::<Vec<_>>();
             (b, row)
         })
         .collect()
@@ -102,8 +101,7 @@ pub fn fig12_data() -> Vec<(Benchmark, Vec<(String, f64)>)> {
         .iter()
         .map(|&b| {
             let base = baseline().joules(b);
-            let row =
-                cols.iter().map(|c| (c.label(), c.joules(b) / base)).collect::<Vec<_>>();
+            let row = cols.iter().map(|c| (c.label(), c.joules(b) / base)).collect::<Vec<_>>();
             (b, row)
         })
         .collect()
@@ -112,14 +110,94 @@ pub fn fig12_data() -> Vec<(Benchmark, Vec<(String, f64)>)> {
 /// Fig. 13: the pipelined stage timeline of Acoustic_4 on the 2 GB chip,
 /// plus the serial/pipelined throughput ratio (§7.5's 0.77×).
 pub fn fig13_data() -> (StageTimeline, f64) {
-    let e = estimate(
-        Benchmark::Acoustic4,
-        PimSetup::new(ChipCapacity::Gb2, ProcessNode::Nm28),
-    );
+    let e = estimate(Benchmark::Acoustic4, PimSetup::new(ChipCapacity::Gb2, ProcessNode::Nm28));
     let timeline = pipelined_timeline(&e.breakdown);
     let serial = e.breakdown.serial();
     let throughput_without_pipelining = timeline.makespan / serial;
     (timeline, throughput_without_pipelining)
+}
+
+/// Fig. 13 rebuilt from *observed* trace spans: a traced one-step PIM
+/// run whose kernel windows and instruction events reproduce the stage
+/// picture the analytic model predicts.
+#[derive(Debug, Clone)]
+pub struct ObservedFig13 {
+    /// Kernel windows of the traced run, in start order.
+    pub segments: Vec<pim_trace::timeline::ObservedSegment>,
+    /// Per-stage busy-time averages derived from the trace.
+    pub breakdown: pim_trace::timeline::ObservedBreakdown,
+    /// The pipeline timeline rebuilt by feeding the observed per-stage
+    /// times through the same scheduler as the analytic figure.
+    pub rebuilt: StageTimeline,
+    /// Does the observed kernel ordering satisfy the pipeline model's
+    /// stage ordering (Volume ≤ Flux ≤ Integration per stage)?
+    pub order_ok: bool,
+    /// Total simulated seconds of the traced step.
+    pub makespan: f64,
+}
+
+/// Runs one traced time-step of the quickstart problem (Acoustic, n = 4,
+/// level-1 mesh, one element per block on the 2 GB chip) and rebuilds the
+/// Fig. 13 stage timeline from the drained spans.
+///
+/// Uses the global tracer: any events already buffered are drained and
+/// discarded first so the observation covers exactly this run.
+pub fn fig13_observed() -> ObservedFig13 {
+    use pim_sim::{ChipConfig, PimChip};
+    use pim_trace::timeline::{
+        kernel_segments, observed_breakdown, stage_order_is_pipeline_compatible,
+    };
+    use pim_trace::Kernel;
+    use wave_pim::compiler::AcousticMapping;
+    use wave_pim::pipeline::StageBreakdown;
+    use wave_pim::tracehooks::traced_execute;
+    use wavesim_dg::{Acoustic, AcousticMaterial, FluxKind, Solver};
+    use wavesim_mesh::{Boundary, HexMesh};
+
+    let mesh = HexMesh::refinement_level(1, Boundary::Periodic);
+    let material = AcousticMaterial::new(2.0, 1.0);
+    let mapping = AcousticMapping::uniform(mesh.clone(), 4, FluxKind::Riemann, material);
+    let mut solver = Solver::<Acoustic>::uniform(mesh, 4, FluxKind::Riemann, material);
+    solver.set_initial(|v, x| if v == 0 { (x.x * std::f64::consts::TAU).sin() } else { 0.1 });
+    let dt = solver.stable_dt(0.25);
+
+    let _ = pim_trace::drain();
+    pim_trace::enable();
+    let mut chip = PimChip::new(ChipConfig::default_2gb());
+    mapping.preload(&mut chip, solver.state(), dt);
+    chip.execute(&mapping.compile_lut_setup());
+    let elems: Vec<usize> = (0..mapping.mesh().num_elements()).collect();
+    for stage in 0..5usize {
+        traced_execute(&mut chip, Kernel::Volume, stage as u8, &mapping.compile_volume_for(&elems));
+        traced_execute(
+            &mut chip,
+            Kernel::Flux,
+            stage as u8,
+            &mapping.compile_flux_phased_for(&elems),
+        );
+        traced_execute(
+            &mut chip,
+            Kernel::Integration,
+            stage as u8,
+            &mapping.compile_integration_for(&elems, stage),
+        );
+    }
+    let makespan = chip.elapsed();
+    let pid = chip.trace_pid();
+    pim_trace::disable();
+    let (events, _) = pim_trace::drain();
+
+    let segments = kernel_segments(&events, pid);
+    let breakdown = observed_breakdown(&events, pid);
+    let order_ok = stage_order_is_pipeline_compatible(&segments);
+    let rebuilt = pipelined_timeline(&StageBreakdown {
+        volume: breakdown.volume,
+        flux_fetch: breakdown.flux_fetch,
+        flux_compute: breakdown.flux_compute,
+        integration: breakdown.integration,
+        host_preprocess: breakdown.host_preprocess,
+    });
+    ObservedFig13 { segments, breakdown, rebuilt, order_ok, makespan }
 }
 
 /// One Fig. 14 case: intra/inter-element time (seconds per stage) for

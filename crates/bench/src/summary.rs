@@ -103,14 +103,13 @@ pub fn headline() -> Summary {
         })
         .collect();
 
-    let headline_speedup =
-        speedup_vs_each_gpu.iter().map(|(_, s)| s).sum::<f64>() / 3.0;
+    let headline_speedup = speedup_vs_each_gpu.iter().map(|(_, s)| s).sum::<f64>() / 3.0;
     let headline_energy = energy_vs_each_gpu.iter().map(|(_, s)| s).sum::<f64>() / 3.0;
 
     // H-tree vs bus on the fetch-dominated phases of the Fig. 14 cases.
     let fig14 = crate::figures::fig14_data();
-    let htree_over_bus = fig14.iter().map(|c| c.bus.1 / c.htree.1).sum::<f64>()
-        / fig14.len() as f64;
+    let htree_over_bus =
+        fig14.iter().map(|c| c.bus.1 / c.htree.1).sum::<f64>() / fig14.len() as f64;
 
     let _ = InterconnectKind::HTree; // summary always uses the H-tree design point
 
@@ -143,9 +142,7 @@ mod tests {
     #[test]
     fn fused_v100_is_the_hardest_baseline() {
         let s = headline();
-        for ((_, a), (_, b)) in
-            s.speedup_vs_unfused_1080ti.iter().zip(&s.speedup_vs_fused_v100)
-        {
+        for ((_, a), (_, b)) in s.speedup_vs_unfused_1080ti.iter().zip(&s.speedup_vs_fused_v100) {
             assert!(b < a, "fused V100 must be harder to beat: {a} vs {b}");
         }
     }
@@ -162,11 +159,7 @@ mod tests {
             "headline speedup {}",
             s.headline_speedup
         );
-        assert!(
-            (2.0..120.0).contains(&s.headline_energy),
-            "headline energy {}",
-            s.headline_energy
-        );
+        assert!((2.0..120.0).contains(&s.headline_energy), "headline energy {}", s.headline_energy);
     }
 
     #[test]

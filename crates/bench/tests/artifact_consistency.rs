@@ -15,11 +15,7 @@ fn fig11_times_are_reciprocal_consistent_with_raw_models() {
     for (b, row) in fig11_data() {
         let baseline = benchmark_seconds(b, GpuModel::Gtx1080Ti, GpuImpl::Unfused);
         let v100 = benchmark_seconds(b, GpuModel::TeslaV100, GpuImpl::Unfused);
-        let cell = row
-            .iter()
-            .find(|(l, _)| l == "Unfused-TeslaV100")
-            .map(|(_, v)| *v)
-            .unwrap();
+        let cell = row.iter().find(|(l, _)| l == "Unfused-TeslaV100").map(|(_, v)| *v).unwrap();
         assert!((cell - v100 / baseline).abs() < 1e-12, "{}", b.name());
     }
 }
@@ -67,14 +63,8 @@ fn energy_and_time_figures_share_the_pim_ranking_per_benchmark() {
     // same process node… energy = power × time makes faster+smaller
     // dominate. (Spot-check with 512MB vs 16GB on a level-4 workload,
     // where 16GB has idle tiles.)
-    let small = estimate(
-        Benchmark::Acoustic4,
-        PimSetup::new(ChipCapacity::Gb2, ProcessNode::Nm28),
-    );
-    let big = estimate(
-        Benchmark::Acoustic4,
-        PimSetup::new(ChipCapacity::Gb16, ProcessNode::Nm28),
-    );
+    let small = estimate(Benchmark::Acoustic4, PimSetup::new(ChipCapacity::Gb2, ProcessNode::Nm28));
+    let big = estimate(Benchmark::Acoustic4, PimSetup::new(ChipCapacity::Gb16, ProcessNode::Nm28));
     assert!(big.total_seconds <= small.total_seconds * 1.0001);
     assert!(
         big.total_joules() > small.total_joules(),

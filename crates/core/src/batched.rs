@@ -164,9 +164,20 @@ impl BatchedAcousticRunner {
 
     /// Advances one time-step: five LSRK stages, each as three batched
     /// kernel passes with off-chip swaps.
+    ///
+    /// When tracing is enabled, each kernel pass (load → compute →
+    /// store, per Figs. 6–7) is recorded as one kernel window on the
+    /// chip's simulated clock, plus an `RkStage` span around each LSRK
+    /// stage.
     pub fn step(&mut self, chip: &mut PimChip) {
+        use crate::tracehooks::{begin_kernel_span, end_kernel_span};
+        use pim_trace::Kernel;
+
         for stage in 0..Lsrk5::STAGES {
+            let stage_t0 = begin_kernel_span(chip);
+
             // --- Volume pass (Fig. 6): per batch, load → compute → store.
+            let t0 = begin_kernel_span(chip);
             for b in 0..self.num_batches() {
                 let (residents, _) = self.install_map(b, false);
                 self.mapping.preload_static_subset(chip, self.dt, &residents);
@@ -174,9 +185,11 @@ impl BatchedAcousticRunner {
                 chip.execute(&self.mapping.compile_volume_for(&residents));
                 self.mapping.extract_contribs_subset(chip, &residents, &mut self.contribs);
             }
+            end_kernel_span(chip, Kernel::Volume, stage as u8, t0);
 
             // --- Flux pass (Fig. 7): per batch, load batch + boundary
             // slices, accumulate flux into the stored contributions.
+            let t0 = begin_kernel_span(chip);
             for b in 0..self.num_batches() {
                 let (residents, extras) = self.install_map(b, true);
                 let mut all = residents.clone();
@@ -190,8 +203,10 @@ impl BatchedAcousticRunner {
                 chip.execute(&self.mapping.compile_flux_for(&residents));
                 self.mapping.extract_contribs_subset(chip, &residents, &mut self.contribs);
             }
+            end_kernel_span(chip, Kernel::Flux, stage as u8, t0);
 
             // --- Integration pass (Fig. 6): per batch, with aux state.
+            let t0 = begin_kernel_span(chip);
             for b in 0..self.num_batches() {
                 let (residents, _) = self.install_map(b, false);
                 self.mapping.preload_static_subset(chip, self.dt, &residents);
@@ -202,6 +217,9 @@ impl BatchedAcousticRunner {
                 self.mapping.extract_vars_subset(chip, &residents, &mut self.vars);
                 self.mapping.extract_aux_subset(chip, &residents, &mut self.aux);
             }
+            end_kernel_span(chip, Kernel::Integration, stage as u8, t0);
+
+            end_kernel_span(chip, Kernel::RkStage, stage as u8, stage_t0);
         }
     }
 }

@@ -162,8 +162,11 @@ mod tests {
         }
         // Every slice is eventually stored: steps 5, 7 and 12 cover
         // slices 0, 1-15 and 16-31.
-        let stored: Vec<&str> =
-            steps.iter().filter(|s| s.description.starts_with("store")).map(|s| s.description).collect();
+        let stored: Vec<&str> = steps
+            .iter()
+            .filter(|s| s.description.starts_with("store"))
+            .map(|s| s.description)
+            .collect();
         assert_eq!(stored.len(), 3);
     }
 

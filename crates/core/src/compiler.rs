@@ -137,13 +137,10 @@ impl AcousticMapping {
                     Neighbor::Boundary => zm,
                 };
                 let key = (zm, zp);
-                let idx = pairs
-                    .iter()
-                    .position(|&p| p == key)
-                    .unwrap_or_else(|| {
-                        pairs.push(key);
-                        pairs.len() - 1
-                    });
+                let idx = pairs.iter().position(|&p| p == key).unwrap_or_else(|| {
+                    pairs.push(key);
+                    pairs.len() - 1
+                });
                 per_face[face.code()] = idx;
             }
             face_pair.push(per_face);
@@ -460,7 +457,15 @@ impl AcousticMapping {
     // ---- emission helpers ----
 
     /// One row-parallel ALU op over the compute rows of a block.
-    fn arith(&self, s: &mut InstrStream, block: BlockId, op: AluOp, dst: usize, a: usize, b: usize) {
+    fn arith(
+        &self,
+        s: &mut InstrStream,
+        block: BlockId,
+        op: AluOp,
+        dst: usize,
+        a: usize,
+        b: usize,
+    ) {
         s.push(Instr::Arith {
             block,
             op,
@@ -750,8 +755,7 @@ impl AcousticMapping {
                 // Rotate this face's LUT-provided interface constants
                 // (Z⁺, Z⁻Z⁺, 1/(Z⁻+Z⁺)) plus κ into the bank; the own
                 // impedance Z⁻ sits in COEFF for the whole kernel.
-                let face_row =
-                    self.layout.const_staging_row() + 1 + face_staging::row_offset(f);
+                let face_row = self.layout.const_staging_row() + 1 + face_staging::row_offset(f);
                 let (zp, zz, inv, c3) = (
                     AcousticLayout::const_col(0),
                     AcousticLayout::const_col(1),
@@ -820,7 +824,6 @@ impl AcousticMapping {
         self.arith(s, block, AluOp::Mul, s1, s1, mask);
         self.arith(s, block, AluOp::Mac, AcousticLayout::contrib_col(VX + axis), s1, lift);
     }
-
 
     // ---- Integration ----
 

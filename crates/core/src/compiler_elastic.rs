@@ -172,7 +172,12 @@ impl ElasticMapping {
     }
 
     /// One material everywhere.
-    pub fn uniform(mesh: HexMesh, n: usize, flux_kind: FluxKind, material: ElasticMaterial) -> Self {
+    pub fn uniform(
+        mesh: HexMesh,
+        n: usize,
+        flux_kind: FluxKind,
+        material: ElasticMaterial,
+    ) -> Self {
         let materials = vec![material; mesh.num_elements()];
         Self::new(mesh, n, flux_kind, materials)
     }
@@ -242,8 +247,7 @@ impl ElasticMapping {
         for (pidx, &(own, nb)) in self.pairs.iter().enumerate() {
             let (zpm, zpp) = (own.p_impedance(), nb.p_impedance());
             let (zsm, zsp) = (own.s_impedance(), nb.s_impedance());
-            let values =
-                [zpp, zpm * zpp, 1.0 / (zpm + zpp), zsp, zsm * zsp, 1.0 / (zsm + zsp)];
+            let values = [zpp, zpm * zpp, 1.0 / (zpm + zpp), zsp, zsm * zsp, 1.0 / (zsm + zsp)];
             let b = chip.block_mut(lut);
             for (k, &v) in values.iter().enumerate() {
                 let w = pidx * LUT_STRIDE + k;
@@ -253,8 +257,7 @@ impl ElasticMapping {
 
         for &e in elems {
             let m = self.materials[e];
-            for role in [ElasticRole::Velocity, ElasticRole::DiagStress, ElasticRole::ShearStress]
-            {
+            for role in [ElasticRole::Velocity, ElasticRole::DiagStress, ElasticRole::ShearStress] {
                 let block = self.block_of(e, role);
                 let b = chip.block_mut(block);
                 for node in 0..nodes {
@@ -315,8 +318,7 @@ impl ElasticMapping {
         col_of: impl Fn(usize) -> usize,
     ) {
         for &e in elems {
-            for role in [ElasticRole::Velocity, ElasticRole::DiagStress, ElasticRole::ShearStress]
-            {
+            for role in [ElasticRole::Velocity, ElasticRole::DiagStress, ElasticRole::ShearStress] {
                 let block = self.block_of(e, role);
                 let vars = role.vars();
                 let b = chip.block_mut(block);
@@ -347,8 +349,7 @@ impl ElasticMapping {
     /// Zeroes aux/contribution/ghost/transfer columns for a subset.
     pub fn zero_dynamic_subset(&self, chip: &mut PimChip, elems: &[usize]) {
         for &e in elems {
-            for role in [ElasticRole::Velocity, ElasticRole::DiagStress, ElasticRole::ShearStress]
-            {
+            for role in [ElasticRole::Velocity, ElasticRole::DiagStress, ElasticRole::ShearStress] {
                 let block = self.block_of(e, role);
                 let b = chip.block_mut(block);
                 for node in 0..self.nodes() {
@@ -372,8 +373,7 @@ impl ElasticMapping {
         into: &mut State,
     ) {
         for &e in elems {
-            for role in [ElasticRole::Velocity, ElasticRole::DiagStress, ElasticRole::ShearStress]
-            {
+            for role in [ElasticRole::Velocity, ElasticRole::DiagStress, ElasticRole::ShearStress] {
                 let block = self.block_of(e, role);
                 for (slot, &var) in role.vars().iter().enumerate() {
                     for node in 0..self.nodes() {
@@ -404,8 +404,7 @@ impl ElasticMapping {
     pub fn extract_state(&self, chip: &mut PimChip) -> State {
         let mut state = State::zeros(self.mesh.num_elements(), 9, self.nodes());
         for e in 0..self.mesh.num_elements() {
-            for role in [ElasticRole::Velocity, ElasticRole::DiagStress, ElasticRole::ShearStress]
-            {
+            for role in [ElasticRole::Velocity, ElasticRole::DiagStress, ElasticRole::ShearStress] {
                 let block = self.block_of(e, role);
                 for (slot, &var) in role.vars().iter().enumerate() {
                     for node in 0..self.nodes() {
@@ -420,7 +419,15 @@ impl ElasticMapping {
 
     // ---- emission helpers ----
 
-    fn arith(&self, s: &mut InstrStream, block: BlockId, op: AluOp, dst: usize, a: usize, b: usize) {
+    fn arith(
+        &self,
+        s: &mut InstrStream,
+        block: BlockId,
+        op: AluOp,
+        dst: usize,
+        a: usize,
+        b: usize,
+    ) {
         s.push(Instr::Arith {
             block,
             op,
@@ -595,7 +602,14 @@ impl ElasticMapping {
 
         // --- Phase D: velocity block reduces the partials.
         for slot in 0..3 {
-            self.arith(s, vb, AluOp::Add, L::contrib_col(slot), L::xfer_col(slot), L::ghost_col(slot));
+            self.arith(
+                s,
+                vb,
+                AluOp::Add,
+                L::contrib_col(slot),
+                L::xfer_col(slot),
+                L::ghost_col(slot),
+            );
         }
     }
 
@@ -673,12 +687,26 @@ impl ElasticMapping {
                 // S⁺ = S — synthesized locally, row-parallel.
                 let vb = self.block_of(e, ElasticRole::Velocity);
                 for slot in 0..3 {
-                    self.arith(s, vb, AluOp::Neg, L::ghost_col(slot), L::var_col(slot), L::var_col(slot));
+                    self.arith(
+                        s,
+                        vb,
+                        AluOp::Neg,
+                        L::ghost_col(slot),
+                        L::var_col(slot),
+                        L::var_col(slot),
+                    );
                 }
                 for role in [ElasticRole::DiagStress, ElasticRole::ShearStress] {
                     let b = self.block_of(e, role);
                     for slot in 0..3 {
-                        self.arith(s, b, AluOp::Mov, L::ghost_col(slot), L::var_col(slot), L::var_col(slot));
+                        self.arith(
+                            s,
+                            b,
+                            AluOp::Mov,
+                            L::ghost_col(slot),
+                            L::var_col(slot),
+                            L::var_col(slot),
+                        );
                     }
                 }
             }
@@ -698,7 +726,8 @@ impl ElasticMapping {
         let mask = L::mask_col(f);
         let face_rows: Vec<usize> = self.topo.face_table(face).to_vec();
         let sign_op = if plus { AluOp::Mov } else { AluOp::Neg };
-        let (s0, s1, s2, s3) = (L::scratch_col(0), L::scratch_col(1), L::scratch_col(2), L::scratch_col(3));
+        let (s0, s1, s2, s3) =
+            (L::scratch_col(0), L::scratch_col(1), L::scratch_col(2), L::scratch_col(3));
         let (c0, c1, c2, c3) = (L::const_col(0), L::const_col(1), L::const_col(2), L::const_col(3));
         let face_row = self.layout.face_staging_row(f);
 
@@ -748,7 +777,7 @@ impl ElasticMapping {
         self.arith(s, db, AluOp::Sub, s3, tn_star, tn_m);
         self.ship_column(s, db, s3, vb, L::xfer_col(0), &face_rows);
         self.arith(s, db, AluOp::Sub, s2, vn_star, vn_m); // w
-        // out_aa = 2μ·w + λ·w; out_bb = out_cc = λ·w.
+                                                          // out_aa = 2μ·w + λ·w; out_bb = out_cc = λ·w.
         self.bc(s, db, estaging::TWO_MU, c0);
         self.bc(s, db, estaging::LAM, c1);
         self.bc(s, db, estaging::LIFT, c2);
@@ -902,8 +931,7 @@ impl ElasticMapping {
             return s;
         }
         for &e in elems {
-            for role in [ElasticRole::Velocity, ElasticRole::DiagStress, ElasticRole::ShearStress]
-            {
+            for role in [ElasticRole::Velocity, ElasticRole::DiagStress, ElasticRole::ShearStress] {
                 let block = self.block_of(e, role);
                 for face in Face::ALL {
                     let f = face.code();

@@ -156,7 +156,12 @@ impl ExpandedAcousticMapping {
         Self { mesh, n, rule, d, topo, materials, flux_kind, jac_inv, lift, pairs, face_pair }
     }
 
-    pub fn uniform(mesh: HexMesh, n: usize, flux_kind: FluxKind, material: AcousticMaterial) -> Self {
+    pub fn uniform(
+        mesh: HexMesh,
+        n: usize,
+        flux_kind: FluxKind,
+        material: AcousticMaterial,
+    ) -> Self {
         let materials = vec![material; mesh.num_elements()];
         Self::new(mesh, n, flux_kind, materials)
     }
@@ -324,7 +329,15 @@ impl ExpandedAcousticMapping {
 
     // ---- helpers ----
 
-    fn arith(&self, s: &mut InstrStream, block: BlockId, op: AluOp, dst: usize, a: usize, b: usize) {
+    fn arith(
+        &self,
+        s: &mut InstrStream,
+        block: BlockId,
+        op: AluOp,
+        dst: usize,
+        a: usize,
+        b: usize,
+    ) {
         s.push(Instr::Arith {
             block,
             op,
@@ -552,8 +565,7 @@ impl ExpandedAcousticMapping {
         let mask = vcol::MASK + f;
         let (s0, s1, s2, s3) =
             (vcol::SCRATCH, vcol::SCRATCH + 1, vcol::SCRATCH + 2, vcol::SCRATCH + 3);
-        let (c0, c1, c2, c3) =
-            (vcol::CONST, vcol::CONST + 1, vcol::CONST + 2, vcol::CONST + 3);
+        let (c0, c1, c2, c3) = (vcol::CONST, vcol::CONST + 1, vcol::CONST + 2, vcol::CONST + 3);
         let sign_op = if plus { AluOp::Mov } else { AluOp::Neg };
 
         self.arith(s, vb, sign_op, s0, vcol::V, vcol::V);
@@ -609,14 +621,10 @@ impl ExpandedAcousticMapping {
 
     /// Perfectly-split Integration: each block updates its own variable.
     pub fn emit_integration(&self, s: &mut InstrStream, e: usize, stage: usize) {
-        let blocks_and_cols: Vec<(BlockId, usize, usize, usize)> = std::iter::once((
-            self.p_block(e),
-            pcol::P,
-            pcol::AUX,
-            pcol::CONTRIB,
-        ))
-        .chain((0..3).map(|a| (self.v_block(e, a), vcol::V, vcol::AUX, vcol::CONTRIB)))
-        .collect();
+        let blocks_and_cols: Vec<(BlockId, usize, usize, usize)> =
+            std::iter::once((self.p_block(e), pcol::P, pcol::AUX, pcol::CONTRIB))
+                .chain((0..3).map(|a| (self.v_block(e, a), vcol::V, vcol::AUX, vcol::CONTRIB)))
+                .collect();
         for (block, var, aux, contrib) in blocks_and_cols {
             let (a_col, b_col, dt_col, t) =
                 (pcol::CONST, pcol::CONST + 1, pcol::CONST + 2, pcol::SCRATCH);
@@ -691,7 +699,8 @@ mod tests {
     #[test]
     fn block_roles_are_consecutive() {
         let mesh = HexMesh::refinement_level(1, Boundary::Periodic);
-        let m = ExpandedAcousticMapping::uniform(mesh, 3, FluxKind::Central, AcousticMaterial::UNIT);
+        let m =
+            ExpandedAcousticMapping::uniform(mesh, 3, FluxKind::Central, AcousticMaterial::UNIT);
         assert_eq!(m.p_block(0).0, 0);
         assert_eq!(m.v_block(0, 2).0, 3);
         assert_eq!(m.p_block(5).0, 20);

@@ -160,8 +160,7 @@ fn volume_shape(physics: PhysicsKind, technique: &Technique) -> (u64, u64, u64, 
 /// value gather, row-parallel MAC)).
 fn derivative_pass_s() -> f64 {
     arith_s(prm::FP32_ADD_CYCLES)
-        + N as f64
-            * (gather_s(N, NODES) + gather_s(N * N, NODES) + arith_s(prm::FP32_MAC_CYCLES))
+        + N as f64 * (gather_s(N, NODES) + gather_s(N * N, NODES) + arith_s(prm::FP32_MAC_CYCLES))
 }
 
 fn derivative_pass_j() -> f64 {
@@ -195,7 +194,8 @@ fn tile_dims(blocks_per_element: u64) -> (usize, usize, usize) {
 /// layout the data in a hardware-friendly manner … to minimize the
 /// overhead of inter-element data transfer").
 fn morton_interleave(x: usize, y: usize, z: usize, dims: (usize, usize, usize)) -> u64 {
-    let (mut bx, mut by, mut bz) = (dims.0.trailing_zeros(), dims.1.trailing_zeros(), dims.2.trailing_zeros());
+    let (mut bx, mut by, mut bz) =
+        (dims.0.trailing_zeros(), dims.1.trailing_zeros(), dims.2.trailing_zeros());
     let (mut x, mut y, mut z) = (x as u64, y as u64, z as u64);
     let mut out = 0u64;
     let mut shift = 0;
@@ -272,8 +272,7 @@ fn fetch_phase(
 fn cross_tile_phase(blocks_per_element: u64, words: u32, axis: usize, ic: InterconnectKind) -> f64 {
     let (dx, dy, dz) = tile_dims(blocks_per_element);
     let dims = [dx, dy, dz];
-    let boundary_elements: u64 =
-        (dims[(axis + 1) % 3] * dims[(axis + 2) % 3]) as u64;
+    let boundary_elements: u64 = (dims[(axis + 1) % 3] * dims[(axis + 2) % 3]) as u64;
     let t = Transfer { src: BlockId(0), dst: BlockId(256), words };
     let dur = match ic {
         InterconnectKind::HTree => HTreeNetwork::new().duration(&t),
@@ -365,7 +364,8 @@ pub fn estimate_with_technique(
     let (fmul, fadd) = flux_face_ops(physics, flux);
     let row_split = if technique.row_expansion { 2.5 } else { 1.0 };
     let flux_compute = 6.0
-        * (fmul as f64 * arith_s(prm::FP32_MUL_CYCLES) + fadd as f64 * arith_s(prm::FP32_ADD_CYCLES))
+        * (fmul as f64 * arith_s(prm::FP32_MUL_CYCLES)
+            + fadd as f64 * arith_s(prm::FP32_ADD_CYCLES))
         / (row_split * exp.flux_compute_speedup)
         + 6.0 * broadcast_s();
 
@@ -377,22 +377,14 @@ pub fn estimate_with_technique(
 
     // ---- Host preprocessing (per stage, per resident batch) ----
     let w = benchmark.element_workload();
-    let (host_preprocess, host_pre_j_round) = host.preprocess(
-        w.flux.host_sqrts * resident_elements,
-        w.flux.host_divs * resident_elements,
-    );
+    let (host_preprocess, host_pre_j_round) = host
+        .preprocess(w.flux.host_sqrts * resident_elements, w.flux.host_divs * resident_elements);
 
-    let breakdown = StageBreakdown {
-        volume,
-        flux_fetch,
-        flux_compute,
-        integration,
-        host_preprocess,
-    };
+    let breakdown =
+        StageBreakdown { volume, flux_fetch, flux_compute, integration, host_preprocess };
 
     // ---- Batching ----
-    let offchip_per_stage =
-        batch_plan.offchip_bytes_per_stage() as f64 / prm::OFFCHIP_BANDWIDTH;
+    let offchip_per_stage = batch_plan.offchip_bytes_per_stage() as f64 / prm::OFFCHIP_BANDWIDTH;
     let round = stage_seconds(&breakdown, setup.pipelined);
     let stage = batch_plan.batches as f64 * round + offchip_per_stage;
 
@@ -406,8 +398,9 @@ pub fn estimate_with_technique(
     let per_elem_compute_j = derivs as f64 * derivative_pass_j()
         + (zeros + exch_adds) as f64 * arith_j(prm::FP32_ADD_CYCLES, NODES)
         + pointwise as f64 * arith_j(prm::FP32_MUL_CYCLES, NODES)
-        + 6.0 * (fmul as f64 * arith_j(prm::FP32_MUL_CYCLES, NODES)
-            + fadd as f64 * arith_j(prm::FP32_ADD_CYCLES, NODES))
+        + 6.0
+            * (fmul as f64 * arith_j(prm::FP32_MUL_CYCLES, NODES)
+                + fadd as f64 * arith_j(prm::FP32_ADD_CYCLES, NODES))
         + integ_ops as f64
             * (3.0 * arith_j(prm::FP32_MUL_CYCLES, NODES)
                 + 2.0 * arith_j(prm::FP32_ADD_CYCLES, NODES));
@@ -416,8 +409,7 @@ pub fn estimate_with_technique(
         + 11.0 * broadcast_j();
 
     let tiles_active = (resident_elements * bpe).div_ceil(256);
-    let fetch_j_per_stage =
-        fetch_energy_per_tile * tiles_active as f64 * batch_plan.batches as f64;
+    let fetch_j_per_stage = fetch_energy_per_tile * tiles_active as f64 * batch_plan.batches as f64;
 
     let dyn_per_stage = EnergyLedger {
         compute: per_elem_compute_j * elements as f64 * exp.energy_overhead,

@@ -311,7 +311,7 @@ mod tests {
 
     #[test]
     fn acoustic_columns_are_disjoint() {
-        let mut used = vec![false; WORDS_PER_ROW];
+        let mut used = [false; WORDS_PER_ROW];
         let mut claim = |c: usize| {
             assert!(!used[c], "column {c} double-booked");
             used[c] = true;

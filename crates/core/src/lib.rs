@@ -38,6 +38,7 @@ pub mod expansion;
 pub mod layout;
 pub mod pipeline;
 pub mod planner;
+pub mod tracehooks;
 
 pub use estimate::{estimate, Estimate, PimSetup};
 pub use planner::{plan, Technique};

@@ -66,7 +66,8 @@ pub fn pipelined_timeline(b: &StageBreakdown) -> StageTimeline {
     let half_compute = 0.5 * b.flux_compute;
 
     // Host preprocessing and the −1-direction fetch overlap Volume.
-    let host = Segment { lane: "CPU Host", label: "sqrt / inverse", start: 0.0, end: b.host_preprocess };
+    let host =
+        Segment { lane: "CPU Host", label: "sqrt / inverse", start: 0.0, end: b.host_preprocess };
     let volume = Segment { lane: "Volume", label: "compute", start: 0.0, end: b.volume };
     let fetch_minus =
         Segment { lane: "Flux (-1)", label: "data fetch", start: 0.0, end: half_fetch };
@@ -74,15 +75,27 @@ pub fn pipelined_timeline(b: &StageBreakdown) -> StageTimeline {
     // −1 flux compute waits for volume (shared blocks), its own fetch and
     // the host-provided LUT contents.
     let cm_start = b.volume.max(half_fetch).max(b.host_preprocess);
-    let compute_minus =
-        Segment { lane: "Flux (-1)", label: "compute", start: cm_start, end: cm_start + half_compute };
+    let compute_minus = Segment {
+        lane: "Flux (-1)",
+        label: "compute",
+        start: cm_start,
+        end: cm_start + half_compute,
+    };
 
     // +1 fetch hides behind the −1 compute.
-    let fetch_plus =
-        Segment { lane: "Flux (+1)", label: "data fetch", start: cm_start, end: cm_start + half_fetch };
+    let fetch_plus = Segment {
+        lane: "Flux (+1)",
+        label: "data fetch",
+        start: cm_start,
+        end: cm_start + half_fetch,
+    };
     let cp_start = compute_minus.end.max(fetch_plus.end);
-    let compute_plus =
-        Segment { lane: "Flux (+1)", label: "compute", start: cp_start, end: cp_start + half_compute };
+    let compute_plus = Segment {
+        lane: "Flux (+1)",
+        label: "compute",
+        start: cp_start,
+        end: cp_start + half_compute,
+    };
 
     // Integration needs every contribution in place.
     let integ_start = compute_plus.end;
@@ -95,7 +108,15 @@ pub fn pipelined_timeline(b: &StageBreakdown) -> StageTimeline {
 
     let makespan = integration.end;
     StageTimeline {
-        segments: vec![host, volume, fetch_minus, compute_minus, fetch_plus, compute_plus, integration],
+        segments: vec![
+            host,
+            volume,
+            fetch_minus,
+            compute_minus,
+            fetch_plus,
+            compute_plus,
+            integration,
+        ],
         makespan,
     }
 }

@@ -30,11 +30,7 @@ pub struct Technique {
 impl Technique {
     /// Blocks each element occupies under this technique.
     pub fn blocks_per_element(&self) -> u64 {
-        let base: u64 = if self.row_expansion {
-            ElasticLayout::EXPANSION_BLOCKS as u64
-        } else {
-            1
-        };
+        let base: u64 = if self.row_expansion { ElasticLayout::EXPANSION_BLOCKS as u64 } else { 1 };
         if self.parallel_expansion {
             base * 4
         } else {

@@ -1,0 +1,50 @@
+//! Kernel-level tracing hooks for the mapped solver.
+//!
+//! The chip traces individual instructions (`pim-sim`); this module adds
+//! the *kernel* layer on top: Volume / Flux / Integration windows, LSRK
+//! stage spans, and per-stream instruction counters. Spans use the chip's
+//! own simulated clock (`PimChip::elapsed`), so kernel windows and the
+//! instruction events inside them share one timeline — that is what lets
+//! `pim_trace::timeline` rebuild the Fig. 13 stage picture from a drained
+//! trace.
+
+use pim_isa::InstrStream;
+use pim_sim::PimChip;
+use pim_trace::{Kernel, Payload, TID_KERNELS};
+
+/// Executes a stream on the chip inside a kernel span, and drops an
+/// instruction-count instant for the compiler's emitted stream size.
+pub fn traced_execute(chip: &mut PimChip, kernel: Kernel, stage: u8, stream: &InstrStream) {
+    if !pim_trace::enabled() {
+        chip.execute(stream);
+        return;
+    }
+    let pid = chip.trace_pid();
+    let t0 = chip.elapsed();
+    chip.execute(stream);
+    let t1 = chip.elapsed();
+    pim_trace::record_instant(
+        pid,
+        TID_KERNELS,
+        t0,
+        Payload::Counter { name: "instructions", value: stream.len() as f64 },
+    );
+    pim_trace::record_span(pid, TID_KERNELS, t0, t1, Payload::Kernel { kernel, stage });
+}
+
+/// Begins a kernel window on the chip's simulated clock; returns the
+/// start time to pass to [`end_kernel_span`]. Use this (instead of
+/// [`traced_execute`]) when a kernel pass spans several streams and
+/// host-side load/extract work.
+pub fn begin_kernel_span(chip: &mut PimChip) -> f64 {
+    chip.elapsed()
+}
+
+/// Closes a kernel window opened by [`begin_kernel_span`].
+pub fn end_kernel_span(chip: &mut PimChip, kernel: Kernel, stage: u8, t0: f64) {
+    if pim_trace::enabled() {
+        let pid = chip.trace_pid();
+        let t1 = chip.elapsed();
+        pim_trace::record_span(pid, TID_KERNELS, t0, t1, Payload::Kernel { kernel, stage });
+    }
+}

@@ -11,13 +11,7 @@ use wavesim_mesh::{Boundary, HexMesh};
 
 const TAU: f64 = 2.0 * std::f64::consts::PI;
 
-fn run_case(
-    boundary: Boundary,
-    flux: FluxKind,
-    num_batches: usize,
-    steps: usize,
-    capacity: usize,
-) {
+fn run_case(boundary: Boundary, flux: FluxKind, num_batches: usize, steps: usize, capacity: usize) {
     let mesh = HexMesh::refinement_level(2, boundary); // 64 elements, 4 slices
     let material = AcousticMaterial::new(2.0, 1.0);
     let n = 3;
@@ -50,10 +44,7 @@ fn run_case(
 
     let diff = native.state().max_abs_diff(runner.vars());
     let scale = native.state().max_abs().max(1e-30);
-    assert!(
-        diff / scale < 1e-12,
-        "{boundary:?}/{flux:?}/{num_batches} batches: |Δ|∞ = {diff:.3e}"
-    );
+    assert!(diff / scale < 1e-12, "{boundary:?}/{flux:?}/{num_batches} batches: |Δ|∞ = {diff:.3e}");
 }
 
 #[test]

@@ -89,18 +89,14 @@ fn executor_utilization_reflects_parallel_occupancy() {
     // During the Volume kernel every element's block works continuously:
     // mean active utilization must be high.
     let mesh = HexMesh::refinement_level(1, Boundary::Periodic);
-    let mapping =
-        AcousticMapping::uniform(mesh, 4, FluxKind::Central, AcousticMaterial::UNIT);
+    let mapping = AcousticMapping::uniform(mesh, 4, FluxKind::Central, AcousticMaterial::UNIT);
     let state = State::zeros(8, 4, 64);
     let mut chip = PimChip::new(ChipConfig::default_2gb());
     mapping.preload(&mut chip, &state, 1e-3);
     let elems: Vec<usize> = (0..8).collect();
     chip.execute(&mapping.compile_volume_for(&elems));
     let util = chip.mean_active_utilization();
-    assert!(
-        util > 0.5,
-        "volume should keep the element blocks busy, got {util:.2}"
-    );
+    assert!(util > 0.5, "volume should keep the element blocks busy, got {util:.2}");
 }
 
 #[test]
@@ -129,8 +125,7 @@ fn phased_flux_schedule_beats_the_sequential_one() {
         for v in 0..4 {
             for node in 0..512 {
                 contribs.push(
-                    chip.block(mapping.block_of(0))
-                        .get(node, 8 + v), // contribution columns
+                    chip.block(mapping.block_of(0)).get(node, 8 + v), // contribution columns
                 );
             }
         }

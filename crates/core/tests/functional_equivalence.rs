@@ -126,8 +126,7 @@ fn pim_matches_native_with_heterogeneous_materials() {
         .collect();
     let dt = 1.5e-3;
 
-    let mut native =
-        Solver::<Acoustic>::new(mesh.clone(), 3, FluxKind::Riemann, materials.clone());
+    let mut native = Solver::<Acoustic>::new(mesh.clone(), 3, FluxKind::Riemann, materials.clone());
     native.set_initial(|v, x| match v {
         0 => (TAU * x.x).sin(),
         1 => 0.2 * (TAU * x.y).cos(),

@@ -143,9 +143,8 @@ mod tests {
         let t = 0.37;
         let h = 1e-6;
 
-        let ddt: Vec<f64> = (0..4)
-            .map(|v| (w.eval(x, t + h)[v] - w.eval(x, t - h)[v]) / (2.0 * h))
-            .collect();
+        let ddt: Vec<f64> =
+            (0..4).map(|v| (w.eval(x, t + h)[v] - w.eval(x, t - h)[v]) / (2.0 * h)).collect();
         let ddx = |v: usize, axis: usize| {
             let e = Vec3::unit(axis) * h;
             (w.eval(x + e, t)[v] - w.eval(x - e, t)[v]) / (2.0 * h)
@@ -169,12 +168,8 @@ mod tests {
     #[test]
     fn elastic_s_wave_satisfies_pde_numerically() {
         let m = ElasticMaterial::new(1.0, 2.0, 1.0);
-        let w = ElasticPlaneWave::s_wave(
-            Vec3::new(TAU, 0.0, 0.0),
-            Vec3::new(0.0, 1.0, 0.0),
-            0.9,
-            m,
-        );
+        let w =
+            ElasticPlaneWave::s_wave(Vec3::new(TAU, 0.0, 0.0), Vec3::new(0.0, 1.0, 0.0), 0.9, m);
         check_elastic_pde(&w, &m);
     }
 
@@ -183,9 +178,8 @@ mod tests {
         let x = Vec3::new(0.31, 0.55, 0.12);
         let t = 0.19;
         let h = 1e-6;
-        let ddt: Vec<f64> = (0..9)
-            .map(|v| (w.eval(x, t + h)[v] - w.eval(x, t - h)[v]) / (2.0 * h))
-            .collect();
+        let ddt: Vec<f64> =
+            (0..9).map(|v| (w.eval(x, t + h)[v] - w.eval(x, t - h)[v]) / (2.0 * h)).collect();
         let ddx = |v: usize, axis: usize| {
             let e = Vec3::unit(axis) * h;
             (w.eval(x + e, t)[v] - w.eval(x - e, t)[v]) / (2.0 * h)
@@ -241,6 +235,7 @@ mod tests {
     #[should_panic(expected = "orthogonal")]
     fn s_wave_rejects_parallel_polarization() {
         let m = ElasticMaterial::UNIT;
-        let _ = ElasticPlaneWave::s_wave(Vec3::new(1.0, 0.0, 0.0), Vec3::new(1.0, 0.0, 0.0), 1.0, m);
+        let _ =
+            ElasticPlaneWave::s_wave(Vec3::new(1.0, 0.0, 0.0), Vec3::new(1.0, 0.0, 0.0), 1.0, m);
     }
 }

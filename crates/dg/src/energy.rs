@@ -52,20 +52,11 @@ pub fn elastic_energy(solver: &Solver<Elastic>) -> f64 {
                     c * c
                 })
                 .sum::<f64>();
-            let (sxx, syy, szz) = (
-                state.value(e, SXX, node),
-                state.value(e, SYY, node),
-                state.value(e, SZZ, node),
-            );
-            let (sxy, sxz, syz) = (
-                state.value(e, SXY, node),
-                state.value(e, SXZ, node),
-                state.value(e, SYZ, node),
-            );
-            let ss = sxx * sxx
-                + syy * syy
-                + szz * szz
-                + 2.0 * (sxy * sxy + sxz * sxz + syz * syz);
+            let (sxx, syy, szz) =
+                (state.value(e, SXX, node), state.value(e, SYY, node), state.value(e, SZZ, node));
+            let (sxy, sxz, syz) =
+                (state.value(e, SXY, node), state.value(e, SXZ, node), state.value(e, SYZ, node));
+            let ss = sxx * sxx + syy * syy + szz * szz + 2.0 * (sxy * sxy + sxz * sxz + syz * syz);
             let tr = sxx + syy + szz;
             total += jdws[node] * (half_rho * v2 + inv_4mu * ss - lam_term * tr * tr);
         }
@@ -90,8 +81,12 @@ mod tests {
     fn acoustic_energy_of_uniform_pressure() {
         // E = p²/(2κ) × volume for constant p, zero v on the unit cube.
         let mesh = HexMesh::refinement_level(1, Boundary::Periodic);
-        let mut s =
-            Solver::<Acoustic>::uniform(mesh, 4, FluxKind::Central, AcousticMaterial::new(2.0, 1.0));
+        let mut s = Solver::<Acoustic>::uniform(
+            mesh,
+            4,
+            FluxKind::Central,
+            AcousticMaterial::new(2.0, 1.0),
+        );
         s.set_initial(|v, _| if v == 0 { 3.0 } else { 0.0 });
         let e = acoustic_energy(&s);
         assert!((e - 9.0 / 4.0).abs() < 1e-12, "{e}");
@@ -124,13 +119,7 @@ mod tests {
             ElasticMaterial::new(lam, mu, 1.0),
         );
         use crate::physics::elastic_vars::*;
-        s.state_mut().fill_with(|_, v, _| {
-            if v == SXX || v == SYY || v == SZZ {
-                q
-            } else {
-                0.0
-            }
-        });
+        s.state_mut().fill_with(|_, v, _| if v == SXX || v == SYY || v == SZZ { q } else { 0.0 });
         let expected = 3.0 * q * q / (2.0 * (3.0 * lam + 2.0 * mu));
         let e = elastic_energy(&s);
         assert!((e - expected).abs() < 1e-12, "{e} vs {expected}");

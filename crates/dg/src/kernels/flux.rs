@@ -35,9 +35,8 @@ pub struct FluxTopology {
 impl FluxTopology {
     /// Builds the tables for elements with `n` nodes per axis.
     pub fn new(n: usize) -> Self {
-        let build = |face: Face| -> Vec<usize> {
-            face_nodes(n, face.axis(), face.is_plus()).collect()
-        };
+        let build =
+            |face: Face| -> Vec<usize> { face_nodes(n, face.axis(), face.is_plus()).collect() };
         Self {
             n,
             tables: [
@@ -90,12 +89,9 @@ pub fn apply<P: Physics>(
     let stride = rhs.element_stride();
     let nodes = u.nodes_per_element();
 
-    rhs.as_mut_slice()
-        .par_chunks_mut(stride)
-        .enumerate()
-        .for_each(|(e, chunk)| {
-            element_flux::<P>(topo, mesh, kind, lift, materials, u, e, chunk, nodes);
-        });
+    rhs.as_mut_slice().par_chunks_mut(stride).enumerate().for_each(|(e, chunk)| {
+        element_flux::<P>(topo, mesh, kind, lift, materials, u, e, chunk, nodes);
+    });
 }
 
 /// Flux accumulation for a single element (exposed for the PIM functional

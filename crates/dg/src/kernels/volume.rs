@@ -25,15 +25,12 @@ pub fn apply<P: Physics>(
     assert_eq!(materials.len(), u.num_elements());
     let stride = rhs.element_stride();
     let nn = n * n * n;
-    rhs.as_mut_slice()
-        .par_chunks_mut(stride)
-        .enumerate()
-        .for_each_init(
-            || vec![0.0; nn],
-            |scratch, (e, chunk)| {
-                P::volume(n, d, jac_inv, u.element(e), &materials[e], chunk, scratch);
-            },
-        );
+    rhs.as_mut_slice().par_chunks_mut(stride).enumerate().for_each_init(
+        || vec![0.0; nn],
+        |scratch, (e, chunk)| {
+            P::volume(n, d, jac_inv, u.element(e), &materials[e], chunk, scratch);
+        },
+    );
 }
 
 #[cfg(test)]

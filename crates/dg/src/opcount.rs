@@ -151,12 +151,8 @@ pub fn acoustic_workload(n: usize, flux: FluxKind) -> ElementWorkload {
         FluxKind::Central => (12 + 4, 8 + 4, 1),
         FluxKind::Riemann => (18 + 4, 13 + 4, 2),
     };
-    let flux_ops = OpCounts {
-        muls: fm * face_nodes,
-        adds: fa * face_nodes,
-        divs: fd * face_nodes,
-        sqrts: 0,
-    };
+    let flux_ops =
+        OpCounts { muls: fm * face_nodes, adds: fa * face_nodes, divs: fd * face_nodes, sqrts: 0 };
     // Host offload: the Riemann flux needs the element impedance Z = √(κρ)
     // once per element (the paper's "only two materials are used throughout
     // each element", §5.1).
@@ -232,12 +228,8 @@ pub fn elastic_workload(n: usize, flux: FluxKind) -> ElementWorkload {
         FluxKind::Central => (46 + 9, 35 + 9, 1),
         FluxKind::Riemann => (96 + 9, 81 + 9, 3),
     };
-    let flux_ops = OpCounts {
-        muls: fm * face_nodes,
-        adds: fa * face_nodes,
-        divs: fd * face_nodes,
-        sqrts: 0,
-    };
+    let flux_ops =
+        OpCounts { muls: fm * face_nodes, adds: fa * face_nodes, divs: fd * face_nodes, sqrts: 0 };
     // Host offload: z_p = ρc_p and z_s = ρc_s per element for Riemann.
     let host_sqrts = match flux {
         FluxKind::Central => 0,
@@ -250,10 +242,7 @@ pub fn elastic_workload(n: usize, flux: FluxKind) -> ElementWorkload {
     ElementWorkload {
         volume: KernelProfile {
             ops: volume,
-            mem: MemTraffic {
-                read_bytes: (9 * nn + n * n + nn) * b,
-                write_bytes: 9 * nn * b,
-            },
+            mem: MemTraffic { read_bytes: (9 * nn + n * n + nn) * b, write_bytes: 9 * nn * b },
             host_sqrts: 0,
             host_divs: 0,
         },
@@ -268,10 +257,7 @@ pub fn elastic_workload(n: usize, flux: FluxKind) -> ElementWorkload {
         },
         integration: KernelProfile {
             ops: integ_ops,
-            mem: MemTraffic {
-                read_bytes: 3 * 9 * nn * b,
-                write_bytes: 2 * 9 * nn * b,
-            },
+            mem: MemTraffic { read_bytes: 3 * 9 * nn * b, write_bytes: 2 * 9 * nn * b },
             host_sqrts: 0,
             host_divs: 0,
         },
@@ -408,10 +394,7 @@ mod tests {
     #[test]
     fn table6_shape_relations_hold() {
         // Level 5 is exactly 8 × level 4 work.
-        assert_eq!(
-            Benchmark::Acoustic5.total_flops(),
-            8 * Benchmark::Acoustic4.total_flops()
-        );
+        assert_eq!(Benchmark::Acoustic5.total_flops(), 8 * Benchmark::Acoustic4.total_flops());
         assert_eq!(
             Benchmark::ElasticRiemann5.total_instructions(),
             8 * Benchmark::ElasticRiemann4.total_instructions()
@@ -440,11 +423,7 @@ mod tests {
         // an independent implementation must land within a small factor.
         for b in Benchmark::ALL {
             let flops = b.total_flops();
-            assert!(
-                (50_000_000..50_000_000_000).contains(&flops),
-                "{}: {flops}",
-                b.name()
-            );
+            assert!((50_000_000..50_000_000_000).contains(&flops), "{}: {flops}", b.name());
         }
         let a4 = Benchmark::Acoustic4.total_flops() as f64;
         assert!(

@@ -91,10 +91,7 @@ impl ReceiverArray {
 
     /// Peak absolute amplitude over all traces.
     pub fn peak(&self) -> f64 {
-        self.traces
-            .iter()
-            .flat_map(|t| t.iter())
-            .fold(0.0f64, |m, &v| m.max(v.abs()))
+        self.traces.iter().flat_map(|t| t.iter()).fold(0.0f64, |m, &v| m.max(v.abs()))
     }
 
     /// First-arrival sample index at a receiver: the first sample whose
@@ -140,13 +137,10 @@ mod tests {
 
     fn driven_solver() -> (Solver<Acoustic>, PointSource) {
         let mesh = HexMesh::refinement_level(1, Boundary::Wall);
-        let solver = Solver::<Acoustic>::uniform(mesh, 4, FluxKind::Riemann, AcousticMaterial::UNIT);
-        let src = PointSource::at(
-            &solver,
-            Vec3::new(0.25, 0.5, 0.5),
-            0,
-            Ricker::new(4.0, 0.3, 10.0),
-        );
+        let solver =
+            Solver::<Acoustic>::uniform(mesh, 4, FluxKind::Riemann, AcousticMaterial::UNIT);
+        let src =
+            PointSource::at(&solver, Vec3::new(0.25, 0.5, 0.5), 0, Ricker::new(4.0, 0.3, 10.0));
         (solver, src)
     }
 

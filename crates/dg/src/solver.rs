@@ -26,7 +26,7 @@ use crate::state::State;
 /// let mesh = HexMesh::refinement_level(1, Boundary::Periodic);
 /// let mut solver =
 ///     Solver::<Acoustic>::uniform(mesh, 4, FluxKind::Riemann, AcousticMaterial::UNIT);
-/// solver.set_initial(|var, x| if var == 0 { (6.28 * x.x).sin() } else { 0.0 });
+/// solver.set_initial(|var, x| if var == 0 { (std::f64::consts::TAU * x.x).sin() } else { 0.0 });
 /// let dt = solver.stable_dt(0.3);
 /// solver.run(dt, 10);
 /// assert!(solver.state().max_abs().is_finite());
@@ -45,6 +45,7 @@ pub struct Solver<P: Physics> {
     rhs: State,
     time: f64,
     steps_taken: usize,
+    trace_pid: u32,
 }
 
 impl<P: Physics> Solver<P> {
@@ -59,11 +60,7 @@ impl<P: Physics> Solver<P> {
         flux_kind: FluxKind,
         materials: Vec<P::Material>,
     ) -> Self {
-        assert_eq!(
-            materials.len(),
-            mesh.num_elements(),
-            "one material per element required"
-        );
+        assert_eq!(materials.len(), mesh.num_elements(), "one material per element required");
         let rule = GllRule::new(nodes_per_axis);
         let d = DiffMatrix::for_gll(&rule);
         let geom = ElementGeometry::new(mesh.h(), &rule);
@@ -85,7 +82,18 @@ impl<P: Physics> Solver<P> {
             rhs: State::zeros(ne, P::NUM_VARS, nn),
             time: 0.0,
             steps_taken: 0,
+            trace_pid: 0,
         }
+    }
+
+    /// This solver's trace process id, allocated on first traced use so
+    /// untraced runs never touch the trace registry. Native kernels are
+    /// recorded on the wall clock (there is no simulated time here).
+    fn trace_pid(&mut self) -> u32 {
+        if self.trace_pid == 0 {
+            self.trace_pid = pim_trace::alloc_pid("dg-solver (native)");
+        }
+        self.trace_pid
     }
 
     /// Builds a solver with one material everywhere.
@@ -154,10 +162,7 @@ impl<P: Physics> Solver<P> {
         let n = self.rule.len();
         let (i, j, k) = node_coords(n, node);
         let p = self.rule.points();
-        self.mesh.to_physical(
-            wavesim_mesh::ElemId(elem),
-            Vec3::new(p[i], p[j], p[k]),
-        )
+        self.mesh.to_physical(wavesim_mesh::ElemId(elem), Vec3::new(p[i], p[j], p[k]))
     }
 
     /// Initializes the state from a function of (variable, position).
@@ -180,11 +185,7 @@ impl<P: Physics> Solver<P> {
     /// A stable time-step: `cfl · h / (c_max · (n−1)²)`, the standard dG
     /// estimate with polynomial degree `n−1`.
     pub fn stable_dt(&self, cfl: f64) -> f64 {
-        let c_max = self
-            .materials
-            .iter()
-            .map(P::max_speed)
-            .fold(0.0f64, f64::max);
+        let c_max = self.materials.iter().map(P::max_speed).fold(0.0f64, f64::max);
         assert!(c_max > 0.0, "no positive wave speed in materials");
         let degree = (self.rule.len() - 1).max(1) as f64;
         cfl * self.mesh.h() / (c_max * degree * degree)
@@ -193,15 +194,30 @@ impl<P: Physics> Solver<P> {
     /// Evaluates the spatial RHS (Volume then Flux) of the current state
     /// into the contributions buffer.
     pub fn compute_rhs(&mut self) {
+        self.compute_rhs_staged(0);
+    }
+
+    fn compute_rhs_staged(&mut self, stage: u8) {
+        use pim_trace::{Kernel, Payload, WallSpan, TID_KERNELS};
+        let pid = if pim_trace::enabled() { self.trace_pid() } else { 0 };
         let n = self.rule.len();
-        volume::apply::<P>(
-            n,
-            &self.d,
-            self.geom.jacobian_inverse_domain(),
-            &self.materials,
-            &self.state,
-            &mut self.rhs,
-        );
+        {
+            let _span = WallSpan::begin(
+                pid,
+                TID_KERNELS,
+                Payload::Kernel { kernel: Kernel::Volume, stage },
+            );
+            volume::apply::<P>(
+                n,
+                &self.d,
+                self.geom.jacobian_inverse_domain(),
+                &self.materials,
+                &self.state,
+                &mut self.rhs,
+            );
+        }
+        let _span =
+            WallSpan::begin(pid, TID_KERNELS, Payload::Kernel { kernel: Kernel::Flux, stage });
         flux::apply::<P>(
             &self.topo,
             &self.mesh,
@@ -215,8 +231,22 @@ impl<P: Physics> Solver<P> {
 
     /// Advances one time-step: five (Volume → Flux → Integration) rounds.
     pub fn step(&mut self, dt: f64) {
+        use pim_trace::{Kernel, Payload, WallSpan, TID_KERNELS};
+        let pid = if pim_trace::enabled() { self.trace_pid() } else { 0 };
+        let _step_span =
+            WallSpan::begin(pid, TID_KERNELS, Payload::Kernel { kernel: Kernel::Step, stage: 0 });
         for s in 0..Lsrk5::STAGES {
-            self.compute_rhs();
+            let _stage_span = WallSpan::begin(
+                pid,
+                TID_KERNELS,
+                Payload::Kernel { kernel: Kernel::RkStage, stage: s as u8 },
+            );
+            self.compute_rhs_staged(s as u8);
+            let _int_span = WallSpan::begin(
+                pid,
+                TID_KERNELS,
+                Payload::Kernel { kernel: Kernel::Integration, stage: s as u8 },
+            );
             integration::stage(s, dt, &mut self.state, &mut self.aux, &self.rhs);
         }
         self.time += dt;

@@ -47,12 +47,7 @@ pub struct PointSource {
 
 impl PointSource {
     /// Locates the node nearest `position` and binds the source there.
-    pub fn at<P: Physics>(
-        solver: &Solver<P>,
-        position: Vec3,
-        var: usize,
-        wavelet: Ricker,
-    ) -> Self {
+    pub fn at<P: Physics>(solver: &Solver<P>, position: Vec3, var: usize, wavelet: Ricker) -> Self {
         assert!(var < P::NUM_VARS, "variable index out of range");
         let mut best = (0usize, 0usize, f64::INFINITY);
         for e in 0..solver.state().num_elements() {
@@ -98,8 +93,7 @@ mod tests {
         assert!(r.eval(1.0).abs() < 1e-10);
         // The Ricker wavelet has zero mean; crude check by sampling a
         // window wide enough that the truncated tails are negligible.
-        let integral: f64 =
-            (0..20_000).map(|i| r.eval(i as f64 * 1e-4 - 0.9)).sum::<f64>() * 1e-4;
+        let integral: f64 = (0..20_000).map(|i| r.eval(i as f64 * 1e-4 - 0.9)).sum::<f64>() * 1e-4;
         assert!(integral.abs() < 1e-8, "{integral}");
     }
 
@@ -120,12 +114,8 @@ mod tests {
         let mesh = HexMesh::refinement_level(1, Boundary::Wall);
         let mut s = Solver::<Acoustic>::uniform(mesh, 4, FluxKind::Riemann, AcousticMaterial::UNIT);
         let freq = 4.0;
-        let src = PointSource::at(
-            &s,
-            Vec3::new(0.5, 0.5, 0.5),
-            0,
-            Ricker::new(freq, 1.5 / freq, 1.0),
-        );
+        let src =
+            PointSource::at(&s, Vec3::new(0.5, 0.5, 0.5), 0, Ricker::new(freq, 1.5 / freq, 1.0));
         let dt = s.stable_dt(0.25);
         for _ in 0..50 {
             s.step(dt);
@@ -133,9 +123,7 @@ mod tests {
         }
         // The field must be nonzero away from the source element.
         let far = s.state().value(0, 0, 0).abs()
-            + s.state()
-                .value(s.state().num_elements() - 1, 0, 0)
-                .abs();
+            + s.state().value(s.state().num_elements() - 1, 0, 0).abs();
         assert!(s.state().max_abs() > 0.0);
         assert!(s.state().max_abs().is_finite());
         // Far-field may still be tiny at early times; at least the driven

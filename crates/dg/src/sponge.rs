@@ -97,16 +97,9 @@ mod tests {
         // elements, so interior elements' polynomial bases do not reach
         // into it.
         let mesh = HexMesh::refinement_level(2, Boundary::Wall);
-        let mut s =
-            Solver::<Acoustic>::uniform(mesh, 5, FluxKind::Riemann, AcousticMaterial::UNIT);
+        let mut s = Solver::<Acoustic>::uniform(mesh, 5, FluxKind::Riemann, AcousticMaterial::UNIT);
         let c = Vec3::new(0.5, 0.5, 0.5);
-        s.set_initial(|v, x| {
-            if v == 0 {
-                (-(x - c).dot(x - c) / 0.01).exp()
-            } else {
-                0.0
-            }
-        });
+        s.set_initial(|v, x| if v == 0 { (-(x - c).dot(x - c) / 0.01).exp() } else { 0.0 });
         s
     }
 
@@ -154,10 +147,7 @@ mod tests {
         let without = run(None);
         let s = pulse_solver();
         let with = run(Some(SpongeLayer::new(&s, 0.25, 40.0)));
-        assert!(
-            with < 0.1 * without,
-            "sponge failed to absorb: {with} vs {without}"
-        );
+        assert!(with < 0.1 * without, "sponge failed to absorb: {with} vs {without}");
     }
 
     #[test]

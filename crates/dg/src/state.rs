@@ -136,10 +136,7 @@ impl State {
     /// Maximum absolute difference against another state of identical shape.
     pub fn max_abs_diff(&self, other: &State) -> f64 {
         assert_eq!(self.data.len(), other.data.len(), "state shapes differ");
-        self.data
-            .iter()
-            .zip(&other.data)
-            .fold(0.0f64, |m, (&a, &b)| m.max((a - b).abs()))
+        self.data.iter().zip(&other.data).fold(0.0f64, |m, (&a, &b)| m.max((a - b).abs()))
     }
 }
 

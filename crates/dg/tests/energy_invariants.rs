@@ -51,8 +51,7 @@ fn acoustic_central_flux_conserves_energy() {
 #[test]
 fn acoustic_riemann_flux_dissipates_monotonically() {
     let mesh = HexMesh::refinement_level(1, Boundary::Periodic);
-    let mut s =
-        Solver::<Acoustic>::uniform(mesh, 5, FluxKind::Riemann, AcousticMaterial::UNIT);
+    let mut s = Solver::<Acoustic>::uniform(mesh, 5, FluxKind::Riemann, AcousticMaterial::UNIT);
     smooth_acoustic_init(&mut s);
     let dt = s.stable_dt(0.2);
     let mut prev = acoustic_energy(&s);
@@ -60,10 +59,7 @@ fn acoustic_riemann_flux_dissipates_monotonically() {
     for _ in 0..40 {
         s.step(dt);
         let e = acoustic_energy(&s);
-        assert!(
-            e <= prev * (1.0 + 1e-12),
-            "upwind energy increased: {prev} -> {e}"
-        );
+        assert!(e <= prev * (1.0 + 1e-12), "upwind energy increased: {prev} -> {e}");
         prev = e;
     }
     // The discontinuous nodal interpolation of a smooth-but-not-resolved
@@ -82,10 +78,7 @@ fn acoustic_wall_boundary_keeps_energy_bounded() {
         let dt = s.stable_dt(0.2);
         s.run(dt, 40);
         let e1 = acoustic_energy(&s);
-        assert!(
-            e1 <= e0 * (1.0 + tol),
-            "{kind:?}: wall boundary grew energy {e0} -> {e1}"
-        );
+        assert!(e1 <= e0 * (1.0 + tol), "{kind:?}: wall boundary grew energy {e0} -> {e1}");
         if kind == FluxKind::Central {
             assert!((e1 - e0).abs() / e0 < tol, "{kind:?} drift {}", (e1 - e0).abs() / e0);
         }
@@ -95,12 +88,8 @@ fn acoustic_wall_boundary_keeps_energy_bounded() {
 #[test]
 fn elastic_central_flux_conserves_energy() {
     let mesh = HexMesh::refinement_level(1, Boundary::Periodic);
-    let mut s = Solver::<Elastic>::uniform(
-        mesh,
-        4,
-        FluxKind::Central,
-        ElasticMaterial::new(2.0, 1.0, 1.0),
-    );
+    let mut s =
+        Solver::<Elastic>::uniform(mesh, 4, FluxKind::Central, ElasticMaterial::new(2.0, 1.0, 1.0));
     smooth_elastic_init(&mut s);
     let e0 = elastic_energy(&s);
     assert!(e0 > 0.0);
@@ -113,12 +102,8 @@ fn elastic_central_flux_conserves_energy() {
 #[test]
 fn elastic_riemann_flux_dissipates_monotonically() {
     let mesh = HexMesh::refinement_level(1, Boundary::Periodic);
-    let mut s = Solver::<Elastic>::uniform(
-        mesh,
-        4,
-        FluxKind::Riemann,
-        ElasticMaterial::new(1.0, 1.0, 2.0),
-    );
+    let mut s =
+        Solver::<Elastic>::uniform(mesh, 4, FluxKind::Riemann, ElasticMaterial::new(1.0, 1.0, 2.0));
     smooth_elastic_init(&mut s);
     let dt = s.stable_dt(0.2);
     let mut prev = elastic_energy(&s);

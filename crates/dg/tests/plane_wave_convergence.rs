@@ -53,10 +53,7 @@ fn acoustic_error_decreases_with_mesh_refinement() {
     // dissipative norm; demand at least 8× to stay robust).
     let coarse = acoustic_error_after(1, 4, FluxKind::Riemann, 0.25);
     let fine = acoustic_error_after(2, 4, FluxKind::Riemann, 0.25);
-    assert!(
-        fine < coarse / 8.0,
-        "h-refinement did not converge at 4th order: {coarse} -> {fine}"
-    );
+    assert!(fine < coarse / 8.0, "h-refinement did not converge at 4th order: {coarse} -> {fine}");
 }
 
 #[test]
@@ -96,12 +93,8 @@ fn elastic_p_wave_is_accurately_propagated() {
 #[test]
 fn elastic_s_wave_is_accurately_propagated() {
     let material = ElasticMaterial::new(1.0, 1.0, 1.0);
-    let wave = ElasticPlaneWave::s_wave(
-        Vec3::new(TAU, 0.0, 0.0),
-        Vec3::new(0.0, 1.0, 0.0),
-        1.0,
-        material,
-    );
+    let wave =
+        ElasticPlaneWave::s_wave(Vec3::new(TAU, 0.0, 0.0), Vec3::new(0.0, 1.0, 0.0), 1.0, material);
     let mesh = HexMesh::refinement_level(1, Boundary::Periodic);
     let mut s = Solver::<Elastic>::uniform(mesh, 6, FluxKind::Riemann, material);
     s.set_initial(|v, x| wave.eval(x, 0.0)[v]);

@@ -29,7 +29,7 @@ proptest! {
         let mut s = Solver::<Acoustic>::new(mesh, 4, FluxKind::Riemann, mats);
         s.set_initial(|v, x| {
             let phase = seed as f64 * 0.37 + v as f64;
-            (6.28 * x.x + phase).sin() * 0.3 + (6.28 * (x.y + x.z)).cos() * 0.2
+            (std::f64::consts::TAU * x.x + phase).sin() * 0.3 + (std::f64::consts::TAU * (x.y + x.z)).cos() * 0.2
         });
         let dt = s.stable_dt(0.15);
         let mut prev = acoustic_energy(&s);
@@ -51,7 +51,7 @@ proptest! {
         let mesh = HexMesh::refinement_level(1, Boundary::Periodic);
         let mut s = Solver::<Elastic>::uniform(mesh, 3, FluxKind::Riemann, mat);
         s.set_initial(|v, x| {
-            ((seed % 7) as f64 * 0.1 + v as f64 * 0.05) * (6.28 * (x.x + 0.5 * x.y)).sin()
+            ((seed % 7) as f64 * 0.1 + v as f64 * 0.05) * (std::f64::consts::TAU * (x.x + 0.5 * x.y)).sin()
         });
         let dt = s.stable_dt(0.15);
         let mut prev = elastic_energy(&s);
@@ -75,7 +75,7 @@ proptest! {
             let mut s = Solver::<Acoustic>::uniform(
                 mesh.clone(), 3, FluxKind::Riemann, AcousticMaterial::new(2.0, 0.5));
             s.set_initial(|v, x| {
-                scale * ((6.28 * x.x + v as f64 + seed as f64 * 0.01).sin())
+                scale * ((std::f64::consts::TAU * x.x + v as f64 + seed as f64 * 0.01).sin())
             });
             s.step(1e-3);
             s
@@ -107,15 +107,15 @@ proptest! {
         let mut sa = Solver::<Acoustic>::uniform(
             mesh.clone(), 3, FluxKind::Riemann, AcousticMaterial::UNIT);
         sa.set_initial(|v, x| match v {
-            0 => (6.28 * x.x + phase).sin(),
-            1 => 0.5 * (6.28 * x.x + phase).sin(),
+            0 => (std::f64::consts::TAU * x.x + phase).sin(),
+            1 => 0.5 * (std::f64::consts::TAU * x.x + phase).sin(),
             _ => 0.0,
         });
         let mut sb = Solver::<Acoustic>::uniform(
             mesh, 3, FluxKind::Riemann, AcousticMaterial::UNIT);
         sb.set_initial(|v, x| match v {
-            0 => (6.28 * x.y + phase).sin(),
-            2 => 0.5 * (6.28 * x.y + phase).sin(),
+            0 => (std::f64::consts::TAU * x.y + phase).sin(),
+            2 => 0.5 * (std::f64::consts::TAU * x.y + phase).sin(),
             _ => 0.0,
         });
         let dt = 2e-3;

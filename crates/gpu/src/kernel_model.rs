@@ -103,11 +103,11 @@ pub fn stage_seconds(benchmark: Benchmark, gpu: GpuModel, variant: GpuImpl) -> f
                 (w.volume.mem.total() + w.flux.mem.total()) as f64 * e as f64 - saved_bytes as f64;
             // Fused kernel inherits the flux divergence on its flux part;
             // blend compute efficiencies by op share.
-            let fshare = w.flux.ops.flops() as f64 / (w.flux.ops.flops() + w.volume.ops.flops()) as f64;
+            let fshare =
+                w.flux.ops.flops() as f64 / (w.flux.ops.flops() + w.volume.ops.flops()) as f64;
             let ceff = volume_eff().compute * (1.0 - fshare) + flux_eff(flux).compute * fshare;
             let meff = volume_eff().memory * FUSED_MEMORY_BONUS;
-            let fused = (flops / (spec.peak_fp32 * ceff))
-                .max(bytes / (spec.mem_bandwidth * meff))
+            let fused = (flops / (spec.peak_fp32 * ceff)).max(bytes / (spec.mem_bandwidth * meff))
                 + LAUNCH_OVERHEAD;
             fused + kernel_seconds(gpu, &w.integration, e, integration_eff())
         }

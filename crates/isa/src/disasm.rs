@@ -76,7 +76,13 @@ mod tests {
         let instrs = [
             Instr::Read { block: BlockId(1), row: 2, offset: 3, words: 4 },
             Instr::Write { block: BlockId(1), row: 2, offset: 3, words: 4 },
-            Instr::Broadcast { block: BlockId(5), dst_first: 0, dst_last: 511, offset: 7, words: 1 },
+            Instr::Broadcast {
+                block: BlockId(5),
+                dst_first: 0,
+                dst_last: 511,
+                offset: 7,
+                words: 1,
+            },
             Instr::Copy { src: BlockId(1), dst: BlockId(9), words: 4 },
             Instr::Arith {
                 block: BlockId(0),

@@ -75,8 +75,7 @@ pub fn encode(instr: &Instr) -> u64 {
     let op = field(instr.opcode() as u64, 57, 7);
     match *instr {
         Instr::Sync => op,
-        Instr::Read { block, row, offset, words }
-        | Instr::Write { block, row, offset, words } => {
+        Instr::Read { block, row, offset, words } | Instr::Write { block, row, offset, words } => {
             op | field(block.0 as u64, 40, 17)
                 | field(row as u64, 30, 10)
                 | field(offset as u64, 25, 5)
@@ -218,7 +217,12 @@ mod tests {
 
     #[test]
     fn lut_encoding_matches_figure_4_layout() {
-        let i = Instr::Lut { row: 0x2AB_CDEF, offset_s: 0b10101, lut_block: 0x1F_F00F, offset_d: 0b01010 };
+        let i = Instr::Lut {
+            row: 0x2AB_CDEF,
+            offset_s: 0b10101,
+            lut_block: 0x1F_F00F,
+            offset_d: 0b01010,
+        };
         let w = encode(&i);
         assert_eq!((w >> 57) & 0x7F, 0x06, "opcode bits 63:57");
         assert_eq!((w >> 31) & 0x3FF_FFFF, 0x2AB_CDEF, "Row ID bits 56:31");

@@ -194,7 +194,13 @@ mod tests {
             a: 1,
             b: 2,
         });
-        s.push(Instr::Broadcast { block: BlockId(0), dst_first: 0, dst_last: 511, offset: 0, words: 1 });
+        s.push(Instr::Broadcast {
+            block: BlockId(0),
+            dst_first: 0,
+            dst_last: 511,
+            offset: 0,
+            words: 1,
+        });
         s.push(Instr::LoadOffchip { block: BlockId(0), bytes: 2048 });
         s.push(Instr::Sync);
 

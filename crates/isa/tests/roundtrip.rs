@@ -34,8 +34,11 @@ fn arb_instr() -> impl Strategy<Value = Instr> {
                 words
             }
         ),
-        (arb_block(), arb_block(), any::<u16>())
-            .prop_map(|(src, dst, words)| Instr::Copy { src, dst, words }),
+        (arb_block(), arb_block(), any::<u16>()).prop_map(|(src, dst, words)| Instr::Copy {
+            src,
+            dst,
+            words
+        }),
         (arb_block(), arb_alu(), 0u16..1024, 0u16..1024, 0u8..32, 0u8..32, 0u8..32).prop_map(
             |(block, op, first_row, last_row, dst, a, b)| Instr::Arith {
                 block,
@@ -55,10 +58,8 @@ fn arb_instr() -> impl Strategy<Value = Instr> {
                 offset_d
             }
         ),
-        (arb_block(), any::<u32>())
-            .prop_map(|(block, bytes)| Instr::LoadOffchip { block, bytes }),
-        (arb_block(), any::<u32>())
-            .prop_map(|(block, bytes)| Instr::StoreOffchip { block, bytes }),
+        (arb_block(), any::<u32>()).prop_map(|(block, bytes)| Instr::LoadOffchip { block, bytes }),
+        (arb_block(), any::<u32>()).prop_map(|(block, bytes)| Instr::StoreOffchip { block, bytes }),
     ]
 }
 

@@ -20,14 +20,8 @@ pub enum Face {
 
 impl Face {
     /// All six faces, minus before plus, x then y then z.
-    pub const ALL: [Face; 6] = [
-        Face::XMinus,
-        Face::XPlus,
-        Face::YMinus,
-        Face::YPlus,
-        Face::ZMinus,
-        Face::ZPlus,
-    ];
+    pub const ALL: [Face; 6] =
+        [Face::XMinus, Face::XPlus, Face::YMinus, Face::YPlus, Face::ZMinus, Face::ZPlus];
 
     /// The axis this face is normal to.
     #[inline]

@@ -297,10 +297,7 @@ mod tests {
         let e = mesh.elem_id(1, 0, 1);
         assert_eq!(mesh.elem_origin(e), Vec3::new(1.0, 0.0, 1.0));
         assert_eq!(mesh.elem_center(e), Vec3::new(1.5, 0.5, 1.5));
-        assert_eq!(
-            mesh.to_physical(e, Vec3::new(-1.0, -1.0, -1.0)),
-            Vec3::new(1.0, 0.0, 1.0)
-        );
+        assert_eq!(mesh.to_physical(e, Vec3::new(-1.0, -1.0, -1.0)), Vec3::new(1.0, 0.0, 1.0));
         assert_eq!(mesh.to_physical(e, Vec3::new(1.0, 1.0, 1.0)), Vec3::new(2.0, 1.0, 2.0));
     }
 

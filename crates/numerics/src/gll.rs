@@ -106,11 +106,7 @@ impl GllRule {
 
     /// Integrates `f` over `[-1, 1]` with this rule.
     pub fn integrate(&self, mut f: impl FnMut(f64) -> f64) -> f64 {
-        self.points
-            .iter()
-            .zip(&self.weights)
-            .map(|(&x, &w)| w * f(x))
-            .sum()
+        self.points.iter().zip(&self.weights).map(|(&x, &w)| w * f(x)).sum()
     }
 }
 
@@ -216,11 +212,7 @@ mod tests {
             let rule = GllRule::new(n);
             for degree in 0..=(2 * n - 3) {
                 let integral = rule.integrate(|x| x.powi(degree as i32));
-                let exact = if degree % 2 == 1 {
-                    0.0
-                } else {
-                    2.0 / (degree as f64 + 1.0)
-                };
+                let exact = if degree % 2 == 1 { 0.0 } else { 2.0 / (degree as f64 + 1.0) };
                 assert_close(integral, exact, 1e-11);
             }
         }

@@ -160,11 +160,7 @@ mod tests {
         let w = barycentric_weights(rule.points());
         let values: Vec<f64> = rule.points().iter().map(|&x| x.sin()).collect();
         for (i, &x) in rule.points().iter().enumerate() {
-            assert_close(
-                barycentric_interpolate(rule.points(), &w, &values, x),
-                values[i],
-                0.0,
-            );
+            assert_close(barycentric_interpolate(rule.points(), &w, &values, x), values[i], 0.0);
         }
     }
 
@@ -175,11 +171,7 @@ mod tests {
         let poly = |x: f64| 3.0 * x.powi(4) - 2.0 * x.powi(2) + 0.5 * x - 1.0;
         let values: Vec<f64> = rule.points().iter().map(|&x| poly(x)).collect();
         for &x in &[-0.83, -0.11, 0.47, 0.92] {
-            assert_close(
-                barycentric_interpolate(rule.points(), &w, &values, x),
-                poly(x),
-                1e-12,
-            );
+            assert_close(barycentric_interpolate(rule.points(), &w, &values, x), poly(x), 1e-12);
         }
     }
 
@@ -209,11 +201,8 @@ mod tests {
                 let mut out = vec![0.0; n];
                 d.apply(&v, &mut out);
                 for (i, &x) in rule.points().iter().enumerate() {
-                    let exact = if degree == 0 {
-                        0.0
-                    } else {
-                        degree as f64 * x.powi(degree as i32 - 1)
-                    };
+                    let exact =
+                        if degree == 0 { 0.0 } else { degree as f64 * x.powi(degree as i32 - 1) };
                     assert_close(out[i], exact, 1e-9);
                 }
             }
@@ -237,12 +226,12 @@ mod tests {
         let v: Vec<f64> = (0..7).map(|i| (i as f64 * 0.37).cos()).collect();
         let mut out_t = vec![0.0; 7];
         d.apply_transpose(&v, &mut out_t);
-        for i in 0..7 {
+        for (i, &out) in out_t.iter().enumerate() {
             let mut manual = 0.0;
-            for j in 0..7 {
-                manual += d.get(j, i) * v[j];
+            for (j, &vj) in v.iter().enumerate() {
+                manual += d.get(j, i) * vj;
             }
-            assert_close(out_t[i], manual, 1e-13);
+            assert_close(out, manual, 1e-13);
         }
     }
 

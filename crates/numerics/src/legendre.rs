@@ -70,10 +70,7 @@ pub fn legendre_and_deriv(n: usize, x: f64) -> (f64, f64) {
 pub fn legendre_second_deriv(n: usize, x: f64) -> f64 {
     let (p, dp) = legendre_and_deriv(n, x);
     let denom = 1.0 - x * x;
-    debug_assert!(
-        denom.abs() > 1e-12,
-        "second derivative via ODE is singular at the endpoints"
-    );
+    debug_assert!(denom.abs() > 1e-12, "second derivative via ODE is singular at the endpoints");
     (2.0 * x * dp - (n as f64) * (n as f64 + 1.0) * p) / denom
 }
 
@@ -93,11 +90,7 @@ mod tests {
             assert_close(legendre(2, x), 0.5 * (3.0 * x * x - 1.0), 1e-14);
             assert_close(legendre(3, x), 0.5 * (5.0 * x * x * x - 3.0 * x), 1e-14);
             let x2 = x * x;
-            assert_close(
-                legendre(4, x),
-                (35.0 * x2 * x2 - 30.0 * x2 + 3.0) / 8.0,
-                1e-13,
-            );
+            assert_close(legendre(4, x), (35.0 * x2 * x2 - 30.0 * x2 + 3.0) / 8.0, 1e-13);
         }
     }
 
@@ -140,8 +133,7 @@ mod tests {
         for n in 2..10 {
             for &x in &[-0.8, -0.3, 0.0, 0.4, 0.85] {
                 let d2 = legendre_second_deriv(n, x);
-                let fd =
-                    (legendre(n, x + h) - 2.0 * legendre(n, x) + legendre(n, x - h)) / (h * h);
+                let fd = (legendre(n, x + h) - 2.0 * legendre(n, x) + legendre(n, x - h)) / (h * h);
                 assert_close(d2, fd, 1e-4 * (1.0 + d2.abs()));
             }
         }

@@ -11,7 +11,8 @@
 
 use std::collections::HashMap;
 
-use pim_isa::{BlockId, Instr, InstrStream, BLOCK_ROWS, WORDS_PER_ROW};
+use pim_isa::{AluOp, BlockId, Instr, InstrStream, BLOCK_ROWS, WORDS_PER_ROW};
+use pim_trace::{Payload, TID_HOST, TID_INTERCONNECT, TID_OFFCHIP};
 
 use crate::block::MemBlock;
 use crate::energy::EnergyLedger;
@@ -81,6 +82,19 @@ pub struct PimChip {
     barrier: f64,
     elapsed: f64,
     ledger: EnergyLedger,
+    trace_pid: u32,
+}
+
+/// Static op name for trace payloads.
+fn alu_name(op: AluOp) -> &'static str {
+    match op {
+        AluOp::Add => "add",
+        AluOp::Sub => "sub",
+        AluOp::Mul => "mul",
+        AluOp::Mac => "mac",
+        AluOp::Neg => "neg",
+        AluOp::Mov => "mov",
+    }
 }
 
 impl PimChip {
@@ -98,6 +112,30 @@ impl PimChip {
             barrier: 0.0,
             elapsed: 0.0,
             ledger: EnergyLedger::default(),
+            trace_pid: 0,
+        }
+    }
+
+    /// This chip's trace process id (lazily allocated so untraced runs
+    /// never touch the trace registry).
+    pub fn trace_pid(&mut self) -> u32 {
+        if self.trace_pid == 0 {
+            self.trace_pid =
+                pim_trace::alloc_pid(format!("pim-chip {}", self.config.capacity.name()));
+        }
+        self.trace_pid
+    }
+
+    /// Records an instruction-level span on this chip's trace process.
+    /// Timestamps are *unscaled* simulated seconds — the same clock as
+    /// [`Self::elapsed`] — and the energy payload is exactly the joules
+    /// charged to the ledger, so drained traces reconcile against
+    /// [`Self::finish`] without slack.
+    #[inline]
+    fn trace(&mut self, tid: u32, t0: f64, t1: f64, payload: Payload) {
+        if pim_trace::enabled() {
+            let pid = self.trace_pid();
+            pim_trace::record_span(pid, tid, t0, t1, payload);
         }
     }
 
@@ -192,8 +230,17 @@ impl PimChip {
         // Host dispatch of the whole stream is a lower bound on elapsed
         // time: the chip cannot outrun its instruction feed.
         let dispatch = self.host.dispatch_time(stream.len() as u64);
-        self.ledger.host += dispatch * self.host.power();
+        let joules = dispatch * self.host.power();
+        self.ledger.host += joules;
         self.elapsed = self.elapsed.max(dispatch);
+        // The lower bound is absolute (measured from t = 0), so the span
+        // is too.
+        self.trace(
+            TID_HOST,
+            0.0,
+            dispatch,
+            Payload::HostCall { call: "dispatch", count: stream.len() as u64, energy_j: joules },
+        );
     }
 
     fn execute_one(&mut self, instr: &Instr) {
@@ -210,6 +257,12 @@ impl PimChip {
                 );
                 self.ledger.reads += cost.joules;
                 self.finish_block(block, start + cost.seconds);
+                self.trace(
+                    block.0,
+                    start,
+                    start + cost.seconds,
+                    Payload::BlockOp { op: "read", nor_cycles: 0, energy_j: cost.joules },
+                );
             }
             Instr::Write { block, row, offset, words } => {
                 let start = self.block_start(block);
@@ -220,6 +273,12 @@ impl PimChip {
                 );
                 self.ledger.writes += cost.joules;
                 self.finish_block(block, start + cost.seconds);
+                self.trace(
+                    block.0,
+                    start,
+                    start + cost.seconds,
+                    Payload::BlockOp { op: "write", nor_cycles: 0, energy_j: cost.joules },
+                );
             }
             Instr::Broadcast { block, dst_first, dst_last, offset, words } => {
                 let start = self.block_start(block);
@@ -231,6 +290,12 @@ impl PimChip {
                 );
                 self.ledger.writes += cost.joules;
                 self.finish_block(block, start + cost.seconds);
+                self.trace(
+                    block.0,
+                    start,
+                    start + cost.seconds,
+                    Payload::BlockOp { op: "broadcast", nor_cycles: 0, energy_j: cost.joules },
+                );
             }
             Instr::Arith { block, op, first_row, last_row, dst, a, b } => {
                 let start = self.block_start(block);
@@ -244,6 +309,16 @@ impl PimChip {
                 );
                 self.ledger.compute += cost.joules;
                 self.finish_block(block, start + cost.seconds);
+                self.trace(
+                    block.0,
+                    start,
+                    start + cost.seconds,
+                    Payload::BlockOp {
+                        op: alu_name(op),
+                        nor_cycles: params::alu_cycles(op),
+                        energy_j: cost.joules,
+                    },
+                );
             }
             Instr::Copy { src, dst, words } => {
                 let t = Transfer { src, dst, words: words as u32 };
@@ -263,6 +338,12 @@ impl PimChip {
                 self.ledger.interconnect += joules;
                 self.finish_block(src, finish);
                 self.finish_block(dst, finish);
+                self.trace(
+                    TID_INTERCONNECT,
+                    start,
+                    finish,
+                    Payload::Transfer { bytes: words as u64 * 4, energy_j: joules },
+                );
             }
             Instr::Lut { row, offset_s, lut_block, offset_d } => {
                 // Algorithm 1: read the index, fetch the content from the
@@ -281,14 +362,10 @@ impl PimChip {
                 };
                 self.ledger.reads += read1_joules;
                 let index = index.round() as usize;
-                assert!(
-                    index < BLOCK_ROWS * WORDS_PER_ROW,
-                    "LUT index {index} exceeds one block"
-                );
+                assert!(index < BLOCK_ROWS * WORDS_PER_ROW, "LUT index {index} exceeds one block");
                 let (content, read2_joules) = {
                     let b = self.block_mut(lut);
-                    let cost =
-                        b.read_to_buffer(index / WORDS_PER_ROW, index % WORDS_PER_ROW, 1);
+                    let cost = b.read_to_buffer(index / WORDS_PER_ROW, index % WORDS_PER_ROW, 1);
                     (b.row_buffer()[0], cost.joules)
                 };
                 self.ledger.reads += read2_joules;
@@ -298,8 +375,7 @@ impl PimChip {
                 let (dur, joules) = self.transfer_cost(&t);
                 let mut xfer_start = start + 2.0 * params::T_SEARCH;
                 for r in &path {
-                    xfer_start =
-                        xfer_start.max(self.resource_ready.get(r).copied().unwrap_or(0.0));
+                    xfer_start = xfer_start.max(self.resource_ready.get(r).copied().unwrap_or(0.0));
                 }
                 let xfer_finish = xfer_start + dur;
                 for r in path {
@@ -314,15 +390,49 @@ impl PimChip {
                 let finish = xfer_finish + wcost.seconds;
                 self.finish_block(holder, finish);
                 self.finish_block(lut, finish);
+                if pim_trace::enabled() {
+                    // Algorithm 1 decomposed on the timeline: index read,
+                    // LUT content read, switch transfer, result write.
+                    self.trace(
+                        holder.0,
+                        start,
+                        start + params::T_SEARCH,
+                        Payload::BlockOp { op: "read", nor_cycles: 0, energy_j: read1_joules },
+                    );
+                    self.trace(
+                        lut.0,
+                        start + params::T_SEARCH,
+                        start + 2.0 * params::T_SEARCH,
+                        Payload::BlockOp { op: "read", nor_cycles: 0, energy_j: read2_joules },
+                    );
+                    self.trace(
+                        TID_INTERCONNECT,
+                        xfer_start,
+                        xfer_finish,
+                        Payload::Transfer { bytes: 4, energy_j: joules },
+                    );
+                    self.trace(
+                        holder.0,
+                        xfer_finish,
+                        finish,
+                        Payload::BlockOp { op: "write", nor_cycles: 0, energy_j: wcost.joules },
+                    );
+                }
             }
             Instr::LoadOffchip { block, bytes } | Instr::StoreOffchip { block, bytes } => {
                 let dur = bytes as f64 / params::OFFCHIP_BANDWIDTH;
                 let start = self.block_start(block).max(self.offchip_ready);
                 let finish = start + dur;
                 self.offchip_ready = finish;
-                self.ledger.offchip +=
-                    bytes as f64 * (params::OFFCHIP_POWER / params::OFFCHIP_BANDWIDTH);
+                let joules = bytes as f64 * (params::OFFCHIP_POWER / params::OFFCHIP_BANDWIDTH);
+                self.ledger.offchip += joules;
                 self.finish_block(block, finish);
+                self.trace(
+                    TID_OFFCHIP,
+                    start,
+                    finish,
+                    Payload::Offchip { bytes: bytes as u64, energy_j: joules },
+                );
             }
         }
     }
@@ -332,6 +442,12 @@ impl PimChip {
         let (seconds, joules) = self.host.preprocess(sqrts, divs);
         self.ledger.host += joules;
         self.elapsed = self.elapsed.max(seconds);
+        self.trace(
+            TID_HOST,
+            0.0,
+            seconds,
+            Payload::HostCall { call: "preprocess", count: sqrts + divs, energy_j: joules },
+        );
     }
 
     /// Finalizes the run: applies process-node scaling and charges static
@@ -354,7 +470,15 @@ mod tests {
     }
 
     fn arith(block: u32, op: AluOp, rows: u16) -> Instr {
-        Instr::Arith { block: BlockId(block), op, first_row: 0, last_row: rows - 1, dst: 2, a: 0, b: 1 }
+        Instr::Arith {
+            block: BlockId(block),
+            op,
+            first_row: 0,
+            last_row: rows - 1,
+            dst: 2,
+            a: 0,
+            b: 1,
+        }
     }
 
     #[test]

@@ -92,10 +92,8 @@ pub trait Interconnect {
         let mut energy = 0.0;
         for t in transfers {
             let path = self.route(t.src, t.dst);
-            let start = path
-                .iter()
-                .map(|r| free_at.get(r).copied().unwrap_or(0.0))
-                .fold(0.0f64, f64::max);
+            let start =
+                path.iter().map(|r| free_at.get(r).copied().unwrap_or(0.0)).fold(0.0f64, f64::max);
             let finish = start + self.duration(t);
             for r in path {
                 free_at.insert(r, finish);
@@ -338,10 +336,7 @@ mod tests {
             (hs.makespan - single_h.makespan).abs() < 1e-15,
             "H-tree must overlap disjoint transfers"
         );
-        assert!(
-            (bs.makespan - 2.0 * single_b.makespan).abs() < 1e-15,
-            "bus must serialize"
-        );
+        assert!((bs.makespan - 2.0 * single_b.makespan).abs() < 1e-15, "bus must serialize");
     }
 
     #[test]

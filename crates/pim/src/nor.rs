@@ -177,9 +177,7 @@ pub fn to_bits(value: u64, n: usize) -> Vec<bool> {
 /// Converts little-endian bits back to a u64 (must fit).
 pub fn from_bits(bits: &[bool]) -> u64 {
     assert!(bits.len() <= 64);
-    bits.iter()
-        .enumerate()
-        .fold(0u64, |acc, (i, &b)| acc | ((b as u64) << i))
+    bits.iter().enumerate().fold(0u64, |acc, (i, &b)| acc | ((b as u64) << i))
 }
 
 #[cfg(test)]

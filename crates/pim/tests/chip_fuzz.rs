@@ -21,20 +21,41 @@ fn arb_alu() -> impl Strategy<Value = AluOp> {
 
 fn arb_instr() -> impl Strategy<Value = Instr> {
     prop_oneof![
-        (0..BLOCKS, 0u16..1024, 0u8..31, 1u8..=1)
-            .prop_map(|(b, row, off, w)| Instr::Read { block: BlockId(b), row, offset: off, words: w }),
-        (0..BLOCKS, 0u16..1024, 0u8..31, 1u8..=1)
-            .prop_map(|(b, row, off, w)| Instr::Write { block: BlockId(b), row, offset: off, words: w }),
-        (0..BLOCKS, 0u16..512, 0u8..31)
-            .prop_map(|(b, last, off)| Instr::Broadcast {
-                block: BlockId(b), dst_first: 0, dst_last: last, offset: off, words: 1
-            }),
-        (0..BLOCKS, 0..BLOCKS, 1u16..32)
-            .prop_map(|(a, b, w)| Instr::Copy { src: BlockId(a), dst: BlockId(b), words: w }),
-        (0..BLOCKS, arb_alu(), 0u16..512, 0u8..32, 0u8..32, 0u8..32)
-            .prop_map(|(b, op, last, d, x, y)| Instr::Arith {
-                block: BlockId(b), op, first_row: 0, last_row: last, dst: d, a: x, b: y
-            }),
+        (0..BLOCKS, 0u16..1024, 0u8..31, 1u8..=1).prop_map(|(b, row, off, w)| Instr::Read {
+            block: BlockId(b),
+            row,
+            offset: off,
+            words: w
+        }),
+        (0..BLOCKS, 0u16..1024, 0u8..31, 1u8..=1).prop_map(|(b, row, off, w)| Instr::Write {
+            block: BlockId(b),
+            row,
+            offset: off,
+            words: w
+        }),
+        (0..BLOCKS, 0u16..512, 0u8..31).prop_map(|(b, last, off)| Instr::Broadcast {
+            block: BlockId(b),
+            dst_first: 0,
+            dst_last: last,
+            offset: off,
+            words: 1
+        }),
+        (0..BLOCKS, 0..BLOCKS, 1u16..32).prop_map(|(a, b, w)| Instr::Copy {
+            src: BlockId(a),
+            dst: BlockId(b),
+            words: w
+        }),
+        (0..BLOCKS, arb_alu(), 0u16..512, 0u8..32, 0u8..32, 0u8..32).prop_map(
+            |(b, op, last, d, x, y)| Instr::Arith {
+                block: BlockId(b),
+                op,
+                first_row: 0,
+                last_row: last,
+                dst: d,
+                a: x,
+                b: y
+            }
+        ),
         (0..BLOCKS, 1u32..4096)
             .prop_map(|(b, bytes)| Instr::LoadOffchip { block: BlockId(b), bytes }),
         (0..BLOCKS, 1u32..4096)

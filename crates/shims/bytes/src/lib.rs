@@ -1,0 +1,176 @@
+//! Offline stand-in for `bytes`.
+//!
+//! Implements the subset the workspace uses: `BytesMut` as a growable
+//! write buffer with little-endian `put_*` methods, `freeze` into an
+//! immutable `Bytes`, and consuming little-endian `get_*` reads plus
+//! `slice`/`from_static` on `Bytes`. Backed by plain `Vec<u8>`/offset —
+//! no refcounted zero-copy machinery, which the program-image codec does
+//! not need.
+
+/// Immutable byte buffer with a read cursor.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Bytes {
+    data: Vec<u8>,
+    pos: usize,
+}
+
+impl Bytes {
+    pub fn from_static(data: &'static [u8]) -> Self {
+        Self { data: data.to_vec(), pos: 0 }
+    }
+
+    /// Remaining (unread) length.
+    pub fn len(&self) -> usize {
+        self.data.len() - self.pos
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// A new `Bytes` over the given range of the *remaining* bytes.
+    pub fn slice(&self, range: std::ops::Range<usize>) -> Self {
+        Self { data: self.data[self.pos..][range].to_vec(), pos: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> &[u8] {
+        assert!(self.len() >= n, "buffer underflow: need {n}, have {}", self.len());
+        let s = &self.data[self.pos..self.pos + n];
+        self.pos += n;
+        s
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(data: Vec<u8>) -> Self {
+        Self { data, pos: 0 }
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        &self.data[self.pos..]
+    }
+}
+
+/// Growable write buffer.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct BytesMut {
+    data: Vec<u8>,
+}
+
+impl BytesMut {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn with_capacity(cap: usize) -> Self {
+        Self { data: Vec::with_capacity(cap) }
+    }
+
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    pub fn freeze(self) -> Bytes {
+        Bytes { data: self.data, pos: 0 }
+    }
+}
+
+/// Write side of the cursor API (little-endian subset).
+pub trait BufMut {
+    fn put_slice(&mut self, src: &[u8]);
+
+    fn put_u8(&mut self, v: u8) {
+        self.put_slice(&[v]);
+    }
+    fn put_u16_le(&mut self, v: u16) {
+        self.put_slice(&v.to_le_bytes());
+    }
+    fn put_u32_le(&mut self, v: u32) {
+        self.put_slice(&v.to_le_bytes());
+    }
+    fn put_u64_le(&mut self, v: u64) {
+        self.put_slice(&v.to_le_bytes());
+    }
+}
+
+impl BufMut for BytesMut {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.data.extend_from_slice(src);
+    }
+}
+
+/// Read side of the cursor API (little-endian subset). Reads consume.
+pub trait Buf {
+    fn copy_to_slice(&mut self, dst: &mut [u8]);
+
+    fn get_u8(&mut self) -> u8 {
+        let mut b = [0u8; 1];
+        self.copy_to_slice(&mut b);
+        b[0]
+    }
+    fn get_u16_le(&mut self) -> u16 {
+        let mut b = [0u8; 2];
+        self.copy_to_slice(&mut b);
+        u16::from_le_bytes(b)
+    }
+    fn get_u32_le(&mut self) -> u32 {
+        let mut b = [0u8; 4];
+        self.copy_to_slice(&mut b);
+        u32::from_le_bytes(b)
+    }
+    fn get_u64_le(&mut self) -> u64 {
+        let mut b = [0u8; 8];
+        self.copy_to_slice(&mut b);
+        u64::from_le_bytes(b)
+    }
+}
+
+impl Buf for Bytes {
+    fn copy_to_slice(&mut self, dst: &mut [u8]) {
+        let n = dst.len();
+        dst.copy_from_slice(self.take(n));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn le_round_trip() {
+        let mut w = BytesMut::with_capacity(16);
+        w.put_u32_le(0xDEAD_BEEF);
+        w.put_u16_le(7);
+        w.put_u64_le(u64::MAX - 3);
+        let mut r = w.freeze();
+        assert_eq!(r.len(), 14);
+        assert_eq!(r.get_u32_le(), 0xDEAD_BEEF);
+        assert_eq!(r.get_u16_le(), 7);
+        assert_eq!(r.get_u64_le(), u64::MAX - 3);
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn slice_is_relative_to_cursor() {
+        let mut w = BytesMut::new();
+        w.put_u32_le(1);
+        w.put_u32_le(2);
+        let mut b = w.freeze();
+        let _ = b.get_u32_le();
+        let s = b.slice(0..4);
+        assert_eq!(s.as_ref(), 2u32.to_le_bytes());
+    }
+
+    #[test]
+    #[should_panic(expected = "underflow")]
+    fn underflow_panics() {
+        let mut b = Bytes::from_static(b"ab");
+        let _ = b.get_u32_le();
+    }
+}

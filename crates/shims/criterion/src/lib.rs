@@ -1,0 +1,277 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Provides the API shape the workspace benches use (`Criterion`,
+//! `benchmark_group`, `bench_function`, `bench_with_input`, `BenchmarkId`,
+//! `black_box`, `criterion_group!`, `criterion_main!`) with a simple
+//! timing loop: warm-up for `warm_up_time`, then run batches until
+//! `measurement_time` elapses (at least `sample_size` batches), and report
+//! mean / best ns-per-iteration. No outlier analysis, no HTML reports —
+//! enough to compare hot paths and catch order-of-magnitude regressions
+//! in a vendored, network-free environment.
+
+use std::fmt::Write as _;
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier: prevents the optimizer from deleting the
+/// benchmarked computation.
+#[inline]
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Top-level harness configuration + sink for results.
+pub struct Criterion {
+    warm_up_time: Duration,
+    measurement_time: Duration,
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self {
+            warm_up_time: Duration::from_millis(300),
+            measurement_time: Duration::from_secs(2),
+            sample_size: 20,
+        }
+    }
+}
+
+impl Criterion {
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement_time = d;
+        self
+    }
+
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { criterion: self, name: name.into() }
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        self.run_one(&id.full_name(), f);
+        self
+    }
+
+    fn run_one<F>(&self, name: &str, mut f: F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher::new(self.warm_up_time, self.measurement_time, self.sample_size);
+        f(&mut b);
+        println!("{}", b.report(name));
+    }
+}
+
+/// A named group of benchmarks sharing the harness configuration.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        self.criterion.run_one(&format!("{}/{}", self.name, id.full_name()), f);
+        self
+    }
+
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let id = id.into();
+        self.criterion.run_one(&format!("{}/{}", self.name, id.full_name()), |b| f(b, input));
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+/// A benchmark identifier: function name plus an optional parameter tag.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    function: String,
+    parameter: Option<String>,
+}
+
+impl BenchmarkId {
+    pub fn new(function: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        Self { function: function.into(), parameter: Some(parameter.to_string()) }
+    }
+
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        Self { function: String::new(), parameter: Some(parameter.to_string()) }
+    }
+
+    fn full_name(&self) -> String {
+        match &self.parameter {
+            Some(p) if self.function.is_empty() => p.clone(),
+            Some(p) => format!("{}/{}", self.function, p),
+            None => self.function.clone(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        Self { function: s.to_string(), parameter: None }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        Self { function: s, parameter: None }
+    }
+}
+
+/// Runs the measured closure and records per-iteration timings.
+pub struct Bencher {
+    warm_up_time: Duration,
+    measurement_time: Duration,
+    sample_size: usize,
+    samples_ns: Vec<f64>,
+}
+
+impl Bencher {
+    fn new(warm_up_time: Duration, measurement_time: Duration, sample_size: usize) -> Self {
+        Self { warm_up_time, measurement_time, sample_size, samples_ns: Vec::new() }
+    }
+
+    /// Times `routine`, storing ns-per-iteration samples.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up: also estimates a batch size targeting ~1 ms per sample.
+        let warm_start = Instant::now();
+        let mut warm_iters: u64 = 0;
+        while warm_start.elapsed() < self.warm_up_time {
+            black_box(routine());
+            warm_iters += 1;
+        }
+        let per_iter = self.warm_up_time.as_secs_f64() / warm_iters.max(1) as f64;
+        let batch = ((1e-3 / per_iter.max(1e-12)) as u64).clamp(1, 1_000_000);
+
+        let run_start = Instant::now();
+        while run_start.elapsed() < self.measurement_time
+            || self.samples_ns.len() < self.sample_size
+        {
+            let t0 = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            let dt = t0.elapsed().as_secs_f64();
+            self.samples_ns.push(dt * 1e9 / batch as f64);
+            if self.samples_ns.len() >= 10_000 {
+                break;
+            }
+        }
+    }
+
+    fn report(&self, name: &str) -> String {
+        let mut out = String::new();
+        if self.samples_ns.is_empty() {
+            let _ = write!(out, "{name:<44} (no samples)");
+            return out;
+        }
+        let n = self.samples_ns.len() as f64;
+        let mean = self.samples_ns.iter().sum::<f64>() / n;
+        let best = self.samples_ns.iter().cloned().fold(f64::INFINITY, f64::min);
+        let _ = write!(
+            out,
+            "{name:<44} mean {:>12}  best {:>12}  ({} samples)",
+            fmt_ns(mean),
+            fmt_ns(best),
+            self.samples_ns.len()
+        );
+        out
+    }
+
+    /// Mean seconds per iteration over the recorded samples (used by the
+    /// tracing-overhead smoke bench to compare configurations).
+    pub fn mean_seconds(&self) -> f64 {
+        if self.samples_ns.is_empty() {
+            return 0.0;
+        }
+        self.samples_ns.iter().sum::<f64>() / self.samples_ns.len() as f64 * 1e-9
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1e3 {
+        format!("{ns:.1} ns")
+    } else if ns < 1e6 {
+        format!("{:.2} us", ns / 1e3)
+    } else if ns < 1e9 {
+        format!("{:.2} ms", ns / 1e6)
+    } else {
+        format!("{:.3} s", ns / 1e9)
+    }
+}
+
+/// Declares a benchmark group: compatible with both criterion forms.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Declares the bench entry point.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_collects_samples_and_reports() {
+        let mut b = Bencher::new(Duration::from_millis(5), Duration::from_millis(20), 5);
+        b.iter(|| black_box(3u64).wrapping_mul(7));
+        assert!(b.samples_ns.len() >= 5);
+        assert!(b.mean_seconds() > 0.0);
+        let r = b.report("smoke");
+        assert!(r.contains("smoke"));
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::new("f", "p").full_name(), "f/p");
+        assert_eq!(BenchmarkId::from("plain").full_name(), "plain");
+    }
+}

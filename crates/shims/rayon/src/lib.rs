@@ -1,0 +1,53 @@
+//! Offline stand-in for `rayon`.
+//!
+//! The dG kernels are written against rayon's parallel-slice adapters
+//! (`par_chunks_mut` + `enumerate`/`zip`/`for_each`/`for_each_init`) so the
+//! per-element parallel structure stays visible in the source. This shim
+//! maps those adapters onto the sequential `std` slice iterators, which
+//! support the same downstream combinators; `for_each_init`, which `std`
+//! lacks, is supplied by a blanket extension trait. Swapping the real
+//! rayon back in is a one-line Cargo change — no call site moves.
+
+pub mod prelude {
+    /// `par_chunks` on shared slices (sequentially: `chunks`).
+    pub trait ParallelSlice<T> {
+        fn par_chunks(&self, chunk_size: usize) -> std::slice::Chunks<'_, T>;
+    }
+
+    impl<T> ParallelSlice<T> for [T] {
+        #[inline]
+        fn par_chunks(&self, chunk_size: usize) -> std::slice::Chunks<'_, T> {
+            self.chunks(chunk_size)
+        }
+    }
+
+    /// `par_chunks_mut` on mutable slices (sequentially: `chunks_mut`).
+    pub trait ParallelSliceMut<T> {
+        fn par_chunks_mut(&mut self, chunk_size: usize) -> std::slice::ChunksMut<'_, T>;
+    }
+
+    impl<T> ParallelSliceMut<T> for [T] {
+        #[inline]
+        fn par_chunks_mut(&mut self, chunk_size: usize) -> std::slice::ChunksMut<'_, T> {
+            self.chunks_mut(chunk_size)
+        }
+    }
+
+    /// Rayon's `for_each_init` for any iterator: one scratch allocation,
+    /// reused across items (sequentially there is exactly one "thread").
+    pub trait ParallelIteratorExt: Iterator + Sized {
+        #[inline]
+        fn for_each_init<T, Init, F>(self, mut init: Init, mut f: F)
+        where
+            Init: FnMut() -> T,
+            F: FnMut(&mut T, Self::Item),
+        {
+            let mut scratch = init();
+            for item in self {
+                f(&mut scratch, item);
+            }
+        }
+    }
+
+    impl<I: Iterator> ParallelIteratorExt for I {}
+}

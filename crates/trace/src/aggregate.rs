@@ -1,0 +1,138 @@
+//! Per-kernel / per-operation aggregation of raw events.
+//!
+//! The profiler-first counterpart of nvprof's per-kernel tables: every
+//! event name gets one row with its span count, summed busy seconds,
+//! summed NOR cycles, joules and bytes. The proptest in
+//! `tests/aggregate_properties.rs` pins the invariant that these columns
+//! are exactly the sums of the raw events they summarize.
+
+use std::collections::BTreeMap;
+
+use crate::event::{Event, Payload};
+
+/// One aggregate row.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Row {
+    /// Number of events (spans + instants) with this name.
+    pub count: u64,
+    /// Summed span durations, seconds (on the events' own clocks).
+    pub seconds: f64,
+    /// Summed bit-serial NOR cycles (block ops only).
+    pub nor_cycles: u64,
+    /// Summed energy, joules.
+    pub energy_j: f64,
+    /// Summed bytes moved (transfers / DMAs only).
+    pub bytes: u64,
+}
+
+/// Aggregate over a set of events, keyed by event name.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Aggregate {
+    pub rows: BTreeMap<String, Row>,
+}
+
+impl Aggregate {
+    pub fn from_events<'a>(events: impl IntoIterator<Item = &'a Event>) -> Self {
+        let mut rows: BTreeMap<String, Row> = BTreeMap::new();
+        for e in events {
+            let row = rows.entry(e.payload.name().to_string()).or_default();
+            row.count += 1;
+            row.seconds += e.duration();
+            row.energy_j += e.payload.energy_j();
+            row.bytes += e.payload.bytes();
+            if let Payload::BlockOp { nor_cycles, .. } = e.payload {
+                row.nor_cycles += nor_cycles;
+            }
+        }
+        Self { rows }
+    }
+
+    /// Total joules across all rows.
+    pub fn total_energy_j(&self) -> f64 {
+        self.rows.values().map(|r| r.energy_j).sum()
+    }
+
+    /// Total bytes across all rows.
+    pub fn total_bytes(&self) -> u64 {
+        self.rows.values().map(|r| r.bytes).sum()
+    }
+
+    /// Total event count.
+    pub fn total_count(&self) -> u64 {
+        self.rows.values().map(|r| r.count).sum()
+    }
+
+    /// Renders the aligned-column text table.
+    pub fn render(&self, title: &str) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("== {title} ==\n"));
+        out.push_str(&format!(
+            "{:<16} {:>8} {:>13} {:>12} {:>12} {:>10}\n",
+            "name", "count", "seconds", "nor_cycles", "energy_j", "bytes"
+        ));
+        out.push_str(&"-".repeat(76));
+        out.push('\n');
+        for (name, r) in &self.rows {
+            out.push_str(&format!(
+                "{:<16} {:>8} {:>13.6e} {:>12} {:>12.4e} {:>10}\n",
+                name, r.count, r.seconds, r.nor_cycles, r.energy_j, r.bytes
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::Kernel;
+
+    #[test]
+    fn aggregates_by_name_with_exact_sums() {
+        let events = vec![
+            Event {
+                pid: 1,
+                tid: 0,
+                t0: 0.0,
+                t1: 1.0,
+                seq: 0,
+                payload: Payload::BlockOp { op: "add", nor_cycles: 1400, energy_j: 2.0 },
+            },
+            Event {
+                pid: 1,
+                tid: 1,
+                t0: 1.0,
+                t1: 3.0,
+                seq: 1,
+                payload: Payload::BlockOp { op: "add", nor_cycles: 1400, energy_j: 3.0 },
+            },
+            Event {
+                pid: 1,
+                tid: 2,
+                t0: 0.0,
+                t1: 0.5,
+                seq: 2,
+                payload: Payload::Transfer { bytes: 128, energy_j: 1.0 },
+            },
+            Event {
+                pid: 1,
+                tid: 3,
+                t0: 0.0,
+                t1: 4.0,
+                seq: 3,
+                payload: Payload::Kernel { kernel: Kernel::Volume, stage: 0 },
+            },
+        ];
+        let agg = Aggregate::from_events(&events);
+        let add = &agg.rows["add"];
+        assert_eq!(add.count, 2);
+        assert_eq!(add.nor_cycles, 2800);
+        assert_eq!(add.seconds, 3.0);
+        assert_eq!(add.energy_j, 5.0);
+        assert_eq!(agg.rows["transfer"].bytes, 128);
+        assert_eq!(agg.total_energy_j(), 6.0);
+        assert_eq!(agg.total_count(), 4);
+        let table = agg.render("test");
+        assert!(table.contains("add") && table.contains("Volume"));
+    }
+}

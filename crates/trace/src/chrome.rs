@@ -1,0 +1,186 @@
+//! Chrome / Perfetto trace exporter.
+//!
+//! Emits the Trace Event Format's JSON-object form:
+//! `{"traceEvents": [...], "displayTimeUnit": "ns"}` with complete (`X`)
+//! events for spans, instant (`i`) events for zero-duration records, and
+//! `M` metadata events naming each process (chip / solver) and thread
+//! (block / lane). Timestamps are microseconds, as the format requires;
+//! simulated-second clocks are scaled the same way (1 simulated second =
+//! 1e6 ts units), which Perfetto renders happily.
+
+use std::fmt::Write as _;
+
+use crate::event::{Event, Payload};
+use crate::json::{escape, number};
+
+/// Serializes events into a Chrome-format `trace.json` string.
+pub fn to_chrome_json(events: &[Event]) -> String {
+    let mut out = String::with_capacity(events.len() * 96 + 256);
+    out.push_str("{\"traceEvents\": [\n");
+
+    let mut first = true;
+    let mut push = |line: String, out: &mut String| {
+        if !std::mem::take(&mut first) {
+            out.push_str(",\n");
+        }
+        out.push_str("  ");
+        out.push_str(&line);
+    };
+
+    // Metadata: name every distinct pid and (pid, tid).
+    let mut pids: Vec<u32> = events.iter().map(|e| e.pid).collect();
+    pids.sort_unstable();
+    pids.dedup();
+    for pid in &pids {
+        push(
+            format!(
+                "{{\"ph\": \"M\", \"name\": \"process_name\", \"pid\": {pid}, \"tid\": 0, \
+                 \"args\": {{\"name\": {}}}}}",
+                escape(&crate::pid_label(*pid))
+            ),
+            &mut out,
+        );
+    }
+    let mut lanes: Vec<(u32, u32)> = events.iter().map(|e| (e.pid, e.tid)).collect();
+    lanes.sort_unstable();
+    lanes.dedup();
+    for (pid, tid) in &lanes {
+        push(
+            format!(
+                "{{\"ph\": \"M\", \"name\": \"thread_name\", \"pid\": {pid}, \"tid\": {tid}, \
+                 \"args\": {{\"name\": {}}}}}",
+                escape(&crate::tid_label(*tid))
+            ),
+            &mut out,
+        );
+    }
+
+    for e in events {
+        let ts = number(e.t0 * 1e6);
+        let name = escape(e.payload.name());
+        let args = payload_args(&e.payload);
+        let line = if e.t1 > e.t0 {
+            let dur = number((e.t1 - e.t0) * 1e6);
+            format!(
+                "{{\"ph\": \"X\", \"name\": {name}, \"cat\": {cat}, \"pid\": {pid}, \
+                 \"tid\": {tid}, \"ts\": {ts}, \"dur\": {dur}, \"args\": {args}}}",
+                cat = escape(category(&e.payload)),
+                pid = e.pid,
+                tid = e.tid,
+            )
+        } else {
+            format!(
+                "{{\"ph\": \"i\", \"s\": \"t\", \"name\": {name}, \"cat\": {cat}, \
+                 \"pid\": {pid}, \"tid\": {tid}, \"ts\": {ts}, \"args\": {args}}}",
+                cat = escape(category(&e.payload)),
+                pid = e.pid,
+                tid = e.tid,
+            )
+        };
+        push(line, &mut out);
+    }
+
+    out.push_str("\n], \"displayTimeUnit\": \"ns\"}\n");
+    out
+}
+
+fn category(p: &Payload) -> &'static str {
+    match p {
+        Payload::Kernel { .. } => "kernel",
+        Payload::BlockOp { .. } => "block",
+        Payload::Transfer { .. } => "interconnect",
+        Payload::Offchip { .. } => "offchip",
+        Payload::HostCall { .. } => "host",
+        Payload::Counter { .. } => "counter",
+    }
+}
+
+fn payload_args(p: &Payload) -> String {
+    let mut s = String::from("{");
+    let mut first = true;
+    let mut field = |k: &str, v: String, s: &mut String| {
+        if !std::mem::take(&mut first) {
+            s.push_str(", ");
+        }
+        let _ = write!(s, "{}: {}", escape(k), v);
+    };
+    match p {
+        Payload::Kernel { stage, .. } => {
+            field("stage", number(*stage as f64), &mut s);
+        }
+        Payload::BlockOp { nor_cycles, energy_j, .. } => {
+            field("nor_cycles", number(*nor_cycles as f64), &mut s);
+            field("energy_j", number(*energy_j), &mut s);
+        }
+        Payload::Transfer { bytes, energy_j } | Payload::Offchip { bytes, energy_j } => {
+            field("bytes", number(*bytes as f64), &mut s);
+            field("energy_j", number(*energy_j), &mut s);
+        }
+        Payload::HostCall { count, energy_j, .. } => {
+            field("count", number(*count as f64), &mut s);
+            field("energy_j", number(*energy_j), &mut s);
+        }
+        Payload::Counter { value, .. } => {
+            field("value", number(*value), &mut s);
+        }
+    }
+    s.push('}');
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::Kernel;
+    use crate::json;
+
+    fn sample() -> Vec<Event> {
+        vec![
+            Event {
+                pid: 1,
+                tid: 0,
+                t0: 0.0,
+                t1: 1e-6,
+                seq: 0,
+                payload: Payload::BlockOp { op: "mul", nor_cycles: 2808, energy_j: 3e-12 },
+            },
+            Event {
+                pid: 1,
+                tid: crate::TID_KERNELS,
+                t0: 0.0,
+                t1: 2e-6,
+                seq: 1,
+                payload: Payload::Kernel { kernel: Kernel::Volume, stage: 2 },
+            },
+            Event {
+                pid: 1,
+                tid: crate::TID_HOST,
+                t0: 5e-7,
+                t1: 5e-7,
+                seq: 2,
+                payload: Payload::Counter { name: "util", value: 0.75 },
+            },
+        ]
+    }
+
+    #[test]
+    fn exported_trace_is_valid_json_with_trace_events() {
+        let doc = to_chrome_json(&sample());
+        let v = json::parse(&doc).expect("valid JSON");
+        let evs = v.get("traceEvents").unwrap().as_array().unwrap();
+        // 1 process_name + 3 thread_name + 3 events.
+        assert_eq!(evs.len(), 7);
+    }
+
+    #[test]
+    fn span_events_carry_ts_dur_and_args() {
+        let doc = to_chrome_json(&sample());
+        let v = json::parse(&doc).unwrap();
+        let evs = v.get("traceEvents").unwrap().as_array().unwrap();
+        let mul =
+            evs.iter().find(|e| e.get("name").and_then(|n| n.as_str()) == Some("mul")).unwrap();
+        assert_eq!(mul.get("ph").unwrap().as_str(), Some("X"));
+        assert_eq!(mul.get("dur").unwrap().as_f64(), Some(1.0));
+        assert_eq!(mul.get("args").unwrap().get("nor_cycles").unwrap().as_f64(), Some(2808.0));
+    }
+}

@@ -1,0 +1,136 @@
+//! The typed event model.
+//!
+//! One event is one timed fact about the execution: a kernel-level span, a
+//! single PIM block operation with its NOR-cycle and energy payload, an
+//! interconnect transfer with its byte count, a host-offload call, or a
+//! named counter sample. Events carry *simulated* seconds when they come
+//! from the PIM simulator (whose clock is the resource timeline of
+//! `pim_sim::PimChip`) and *wall-clock* seconds (relative to the process
+//! trace epoch) when they come from the native dG solver.
+
+/// Paper kernels plus the pipeline's sub-phases (§6.3, Fig. 13).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Kernel {
+    Volume,
+    /// Whole Flux pass (when fetch/compute are not split at the source).
+    Flux,
+    /// Neighbor-element data fetching inside Flux.
+    FluxFetch,
+    /// Flux arithmetic after the fetch.
+    FluxCompute,
+    Integration,
+    /// Host sqrt/inverse preprocessing feeding the LUTs.
+    HostPreprocess,
+    /// One whole LSRK stage (encloses the kernels of that stage).
+    RkStage,
+    /// Whole time-step (encloses the five stages).
+    Step,
+}
+
+impl Kernel {
+    pub fn name(self) -> &'static str {
+        match self {
+            Kernel::Volume => "Volume",
+            Kernel::Flux => "Flux",
+            Kernel::FluxFetch => "Flux fetch",
+            Kernel::FluxCompute => "Flux compute",
+            Kernel::Integration => "Integration",
+            Kernel::HostPreprocess => "Host preprocess",
+            Kernel::RkStage => "RK stage",
+            Kernel::Step => "Step",
+        }
+    }
+}
+
+/// What one event measures.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Payload {
+    /// A kernel-level span (`stage` = LSRK stage index, 0..5; 0 for
+    /// kernels outside a stage loop).
+    Kernel { kernel: Kernel, stage: u8 },
+    /// One PIM block operation: `op` is the mnemonic ("read", "write",
+    /// "broadcast", "add", "mul", ...), `nor_cycles` the bit-serial cycle
+    /// count behind its latency, `energy_j` the joules charged to the
+    /// energy ledger for it.
+    BlockOp { op: &'static str, nor_cycles: u64, energy_j: f64 },
+    /// An interconnect transfer (block-to-block copy or LUT fetch).
+    Transfer { bytes: u64, energy_j: f64 },
+    /// An off-chip (HBM2) DMA transfer.
+    Offchip { bytes: u64, energy_j: f64 },
+    /// A host-CPU offload call (sqrt/inverse preprocessing) or the
+    /// instruction-dispatch lower bound.
+    HostCall { call: &'static str, count: u64, energy_j: f64 },
+    /// A named counter sample.
+    Counter { name: &'static str, value: f64 },
+}
+
+impl Payload {
+    /// Display name used by the exporters.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Payload::Kernel { kernel, .. } => kernel.name(),
+            Payload::BlockOp { op, .. } => op,
+            Payload::Transfer { .. } => "transfer",
+            Payload::Offchip { .. } => "offchip-dma",
+            Payload::HostCall { call, .. } => call,
+            Payload::Counter { name, .. } => name,
+        }
+    }
+
+    /// Joules attributed to this event (0 for pure spans/counters).
+    pub fn energy_j(&self) -> f64 {
+        match *self {
+            Payload::BlockOp { energy_j, .. }
+            | Payload::Transfer { energy_j, .. }
+            | Payload::Offchip { energy_j, .. }
+            | Payload::HostCall { energy_j, .. } => energy_j,
+            _ => 0.0,
+        }
+    }
+
+    /// Bytes moved by this event (transfers only).
+    pub fn bytes(&self) -> u64 {
+        match *self {
+            Payload::Transfer { bytes, .. } | Payload::Offchip { bytes, .. } => bytes,
+            _ => 0,
+        }
+    }
+}
+
+/// Reserved `tid` lanes within a traced process, alongside plain block
+/// ids. Chosen at the top of the u32 range, far above any real block id
+/// (the largest chip has 2^24 blocks).
+pub const TID_HOST: u32 = u32::MAX;
+pub const TID_INTERCONNECT: u32 = u32::MAX - 1;
+pub const TID_OFFCHIP: u32 = u32::MAX - 2;
+pub const TID_KERNELS: u32 = u32::MAX - 3;
+
+/// Human-readable lane label for a tid.
+pub fn tid_label(tid: u32) -> String {
+    match tid {
+        TID_HOST => "host".into(),
+        TID_INTERCONNECT => "interconnect".into(),
+        TID_OFFCHIP => "offchip".into(),
+        TID_KERNELS => "kernels".into(),
+        n => format!("block {n}"),
+    }
+}
+
+/// One trace event. `t0`/`t1` are seconds on the owning process's clock;
+/// instantaneous events have `t1 == t0`. `seq` is a global record-order
+/// sequence number (total order across threads).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Event {
+    pub pid: u32,
+    pub tid: u32,
+    pub t0: f64,
+    pub t1: f64,
+    pub seq: u64,
+    pub payload: Payload,
+}
+
+impl Event {
+    pub fn duration(&self) -> f64 {
+        (self.t1 - self.t0).max(0.0)
+    }
+}

@@ -1,0 +1,181 @@
+//! The per-thread ring-buffer sink.
+//!
+//! Each thread records into its own fixed-capacity ring through a
+//! thread-local handle, so the hot path takes an uncontended lock (one
+//! atomic compare-and-swap in practice) and never allocates after the
+//! ring fills. Rings register themselves in a global registry on first
+//! use; [`drain`](crate::drain) collects every thread's events and
+//! restores the global record order via the `seq` counter.
+//!
+//! Overflow policy: the ring keeps the *newest* events, overwriting the
+//! oldest and counting what it discarded — a stuck exporter can never
+//! stall the simulator, and the overwrite count is reported so truncation
+//! is visible instead of silent.
+
+use std::sync::{Arc, Mutex, OnceLock};
+
+use crate::event::Event;
+
+/// Default per-thread capacity (events). A paper-scale functional run on
+/// the small meshes the tests use stays well below this; the figure-scale
+/// analytic paths emit aggregated events only.
+pub const DEFAULT_CAPACITY: usize = 1 << 20;
+
+/// Fixed-capacity overwrite-oldest ring.
+#[derive(Debug)]
+pub struct Ring {
+    buf: Vec<Event>,
+    cap: usize,
+    /// Index of the oldest element (valid when `buf.len() == cap`).
+    head: usize,
+    /// Events overwritten because the ring was full.
+    overwritten: u64,
+}
+
+impl Ring {
+    pub fn with_capacity(cap: usize) -> Self {
+        assert!(cap > 0, "ring capacity must be positive");
+        Self { buf: Vec::new(), cap, head: 0, overwritten: 0 }
+    }
+
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    pub fn capacity(&self) -> usize {
+        self.cap
+    }
+
+    pub fn overwritten(&self) -> u64 {
+        self.overwritten
+    }
+
+    pub fn push(&mut self, ev: Event) {
+        if self.buf.len() < self.cap {
+            self.buf.push(ev);
+        } else {
+            self.buf[self.head] = ev;
+            self.head = (self.head + 1) % self.cap;
+            self.overwritten += 1;
+        }
+    }
+
+    /// Removes and returns the contents in insertion order.
+    pub fn drain(&mut self) -> Vec<Event> {
+        let head = std::mem::take(&mut self.head);
+        let buf = std::mem::take(&mut self.buf);
+        if buf.len() < self.cap || head == 0 {
+            return buf;
+        }
+        // Rotate so the oldest surviving event comes first.
+        let mut out = Vec::with_capacity(buf.len());
+        out.extend_from_slice(&buf[head..]);
+        out.extend_from_slice(&buf[..head]);
+        out
+    }
+}
+
+type SharedRing = Arc<Mutex<Ring>>;
+
+fn registry() -> &'static Mutex<Vec<SharedRing>> {
+    static REGISTRY: OnceLock<Mutex<Vec<SharedRing>>> = OnceLock::new();
+    REGISTRY.get_or_init(|| Mutex::new(Vec::new()))
+}
+
+thread_local! {
+    static LOCAL: SharedRing = {
+        let ring = Arc::new(Mutex::new(Ring::with_capacity(
+            crate::ring_capacity(),
+        )));
+        registry().lock().unwrap().push(Arc::clone(&ring));
+        ring
+    };
+}
+
+/// Records into the calling thread's ring (creating + registering it on
+/// first use). The caller has already passed the `enabled()` gate.
+pub(crate) fn push_local(ev: Event) {
+    LOCAL.with(|ring| ring.lock().unwrap().push(ev));
+}
+
+/// Collects and clears every registered ring, restoring global record
+/// order. Returns the events and the total number overwritten since the
+/// last collection.
+pub(crate) fn collect_all() -> (Vec<Event>, u64) {
+    let rings = registry().lock().unwrap();
+    let mut events = Vec::new();
+    let mut overwritten = 0;
+    for ring in rings.iter() {
+        let mut ring = ring.lock().unwrap();
+        overwritten += std::mem::take(&mut ring.overwritten);
+        events.append(&mut ring.drain());
+    }
+    events.sort_by_key(|e| e.seq);
+    (events, overwritten)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::Payload;
+
+    fn ev(seq: u64) -> Event {
+        Event {
+            pid: 1,
+            tid: 0,
+            t0: seq as f64,
+            t1: seq as f64,
+            seq,
+            payload: Payload::Counter { name: "x", value: seq as f64 },
+        }
+    }
+
+    #[test]
+    fn ring_keeps_insertion_order_below_capacity() {
+        let mut r = Ring::with_capacity(8);
+        for i in 0..5 {
+            r.push(ev(i));
+        }
+        assert_eq!(r.overwritten(), 0);
+        let out = r.drain();
+        assert_eq!(out.iter().map(|e| e.seq).collect::<Vec<_>>(), vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn ring_overflow_keeps_newest_and_counts_losses() {
+        let mut r = Ring::with_capacity(4);
+        for i in 0..11 {
+            r.push(ev(i));
+        }
+        assert_eq!(r.overwritten(), 7);
+        let out = r.drain();
+        // The four newest, oldest-first.
+        assert_eq!(out.iter().map(|e| e.seq).collect::<Vec<_>>(), vec![7, 8, 9, 10]);
+    }
+
+    #[test]
+    fn ring_drain_resets_state() {
+        let mut r = Ring::with_capacity(2);
+        r.push(ev(0));
+        r.push(ev(1));
+        r.push(ev(2));
+        assert_eq!(r.drain().len(), 2);
+        assert!(r.is_empty());
+        r.push(ev(3));
+        assert_eq!(r.drain().iter().map(|e| e.seq).collect::<Vec<_>>(), vec![3]);
+    }
+
+    #[test]
+    fn exact_capacity_boundary_wraps_cleanly() {
+        let mut r = Ring::with_capacity(3);
+        for i in 0..6 {
+            r.push(ev(i));
+        }
+        // Exactly two full generations: head back at 0.
+        assert_eq!(r.drain().iter().map(|e| e.seq).collect::<Vec<_>>(), vec![3, 4, 5]);
+    }
+}

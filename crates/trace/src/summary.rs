@@ -1,0 +1,77 @@
+//! Machine-readable `BENCH_trace.json` summary.
+//!
+//! A compact, stable-schema digest of one traced run, for the repository's
+//! perf-trajectory tracking: per-kernel aggregate rows plus makespan and
+//! totals. The schema is versioned so downstream tooling can evolve.
+
+use std::fmt::Write as _;
+
+use crate::aggregate::Aggregate;
+use crate::event::Event;
+use crate::json::{escape, number};
+
+/// Schema version of the emitted document.
+pub const SCHEMA_VERSION: u32 = 1;
+
+/// Builds the `BENCH_trace.json` document for a drained event set.
+///
+/// `label` identifies the run (e.g. "quickstart acoustic L1 n4").
+pub fn bench_trace_json(label: &str, events: &[Event], dropped: u64) -> String {
+    let agg = Aggregate::from_events(events);
+    let makespan = events.iter().fold(0.0f64, |m, e| m.max(e.t1));
+
+    let mut out = String::with_capacity(1024);
+    out.push_str("{\n");
+    let _ = writeln!(out, "  \"schema_version\": {SCHEMA_VERSION},");
+    let _ = writeln!(out, "  \"label\": {},", escape(label));
+    let _ = writeln!(out, "  \"events\": {},", events.len());
+    let _ = writeln!(out, "  \"dropped_events\": {dropped},");
+    let _ = writeln!(out, "  \"makespan_seconds\": {},", number(makespan));
+    let _ = writeln!(out, "  \"total_energy_j\": {},", number(agg.total_energy_j()));
+    let _ = writeln!(out, "  \"total_bytes\": {},", agg.total_bytes());
+    out.push_str("  \"kernels\": {\n");
+    let n = agg.rows.len();
+    for (i, (name, r)) in agg.rows.iter().enumerate() {
+        let _ = write!(
+            out,
+            "    {}: {{\"count\": {}, \"seconds\": {}, \"nor_cycles\": {}, \
+             \"energy_j\": {}, \"bytes\": {}}}",
+            escape(name),
+            r.count,
+            number(r.seconds),
+            r.nor_cycles,
+            number(r.energy_j),
+            r.bytes
+        );
+        out.push_str(if i + 1 < n { ",\n" } else { "\n" });
+    }
+    out.push_str("  }\n}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::Payload;
+    use crate::json;
+
+    #[test]
+    fn summary_is_valid_json_with_expected_fields() {
+        let events = vec![Event {
+            pid: 1,
+            tid: 0,
+            t0: 0.0,
+            t1: 2e-6,
+            seq: 0,
+            payload: Payload::BlockOp { op: "mul", nor_cycles: 2808, energy_j: 1e-11 },
+        }];
+        let doc = bench_trace_json("unit \"test\"", &events, 3);
+        let v = json::parse(&doc).expect("valid JSON");
+        assert_eq!(v.get("schema_version").unwrap().as_f64(), Some(SCHEMA_VERSION as f64));
+        assert_eq!(v.get("label").unwrap().as_str(), Some("unit \"test\""));
+        assert_eq!(v.get("dropped_events").unwrap().as_f64(), Some(3.0));
+        assert_eq!(v.get("makespan_seconds").unwrap().as_f64(), Some(2e-6));
+        let mul = v.get("kernels").unwrap().get("mul").unwrap();
+        assert_eq!(mul.get("nor_cycles").unwrap().as_f64(), Some(2808.0));
+    }
+}

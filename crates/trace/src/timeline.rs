@@ -1,0 +1,268 @@
+//! Rebuilding the Fig. 13 stage timeline from *observed* spans.
+//!
+//! The analytic pipeline model (`wave_pim::pipeline`) predicts how the
+//! per-stage kernels overlap; this module derives the same quantities from
+//! what the instrumented simulator actually recorded: kernel spans give
+//! each stage's Volume / Flux / Integration windows, and the
+//! per-instruction events *inside* a Flux window split it into fetch
+//! (interconnect transfers, LUT traffic) and compute (row-parallel
+//! arithmetic) busy time — the two Fig. 13 flux sub-lanes.
+
+use crate::event::{Event, Kernel, Payload};
+
+/// One observed kernel-level segment of a traced run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ObservedSegment {
+    pub kernel: Kernel,
+    pub stage: u8,
+    pub t0: f64,
+    pub t1: f64,
+}
+
+/// Per-stage busy-time totals in the shape of the analytic
+/// `StageBreakdown` (seconds per LSRK stage, averaged over the stages the
+/// trace contains).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct ObservedBreakdown {
+    pub volume: f64,
+    pub flux_fetch: f64,
+    pub flux_compute: f64,
+    pub integration: f64,
+    pub host_preprocess: f64,
+    /// Number of LSRK stages observed (averaging divisor).
+    pub stages: u32,
+}
+
+/// Extracts the kernel-level segments of one traced process, in start
+/// order.
+pub fn kernel_segments(events: &[Event], pid: u32) -> Vec<ObservedSegment> {
+    let mut segs: Vec<ObservedSegment> = events
+        .iter()
+        .filter(|e| e.pid == pid)
+        .filter_map(|e| match e.payload {
+            Payload::Kernel { kernel, stage } => {
+                Some(ObservedSegment { kernel, stage, t0: e.t0, t1: e.t1 })
+            }
+            _ => None,
+        })
+        .collect();
+    segs.sort_by(|a, b| a.t0.total_cmp(&b.t0));
+    segs
+}
+
+/// Derives the per-stage breakdown from a traced process's events.
+///
+/// Flux windows are split by the classified events inside them: transfer
+/// and off-chip traffic is *fetch*, block arithmetic is *compute*. Busy
+/// times are summed per kernel and divided by the observed stage count,
+/// matching the analytic model's per-stage units.
+pub fn observed_breakdown(events: &[Event], pid: u32) -> ObservedBreakdown {
+    let segs = kernel_segments(events, pid);
+    let mut b = ObservedBreakdown::default();
+    let mut stages_seen: Vec<u8> = Vec::new();
+
+    for seg in &segs {
+        let dur = (seg.t1 - seg.t0).max(0.0);
+        match seg.kernel {
+            Kernel::Volume => b.volume += dur,
+            Kernel::Integration => b.integration += dur,
+            Kernel::HostPreprocess => b.host_preprocess += dur,
+            Kernel::Flux | Kernel::FluxFetch | Kernel::FluxCompute => {
+                // Split the window by what happened inside it.
+                let (fetch, compute) = split_flux(events, pid, seg.t0, seg.t1);
+                if fetch + compute > 0.0 {
+                    // Scale busy time onto the window so fetch+compute
+                    // partition the observed wall duration.
+                    let scale = dur / (fetch + compute);
+                    b.flux_fetch += fetch * scale;
+                    b.flux_compute += compute * scale;
+                } else {
+                    match seg.kernel {
+                        Kernel::FluxFetch => b.flux_fetch += dur,
+                        _ => b.flux_compute += dur,
+                    }
+                }
+            }
+            Kernel::RkStage | Kernel::Step => {}
+        }
+        if matches!(seg.kernel, Kernel::Volume | Kernel::Flux | Kernel::Integration)
+            && !stages_seen.contains(&seg.stage)
+        {
+            stages_seen.push(seg.stage);
+        }
+    }
+
+    b.stages = stages_seen.len().max(1) as u32;
+    let inv = 1.0 / b.stages as f64;
+    b.volume *= inv;
+    b.flux_fetch *= inv;
+    b.flux_compute *= inv;
+    b.integration *= inv;
+    b.host_preprocess *= inv;
+    b
+}
+
+/// Sums (fetch, compute) busy seconds of the classified events inside a
+/// window.
+fn split_flux(events: &[Event], pid: u32, t0: f64, t1: f64) -> (f64, f64) {
+    let mut fetch = 0.0;
+    let mut compute = 0.0;
+    for e in events.iter().filter(|e| e.pid == pid) {
+        // An instruction belongs to the window if it starts inside it.
+        if e.t0 < t0 - 1e-18 || e.t0 >= t1 {
+            continue;
+        }
+        match e.payload {
+            Payload::Transfer { .. } | Payload::Offchip { .. } => fetch += e.duration(),
+            Payload::BlockOp { op, .. } => {
+                // Reads/writes that feed transfers count as fetch;
+                // row-parallel arithmetic is compute.
+                if matches!(op, "read" | "write" | "broadcast") {
+                    fetch += e.duration();
+                } else {
+                    compute += e.duration();
+                }
+            }
+            _ => {}
+        }
+    }
+    (fetch, compute)
+}
+
+/// Structural comparison against an analytic timeline: checks that the
+/// observed kernel ordering matches the pipeline model's stage ordering
+/// (per stage: Volume starts no later than flux compute finishes,
+/// Integration strictly last).
+pub fn stage_order_is_pipeline_compatible(segs: &[ObservedSegment]) -> bool {
+    let stages: Vec<u8> = {
+        let mut s: Vec<u8> = segs.iter().map(|x| x.stage).collect();
+        s.sort_unstable();
+        s.dedup();
+        s
+    };
+    for &stage in &stages {
+        let of = |k: Kernel| {
+            segs.iter().filter(|s| s.stage == stage && s.kernel == k).map(|s| (s.t0, s.t1)).fold(
+                None::<(f64, f64)>,
+                |acc, (a, b)| match acc {
+                    None => Some((a, b)),
+                    Some((x, y)) => Some((x.min(a), y.max(b))),
+                },
+            )
+        };
+        let volume = of(Kernel::Volume);
+        let flux = of(Kernel::Flux).or(of(Kernel::FluxCompute)).or(of(Kernel::FluxFetch));
+        let integration = of(Kernel::Integration);
+        if let (Some(v), Some(f), Some(i)) = (volume, flux, integration) {
+            // Volume must begin the stage, Flux must not end after
+            // Integration begins... allow tiny float slop.
+            if v.0 > f.0 + 1e-15 || f.1 > i.0 + 1e-12 || i.1 < v.1 {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kernel(pid: u32, kernel: Kernel, stage: u8, t0: f64, t1: f64, seq: u64) -> Event {
+        Event {
+            pid,
+            tid: crate::TID_KERNELS,
+            t0,
+            t1,
+            seq,
+            payload: Payload::Kernel { kernel, stage },
+        }
+    }
+
+    fn op(pid: u32, op: &'static str, t0: f64, t1: f64, seq: u64) -> Event {
+        Event {
+            pid,
+            tid: 0,
+            t0,
+            t1,
+            seq,
+            payload: Payload::BlockOp { op, nor_cycles: 10, energy_j: 1e-12 },
+        }
+    }
+
+    fn xfer(pid: u32, t0: f64, t1: f64, seq: u64) -> Event {
+        Event { pid, tid: 1, t0, t1, seq, payload: Payload::Transfer { bytes: 4, energy_j: 0.0 } }
+    }
+
+    #[test]
+    fn breakdown_splits_flux_into_fetch_and_compute() {
+        let pid = 9;
+        let events = vec![
+            kernel(pid, Kernel::Volume, 0, 0.0, 1.0, 0),
+            kernel(pid, Kernel::Flux, 0, 1.0, 3.0, 1),
+            // Inside the flux window: 0.5 s of transfers, 1.5 s of math.
+            xfer(pid, 1.0, 1.5, 2),
+            op(pid, "mul", 1.5, 3.0, 3),
+            kernel(pid, Kernel::Integration, 0, 3.0, 3.5, 4),
+        ];
+        let b = observed_breakdown(&events, pid);
+        assert_eq!(b.stages, 1);
+        assert!((b.volume - 1.0).abs() < 1e-12);
+        assert!((b.flux_fetch - 0.5).abs() < 1e-12);
+        assert!((b.flux_compute - 1.5).abs() < 1e-12);
+        assert!((b.integration - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn breakdown_averages_over_stages() {
+        let pid = 3;
+        let mut events = Vec::new();
+        for s in 0..5u8 {
+            let base = s as f64 * 10.0;
+            events.push(kernel(pid, Kernel::Volume, s, base, base + 2.0, s as u64 * 3));
+            events.push(kernel(pid, Kernel::Flux, s, base + 2.0, base + 5.0, s as u64 * 3 + 1));
+            events.push(kernel(
+                pid,
+                Kernel::Integration,
+                s,
+                base + 5.0,
+                base + 6.0,
+                s as u64 * 3 + 2,
+            ));
+        }
+        let b = observed_breakdown(&events, pid);
+        assert_eq!(b.stages, 5);
+        assert!((b.volume - 2.0).abs() < 1e-12);
+        assert!((b.integration - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pipeline_order_check_accepts_ordered_and_rejects_shuffled() {
+        let pid = 4;
+        let good = kernel_segments(
+            &[
+                kernel(pid, Kernel::Volume, 0, 0.0, 1.0, 0),
+                kernel(pid, Kernel::Flux, 0, 1.0, 2.0, 1),
+                kernel(pid, Kernel::Integration, 0, 2.0, 3.0, 2),
+            ],
+            pid,
+        );
+        assert!(stage_order_is_pipeline_compatible(&good));
+        let bad = kernel_segments(
+            &[
+                kernel(pid, Kernel::Integration, 0, 0.0, 1.0, 0),
+                kernel(pid, Kernel::Flux, 0, 1.0, 2.0, 1),
+                kernel(pid, Kernel::Volume, 0, 2.0, 3.0, 2),
+            ],
+            pid,
+        );
+        assert!(!stage_order_is_pipeline_compatible(&bad));
+    }
+
+    #[test]
+    fn other_pids_are_ignored() {
+        let events = vec![kernel(1, Kernel::Volume, 0, 0.0, 1.0, 0)];
+        assert!(kernel_segments(&events, 2).is_empty());
+        assert_eq!(observed_breakdown(&events, 2).volume, 0.0);
+    }
+}

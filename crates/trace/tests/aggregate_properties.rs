@@ -1,0 +1,113 @@
+//! Property tests pinning the aggregate invariant: every aggregate column
+//! is exactly the sum of the raw events it summarizes — no event counted
+//! twice, none dropped.
+
+use pim_trace::aggregate::Aggregate;
+use pim_trace::{Event, Kernel, Payload};
+use proptest::prelude::*;
+
+/// A strategy over single events with a small name alphabet so rows
+/// collide (the interesting case for aggregation).
+fn event_strategy() -> impl Strategy<Value = Event> {
+    let payload = prop_oneof![
+        (0u64..5000, 0.0f64..1e-9).prop_map(|(cycles, e)| Payload::BlockOp {
+            op: "mul",
+            nor_cycles: cycles,
+            energy_j: e
+        }),
+        (0u64..5000, 0.0f64..1e-9).prop_map(|(cycles, e)| Payload::BlockOp {
+            op: "add",
+            nor_cycles: cycles,
+            energy_j: e
+        }),
+        (0u64..4096, 0.0f64..1e-9).prop_map(|(b, e)| Payload::Transfer { bytes: b, energy_j: e }),
+        (0u64..(1 << 20), 0.0f64..1e-6)
+            .prop_map(|(b, e)| Payload::Offchip { bytes: b, energy_j: e }),
+        (0u64..1000, 0.0f64..1e-6).prop_map(|(c, e)| Payload::HostCall {
+            call: "dispatch",
+            count: c,
+            energy_j: e
+        }),
+        (0u8..5).prop_map(|s| Payload::Kernel { kernel: Kernel::Volume, stage: s }),
+        (0u8..5).prop_map(|s| Payload::Kernel { kernel: Kernel::Flux, stage: s }),
+    ];
+    (0u32..4, 0u32..8, 0.0f64..1.0, 0.0f64..1e-3, payload).prop_map(
+        |(pid, tid, t0, dur, payload)| Event { pid, tid, t0, t1: t0 + dur, seq: 0, payload },
+    )
+}
+
+fn close(a: f64, b: f64) -> bool {
+    (a - b).abs() <= 1e-9 * a.abs().max(b.abs()).max(1.0)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn aggregate_columns_are_sums_of_raw_events(events in proptest::collection::vec(event_strategy(), 0..200)) {
+        let agg = Aggregate::from_events(&events);
+
+        // Totals across all rows equal totals across all events.
+        prop_assert_eq!(agg.total_count(), events.len() as u64);
+        prop_assert_eq!(
+            agg.total_bytes(),
+            events.iter().map(|e| e.payload.bytes()).sum::<u64>()
+        );
+        prop_assert!(close(
+            agg.total_energy_j(),
+            events.iter().map(|e| e.payload.energy_j()).sum::<f64>()
+        ));
+
+        // Every row equals an independent recomputation over the events
+        // bearing that name.
+        for (name, row) in &agg.rows {
+            let mine: Vec<&Event> =
+                events.iter().filter(|e| e.payload.name() == name).collect();
+            prop_assert_eq!(row.count, mine.len() as u64);
+            prop_assert!(!mine.is_empty(), "no empty rows");
+            prop_assert_eq!(
+                row.bytes,
+                mine.iter().map(|e| e.payload.bytes()).sum::<u64>()
+            );
+            prop_assert_eq!(
+                row.nor_cycles,
+                mine.iter()
+                    .map(|e| match e.payload {
+                        Payload::BlockOp { nor_cycles, .. } => nor_cycles,
+                        _ => 0,
+                    })
+                    .sum::<u64>()
+            );
+            prop_assert!(close(
+                row.seconds,
+                mine.iter().map(|e| e.duration()).sum::<f64>()
+            ));
+            prop_assert!(close(
+                row.energy_j,
+                mine.iter().map(|e| e.payload.energy_j()).sum::<f64>()
+            ));
+        }
+
+        // No name appears that no event carries.
+        for name in agg.rows.keys() {
+            prop_assert!(events.iter().any(|e| e.payload.name() == name.as_str()));
+        }
+    }
+
+    #[test]
+    fn aggregation_is_order_independent(events in proptest::collection::vec(event_strategy(), 0..60)) {
+        let forward = Aggregate::from_events(&events);
+        let mut reversed: Vec<Event> = events.clone();
+        reversed.reverse();
+        let backward = Aggregate::from_events(&reversed);
+        prop_assert_eq!(forward.rows.len(), backward.rows.len());
+        for (name, row) in &forward.rows {
+            let other = &backward.rows[name];
+            prop_assert_eq!(row.count, other.count);
+            prop_assert_eq!(row.bytes, other.bytes);
+            prop_assert_eq!(row.nor_cycles, other.nor_cycles);
+            prop_assert!(close(row.seconds, other.seconds));
+            prop_assert!(close(row.energy_j, other.energy_j));
+        }
+    }
+}

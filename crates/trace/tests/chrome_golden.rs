@@ -1,0 +1,172 @@
+//! Golden-file and schema tests for the Chrome/Perfetto exporter.
+//!
+//! The golden file pins the exact bytes of a representative export —
+//! metadata records, span (`X`) events, instants (`i`), category and
+//! args formatting. Regenerate after an intentional format change with:
+//!
+//! ```text
+//! REGEN_GOLDEN=1 cargo test -p pim-trace --test chrome_golden
+//! ```
+//!
+//! The schema test walks the parsed document and checks the structural
+//! rules the Trace Event Format requires, independent of exact bytes.
+
+use pim_trace::chrome::to_chrome_json;
+use pim_trace::json::{self, Value};
+use pim_trace::{Event, Kernel, Payload, TID_HOST, TID_INTERCONNECT, TID_KERNELS, TID_OFFCHIP};
+
+/// A fixed event set covering every payload class and reserved lane.
+/// Uses raw (unregistered) pids so the export is deterministic without
+/// touching the global pid registry.
+fn golden_events() -> Vec<Event> {
+    vec![
+        Event {
+            pid: 7,
+            tid: 0,
+            t0: 0.0,
+            t1: 3.0888e-6,
+            seq: 0,
+            payload: Payload::BlockOp { op: "mul", nor_cycles: 2808, energy_j: 1.62864e-12 },
+        },
+        Event {
+            pid: 7,
+            tid: 3,
+            t0: 1.0e-6,
+            t1: 1.0015e-6,
+            seq: 1,
+            payload: Payload::BlockOp { op: "read", nor_cycles: 0, energy_j: 5.34e-12 },
+        },
+        Event {
+            pid: 7,
+            tid: TID_INTERCONNECT,
+            t0: 2.0e-6,
+            t1: 2.5e-6,
+            seq: 2,
+            payload: Payload::Transfer { bytes: 128, energy_j: 1.12e-11 },
+        },
+        Event {
+            pid: 7,
+            tid: TID_OFFCHIP,
+            t0: 2.5e-6,
+            t1: 3.5e-6,
+            seq: 3,
+            payload: Payload::Offchip { bytes: 4096, energy_j: 1.68e-7 },
+        },
+        Event {
+            pid: 7,
+            tid: TID_HOST,
+            t0: 0.0,
+            t1: 4.0e-6,
+            seq: 4,
+            payload: Payload::HostCall { call: "dispatch", count: 6000, energy_j: 1.224e-5 },
+        },
+        Event {
+            pid: 7,
+            tid: TID_KERNELS,
+            t0: 0.0,
+            t1: 3.5e-6,
+            seq: 5,
+            payload: Payload::Kernel { kernel: Kernel::Flux, stage: 2 },
+        },
+        Event {
+            pid: 7,
+            tid: TID_KERNELS,
+            t0: 0.0,
+            t1: 0.0,
+            seq: 6,
+            payload: Payload::Counter { name: "instructions", value: 42.0 },
+        },
+        Event {
+            pid: 9,
+            tid: TID_KERNELS,
+            t0: 1.0e-6,
+            t1: 9.0e-6,
+            seq: 7,
+            payload: Payload::Kernel { kernel: Kernel::Integration, stage: 0 },
+        },
+    ]
+}
+
+#[test]
+fn export_matches_golden_file() {
+    let doc = to_chrome_json(&golden_events());
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/golden_trace.json");
+    if std::env::var("REGEN_GOLDEN").is_ok() {
+        std::fs::write(path, &doc).expect("write golden file");
+    }
+    let expected = std::fs::read_to_string(path).expect("read golden file");
+    assert_eq!(
+        doc, expected,
+        "Chrome export changed; regenerate with REGEN_GOLDEN=1 if intentional"
+    );
+}
+
+#[test]
+fn export_satisfies_trace_event_format_schema() {
+    let events = golden_events();
+    let doc = to_chrome_json(&events);
+    let v = json::parse(&doc).expect("export must be valid JSON");
+
+    assert_eq!(v.get("displayTimeUnit").unwrap().as_str(), Some("ns"));
+    let traced = v.get("traceEvents").unwrap().as_array().unwrap();
+
+    let mut metadata = 0;
+    let mut spans = 0;
+    let mut instants = 0;
+    for e in traced {
+        let ph = e.get("ph").and_then(Value::as_str).expect("every record has ph");
+        assert!(e.get("pid").and_then(Value::as_f64).is_some(), "every record has pid");
+        assert!(e.get("tid").and_then(Value::as_f64).is_some(), "every record has tid");
+        assert!(e.get("name").and_then(Value::as_str).is_some(), "every record has name");
+        match ph {
+            "M" => {
+                metadata += 1;
+                let name = e.get("name").unwrap().as_str().unwrap();
+                assert!(
+                    name == "process_name" || name == "thread_name",
+                    "metadata record kind: {name}"
+                );
+                assert!(e.get("args").unwrap().get("name").is_some());
+            }
+            "X" => {
+                spans += 1;
+                let ts = e.get("ts").and_then(Value::as_f64).expect("X has ts");
+                let dur = e.get("dur").and_then(Value::as_f64).expect("X has dur");
+                assert!(ts >= 0.0 && dur > 0.0, "ts/dur sane: {ts}/{dur}");
+                assert!(e.get("cat").and_then(Value::as_str).is_some());
+                assert!(e.get("args").is_some());
+            }
+            "i" => {
+                instants += 1;
+                assert!(e.get("ts").and_then(Value::as_f64).is_some(), "i has ts");
+                assert_eq!(e.get("s").unwrap().as_str(), Some("t"), "instant scope");
+            }
+            other => panic!("unexpected phase {other}"),
+        }
+    }
+    // 2 process_name + 7 distinct (pid, tid) lanes.
+    assert_eq!(metadata, 9);
+    assert_eq!(spans, events.iter().filter(|e| e.t1 > e.t0).count());
+    assert_eq!(instants, events.iter().filter(|e| e.t1 <= e.t0).count());
+
+    // Reserved lanes carry their human-readable names.
+    let lane_names: Vec<String> = traced
+        .iter()
+        .filter(|e| e.get("name").and_then(Value::as_str) == Some("thread_name"))
+        .map(|e| e.get("args").unwrap().get("name").unwrap().as_str().unwrap().to_string())
+        .collect();
+    for expected in ["host", "interconnect", "offchip", "kernels"] {
+        assert!(
+            lane_names.iter().any(|n| n == expected),
+            "missing reserved lane name {expected} in {lane_names:?}"
+        );
+    }
+
+    // Unregistered pids fall back to a numbered label.
+    let proc_names: Vec<String> = traced
+        .iter()
+        .filter(|e| e.get("name").and_then(Value::as_str) == Some("process_name"))
+        .map(|e| e.get("args").unwrap().get("name").unwrap().as_str().unwrap().to_string())
+        .collect();
+    assert!(proc_names.contains(&"pid 7".to_string()), "{proc_names:?}");
+}

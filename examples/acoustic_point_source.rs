@@ -20,13 +20,7 @@ fn main() {
     let basement = AcousticMaterial::new(9.0, 1.0); // c = 3
     let materials: Vec<AcousticMaterial> = mesh
         .elements()
-        .map(|e| {
-            if mesh.elem_center(e).z < 0.5 {
-                basement
-            } else {
-                overburden
-            }
-        })
+        .map(|e| if mesh.elem_center(e).z < 0.5 { basement } else { overburden })
         .collect();
     println!(
         "Two-layer medium: overburden c = {}, basement c = {} (interface at z = 0.5)",
@@ -38,17 +32,14 @@ fn main() {
 
     // Ricker source near the "surface" (z = 0.9).
     let freq = 6.0;
-    let source = PointSource::at(
-        &solver,
-        Vec3::new(0.5, 0.5, 0.9),
-        0,
-        Ricker::new(freq, 1.2 / freq, 50.0),
-    );
+    let source =
+        PointSource::at(&solver, Vec3::new(0.5, 0.5, 0.9), 0, Ricker::new(freq, 1.2 / freq, 50.0));
     // Receiver line across the surface.
     let receivers: Vec<(usize, usize)> = (0..8)
         .map(|i| {
             let x = 0.1 + 0.8 * i as f64 / 7.0;
-            let s = PointSource::at(&solver, Vec3::new(x, 0.5, 0.95), 0, Ricker::new(1.0, 0.0, 0.0));
+            let s =
+                PointSource::at(&solver, Vec3::new(x, 0.5, 0.95), 0, Ricker::new(1.0, 0.0, 0.0));
             (s.elem, s.node)
         })
         .collect();
@@ -70,10 +61,7 @@ fn main() {
     }
 
     // ASCII seismogram: one row per receiver, '#' above threshold.
-    let peak = traces
-        .iter()
-        .flat_map(|t| t.iter())
-        .fold(0.0f64, |m, &v| m.max(v.abs()));
+    let peak = traces.iter().flat_map(|t| t.iter()).fold(0.0f64, |m, &v| m.max(v.abs()));
     println!("Seismogram (time -> right; rows are receivers across the surface):");
     for (r, trace) in traces.iter().enumerate() {
         let line: String = trace

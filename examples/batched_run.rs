@@ -33,16 +33,8 @@ fn main() {
         println!("  ({:2}) {}", s.index, s.description);
     }
 
-    let mut runner = BatchedAcousticRunner::new(
-        mesh,
-        3,
-        FluxKind::Riemann,
-        material,
-        native.state(),
-        dt,
-        2,
-        49,
-    );
+    let mut runner =
+        BatchedAcousticRunner::new(mesh, 3, FluxKind::Riemann, material, native.state(), dt, 2, 49);
     let mut chip = PimChip::new(ChipConfig::default_2gb());
     for _ in 0..steps {
         runner.step(&mut chip);

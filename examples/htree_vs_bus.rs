@@ -28,9 +28,7 @@ fn main() {
         "  Block 0 -> 5 on the H-tree crosses {} switches (S0 -> S1 -> S0')",
         h.route(BlockId(0), BlockId(5)).len()
     );
-    println!(
-        "  Block 0 -> 2 and Block 5 -> 7 simultaneously:"
-    );
+    println!("  Block 0 -> 2 and Block 5 -> 7 simultaneously:");
     let batch = neighbor_batch(&[(0, 2), (5, 7)], 1, 32);
     let hs = h.schedule(&batch);
     let bs = bus.schedule(&batch);

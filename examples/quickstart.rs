@@ -7,7 +7,9 @@
 //! ```
 
 use pim_sim::{ChipConfig, PimChip};
+use pim_trace::{aggregate::Aggregate, Kernel};
 use wave_pim::compiler::AcousticMapping;
+use wave_pim::tracehooks::traced_execute;
 use wavesim_dg::analytic::AcousticPlaneWave;
 use wavesim_dg::energy::acoustic_energy;
 use wavesim_dg::{Acoustic, AcousticMaterial, FluxKind, Solver};
@@ -44,25 +46,42 @@ fn main() {
 
     // 3. The same computation compiled to PIM instruction streams and
     //    executed on the functional chip simulator (2 steps to keep the
-    //    demo fast).
+    //    demo fast) — with the pim-trace profiler on, so every
+    //    instruction, transfer and kernel window lands in the trace.
+    pim_trace::enable();
     let mapping = AcousticMapping::uniform(mesh, 4, FluxKind::Riemann, material);
     let mut chip = PimChip::new(ChipConfig::default_2gb());
-    let mut reference = Solver::<Acoustic>::uniform(
-        mapping.mesh().clone(),
-        4,
-        FluxKind::Riemann,
-        material,
-    );
+    let mut reference =
+        Solver::<Acoustic>::uniform(mapping.mesh().clone(), 4, FluxKind::Riemann, material);
     reference.set_initial(|v, x| wave.eval(x, 0.0)[v]);
     mapping.preload(&mut chip, reference.state(), dt);
     chip.execute(&mapping.compile_lut_setup());
-    let streams = mapping.compile_step();
-    let instr_per_step: usize = streams.iter().map(|s| s.len()).sum();
+    let elems: Vec<usize> = (0..mapping.mesh().num_elements()).collect();
+    let instr_per_step: usize = mapping.compile_step().iter().map(|s| s.len()).sum();
     println!("\nPIM mapping: 1 element per 1K x 1K memory block");
     println!("  compiled {} instructions per time-step (5 LSRK stages)", instr_per_step);
+    // Per-kernel streams (same instructions as `compile_step`, split so
+    // each kernel is a traced window).
     for _ in 0..2 {
-        for s in &streams {
-            chip.execute(s);
+        for stage in 0..5usize {
+            traced_execute(
+                &mut chip,
+                Kernel::Volume,
+                stage as u8,
+                &mapping.compile_volume_for(&elems),
+            );
+            traced_execute(
+                &mut chip,
+                Kernel::Flux,
+                stage as u8,
+                &mapping.compile_flux_phased_for(&elems),
+            );
+            traced_execute(
+                &mut chip,
+                Kernel::Integration,
+                stage as u8,
+                &mapping.compile_integration_for(&elems, stage),
+            );
         }
     }
     reference.run(dt, 2);
@@ -70,6 +89,8 @@ fn main() {
     let diff = reference.state().max_abs_diff(&pim_state);
     println!("  |PIM - native|_inf after 2 steps: {diff:.3e}");
 
+    let simulated_elapsed = chip.elapsed();
+    let chip_pid = chip.trace_pid();
     let report = chip.finish();
     println!(
         "  simulated chip time: {:.2} us, dynamic energy: {:.3} mJ",
@@ -77,5 +98,40 @@ fn main() {
         report.ledger.dynamic() * 1e3
     );
     assert!(diff < 1e-12, "PIM execution must track the native solver");
+
+    // 4. Drain the trace: Chrome/Perfetto timeline, per-kernel table,
+    //    machine-readable digest — and reconcile it against the chip's
+    //    own energy/latency ledger.
+    pim_trace::disable();
+    let (events, dropped) = pim_trace::drain();
+    let traced_energy: f64 = events.iter().map(|e| e.payload.energy_j()).sum();
+    let traced_makespan =
+        events.iter().filter(|e| e.pid == chip_pid).fold(0.0f64, |m, e| m.max(e.t1));
+    println!("\nTrace: {} events ({} dropped)", events.len(), dropped);
+    println!(
+        "  trace energy {:.4} mJ vs ledger dynamic {:.4} mJ (diff {:.2e} rel)",
+        traced_energy * 1e3,
+        report.ledger.dynamic() * 1e3,
+        (traced_energy - report.ledger.dynamic()).abs() / report.ledger.dynamic()
+    );
+    println!(
+        "  trace makespan {:.2} us vs chip elapsed {:.2} us",
+        traced_makespan * 1e6,
+        simulated_elapsed * 1e6
+    );
+    assert!(
+        (traced_energy - report.ledger.dynamic()).abs() <= 0.01 * report.ledger.dynamic(),
+        "trace must reconcile with the energy ledger within 1%"
+    );
+    print!("{}", Aggregate::from_events(&events).render("per-kernel aggregates"));
+
+    std::fs::write("trace.json", pim_trace::chrome::to_chrome_json(&events))
+        .expect("write trace.json");
+    std::fs::write(
+        "BENCH_trace.json",
+        pim_trace::summary::bench_trace_json("quickstart acoustic L1 n4", &events, dropped),
+    )
+    .expect("write BENCH_trace.json");
+    println!("\nWrote trace.json (load in Perfetto / chrome://tracing) and BENCH_trace.json.");
     println!("\nOK: the PIM instruction streams reproduce the native dG solver.");
 }

@@ -41,9 +41,7 @@ fn main() {
     println!("Forward propagation: {steps} steps of dt = {dt:.5}");
     solver.run(dt, steps);
     let spread = solver.state().max_abs_diff(&initial);
-    println!(
-        "  after forward run: |u(T) - u(0)|_inf = {spread:.4} (the pulse has left home)"
-    );
+    println!("  after forward run: |u(T) - u(0)|_inf = {spread:.4} (the pulse has left home)");
     println!("  energy drift: {:.2e}", (acoustic_energy(&solver) - e0).abs() / e0);
 
     // Time reversal: p -> p, v -> -v.
@@ -76,10 +74,7 @@ fn main() {
         spread / refocus_err.max(1e-300)
     );
 
-    assert!(
-        refocus_err < 1e-4 * spread.max(1.0),
-        "time reversal failed to refocus: {refocus_err}"
-    );
+    assert!(refocus_err < 1e-4 * spread.max(1.0), "time reversal failed to refocus: {refocus_err}");
     println!("\nOK: the conservative dG scheme is time-reversal symmetric to");
     println!("numerical precision — the property adjoint/FWI workflows rely on.");
 }

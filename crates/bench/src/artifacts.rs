@@ -1,0 +1,59 @@
+//! One resolver for where generated artifacts (`trace.json`,
+//! `BENCH_*.json`) land. Every binary and example writes through
+//! [`write_artifact`], so CI's existence checks and the gitignore list
+//! have a single source of truth for artifact placement.
+
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Environment variable overriding the artifact output directory.
+pub const ARTIFACT_DIR_ENV: &str = "WAVEPIM_ARTIFACT_DIR";
+
+/// The directory artifacts are written to: `$WAVEPIM_ARTIFACT_DIR` when
+/// set and non-empty, otherwise the current working directory (which is
+/// what CI's `test -s <name>` steps check).
+pub fn artifact_dir() -> PathBuf {
+    match std::env::var(ARTIFACT_DIR_ENV) {
+        Ok(dir) if !dir.is_empty() => PathBuf::from(dir),
+        _ => PathBuf::from("."),
+    }
+}
+
+/// Writes `contents` as artifact `name` inside `dir`, creating the
+/// directory if needed. Returns the path written.
+pub fn write_artifact_in(dir: &Path, name: &str, contents: &str) -> io::Result<PathBuf> {
+    std::fs::create_dir_all(dir)?;
+    let path = dir.join(name);
+    std::fs::write(&path, contents)?;
+    Ok(path)
+}
+
+/// Writes `contents` as artifact `name` inside [`artifact_dir`].
+pub fn write_artifact(name: &str, contents: &str) -> io::Result<PathBuf> {
+    write_artifact_in(&artifact_dir(), name, contents)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn writes_into_the_requested_directory_creating_it() {
+        let dir = std::env::temp_dir()
+            .join(format!("wavepim-artifacts-{}", std::process::id()))
+            .join("nested");
+        let path = write_artifact_in(&dir, "BENCH_test.json", "{}\n").unwrap();
+        assert_eq!(path, dir.join("BENCH_test.json"));
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), "{}\n");
+        std::fs::remove_dir_all(dir.parent().unwrap()).unwrap();
+    }
+
+    #[test]
+    fn default_dir_is_the_working_directory() {
+        // The env override is exercised by `artifact_consistency.rs`;
+        // in-process the variable is unset and the default applies.
+        if std::env::var(ARTIFACT_DIR_ENV).is_err() {
+            assert_eq!(artifact_dir(), PathBuf::from("."));
+        }
+    }
+}

@@ -1,0 +1,63 @@
+//! Multi-chip scaling study: how wall-time, utilization and the halo
+//! share evolve for level 3–7 acoustic problems across 1/2/4/8 chips
+//! and the two interconnects, priced by the probe-calibrated cluster
+//! estimator. Writes the machine-readable `BENCH_cluster.json`.
+
+use pim_sim::InterconnectKind;
+use wavepim_bench::cluster::{cluster_json, cluster_scaling_data, CHIP_COUNTS, LEVELS};
+use wavepim_bench::report::{fmt_joules, fmt_seconds, Table};
+use wavepim_bench::{artifacts, cluster};
+
+fn main() {
+    let rows = cluster_scaling_data(&LEVELS, &CHIP_COUNTS);
+
+    for interconnect in [InterconnectKind::HTree, InterconnectKind::Bus] {
+        let mut t = Table::new(
+            format!(
+                "Acoustic cluster scaling on 2GB/{} chips (order n = {})",
+                interconnect.name(),
+                cluster::PROBE_N
+            ),
+            &[
+                "Level",
+                "Elements",
+                "Chips",
+                "Batches",
+                "Stage",
+                "Halo",
+                "Util",
+                "Weak eff",
+                "Strong eff",
+                "Total",
+                "Energy",
+            ],
+        );
+        for e in rows.iter().filter(|e| e.interconnect == interconnect) {
+            t.row(vec![
+                e.level.to_string(),
+                e.num_elements.to_string(),
+                e.num_chips.to_string(),
+                e.batches_per_chip.to_string(),
+                fmt_seconds(e.stage_seconds),
+                format!("{:.1}%", 100.0 * e.halo_time_fraction),
+                format!("{:.1}%", 100.0 * e.utilization),
+                format!("{:.3}", e.weak_efficiency),
+                format!("{:.3}", e.strong_efficiency),
+                fmt_seconds(e.total_seconds),
+                fmt_joules(e.energy.total()),
+            ]);
+        }
+        t.print();
+        println!();
+    }
+    println!("Halo is the share of stage wall-time spent on inter-chip exchange;");
+    println!("Util is the compute share (the rest is batch swap traffic). Weak/strong");
+    println!("efficiency compare against a halo-free single chip at the same");
+    println!("per-chip / total load.");
+
+    let doc = cluster_json(&rows);
+    pim_trace::json::parse(&doc).expect("BENCH_cluster.json must be valid JSON");
+    let path =
+        artifacts::write_artifact("BENCH_cluster.json", &doc).expect("write BENCH_cluster.json");
+    println!("\nWrote {}.", path.display());
+}

@@ -136,6 +136,7 @@ fn main() {
 
     let doc = summary_json(&s);
     pim_trace::json::parse(&doc).expect("BENCH_summary.json must be valid JSON");
-    std::fs::write("BENCH_summary.json", doc).expect("write BENCH_summary.json");
-    println!("\nWrote BENCH_summary.json.");
+    let path = wavepim_bench::artifacts::write_artifact("BENCH_summary.json", &doc)
+        .expect("write BENCH_summary.json");
+    println!("\nWrote {}.", path.display());
 }

@@ -1,0 +1,111 @@
+//! The multi-chip scaling study: sweeps refinement levels × chip counts
+//! × interconnects through the probe-calibrated cluster estimator
+//! (`pim-cluster`) and renders the machine-readable
+//! `BENCH_cluster.json` the `scaling_cluster` binary writes.
+
+use std::fmt::Write as _;
+
+use pim_cluster::{estimate_cluster, ClusterEstimate, KernelProbe};
+use pim_sim::{ChipCapacity, ChipConfig, InterChipLink, InterconnectKind, ProcessNode};
+use pim_trace::json::{escape, number};
+use wavesim_dg::FluxKind;
+
+/// Refinement levels the study sweeps: the paper's benchmarks stop at
+/// level 5; 6–7 are the beyond-single-chip sizes the cluster targets.
+pub const LEVELS: [u32; 5] = [3, 4, 5, 6, 7];
+
+/// Chip counts evaluated at every level.
+pub const CHIP_COUNTS: [usize; 4] = [1, 2, 4, 8];
+
+/// Element order the probe calibrates at (the paper's 4×4×4-node
+/// elements).
+pub const PROBE_N: usize = 4;
+
+/// Runs the sweep: one [`KernelProbe`] per interconnect (the probe
+/// executes on a real simulated chip, so contention differs between
+/// H-tree and bus), then every (level, chip-count) point on that probe.
+pub fn cluster_scaling_data(levels: &[u32], chip_counts: &[usize]) -> Vec<ClusterEstimate> {
+    let mut rows = Vec::new();
+    for interconnect in [InterconnectKind::HTree, InterconnectKind::Bus] {
+        let chip =
+            ChipConfig { capacity: ChipCapacity::Gb2, interconnect, node: ProcessNode::Nm28 };
+        let probe = KernelProbe::measure(PROBE_N, FluxKind::Riemann, chip);
+        for &level in levels {
+            for &chips in chip_counts {
+                rows.push(estimate_cluster(level, chips, InterChipLink::default(), &probe));
+            }
+        }
+    }
+    rows
+}
+
+/// Renders the sweep as the stable-schema `BENCH_cluster.json` document.
+pub fn cluster_json(rows: &[ClusterEstimate]) -> String {
+    let mut out = String::with_capacity(64 + 384 * rows.len());
+    out.push_str("{\n  \"schema_version\": 1,\n  \"points\": [\n");
+    for (i, e) in rows.iter().enumerate() {
+        let _ = write!(
+            out,
+            "    {{\"level\": {}, \"elements\": {}, \"chips\": {}, \
+             \"interconnect\": {}, \"elements_per_chip\": {}, \
+             \"batches_per_chip\": {}, \"stage_seconds\": {}, \
+             \"compute_seconds_per_stage\": {}, \"swap_seconds_per_stage\": {}, \
+             \"halo_seconds_per_stage\": {}, \"halo_bytes_per_stage\": {}, \
+             \"halo_time_fraction\": {}, \"utilization\": {}, \
+             \"strong_efficiency\": {}, \"weak_efficiency\": {}, \
+             \"total_seconds\": {}, \"total_joules\": {}}}",
+            e.level,
+            e.num_elements,
+            e.num_chips,
+            escape(e.interconnect.name()),
+            e.elements_per_chip,
+            e.batches_per_chip,
+            number(e.stage_seconds),
+            number(e.compute_seconds_per_stage),
+            number(e.swap_seconds_per_stage),
+            number(e.halo_seconds_per_stage),
+            e.halo_bytes_per_stage,
+            number(e.halo_time_fraction),
+            number(e.utilization),
+            number(e.strong_efficiency),
+            number(e.weak_efficiency),
+            number(e.total_seconds),
+            number(e.energy.total()),
+        );
+        out.push_str(if i + 1 < rows.len() { ",\n" } else { "\n" });
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_sweep_renders_a_valid_stable_schema() {
+        let rows = cluster_scaling_data(&[3], &[1, 2]);
+        // 1 level × 2 chip counts × 2 interconnects.
+        assert_eq!(rows.len(), 4);
+        let doc = cluster_json(&rows);
+        let v = pim_trace::json::parse(&doc).expect("BENCH_cluster.json must be valid JSON");
+        assert_eq!(v.get("schema_version").and_then(|x| x.as_f64()), Some(1.0));
+        let points = v.get("points").and_then(|x| x.as_array()).unwrap();
+        assert_eq!(points.len(), rows.len());
+        for p in points {
+            assert!(p.get("total_seconds").and_then(|x| x.as_f64()).unwrap() > 0.0);
+            assert!(p.get("total_joules").and_then(|x| x.as_f64()).unwrap() > 0.0);
+            let util = p.get("utilization").and_then(|x| x.as_f64()).unwrap();
+            assert!(util > 0.0 && util <= 1.0);
+        }
+        // Single-chip points carry no halo; multi-chip points must.
+        for (p, e) in points.iter().zip(&rows) {
+            let halo = p.get("halo_time_fraction").and_then(|x| x.as_f64()).unwrap();
+            if e.num_chips == 1 {
+                assert_eq!(halo, 0.0);
+            } else {
+                assert!(halo > 0.0);
+            }
+        }
+    }
+}

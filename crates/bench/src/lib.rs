@@ -5,6 +5,8 @@
 //! the shared data-assembly code so the integration tests can check the
 //! artifacts' invariants without scraping stdout.
 
+pub mod artifacts;
+pub mod cluster;
 pub mod figures;
 pub mod report;
 pub mod summary;

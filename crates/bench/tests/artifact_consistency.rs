@@ -5,6 +5,7 @@ use gpu_model::{benchmark_seconds, GpuImpl, GpuModel};
 use pim_sim::{ChipCapacity, ProcessNode};
 use wave_pim::estimate::{estimate, PimSetup};
 use wave_pim::planner::plan;
+use wavepim_bench::cluster::{cluster_json, cluster_scaling_data};
 use wavepim_bench::figures::{fig11_data, fig12_data, EvalColumn};
 use wavesim_dg::opcount::Benchmark;
 
@@ -94,6 +95,67 @@ fn nopipeline_column_is_slower_than_its_pipelined_twin() {
         let nopipe = row.iter().find(|(l, _)| l == "PIM-2GB-12nm-nopipe").unwrap().1;
         assert!(nopipe > piped, "{}: {nopipe} vs {piped}", b.name());
     }
+}
+
+#[test]
+fn cluster_artifact_schema_tells_a_coherent_scaling_story() {
+    // Same schema the `scaling_cluster` binary writes, on a reduced
+    // sweep so the test stays fast; the invariants are what the full
+    // BENCH_cluster.json must also satisfy.
+    let rows = cluster_scaling_data(&[3, 4], &[1, 2, 4]);
+    let doc = cluster_json(&rows);
+    let v = pim_trace::json::parse(&doc).expect("BENCH_cluster.json schema must parse");
+    assert_eq!(v.get("schema_version").and_then(|x| x.as_f64()), Some(1.0));
+    let points = v.get("points").and_then(|x| x.as_array()).unwrap();
+    // 2 levels × 3 chip counts × 2 interconnects.
+    assert_eq!(points.len(), 12);
+
+    let field = |p: &pim_trace::json::Value, k: &str| p.get(k).and_then(|x| x.as_f64()).unwrap();
+    for p in points {
+        // Time shares decompose exactly: compute + swap + halo = stage.
+        let stage = field(p, "stage_seconds");
+        let parts = field(p, "compute_seconds_per_stage")
+            + field(p, "swap_seconds_per_stage")
+            + field(p, "halo_seconds_per_stage");
+        assert!((stage - parts).abs() <= 1e-12 * stage, "stage decomposition broke");
+        let shares = field(p, "utilization") + field(p, "halo_time_fraction");
+        assert!(shares <= 1.0 + 1e-12, "shares exceed the stage: {shares}");
+    }
+
+    // Within one (level, interconnect) series, more chips never slows
+    // the fixed problem down — the acceptance bound of the study.
+    for interconnect in ["H-tree", "Bus"] {
+        for level in [3.0, 4.0] {
+            let series: Vec<f64> = points
+                .iter()
+                .filter(|p| {
+                    p.get("interconnect").and_then(|x| x.as_str()) == Some(interconnect)
+                        && field(p, "level") == level
+                })
+                .map(|p| field(p, "total_seconds"))
+                .collect();
+            assert_eq!(series.len(), 3);
+            for w in series.windows(2) {
+                assert!(w[1] <= w[0] * 1.0001, "{interconnect} level {level}: {series:?}");
+            }
+        }
+    }
+}
+
+#[test]
+fn artifact_writer_honors_the_directory_override() {
+    // The bins resolve their output directory through one helper; the
+    // env override is how CI or a user redirects every artifact at once.
+    let dir = std::env::temp_dir().join(format!("wavepim-artifact-dir-{}", std::process::id()));
+    std::env::set_var(wavepim_bench::artifacts::ARTIFACT_DIR_ENV, &dir);
+    assert_eq!(wavepim_bench::artifacts::artifact_dir(), dir);
+    let path =
+        wavepim_bench::artifacts::write_artifact("BENCH_probe.json", "{\"schema_version\": 1}\n")
+            .unwrap();
+    assert_eq!(path, dir.join("BENCH_probe.json"));
+    assert!(path.is_file());
+    std::env::remove_var(wavepim_bench::artifacts::ARTIFACT_DIR_ENV);
+    std::fs::remove_dir_all(&dir).unwrap();
 }
 
 #[test]

@@ -217,6 +217,40 @@ impl AcousticMapping {
         self.block_map = map;
     }
 
+    /// Installs the cluster shard placement: residents pack from block 0,
+    /// ghost (halo) elements follow, and *all* other elements share one
+    /// parked slot just past the window. Parked elements are never
+    /// addressed by shard-restricted streams, and sharing a single slot
+    /// keeps [`Self::lut_block`] (max + 1) within small chips even when
+    /// the full mesh is far larger than the shard — unlike the batched
+    /// runner's distinct parking, which assumes the mesh fits the chip.
+    ///
+    /// Returns the window size (`residents.len() + ghosts.len()`); the
+    /// chip must provide `window + 2` blocks (window, parked slot, LUT).
+    ///
+    /// # Panics
+    /// Panics if an element appears twice across `residents`/`ghosts`.
+    pub fn install_shard_map(&mut self, residents: &[usize], ghosts: &[usize]) -> u32 {
+        let total = self.mesh.num_elements();
+        let mut map = vec![0u32; total];
+        let mut windowed = vec![false; total];
+        let mut next = 0u32;
+        for &e in residents.iter().chain(ghosts) {
+            assert!(!windowed[e], "element {e} appears twice in the shard window");
+            windowed[e] = true;
+            map[e] = next;
+            next += 1;
+        }
+        let window = next;
+        for (e, slot) in map.iter_mut().enumerate() {
+            if !windowed[e] {
+                *slot = window;
+            }
+        }
+        self.block_map = map;
+        window
+    }
+
     /// Blocks required (one per element).
     pub fn blocks_required(&self) -> usize {
         self.mesh.num_elements()
@@ -985,6 +1019,34 @@ mod tests {
         m.preload(&mut chip, &state, 1e-3);
         let out = m.extract_state(&mut chip);
         assert_eq!(out.max_abs_diff(&state), 0.0);
+    }
+
+    #[test]
+    fn shard_map_packs_window_and_shares_one_parked_slot() {
+        // Level-2 mesh (64 elements), a 16-element shard with 8 ghosts:
+        // the parked 40 elements must all share slot 24 so the LUT lands
+        // at 25 regardless of mesh size.
+        let mesh = HexMesh::refinement_level(2, Boundary::Periodic);
+        let mut m = AcousticMapping::uniform(mesh, 3, FluxKind::Riemann, AcousticMaterial::UNIT);
+        let residents: Vec<usize> = (0..16).collect();
+        let ghosts: Vec<usize> = (16..24).collect();
+        let window = m.install_shard_map(&residents, &ghosts);
+        assert_eq!(window, 24);
+        for (i, &e) in residents.iter().chain(&ghosts).enumerate() {
+            assert_eq!(m.block_of(e).0, i as u32);
+        }
+        for e in 24..64 {
+            assert_eq!(m.block_of(e).0, window);
+        }
+        assert_eq!(m.lut_block().0, window + 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "appears twice")]
+    fn shard_map_rejects_overlapping_window() {
+        let mesh = HexMesh::refinement_level(1, Boundary::Periodic);
+        let mut m = AcousticMapping::uniform(mesh, 3, FluxKind::Riemann, AcousticMaterial::UNIT);
+        let _ = m.install_shard_map(&[0, 1], &[1]);
     }
 
     #[test]

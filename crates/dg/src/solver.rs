@@ -260,6 +260,53 @@ impl<P: Physics> Solver<P> {
         }
     }
 
+    /// Advances **only** `elems` through one LSRK stage: per-element
+    /// Volume + Flux into the contributions buffer, then the stage
+    /// update. The shard-restricted reference step for the multi-chip
+    /// cluster runtime — flux reads neighbor values from the *current*
+    /// full state, so the caller must have refreshed any remote (halo)
+    /// neighbors of `elems` to their pre-stage values first, exactly as
+    /// the cluster's halo exchange does. Does not advance [`Self::time`];
+    /// drive all five stages (with halo refreshes between them) to
+    /// complete a step.
+    pub fn stage_restricted(&mut self, stage: usize, dt: f64, elems: &[usize]) {
+        let n = self.rule.len();
+        let nn = self.geom.nodes_per_element();
+        let jac_inv = self.geom.jacobian_inverse_domain();
+        let mut scratch = vec![0.0; nn];
+        for &e in elems {
+            P::volume(
+                n,
+                &self.d,
+                jac_inv,
+                self.state.element(e),
+                &self.materials[e],
+                self.rhs.element_mut(e),
+                &mut scratch,
+            );
+            flux::element_flux::<P>(
+                &self.topo,
+                &self.mesh,
+                self.flux_kind,
+                self.lift,
+                &self.materials,
+                &self.state,
+                e,
+                self.rhs.element_mut(e),
+                nn,
+            );
+        }
+        for &e in elems {
+            Lsrk5::stage_update(
+                stage,
+                dt,
+                self.state.element_mut(e),
+                self.aux.element_mut(e),
+                self.rhs.element(e),
+            );
+        }
+    }
+
     /// Maximum absolute nodal error against an analytic solution evaluated
     /// at the current time.
     pub fn max_error_against(&self, exact: impl Fn(usize, Vec3, f64) -> f64) -> f64 {

@@ -12,12 +12,16 @@
 //!   (`jacobian_det_domain`, `jacobian_inverse_domain`,
 //!   `jacobian_det_boundary`, `jacobian_det_w_star`),
 //! * slice decomposition along the y-axis, which is what the Flux batching
-//!   scheme of §6.1.2 (Fig. 7) iterates over.
+//!   scheme of §6.1.2 (Fig. 7) iterates over,
+//! * [`partition`] — contiguous y-slice shards with halo face tables for
+//!   the multi-chip cluster runtime (§6's "larger problem sizes" axis).
 
 pub mod face;
 pub mod geometry;
 pub mod hexmesh;
+pub mod partition;
 
 pub use face::{Face, Neighbor};
 pub use geometry::ElementGeometry;
 pub use hexmesh::{Boundary, ElemId, HexMesh};
+pub use partition::{HaloFace, Shard, SlicePartition};

@@ -1,0 +1,252 @@
+//! Multi-chip domain decomposition: contiguous y-slice shards.
+//!
+//! The paper evaluates single chips and leaves "larger or smaller problem
+//! sizes" (§6) as the open scaling axis. The cluster runtime closes it by
+//! splitting the mesh into per-chip shards. The decomposition mirrors the
+//! batching order of §6.1: whole y-slices, contiguous, so x/z fluxes stay
+//! shard-local and only the two y-faces of each shard cross a chip
+//! boundary.
+//!
+//! A [`SlicePartition`] records, per shard:
+//!
+//! * the **resident** elements (owned and advanced by that shard's chip),
+//! * the **halo face table** — every face whose owner is resident but
+//!   whose neighbor lives on another shard (the traffic that must cross
+//!   the inter-chip link before each flux evaluation),
+//! * the **ghost** elements — the de-duplicated remote neighbors, i.e.
+//!   the receive set of the halo exchange.
+//!
+//! On a [`Boundary::Periodic`] mesh the first and last shards are
+//! neighbors through the wrap; on a [`Boundary::Wall`] mesh the outer
+//! faces have no neighbor and produce no halo entries (the wall ghost is
+//! synthesized locally by the flux kernels).
+
+use crate::face::{Face, Neighbor};
+use crate::hexmesh::HexMesh;
+use crate::ElemId;
+
+/// One face of the halo: `owner` is resident in the shard holding this
+/// table, `neighbor` is resident in `neighbor_shard`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HaloFace {
+    /// The resident element whose flux needs remote data.
+    pub owner: ElemId,
+    /// The face of `owner` that crosses the shard boundary.
+    pub face: Face,
+    /// The remote element on the other side of the face.
+    pub neighbor: ElemId,
+    /// The shard that owns `neighbor`.
+    pub neighbor_shard: usize,
+}
+
+/// One chip's share of the mesh.
+#[derive(Debug, Clone)]
+pub struct Shard {
+    /// This shard's index in the partition.
+    pub index: usize,
+    /// Contiguous range of y-slices `[slice_begin, slice_end)`.
+    pub slice_begin: usize,
+    /// One past the last owned y-slice.
+    pub slice_end: usize,
+    /// Elements owned by this shard, in ascending id order.
+    pub elements: Vec<ElemId>,
+    /// Every resident face whose neighbor is on another shard.
+    pub halo: Vec<HaloFace>,
+    /// De-duplicated remote neighbors (the receive set), ascending ids.
+    pub ghosts: Vec<ElemId>,
+}
+
+impl Shard {
+    /// Residents that appear as some other shard's ghost — the send set
+    /// of the halo exchange, ascending ids.
+    pub fn boundary_elements(&self, partition: &SlicePartition) -> Vec<ElemId> {
+        let mut out: Vec<ElemId> = Vec::new();
+        for other in partition.shards() {
+            if other.index == self.index {
+                continue;
+            }
+            out.extend(other.ghosts.iter().filter(|g| partition.shard_of(**g) == self.index));
+        }
+        out.sort_by_key(|e| e.index());
+        out.dedup();
+        out
+    }
+}
+
+/// A partition of a [`HexMesh`] into contiguous y-slice shards.
+#[derive(Debug, Clone)]
+pub struct SlicePartition {
+    num_elements: usize,
+    shards: Vec<Shard>,
+    shard_of: Vec<usize>,
+}
+
+impl SlicePartition {
+    /// Splits `mesh` into `num_shards` contiguous groups of y-slices.
+    ///
+    /// # Panics
+    /// Panics if `num_shards` is zero or does not divide the slice count
+    /// (`2^level`), matching the batching constraint of §6.1.
+    pub fn new(mesh: &HexMesh, num_shards: usize) -> Self {
+        assert!(num_shards > 0, "at least one shard required");
+        let slices = mesh.num_slices();
+        assert!(
+            num_shards <= slices && slices.is_multiple_of(num_shards),
+            "{num_shards} shards must evenly divide {slices} y-slices"
+        );
+        let per_shard = slices / num_shards;
+        let mut shard_of = vec![0usize; mesh.num_elements()];
+        let mut shards = Vec::with_capacity(num_shards);
+        for s in 0..num_shards {
+            let slice_begin = s * per_shard;
+            let slice_end = slice_begin + per_shard;
+            let mut elements: Vec<ElemId> =
+                Vec::with_capacity(per_shard * mesh.elements_per_slice());
+            for slice in slice_begin..slice_end {
+                elements.extend(mesh.slice_elements(slice));
+            }
+            elements.sort_by_key(|e| e.index());
+            for e in &elements {
+                shard_of[e.index()] = s;
+            }
+            shards.push(Shard {
+                index: s,
+                slice_begin,
+                slice_end,
+                elements,
+                halo: Vec::new(),
+                ghosts: Vec::new(),
+            });
+        }
+
+        // Halo face tables: walk every resident face and keep the ones
+        // whose neighbor lives elsewhere. Only the two y-faces can cross
+        // a slice-group boundary, but scanning all six keeps the table
+        // correct by construction rather than by argument.
+        for (s, shard) in shards.iter_mut().enumerate() {
+            let mut halo = Vec::new();
+            for &e in &shard.elements {
+                for face in Face::ALL {
+                    if let Neighbor::Element(nb) = mesh.neighbor(e, face) {
+                        let owner_shard = shard_of[nb.index()];
+                        if owner_shard != s {
+                            halo.push(HaloFace {
+                                owner: e,
+                                face,
+                                neighbor: nb,
+                                neighbor_shard: owner_shard,
+                            });
+                        }
+                    }
+                }
+            }
+            let mut ghosts: Vec<ElemId> = halo.iter().map(|h| h.neighbor).collect();
+            ghosts.sort_by_key(|e| e.index());
+            ghosts.dedup();
+            shard.halo = halo;
+            shard.ghosts = ghosts;
+        }
+
+        Self { num_elements: mesh.num_elements(), shards, shard_of }
+    }
+
+    /// Number of shards.
+    pub fn num_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Elements in the partitioned mesh.
+    pub fn num_elements(&self) -> usize {
+        self.num_elements
+    }
+
+    /// All shards, in index order.
+    pub fn shards(&self) -> &[Shard] {
+        &self.shards
+    }
+
+    /// One shard.
+    pub fn shard(&self, index: usize) -> &Shard {
+        &self.shards[index]
+    }
+
+    /// The shard owning an element.
+    pub fn shard_of(&self, elem: ElemId) -> usize {
+        self.shard_of[elem.index()]
+    }
+
+    /// Total halo faces summed over all shards (each inter-shard face
+    /// counted once per side).
+    pub fn total_halo_faces(&self) -> usize {
+        self.shards.iter().map(|s| s.halo.len()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hexmesh::Boundary;
+
+    #[test]
+    fn single_shard_has_no_halo() {
+        let mesh = HexMesh::refinement_level(2, Boundary::Periodic);
+        let p = SlicePartition::new(&mesh, 1);
+        assert_eq!(p.num_shards(), 1);
+        assert_eq!(p.shard(0).elements.len(), mesh.num_elements());
+        assert!(p.shard(0).halo.is_empty());
+        assert!(p.shard(0).ghosts.is_empty());
+    }
+
+    #[test]
+    fn periodic_two_shards_exchange_both_boundary_slices() {
+        // Two shards on a periodic mesh touch through the seam *and* the
+        // wrap: each shard's ghosts are both boundary slices of the other.
+        let mesh = HexMesh::refinement_level(2, Boundary::Periodic);
+        let p = SlicePartition::new(&mesh, 2);
+        let per_slice = mesh.elements_per_slice();
+        for s in p.shards() {
+            assert_eq!(s.ghosts.len(), 2 * per_slice, "shard {}", s.index);
+            assert_eq!(s.halo.len(), 2 * per_slice, "shard {}", s.index);
+            for h in &s.halo {
+                assert_eq!(h.neighbor_shard, 1 - s.index);
+            }
+        }
+    }
+
+    #[test]
+    fn wall_mesh_outer_faces_produce_no_halo() {
+        // With wall boundaries there is no wrap: the first and last shard
+        // see remote neighbors on one side only.
+        let mesh = HexMesh::refinement_level(2, Boundary::Wall);
+        let p = SlicePartition::new(&mesh, 4);
+        let per_slice = mesh.elements_per_slice();
+        assert_eq!(p.shard(0).ghosts.len(), per_slice);
+        assert_eq!(p.shard(3).ghosts.len(), per_slice);
+        assert_eq!(p.shard(1).ghosts.len(), 2 * per_slice);
+        assert_eq!(p.shard(2).ghosts.len(), 2 * per_slice);
+    }
+
+    #[test]
+    fn send_set_mirrors_receive_set() {
+        let mesh = HexMesh::refinement_level(3, Boundary::Periodic);
+        let p = SlicePartition::new(&mesh, 4);
+        for s in p.shards() {
+            let sends = s.boundary_elements(&p);
+            // Every sent element is resident here and appears as a ghost
+            // of at least one other shard.
+            for e in &sends {
+                assert_eq!(p.shard_of(*e), s.index);
+                assert!(p.shards().iter().any(|o| o.index != s.index && o.ghosts.contains(e)));
+            }
+            // Symmetric slicing: the send set is the two boundary slices.
+            assert_eq!(sends.len(), 2 * mesh.elements_per_slice());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "evenly divide")]
+    fn rejects_non_dividing_shard_count() {
+        let mesh = HexMesh::refinement_level(2, Boundary::Periodic);
+        let _ = SlicePartition::new(&mesh, 3);
+    }
+}

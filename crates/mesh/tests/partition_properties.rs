@@ -1,0 +1,92 @@
+//! Property tests for the y-slice partitioner: it must be a *true*
+//! partition (every element in exactly one shard) and its halo face
+//! tables must cover every inter-shard face exactly once from each side.
+
+use proptest::prelude::*;
+use std::collections::HashSet;
+use wavesim_mesh::{Boundary, Face, HexMesh, Neighbor, SlicePartition};
+
+/// (level, num_shards, boundary) triples where the shard count divides
+/// the slice count.
+fn cases() -> impl Strategy<Value = (u32, usize, Boundary)> {
+    (1u32..4, 0usize..4, prop_oneof![Just(Boundary::Periodic), Just(Boundary::Wall)]).prop_map(
+        |(level, shard_exp, boundary)| {
+            let slices = 1usize << level;
+            let shards = (1usize << shard_exp).min(slices);
+            (level, shards, boundary)
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn every_element_is_in_exactly_one_shard(case in cases()) {
+        let (level, shards, boundary) = case;
+        let mesh = HexMesh::refinement_level(level, boundary);
+        let p = SlicePartition::new(&mesh, shards);
+        let mut owner = vec![0usize; mesh.num_elements()];
+        for s in p.shards() {
+            for e in &s.elements {
+                owner[e.index()] += 1;
+                prop_assert_eq!(p.shard_of(*e), s.index);
+            }
+        }
+        prop_assert!(owner.iter().all(|&c| c == 1), "element owned by != 1 shard");
+    }
+
+    #[test]
+    fn halo_tables_cover_each_intershard_face_once_per_side(case in cases()) {
+        let (level, shards, boundary) = case;
+        let mesh = HexMesh::refinement_level(level, boundary);
+        let p = SlicePartition::new(&mesh, shards);
+
+        // Ground truth: enumerate every directed inter-shard face of the
+        // mesh independently of the partitioner's own walk.
+        let mut expected = HashSet::new();
+        for e in mesh.elements() {
+            for face in Face::ALL {
+                if let Neighbor::Element(nb) = mesh.neighbor(e, face) {
+                    if p.shard_of(e) != p.shard_of(nb) {
+                        expected.insert((e.index(), face.code(), nb.index()));
+                    }
+                }
+            }
+        }
+
+        // The shard tables must list exactly that set, with no duplicates,
+        // and each undirected face appears from both sides.
+        let mut listed = HashSet::new();
+        for s in p.shards() {
+            for h in &s.halo {
+                prop_assert_eq!(p.shard_of(h.owner), s.index);
+                prop_assert_eq!(p.shard_of(h.neighbor), h.neighbor_shard);
+                prop_assert!(
+                    listed.insert((h.owner.index(), h.face.code(), h.neighbor.index())),
+                    "duplicate halo face"
+                );
+            }
+        }
+        prop_assert_eq!(&listed, &expected);
+        for &(owner, code, neighbor) in &listed {
+            let mirrored = (neighbor, Face::from_code(code).opposite().code(), owner);
+            prop_assert!(listed.contains(&mirrored), "face listed from one side only");
+        }
+    }
+
+    #[test]
+    fn ghosts_are_exactly_the_remote_halo_neighbors(case in cases()) {
+        let (level, shards, boundary) = case;
+        let mesh = HexMesh::refinement_level(level, boundary);
+        let p = SlicePartition::new(&mesh, shards);
+        for s in p.shards() {
+            let from_halo: HashSet<usize> = s.halo.iter().map(|h| h.neighbor.index()).collect();
+            let ghosts: HashSet<usize> = s.ghosts.iter().map(|g| g.index()).collect();
+            prop_assert_eq!(&ghosts, &from_halo);
+            for g in &s.ghosts {
+                prop_assert!(p.shard_of(*g) != s.index, "ghost is resident");
+            }
+        }
+    }
+}

@@ -126,6 +126,16 @@ impl PimChip {
         self.trace_pid
     }
 
+    /// Registers this chip's trace swimlane under `label` instead of the
+    /// default `pim-chip <capacity>`. The cluster runtime uses this to
+    /// give every chip its own named process row. No-op after the pid has
+    /// been allocated.
+    pub fn set_trace_label(&mut self, label: impl Into<String>) {
+        if self.trace_pid == 0 {
+            self.trace_pid = pim_trace::alloc_pid(label);
+        }
+    }
+
     /// Records an instruction-level span on this chip's trace process.
     /// Timestamps are *unscaled* simulated seconds — the same clock as
     /// [`Self::elapsed`] — and the energy payload is exactly the joules
@@ -437,6 +447,31 @@ impl PimChip {
         }
     }
 
+    /// Charges one endpoint of an inter-chip halo message to this chip:
+    /// the transfer serializes on the off-chip port (shared with HBM2
+    /// DMAs), its energy lands in `ledger.offchip`, and the span is
+    /// traced on the off-chip lane. Returns the seconds this chip spent
+    /// on the message.
+    pub fn link_transfer(&mut self, link: &crate::link::InterChipLink, bytes: u64) -> f64 {
+        let dur = link.duration(bytes);
+        let start = self.offchip_ready.max(self.barrier);
+        let finish = start + dur;
+        self.offchip_ready = finish;
+        let joules = link.energy(bytes);
+        self.ledger.offchip += joules;
+        self.elapsed = self.elapsed.max(finish);
+        self.trace(TID_OFFCHIP, start, finish, Payload::Offchip { bytes, energy_j: joules });
+        dur
+    }
+
+    /// Advances the chip barrier so subsequent work (including
+    /// [`Self::link_transfer`]) starts no earlier than `at`. The cluster
+    /// runtime uses this to align all chips on a stage boundary before a
+    /// halo exchange.
+    pub fn advance_barrier(&mut self, at: f64) {
+        self.barrier = self.barrier.max(at);
+    }
+
     /// Charges host preprocessing work (sqrt/inverse for the LUTs).
     pub fn charge_host_preprocess(&mut self, sqrts: u64, divs: u64) {
         let (seconds, joules) = self.host.preprocess(sqrts, divs);
@@ -553,6 +588,30 @@ mod tests {
         let one = (1u64 << 20) as f64 / params::OFFCHIP_BANDWIDTH;
         assert!((two - 2.0 * one).abs() < 1e-12, "HBM2 channel must serialize");
         assert!(c.finish().ledger.offchip > 0.0);
+    }
+
+    #[test]
+    fn link_transfers_serialize_on_the_offchip_port() {
+        use crate::link::InterChipLink;
+        let mut c = chip();
+        let link = InterChipLink::default();
+        let d1 = c.link_transfer(&link, 1 << 20);
+        let d2 = c.link_transfer(&link, 1 << 20);
+        assert!((d1 - d2).abs() < 1e-18);
+        assert!((d1 - link.duration(1 << 20)).abs() < 1e-18);
+        assert!((c.elapsed() - 2.0 * d1).abs() < 1e-15, "link shares the off-chip channel");
+        let expected = 2.0 * link.energy(1 << 20);
+        assert!((c.finish().ledger.offchip - expected).abs() < 1e-15 * expected.max(1.0));
+    }
+
+    #[test]
+    fn barrier_delays_link_transfers() {
+        use crate::link::InterChipLink;
+        let mut c = chip();
+        c.advance_barrier(1.0e-3);
+        let link = InterChipLink::default();
+        c.link_transfer(&link, 1024);
+        assert!(c.elapsed() >= 1.0e-3 + link.duration(1024) - 1e-15);
     }
 
     #[test]

@@ -18,18 +18,22 @@
 //! * [`host`] — the ARM Cortex-A72 host model that sends instructions and
 //!   precomputes sqrt/inverse for the look-up tables,
 //! * [`chip`] — the assembled chip: tiles of 256 blocks, central
-//!   controller, functional execution of `pim-isa` instruction streams.
+//!   controller, functional execution of `pim-isa` instruction streams,
+//! * [`link`] — the point-to-point inter-chip link the cluster runtime
+//!   charges halo-exchange traffic against.
 
 pub mod block;
 pub mod chip;
 pub mod energy;
 pub mod host;
 pub mod interconnect;
+pub mod link;
 pub mod nor;
 pub mod params;
 
 pub use block::MemBlock;
-pub use chip::{ChipConfig, PimChip};
+pub use chip::{ChipConfig, ExecReport, PimChip};
 pub use energy::EnergyLedger;
 pub use interconnect::{BusNetwork, HTreeNetwork, Interconnect, InterconnectKind, Transfer};
+pub use link::InterChipLink;
 pub use params::{ChipCapacity, ProcessNode};

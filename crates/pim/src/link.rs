@@ -1,0 +1,90 @@
+//! The inter-chip link model for multi-chip cluster execution.
+//!
+//! The paper's chips are evaluated standalone; scaling past one chip
+//! (§6, "larger problem sizes") needs boundary data to cross a
+//! chip-to-chip link every RK stage. [`InterChipLink`] is the analytic
+//! cost model for one such point-to-point link: a fixed per-message
+//! latency plus a bandwidth term, and a per-byte transfer energy.
+//!
+//! Each endpoint of a message is charged on its own chip via
+//! [`crate::PimChip::link_transfer`]: the message serializes on the
+//! chip's off-chip port (the same resource HBM2 DMAs use), its energy
+//! lands in `ledger.offchip`, and the span is traced on the off-chip
+//! lane — so cluster traces reconcile with the per-chip ledgers exactly
+//! like single-chip runs.
+
+use crate::params;
+
+/// A point-to-point inter-chip link.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct InterChipLink {
+    /// Sustained bandwidth, bytes/second.
+    pub bandwidth: f64,
+    /// Fixed per-message latency, seconds.
+    pub latency: f64,
+    /// Transfer energy charged per byte *per endpoint*, joules.
+    pub energy_per_byte: f64,
+}
+
+impl Default for InterChipLink {
+    fn default() -> Self {
+        Self {
+            bandwidth: params::INTERCHIP_BANDWIDTH,
+            latency: params::INTERCHIP_LATENCY,
+            energy_per_byte: params::INTERCHIP_ENERGY_PER_BYTE,
+        }
+    }
+}
+
+impl InterChipLink {
+    /// Seconds one endpoint is occupied by a `bytes`-sized message.
+    pub fn duration(&self, bytes: u64) -> f64 {
+        self.latency + bytes as f64 / self.bandwidth
+    }
+
+    /// Joules charged to one endpoint for a `bytes`-sized message.
+    pub fn energy(&self, bytes: u64) -> f64 {
+        bytes as f64 * self.energy_per_byte
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matches_params() {
+        let l = InterChipLink::default();
+        assert_eq!(l.bandwidth, params::INTERCHIP_BANDWIDTH);
+        assert_eq!(l.latency, params::INTERCHIP_LATENCY);
+        assert_eq!(l.energy_per_byte, params::INTERCHIP_ENERGY_PER_BYTE);
+    }
+
+    #[test]
+    fn duration_has_latency_floor_and_bandwidth_slope() {
+        let l = InterChipLink::default();
+        assert!((l.duration(0) - l.latency).abs() < 1e-18);
+        let big = 1u64 << 30;
+        let d = l.duration(big);
+        assert!((d - l.latency - big as f64 / l.bandwidth).abs() < 1e-12);
+        assert!(d > l.duration(big / 2));
+    }
+
+    #[test]
+    fn link_is_slower_and_costlier_than_hbm2() {
+        // The premise of halo locality: crossing chips must be worse than
+        // staying on-package.
+        let l = InterChipLink::default();
+        assert!(l.bandwidth < params::OFFCHIP_BANDWIDTH);
+        assert!(
+            l.energy_per_byte > params::OFFCHIP_POWER / params::OFFCHIP_BANDWIDTH,
+            "per-byte link energy should exceed the HBM2 figure"
+        );
+    }
+
+    #[test]
+    fn energy_scales_linearly() {
+        let l = InterChipLink::default();
+        assert!((l.energy(2048) - 2.0 * l.energy(1024)).abs() < 1e-18);
+    }
+}

@@ -63,6 +63,22 @@ pub const OFFCHIP_BANDWIDTH: f64 = 900.0e9;
 /// Off-chip HBM2 DRAM power, watts (§7.1, from [34]).
 pub const OFFCHIP_POWER: f64 = 36.91;
 
+// ---- Inter-chip link (cluster runtime) ----
+//
+// The paper evaluates single chips; the cluster runtime extends the §6
+// scalability axis across devices. The link figures model a SerDes-style
+// chip-to-chip interconnect: far slower and costlier per byte than the
+// on-package HBM2 path above, which is what makes halo locality matter.
+
+/// Inter-chip link bandwidth, bytes/second (64 GB/s, a PCIe 5.0 x16-class
+/// or small NVLink-class point-to-point link).
+pub const INTERCHIP_BANDWIDTH: f64 = 64.0e9;
+/// Per-message inter-chip latency, seconds (500 ns: SerDes + protocol,
+/// an order above DRAM access).
+pub const INTERCHIP_LATENCY: f64 = 500.0e-9;
+/// Inter-chip transfer energy, joules per byte (~10 pJ/bit SerDes class).
+pub const INTERCHIP_ENERGY_PER_BYTE: f64 = 80.0e-12;
+
 // ---- Table 3: component powers (2 GB chip) ----
 
 /// One memory block: crossbar 6.14 mW + sense amps 2.38 mW + decoder

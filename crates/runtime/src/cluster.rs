@@ -1,0 +1,310 @@
+//! Functional multi-chip execution: N simulated PIM chips advance one
+//! sharded acoustic problem in lockstep.
+//!
+//! Each chip holds one [`wavesim_mesh::Shard`]: its resident elements
+//! packed from block 0, its ghost elements in the blocks after them
+//! (`AcousticMapping::install_shard_map`), and the shared impedance LUT
+//! block after those. Per LSRK stage the cluster:
+//!
+//! 1. **aligns** all chips on a barrier at the cluster-wide maximum
+//!    simulated time (a stage cannot start before the slowest chip of the
+//!    previous stage has finished — the lockstep of a bulk-synchronous
+//!    halo exchange),
+//! 2. **exchanges halos**: every [`HaloMessage`] of the plan moves the
+//!    senders' pre-stage variables over the inter-chip link. The link
+//!    time and energy are charged to *both* endpoint chips (serialize /
+//!    deserialize each occupy their chip's off-chip port), traced as
+//!    off-chip events on each chip's own process row, and the received
+//!    variables land in the ghost blocks,
+//! 3. **computes**: every chip runs its compiled Volume → Flux →
+//!    Integration streams on its residents, exactly the instruction
+//!    streams the single-chip mapper would emit, inside traced kernel
+//!    windows.
+//!
+//! Because ghosts hold the neighbors' pre-stage variables when Flux runs,
+//! the merged cluster state reproduces the native dG solver to roundoff —
+//! the same ≤1e-12 bound the single-chip mapping meets.
+
+use pim_sim::{ChipConfig, ExecReport, InterChipLink, PimChip};
+use pim_trace::Kernel;
+use rayon::prelude::*;
+use wave_pim::compiler::AcousticMapping;
+use wave_pim::tracehooks::{begin_kernel_span, end_kernel_span};
+use wavesim_dg::{AcousticMaterial, FluxKind, Lsrk5, State};
+use wavesim_mesh::{HexMesh, SlicePartition};
+
+use crate::halo::{halo_messages, HaloMessage};
+
+/// Cluster shape: how many chips, what each chip is, and what connects
+/// them.
+#[derive(Debug, Clone, Copy)]
+pub struct ClusterConfig {
+    /// Number of chips (must evenly divide the mesh's y-slice count).
+    pub num_chips: usize,
+    /// Per-chip configuration (capacity, interconnect, process node).
+    pub chip: ChipConfig,
+    /// The inter-chip link model.
+    pub link: InterChipLink,
+}
+
+impl ClusterConfig {
+    /// `num_chips` paper-default 2 GB chips on the default link.
+    pub fn new(num_chips: usize) -> Self {
+        Self { num_chips, chip: ChipConfig::default_2gb(), link: InterChipLink::default() }
+    }
+}
+
+/// Accumulated halo-exchange accounting, for reconciling the functional
+/// runner against the analytic estimator.
+#[derive(Debug, Clone)]
+pub struct HaloStats {
+    /// Messages sent (each counted once, not per endpoint).
+    pub messages: u64,
+    /// Payload bytes sent (each counted once, not per endpoint).
+    pub payload_bytes: u64,
+    /// Per-chip link busy time, seconds: every message occupies both its
+    /// endpoints' off-chip ports for the link duration.
+    pub link_seconds: Vec<f64>,
+    /// LSRK stages executed so far.
+    pub stages: u64,
+}
+
+impl HaloStats {
+    /// The busiest chip's average link time per stage — the quantity the
+    /// analytic estimator models as `halo_seconds_per_stage`.
+    pub fn seconds_per_stage(&self) -> f64 {
+        if self.stages == 0 {
+            return 0.0;
+        }
+        self.link_seconds.iter().fold(0.0f64, |m, &s| m.max(s)) / self.stages as f64
+    }
+}
+
+/// The multi-chip runner. See the module docs for the per-stage protocol.
+pub struct ClusterRunner {
+    partition: SlicePartition,
+    mappings: Vec<AcousticMapping>,
+    chips: Vec<PimChip>,
+    /// Resident element ids per shard.
+    residents: Vec<Vec<usize>>,
+    /// Ghost element ids per shard (the receive set).
+    ghosts: Vec<Vec<usize>>,
+    /// Boundary element ids per shard (the send set).
+    send_sets: Vec<Vec<usize>>,
+    messages: Vec<HaloMessage>,
+    link: InterChipLink,
+    dt: f64,
+    /// Host-side staging for pre-stage boundary variables in flight.
+    staging: State,
+    halo: HaloStats,
+}
+
+impl ClusterRunner {
+    /// Shards `mesh` across `config.num_chips` chips, compiles each shard
+    /// with the single-chip mapper, and preloads every chip.
+    ///
+    /// # Panics
+    /// Panics if the chip count does not divide the mesh's slice count,
+    /// or a shard (residents + ghosts + LUT + parking) does not fit one
+    /// chip.
+    pub fn new(
+        mesh: &HexMesh,
+        n: usize,
+        flux_kind: FluxKind,
+        material: AcousticMaterial,
+        initial: &State,
+        dt: f64,
+        config: ClusterConfig,
+    ) -> Self {
+        assert_eq!(initial.num_elements(), mesh.num_elements(), "initial state must match mesh");
+        let partition = SlicePartition::new(mesh, config.num_chips);
+        let messages = halo_messages(&partition);
+
+        let mut mappings = Vec::with_capacity(config.num_chips);
+        let mut chips = Vec::with_capacity(config.num_chips);
+        let mut residents = Vec::with_capacity(config.num_chips);
+        let mut ghosts = Vec::with_capacity(config.num_chips);
+        let mut send_sets = Vec::with_capacity(config.num_chips);
+
+        for shard in partition.shards() {
+            let res: Vec<usize> = shard.elements.iter().map(|e| e.index()).collect();
+            let gho: Vec<usize> = shard.ghosts.iter().map(|e| e.index()).collect();
+            let snd: Vec<usize> =
+                shard.boundary_elements(&partition).iter().map(|e| e.index()).collect();
+
+            let mut mapping = AcousticMapping::uniform(mesh.clone(), n, flux_kind, material);
+            let window = mapping.install_shard_map(&res, &gho);
+            // window blocks + 1 shared parking block + 1 LUT block.
+            assert!(
+                u64::from(window) + 2 <= config.chip.capacity.num_blocks(),
+                "shard {}: {} resident + {} ghost elements exceed {} blocks",
+                shard.index,
+                res.len(),
+                gho.len(),
+                config.chip.capacity.num_blocks()
+            );
+
+            let mut chip = PimChip::new(config.chip);
+            chip.set_trace_label(format!(
+                "pim-cluster chip {} ({})",
+                shard.index,
+                config.chip.capacity.name()
+            ));
+            // Residents get their full static + dynamic image; ghosts
+            // only ever serve variable reads, so variables suffice.
+            mapping.preload_static_subset(&mut chip, dt, &res);
+            mapping.load_vars_subset(&mut chip, initial, &res);
+            mapping.load_vars_subset(&mut chip, initial, &gho);
+            mapping.zero_dynamic_subset(&mut chip, &res);
+            // The block map is static for the whole run, so the LUT
+            // constants are resolved once here, not per stage.
+            chip.execute(&mapping.compile_lut_setup_for(&res));
+
+            mappings.push(mapping);
+            chips.push(chip);
+            residents.push(res);
+            ghosts.push(gho);
+            send_sets.push(snd);
+        }
+
+        let num_chips = config.num_chips;
+        Self {
+            partition,
+            mappings,
+            chips,
+            residents,
+            ghosts,
+            send_sets,
+            messages,
+            link: config.link,
+            dt,
+            staging: initial.clone(),
+            halo: HaloStats {
+                messages: 0,
+                payload_bytes: 0,
+                link_seconds: vec![0.0; num_chips],
+                stages: 0,
+            },
+        }
+    }
+
+    /// Number of chips.
+    pub fn num_chips(&self) -> usize {
+        self.chips.len()
+    }
+
+    /// The time-step all chips were compiled for.
+    pub fn dt(&self) -> f64 {
+        self.dt
+    }
+
+    /// The partition driving this cluster.
+    pub fn partition(&self) -> &SlicePartition {
+        &self.partition
+    }
+
+    /// The halo-exchange plan (shared with the analytic estimator).
+    pub fn messages(&self) -> &[HaloMessage] {
+        &self.messages
+    }
+
+    /// Halo accounting so far.
+    pub fn halo_stats(&self) -> &HaloStats {
+        &self.halo
+    }
+
+    /// Advances one time-step: five LSRK stages of barrier → halo
+    /// exchange → compute.
+    pub fn step(&mut self) {
+        let nodes = self.mappings[0].nodes();
+        for stage in 0..Lsrk5::STAGES {
+            // 1. Lockstep barrier at the cluster-wide simulated time.
+            let now = self.chips.iter().fold(0.0f64, |m, c| m.max(c.elapsed()));
+            for chip in &mut self.chips {
+                chip.advance_barrier(now);
+            }
+
+            // 2. Halo exchange. Snapshot the send sets first: every
+            // message must carry *pre-stage* variables even though the
+            // sequential message loop interleaves sends and receives.
+            for (s, sends) in self.send_sets.iter().enumerate() {
+                self.mappings[s].extract_vars_subset(&mut self.chips[s], sends, &mut self.staging);
+            }
+            let t0: Vec<f64> = self.chips.iter().map(|c| c.elapsed()).collect();
+            for m in &self.messages {
+                let bytes = m.bytes(nodes);
+                let d_src = self.chips[m.src].link_transfer(&self.link, bytes);
+                let d_dst = self.chips[m.dst].link_transfer(&self.link, bytes);
+                self.halo.link_seconds[m.src] += d_src;
+                self.halo.link_seconds[m.dst] += d_dst;
+                self.halo.messages += 1;
+                self.halo.payload_bytes += bytes;
+            }
+            let staging = &self.staging;
+            let (mappings, ghosts) = (&self.mappings, &self.ghosts);
+            self.chips.par_chunks_mut(1).enumerate().for_each(|(c, chunk)| {
+                let chip = &mut chunk[0];
+                mappings[c].load_vars_subset(chip, staging, &ghosts[c]);
+                end_kernel_span(chip, Kernel::HaloExchange, stage as u8, t0[c]);
+            });
+
+            // 3. Compute: each chip runs the stage on its residents.
+            let (mappings, residents) = (&self.mappings, &self.residents);
+            self.chips.par_chunks_mut(1).enumerate().for_each(|(c, chunk)| {
+                let chip = &mut chunk[0];
+                let m = &mappings[c];
+                let res = &residents[c];
+                let stage_t0 = begin_kernel_span(chip);
+
+                let t0 = begin_kernel_span(chip);
+                chip.execute(&m.compile_volume_for(res));
+                end_kernel_span(chip, Kernel::Volume, stage as u8, t0);
+
+                let t0 = begin_kernel_span(chip);
+                chip.execute(&m.compile_flux_phased_for(res));
+                end_kernel_span(chip, Kernel::Flux, stage as u8, t0);
+
+                let t0 = begin_kernel_span(chip);
+                chip.execute(&m.compile_integration_for(res, stage));
+                end_kernel_span(chip, Kernel::Integration, stage as u8, t0);
+
+                end_kernel_span(chip, Kernel::RkStage, stage as u8, stage_t0);
+            });
+
+            self.halo.stages += 1;
+        }
+    }
+
+    /// Runs `steps` time-steps.
+    pub fn run(&mut self, steps: usize) {
+        for _ in 0..steps {
+            self.step();
+        }
+    }
+
+    /// Merges every chip's resident variables into one global [`State`].
+    pub fn state(&mut self) -> State {
+        let nodes = self.mappings[0].nodes();
+        let mut out = State::zeros(self.partition.num_elements(), 4, nodes);
+        for c in 0..self.chips.len() {
+            self.mappings[c].extract_vars_subset(&mut self.chips[c], &self.residents[c], &mut out);
+        }
+        out
+    }
+
+    /// Finalizes every chip: node-scaled wall-clock and energy ledgers,
+    /// in chip order.
+    pub fn finish_reports(&self) -> Vec<ExecReport> {
+        self.chips.iter().map(|c| c.finish()).collect()
+    }
+
+    /// The cluster-wide simulated wall-clock: the slowest chip.
+    pub fn elapsed(&self) -> f64 {
+        self.chips.iter().fold(0.0f64, |m, c| m.max(c.elapsed()))
+    }
+
+    /// Per-chip trace process ids (allocated at construction).
+    pub fn trace_pids(&mut self) -> Vec<u32> {
+        self.chips.iter_mut().map(|c| c.trace_pid()).collect()
+    }
+}

@@ -1,0 +1,315 @@
+//! Probe-calibrated strong/weak scaling estimation for the multi-chip
+//! cluster.
+//!
+//! The single-chip estimator (`wave_pim::estimate`) prices the paper's
+//! fixed benchmark points. Here the axis is *chips*: how does wall-time
+//! for a level-L acoustic problem change across 1/2/4/8 chips and the
+//! two interconnects? Building and executing the full instruction
+//! streams for levels 6–7 (10⁵–10⁶ elements) is out of reach, so the
+//! model is **calibrated** instead of assumed: a [`KernelProbe`]
+//! functionally executes a small resident problem (level-1, 8 elements)
+//! on a real `pim-sim` chip with the same per-element configuration, and
+//! records
+//!
+//! * the per-stage critical path of a resident batch (block-parallel
+//!   work does not lengthen with more elements; the probe measures the
+//!   serial per-element path plus real interconnect contention),
+//! * the instruction count per element per stage (the host dispatch feed
+//!   at one instruction per cycle bounds a chip's stage throughput from
+//!   below: `E/N` elements per chip is the term that makes more chips
+//!   faster),
+//! * the dynamic energy per element per stage, split by mechanism.
+//!
+//! The halo term reuses the exact [`halo_messages`] plan the functional
+//! runner executes, costed on the same [`InterChipLink`]; messages
+//! through one chip's port are modeled as streaming back-to-back
+//! (latency paid once per stage), where the executor pays the latency
+//! per message — the `estimator_vs_executor` test bounds that gap.
+
+use pim_sim::host::HostModel;
+use pim_sim::params as prm;
+use pim_sim::{ChipConfig, EnergyLedger, InterChipLink, InterconnectKind, PimChip};
+use wave_pim::compiler::AcousticMapping;
+use wave_pim::estimate::{STAGES_PER_STEP, TIME_STEPS};
+use wavesim_dg::{AcousticMaterial, FluxKind, Lsrk5, State};
+use wavesim_mesh::{Boundary, HexMesh, SlicePartition};
+
+use crate::halo::halo_messages;
+
+/// Off-chip round trips per resident element per stage when a shard is
+/// batched: the Fig. 6/7 schedule loads/stores vars, aux and
+/// contributions across the three kernel passes (10 element-sized DMA
+/// movements, counting both directions).
+const SWAP_PASSES_PER_ELEMENT: f64 = 10.0;
+
+/// Probe elements (level-1 mesh) and stages per probe run.
+const PROBE_ELEMENTS: f64 = 8.0;
+
+/// Calibration measured by executing a small resident problem on the
+/// functional chip simulator.
+#[derive(Debug, Clone)]
+pub struct KernelProbe {
+    /// Nodes per axis the probe (and the estimate) uses.
+    pub n: usize,
+    /// Nodes per element (`n³`).
+    pub nodes: usize,
+    /// Flux kind the streams were compiled for.
+    pub flux_kind: FluxKind,
+    /// Chip the probe ran on (capacity, interconnect, node).
+    pub chip: ChipConfig,
+    /// Compiled instructions per element per LSRK stage.
+    pub instrs_per_element_per_stage: f64,
+    /// Measured critical path of one resident stage, seconds (28 nm
+    /// simulated time, before process-node scaling).
+    pub seconds_per_stage_path: f64,
+    /// Dynamic energy per element per stage, node-scaled, by mechanism.
+    pub energy_per_element_per_stage: EnergyLedger,
+}
+
+impl KernelProbe {
+    /// Executes one time-step (five stages) of a level-1 periodic
+    /// problem on a fresh chip and derives the calibration constants.
+    pub fn measure(n: usize, flux_kind: FluxKind, chip: ChipConfig) -> Self {
+        let mesh = HexMesh::refinement_level(1, Boundary::Periodic);
+        let material = AcousticMaterial::new(2.0, 1.0);
+        let mapping = AcousticMapping::uniform(mesh, n, flux_kind, material);
+        let nodes = mapping.nodes();
+        let state = State::zeros(8, 4, nodes);
+        let mut sim = PimChip::new(chip);
+        mapping.preload(&mut sim, &state, 1e-3);
+        sim.execute(&mapping.compile_lut_setup());
+        let after_setup = sim.elapsed();
+
+        let mut instrs = 0usize;
+        for stage in 0..Lsrk5::STAGES {
+            let stream = mapping.compile_stage(stage);
+            instrs += stream.len();
+            sim.execute(&stream);
+        }
+
+        let stages = Lsrk5::STAGES as f64;
+        let path = (sim.elapsed() - after_setup) / stages;
+        let mut ledger = sim.finish().ledger;
+        ledger.static_energy = 0.0;
+        Self {
+            n,
+            nodes,
+            flux_kind,
+            chip,
+            instrs_per_element_per_stage: instrs as f64 / (PROBE_ELEMENTS * stages),
+            seconds_per_stage_path: path,
+            energy_per_element_per_stage: ledger.scaled(1.0 / (PROBE_ELEMENTS * stages)),
+        }
+    }
+}
+
+/// One evaluated (level, chip-count) scaling point.
+#[derive(Debug, Clone)]
+pub struct ClusterEstimate {
+    pub level: u32,
+    pub num_elements: u64,
+    pub num_chips: usize,
+    pub interconnect: InterconnectKind,
+    /// Resident elements per chip.
+    pub elements_per_chip: u64,
+    /// Per-chip batch count (1 = the shard fits resident).
+    pub batches_per_chip: u64,
+    /// Per-stage kernel compute time on the critical chip (28 nm).
+    pub compute_seconds_per_stage: f64,
+    /// Per-stage off-chip batch-swap time (28 nm; zero when resident).
+    pub swap_seconds_per_stage: f64,
+    /// Per-stage halo-exchange time on the busiest chip's port (28 nm).
+    pub halo_seconds_per_stage: f64,
+    /// One full cluster stage (28 nm).
+    pub stage_seconds: f64,
+    /// Halo payload bytes per stage, cluster-wide (each message once).
+    pub halo_bytes_per_stage: u64,
+    /// Halo share of the stage wall-time.
+    pub halo_time_fraction: f64,
+    /// Compute share of the stage wall-time (1 − halo − swap share).
+    pub utilization: f64,
+    /// T(1 chip) / (N × T(N chips)) for this fixed problem.
+    pub strong_efficiency: f64,
+    /// T(1 chip, this per-chip load, no halo) / T(N chips): what the
+    /// halo exchange costs relative to an embarrassingly parallel run.
+    pub weak_efficiency: f64,
+    /// Whole simulation wall-clock (1024 steps × 5 stages, node-scaled).
+    pub total_seconds: f64,
+    /// Whole-simulation energy over all chips (node-scaled, incl.
+    /// static and inter-chip link energy).
+    pub energy: EnergyLedger,
+}
+
+/// Per-stage (compute, swap) seconds and the batch count for `resident`
+/// elements sharing a chip with `ghost` extra resident blocks.
+fn stage_compute(probe: &KernelProbe, resident: u64, ghost: u64) -> (f64, f64, u64) {
+    let host = HostModel::default();
+    // Window blocks + 1 shared parking block + 1 LUT block must fit.
+    let avail = probe.chip.capacity.num_blocks().saturating_sub(2).max(1);
+    let window = resident + ghost;
+    let batches = window.div_ceil(avail).max(1);
+    let per_batch = resident.div_ceil(batches);
+    let dispatch =
+        host.dispatch_time((probe.instrs_per_element_per_stage * per_batch as f64).ceil() as u64);
+    let compute = batches as f64 * probe.seconds_per_stage_path.max(dispatch);
+    let swap = if batches > 1 {
+        let bytes = SWAP_PASSES_PER_ELEMENT * resident as f64 * (probe.nodes * 4 * 4) as f64;
+        bytes / prm::OFFCHIP_BANDWIDTH
+    } else {
+        0.0
+    };
+    (compute, swap, batches)
+}
+
+/// Evaluates one (level, chip-count, link) scaling point against a probe
+/// measured with the matching chip configuration.
+///
+/// # Panics
+/// Panics if `num_chips` does not evenly divide the level's `2^level`
+/// y-slices.
+pub fn estimate_cluster(
+    level: u32,
+    num_chips: usize,
+    link: InterChipLink,
+    probe: &KernelProbe,
+) -> ClusterEstimate {
+    let mesh = HexMesh::refinement_level(level, Boundary::Periodic);
+    let partition = SlicePartition::new(&mesh, num_chips);
+    let messages = halo_messages(&partition);
+
+    let e_total = mesh.num_elements() as u64;
+    let e_chip = e_total / num_chips as u64;
+    let ghosts_max = partition.shards().iter().map(|s| s.ghosts.len()).max().unwrap_or(0) as u64;
+
+    // Halo: the busiest chip's port moves its send + receive payload
+    // back-to-back (one latency per stage); energy is charged at both
+    // endpoints, as the functional runner does.
+    let mut port_bytes = vec![0u64; num_chips];
+    let mut halo_bytes_per_stage = 0u64;
+    let mut halo_joules_per_stage = 0.0f64;
+    for m in &messages {
+        let bytes = m.bytes(probe.nodes);
+        port_bytes[m.src] += bytes;
+        port_bytes[m.dst] += bytes;
+        halo_bytes_per_stage += bytes;
+        halo_joules_per_stage += 2.0 * link.energy(bytes);
+    }
+    let max_port = port_bytes.iter().copied().max().unwrap_or(0);
+    let halo = if max_port > 0 { link.latency + max_port as f64 / link.bandwidth } else { 0.0 };
+
+    let (compute, swap, batches) = stage_compute(probe, e_chip, ghosts_max);
+    let stage = compute + swap + halo;
+
+    // Reference points for the efficiency metrics.
+    let (c1, s1, _) = stage_compute(probe, e_total, 0);
+    let stage_one_chip = c1 + s1;
+    let (cw, sw, _) = stage_compute(probe, e_chip, 0);
+    let stage_weak_ref = cw + sw;
+
+    let launches = (TIME_STEPS * STAGES_PER_STEP) as f64;
+    let node = probe.chip.node;
+    let total_seconds = stage * launches / node.perf_scale();
+
+    let mut energy = probe.energy_per_element_per_stage.scaled(e_total as f64 * launches);
+    // Batch swaps cross every chip's HBM2 channel; halo crosses the
+    // inter-chip links. Both are off-chip traffic.
+    let swap_joules_per_stage = SWAP_PASSES_PER_ELEMENT
+        * (if batches > 1 { e_total as f64 } else { 0.0 })
+        * (probe.nodes * 4 * 4) as f64
+        * (prm::OFFCHIP_POWER / prm::OFFCHIP_BANDWIDTH);
+    energy.offchip +=
+        (swap_joules_per_stage + halo_joules_per_stage) * launches / node.energy_scale();
+    energy.charge_static(
+        num_chips as f64 * probe.chip.capacity.static_power(probe.chip.interconnect)
+            / node.energy_scale(),
+        total_seconds,
+    );
+
+    ClusterEstimate {
+        level,
+        num_elements: e_total,
+        num_chips,
+        interconnect: probe.chip.interconnect,
+        elements_per_chip: e_chip,
+        batches_per_chip: batches,
+        compute_seconds_per_stage: compute,
+        swap_seconds_per_stage: swap,
+        halo_seconds_per_stage: halo,
+        stage_seconds: stage,
+        halo_bytes_per_stage,
+        halo_time_fraction: halo / stage,
+        utilization: compute / stage,
+        strong_efficiency: stage_one_chip / (num_chips as f64 * stage),
+        weak_efficiency: stage_weak_ref / stage,
+        total_seconds,
+        energy,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn probe() -> KernelProbe {
+        KernelProbe::measure(4, FluxKind::Riemann, ChipConfig::default_2gb())
+    }
+
+    #[test]
+    fn probe_measures_positive_finite_constants() {
+        let p = probe();
+        assert_eq!(p.nodes, 64);
+        assert!(p.instrs_per_element_per_stage > 100.0);
+        assert!(p.seconds_per_stage_path > 0.0 && p.seconds_per_stage_path.is_finite());
+        assert!(p.energy_per_element_per_stage.dynamic() > 0.0);
+        assert_eq!(p.energy_per_element_per_stage.static_energy, 0.0);
+    }
+
+    #[test]
+    fn single_chip_has_no_halo_and_unit_efficiency() {
+        let p = probe();
+        let e = estimate_cluster(3, 1, InterChipLink::default(), &p);
+        assert_eq!(e.halo_seconds_per_stage, 0.0);
+        assert_eq!(e.halo_bytes_per_stage, 0);
+        assert!((e.strong_efficiency - 1.0).abs() < 1e-12);
+        assert!((e.weak_efficiency - 1.0).abs() < 1e-12);
+        assert!((e.utilization - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn more_chips_mean_more_total_energy_but_less_time() {
+        let p = probe();
+        let e1 = estimate_cluster(4, 1, InterChipLink::default(), &p);
+        let e4 = estimate_cluster(4, 4, InterChipLink::default(), &p);
+        assert!(e4.total_seconds <= e1.total_seconds);
+        // Four chips leak static power for the whole (shorter) run and
+        // add link energy: never cheaper in joules per simulation.
+        assert!(e4.energy.static_energy > 0.0);
+        assert!(e4.energy.offchip >= e1.energy.offchip);
+    }
+
+    #[test]
+    fn oversized_levels_batch_and_pay_swap_time() {
+        let p = probe();
+        // Level 6 = 262144 elements >> 16384 blocks: every chip batches.
+        let e = estimate_cluster(6, 2, InterChipLink::default(), &p);
+        assert!(e.batches_per_chip > 1);
+        assert!(e.swap_seconds_per_stage > 0.0);
+    }
+
+    #[test]
+    fn efficiencies_are_in_unit_range_for_multi_chip_points() {
+        let p = probe();
+        for chips in [2usize, 4, 8] {
+            let e = estimate_cluster(4, chips, InterChipLink::default(), &p);
+            assert!(e.strong_efficiency > 0.0 && e.strong_efficiency <= 1.0 + 1e-12);
+            assert!(e.weak_efficiency > 0.0 && e.weak_efficiency <= 1.0 + 1e-12);
+            assert!(e.halo_time_fraction > 0.0 && e.halo_time_fraction < 1.0);
+            assert!(
+                (e.utilization + e.halo_time_fraction + e.swap_seconds_per_stage / e.stage_seconds
+                    - 1.0)
+                    .abs()
+                    < 1e-12
+            );
+        }
+    }
+}

@@ -1,0 +1,119 @@
+//! The halo-exchange plan: which element data crosses which inter-chip
+//! link before each flux evaluation.
+//!
+//! Both the functional [`crate::cluster::ClusterRunner`] and the analytic
+//! [`crate::estimate`] model derive their halo traffic from the *same*
+//! [`halo_messages`] plan, so the estimator's halo term and the
+//! executor's measured link time agree by construction (the
+//! `estimator_vs_executor` cross-check in this crate's tests).
+
+use std::collections::BTreeMap;
+
+use wavesim_mesh::SlicePartition;
+
+/// Acoustic state variables per node (p, vx, vy, vz).
+const NUM_VARS: usize = 4;
+/// Bytes per transferred value: the chip stores fp32 words, and off-chip
+/// traffic is charged at fp32 width throughout the cost models.
+const BYTES_PER_VALUE: usize = 4;
+
+/// One inter-chip message: the pre-stage variables of `elements` (all
+/// resident on shard `src`) sent to shard `dst`, where they are ghosts.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HaloMessage {
+    /// Sending shard (owns `elements`).
+    pub src: usize,
+    /// Receiving shard (holds `elements` as ghosts).
+    pub dst: usize,
+    /// The transferred elements, ascending ids, deduplicated.
+    pub elements: Vec<usize>,
+}
+
+impl HaloMessage {
+    /// Payload bytes for `nodes` nodes per element: every node carries
+    /// the four acoustic variables at fp32 width.
+    pub fn bytes(&self, nodes: usize) -> u64 {
+        (self.elements.len() * nodes * NUM_VARS * BYTES_PER_VALUE) as u64
+    }
+}
+
+/// Builds the per-stage halo-exchange plan of a partition: one message
+/// per ordered `(src, dst)` shard pair that shares at least one
+/// inter-shard face, carrying `dst`'s ghosts owned by `src` exactly once
+/// each. Messages are ordered by `(src, dst)` so the runner's link
+/// schedule is deterministic.
+pub fn halo_messages(partition: &SlicePartition) -> Vec<HaloMessage> {
+    let mut out = Vec::new();
+    for dst in partition.shards() {
+        let mut by_src: BTreeMap<usize, Vec<usize>> = BTreeMap::new();
+        for g in &dst.ghosts {
+            by_src.entry(partition.shard_of(*g)).or_default().push(g.index());
+        }
+        for (src, elements) in by_src {
+            out.push(HaloMessage { src, dst: dst.index, elements });
+        }
+    }
+    out.sort_by_key(|m| (m.src, m.dst));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wavesim_mesh::{Boundary, HexMesh};
+
+    #[test]
+    fn single_shard_needs_no_messages() {
+        let mesh = HexMesh::refinement_level(2, Boundary::Periodic);
+        let p = SlicePartition::new(&mesh, 1);
+        assert!(halo_messages(&p).is_empty());
+    }
+
+    #[test]
+    fn periodic_two_shards_exchange_one_message_per_direction() {
+        // Seam + wrap both connect the same shard pair, so the plan
+        // groups them into a single message each way carrying both
+        // boundary slices.
+        let mesh = HexMesh::refinement_level(2, Boundary::Periodic);
+        let p = SlicePartition::new(&mesh, 2);
+        let msgs = halo_messages(&p);
+        assert_eq!(msgs.len(), 2);
+        for m in &msgs {
+            assert_eq!(m.elements.len(), 2 * mesh.elements_per_slice());
+            assert_ne!(m.src, m.dst);
+        }
+    }
+
+    #[test]
+    fn messages_cover_every_ghost_exactly_once() {
+        for (boundary, shards) in
+            [(Boundary::Periodic, 4), (Boundary::Wall, 4), (Boundary::Periodic, 2)]
+        {
+            let mesh = HexMesh::refinement_level(2, boundary);
+            let p = SlicePartition::new(&mesh, shards);
+            let msgs = halo_messages(&p);
+            for shard in p.shards() {
+                let mut received: Vec<usize> = msgs
+                    .iter()
+                    .filter(|m| m.dst == shard.index)
+                    .flat_map(|m| m.elements.iter().copied())
+                    .collect();
+                received.sort_unstable();
+                let ghosts: Vec<usize> = shard.ghosts.iter().map(|g| g.index()).collect();
+                assert_eq!(received, ghosts, "shard {}", shard.index);
+            }
+            // Every message's elements are owned by its src shard.
+            for m in &msgs {
+                for &e in &m.elements {
+                    assert_eq!(p.shard_of(wavesim_mesh::ElemId(e)), m.src);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn payload_bytes_count_four_fp32_vars_per_node() {
+        let m = HaloMessage { src: 0, dst: 1, elements: vec![3, 4, 5] };
+        assert_eq!(m.bytes(27), 3 * 27 * 4 * 4);
+    }
+}

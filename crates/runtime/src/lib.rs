@@ -1,0 +1,30 @@
+//! # pim-cluster
+//!
+//! Multi-chip sharded execution runtime for Wave-PIM.
+//!
+//! The paper evaluates one chip at a time (512 MB–16 GB, Table 5) and
+//! names "larger or smaller problem sizes" (§6) as the open scaling
+//! axis. This crate closes it across *devices*: the mesh is partitioned
+//! into per-chip shards ([`wavesim_mesh::SlicePartition`]), each shard
+//! is compiled independently with the existing `wave-pim` mapper, and N
+//! simulated `pim-sim` chips advance in lockstep with an explicit
+//! **halo-exchange** phase per LSRK stage. Boundary face data crossing a
+//! chip boundary is costed on the [`pim_sim::InterChipLink`] model,
+//! charged to both endpoint chips' energy ledgers, and mirrored into
+//! `pim-trace` events on each chip's own process row.
+//!
+//! Two coordinated views of the same cluster:
+//!
+//! * [`cluster`] — functional execution ([`ClusterRunner`]): bit-accurate
+//!   against the native dG solver, with per-chip ledgers and traces,
+//! * [`estimate`] — probe-calibrated analytic costing
+//!   ([`estimate_cluster`]): strong/weak scaling across levels 3–7 and
+//!   1–8 chips without building the big meshes' instruction streams.
+
+pub mod cluster;
+pub mod estimate;
+pub mod halo;
+
+pub use cluster::{ClusterConfig, ClusterRunner, HaloStats};
+pub use estimate::{estimate_cluster, ClusterEstimate, KernelProbe};
+pub use halo::{halo_messages, HaloMessage};

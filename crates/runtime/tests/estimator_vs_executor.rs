@@ -1,0 +1,68 @@
+//! The analytic cluster estimator must track the functional executor on
+//! the one term they model independently: per-stage halo-exchange time.
+//! Same 2× acceptance band as the single-chip `estimator_vs_executor`
+//! cross-check in `wave-pim`.
+
+use pim_cluster::{estimate_cluster, ClusterConfig, ClusterRunner, KernelProbe};
+use pim_sim::{ChipConfig, InterChipLink};
+use wavesim_dg::{Acoustic, AcousticMaterial, FluxKind, Solver, State};
+use wavesim_mesh::{Boundary, HexMesh};
+
+fn measured_halo_seconds_per_stage(level: u32, n: usize, num_chips: usize) -> f64 {
+    let mesh = HexMesh::refinement_level(level, Boundary::Periodic);
+    let material = AcousticMaterial::new(2.0, 1.0);
+    let mut reference = Solver::<Acoustic>::uniform(mesh.clone(), n, FluxKind::Riemann, material);
+    reference.set_initial(|v, x| (x.x + 0.1 * v as f64).sin());
+    let mut cluster = ClusterRunner::new(
+        &mesh,
+        n,
+        FluxKind::Riemann,
+        material,
+        reference.state(),
+        1e-3,
+        ClusterConfig::new(num_chips),
+    );
+    cluster.step();
+    cluster.halo_stats().seconds_per_stage()
+}
+
+#[test]
+fn modeled_halo_time_is_within_2x_of_the_executor() {
+    let (level, n, chips) = (3, 2, 2);
+    let probe = KernelProbe::measure(n, FluxKind::Riemann, ChipConfig::default_2gb());
+    let modeled =
+        estimate_cluster(level, chips, InterChipLink::default(), &probe).halo_seconds_per_stage;
+    let measured = measured_halo_seconds_per_stage(level, n, chips);
+    assert!(modeled > 0.0 && measured > 0.0);
+    let ratio = measured / modeled;
+    assert!(
+        (0.5..2.0).contains(&ratio),
+        "halo estimator drifted from the executor: measured {measured:e}, \
+         modeled {modeled:e}, ratio {ratio:.3}"
+    );
+}
+
+#[test]
+fn modeled_halo_bytes_equal_executed_halo_bytes() {
+    // Bytes are derived from the same `halo_messages` plan on both
+    // sides, so they must agree exactly, not within a band.
+    let (level, n, chips) = (2, 3, 4);
+    let mesh = HexMesh::refinement_level(level, Boundary::Periodic);
+    let material = AcousticMaterial::new(2.0, 1.0);
+    let initial = State::zeros(mesh.num_elements(), 4, n * n * n);
+    let mut cluster = ClusterRunner::new(
+        &mesh,
+        n,
+        FluxKind::Riemann,
+        material,
+        &initial,
+        1e-3,
+        ClusterConfig::new(chips),
+    );
+    cluster.step();
+
+    let probe = KernelProbe::measure(n, FluxKind::Riemann, ChipConfig::default_2gb());
+    let est = estimate_cluster(level, chips, InterChipLink::default(), &probe);
+    let stats = cluster.halo_stats();
+    assert_eq!(stats.payload_bytes / stats.stages, est.halo_bytes_per_stage);
+}

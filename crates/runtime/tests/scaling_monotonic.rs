@@ -1,0 +1,43 @@
+//! The scaling-study acceptance bound: for a fixed problem, adding chips
+//! never increases the estimated wall-time — the halo cost must never
+//! outweigh the dispatch/batching relief. Same `* 1.0001` tolerance as
+//! `bigger_chips_are_never_slower` in the single-chip estimator.
+
+use pim_cluster::{estimate_cluster, KernelProbe};
+use pim_sim::{ChipCapacity, ChipConfig, InterChipLink, InterconnectKind, ProcessNode};
+use wavesim_dg::FluxKind;
+
+#[test]
+fn more_chips_never_increase_estimated_wall_time() {
+    for interconnect in [InterconnectKind::HTree, InterconnectKind::Bus] {
+        let chip =
+            ChipConfig { capacity: ChipCapacity::Gb2, interconnect, node: ProcessNode::Nm28 };
+        let probe = KernelProbe::measure(4, FluxKind::Riemann, chip);
+        for level in 3..=5u32 {
+            let mut prev = f64::INFINITY;
+            for chips in [1usize, 2, 4, 8] {
+                let e = estimate_cluster(level, chips, InterChipLink::default(), &probe);
+                assert!(
+                    e.total_seconds <= prev * 1.0001,
+                    "level {level} on {interconnect:?} slowed down at {chips} chips: \
+                     {prev:e} -> {:e}",
+                    e.total_seconds
+                );
+                prev = e.total_seconds;
+            }
+        }
+    }
+}
+
+#[test]
+fn weak_efficiency_degrades_gracefully_not_catastrophically() {
+    let probe = KernelProbe::measure(4, FluxKind::Riemann, ChipConfig::default_2gb());
+    for chips in [2usize, 4, 8] {
+        let e = estimate_cluster(4, chips, InterChipLink::default(), &probe);
+        assert!(
+            e.weak_efficiency > 0.5,
+            "{chips} chips: weak efficiency collapsed to {}",
+            e.weak_efficiency
+        );
+    }
+}

@@ -25,6 +25,8 @@ pub enum Kernel {
     RkStage,
     /// Whole time-step (encloses the five stages).
     Step,
+    /// Inter-chip boundary exchange preceding Flux (cluster runtime).
+    HaloExchange,
 }
 
 impl Kernel {
@@ -38,6 +40,7 @@ impl Kernel {
             Kernel::HostPreprocess => "Host preprocess",
             Kernel::RkStage => "RK stage",
             Kernel::Step => "Step",
+            Kernel::HaloExchange => "Halo exchange",
         }
     }
 }

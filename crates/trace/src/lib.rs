@@ -98,7 +98,10 @@ pub(crate) fn ring_capacity() -> usize {
 /// (chips, solvers and runners each get their own swimlane group).
 pub fn alloc_pid(label: impl Into<String>) -> u32 {
     let pid = NEXT_PID.fetch_add(1, Ordering::SeqCst);
-    process_names().lock().unwrap().push((pid, label.into()));
+    process_names()
+        .lock()
+        .unwrap_or_else(|poisoned| poisoned.into_inner())
+        .push((pid, label.into()));
     pid
 }
 
@@ -111,7 +114,7 @@ fn process_names() -> &'static Mutex<Vec<(u32, String)>> {
 pub fn pid_label(pid: u32) -> String {
     process_names()
         .lock()
-        .unwrap()
+        .unwrap_or_else(|poisoned| poisoned.into_inner())
         .iter()
         .rev()
         .find(|(p, _)| *p == pid)

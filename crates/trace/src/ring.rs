@@ -81,6 +81,15 @@ impl Ring {
 
 type SharedRing = Arc<Mutex<Ring>>;
 
+/// Locks a trace mutex, recovering from poisoning. A traced thread that
+/// panics mid-`push` leaves the ring intact (every mutation is a single
+/// store or a `Vec::push`), so the data is safe to keep using — and the
+/// profiler must never turn one worker panic into a cascade of panics
+/// through every later record or `drain()`.
+fn lock_recovering<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
 fn registry() -> &'static Mutex<Vec<SharedRing>> {
     static REGISTRY: OnceLock<Mutex<Vec<SharedRing>>> = OnceLock::new();
     REGISTRY.get_or_init(|| Mutex::new(Vec::new()))
@@ -91,7 +100,7 @@ thread_local! {
         let ring = Arc::new(Mutex::new(Ring::with_capacity(
             crate::ring_capacity(),
         )));
-        registry().lock().unwrap().push(Arc::clone(&ring));
+        lock_recovering(registry()).push(Arc::clone(&ring));
         ring
     };
 }
@@ -99,18 +108,18 @@ thread_local! {
 /// Records into the calling thread's ring (creating + registering it on
 /// first use). The caller has already passed the `enabled()` gate.
 pub(crate) fn push_local(ev: Event) {
-    LOCAL.with(|ring| ring.lock().unwrap().push(ev));
+    LOCAL.with(|ring| lock_recovering(ring).push(ev));
 }
 
 /// Collects and clears every registered ring, restoring global record
 /// order. Returns the events and the total number overwritten since the
 /// last collection.
 pub(crate) fn collect_all() -> (Vec<Event>, u64) {
-    let rings = registry().lock().unwrap();
+    let rings = lock_recovering(registry());
     let mut events = Vec::new();
     let mut overwritten = 0;
     for ring in rings.iter() {
-        let mut ring = ring.lock().unwrap();
+        let mut ring = lock_recovering(ring);
         overwritten += std::mem::take(&mut ring.overwritten);
         events.append(&mut ring.drain());
     }
@@ -167,6 +176,23 @@ mod tests {
         assert!(r.is_empty());
         r.push(ev(3));
         assert_eq!(r.drain().iter().map(|e| e.seq).collect::<Vec<_>>(), vec![3]);
+    }
+
+    #[test]
+    fn poisoned_locks_recover_instead_of_cascading() {
+        // A worker that panics while its ring lock is held poisons the
+        // mutex; recording and draining must shrug that off rather than
+        // propagate the panic to every later caller.
+        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            LOCAL.with(|ring| {
+                let _guard = lock_recovering(ring);
+                panic!("traced worker dies mid-record");
+            })
+        }));
+        assert!(caught.is_err());
+        push_local(ev(1_000_000));
+        let (events, _) = collect_all();
+        assert!(events.iter().any(|e| e.seq == 1_000_000), "event recorded after poisoning");
     }
 
     #[test]

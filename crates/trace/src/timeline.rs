@@ -83,7 +83,9 @@ pub fn observed_breakdown(events: &[Event], pid: u32) -> ObservedBreakdown {
                     }
                 }
             }
-            Kernel::RkStage | Kernel::Step => {}
+            // Stage/step envelopes and the cluster halo exchange are not
+            // part of the Fig. 13 per-kernel pipeline breakdown.
+            Kernel::RkStage | Kernel::Step | Kernel::HaloExchange => {}
         }
         if matches!(seg.kernel, Kernel::Volume | Kernel::Flux | Kernel::Integration)
             && !stages_seen.contains(&seg.stage)

@@ -10,6 +10,7 @@ use pim_sim::{ChipConfig, PimChip};
 use pim_trace::{aggregate::Aggregate, Kernel};
 use wave_pim::compiler::AcousticMapping;
 use wave_pim::tracehooks::traced_execute;
+use wavepim_bench::artifacts;
 use wavesim_dg::analytic::AcousticPlaneWave;
 use wavesim_dg::energy::acoustic_energy;
 use wavesim_dg::{Acoustic, AcousticMaterial, FluxKind, Solver};
@@ -125,13 +126,18 @@ fn main() {
     );
     print!("{}", Aggregate::from_events(&events).render("per-kernel aggregates"));
 
-    std::fs::write("trace.json", pim_trace::chrome::to_chrome_json(&events))
-        .expect("write trace.json");
-    std::fs::write(
+    let trace_path =
+        artifacts::write_artifact("trace.json", &pim_trace::chrome::to_chrome_json(&events))
+            .expect("write trace.json");
+    let bench_path = artifacts::write_artifact(
         "BENCH_trace.json",
-        pim_trace::summary::bench_trace_json("quickstart acoustic L1 n4", &events, dropped),
+        &pim_trace::summary::bench_trace_json("quickstart acoustic L1 n4", &events, dropped),
     )
     .expect("write BENCH_trace.json");
-    println!("\nWrote trace.json (load in Perfetto / chrome://tracing) and BENCH_trace.json.");
+    println!(
+        "\nWrote {} (load in Perfetto / chrome://tracing) and {}.",
+        trace_path.display(),
+        bench_path.display()
+    );
     println!("\nOK: the PIM instruction streams reproduce the native dG solver.");
 }

@@ -49,9 +49,13 @@ pub fn cluster_json(rows: &[ClusterEstimate]) -> String {
             "    {{\"level\": {}, \"elements\": {}, \"chips\": {}, \
              \"interconnect\": {}, \"elements_per_chip\": {}, \
              \"batches_per_chip\": {}, \"stage_seconds\": {}, \
-             \"compute_seconds_per_stage\": {}, \"swap_seconds_per_stage\": {}, \
-             \"halo_seconds_per_stage\": {}, \"halo_bytes_per_stage\": {}, \
-             \"halo_time_fraction\": {}, \"utilization\": {}, \
+             \"bulk_stage_seconds\": {}, \
+             \"compute_seconds_per_stage\": {}, \"volume_seconds_per_stage\": {}, \
+             \"swap_seconds_per_stage\": {}, \
+             \"halo_seconds_per_stage\": {}, \"halo_link_seconds_per_stage\": {}, \
+             \"halo_bytes_per_stage\": {}, \
+             \"halo_time_fraction\": {}, \"exposed_halo_share\": {}, \
+             \"utilization\": {}, \
              \"strong_efficiency\": {}, \"weak_efficiency\": {}, \
              \"total_seconds\": {}, \"total_joules\": {}}}",
             e.level,
@@ -61,11 +65,15 @@ pub fn cluster_json(rows: &[ClusterEstimate]) -> String {
             e.elements_per_chip,
             e.batches_per_chip,
             number(e.stage_seconds),
+            number(e.bulk_stage_seconds),
             number(e.compute_seconds_per_stage),
+            number(e.volume_seconds_per_stage),
             number(e.swap_seconds_per_stage),
             number(e.halo_seconds_per_stage),
+            number(e.halo_link_seconds_per_stage),
             e.halo_bytes_per_stage,
             number(e.halo_time_fraction),
+            number(e.exposed_halo_share),
             number(e.utilization),
             number(e.strong_efficiency),
             number(e.weak_efficiency),
@@ -98,13 +106,22 @@ mod tests {
             let util = p.get("utilization").and_then(|x| x.as_f64()).unwrap();
             assert!(util > 0.0 && util <= 1.0);
         }
-        // Single-chip points carry no halo; multi-chip points must.
+        // Single-chip points carry no halo; multi-chip points must, and
+        // overlapping it with Volume must never make the stage slower
+        // than the bulk-synchronous baseline.
         for (p, e) in points.iter().zip(&rows) {
             let halo = p.get("halo_time_fraction").and_then(|x| x.as_f64()).unwrap();
+            let exposed = p.get("exposed_halo_share").and_then(|x| x.as_f64()).unwrap();
+            let stage = p.get("stage_seconds").and_then(|x| x.as_f64()).unwrap();
+            let bulk = p.get("bulk_stage_seconds").and_then(|x| x.as_f64()).unwrap();
+            assert!(stage <= bulk);
+            assert!((0.0..1.0).contains(&exposed));
             if e.num_chips == 1 {
                 assert_eq!(halo, 0.0);
+                assert_eq!(stage, bulk);
             } else {
                 assert!(halo > 0.0);
+                assert!(stage < bulk, "overlap hid none of the halo at {} chips", e.num_chips);
             }
         }
     }

@@ -112,14 +112,36 @@ fn cluster_artifact_schema_tells_a_coherent_scaling_story() {
 
     let field = |p: &pim_trace::json::Value, k: &str| p.get(k).and_then(|x| x.as_f64()).unwrap();
     for p in points {
-        // Time shares decompose exactly: compute + swap + halo = stage.
+        // Time shares decompose exactly: compute + swap + *exposed* halo
+        // = overlapped stage, and compute + swap + raw halo = the
+        // bulk-synchronous baseline.
         let stage = field(p, "stage_seconds");
         let parts = field(p, "compute_seconds_per_stage")
             + field(p, "swap_seconds_per_stage")
             + field(p, "halo_seconds_per_stage");
         assert!((stage - parts).abs() <= 1e-12 * stage, "stage decomposition broke");
-        let shares = field(p, "utilization") + field(p, "halo_time_fraction");
+        let bulk = field(p, "bulk_stage_seconds");
+        let bulk_parts = field(p, "compute_seconds_per_stage")
+            + field(p, "swap_seconds_per_stage")
+            + field(p, "halo_link_seconds_per_stage");
+        assert!((bulk - bulk_parts).abs() <= 1e-12 * bulk, "bulk decomposition broke");
+        let shares = field(p, "utilization") + field(p, "exposed_halo_share");
         assert!(shares <= 1.0 + 1e-12, "shares exceed the stage: {shares}");
+        // The exposed halo is exactly the part of the raw port time the
+        // Volume window could not hide, and overlap never loses time:
+        // for multi-chip points (halo > 0) it must strictly win, since
+        // the Volume window is never empty.
+        let raw = field(p, "halo_link_seconds_per_stage");
+        let exposed = field(p, "halo_seconds_per_stage");
+        let volume = field(p, "volume_seconds_per_stage");
+        assert!(volume > 0.0 && volume <= field(p, "compute_seconds_per_stage"));
+        assert!((exposed - (raw - volume).max(0.0)).abs() <= 1e-15_f64.max(1e-12 * raw));
+        assert!(stage <= bulk);
+        if raw > 0.0 {
+            assert!(stage < bulk, "overlapped stage must beat bulk-synchronous: {stage} vs {bulk}");
+        } else {
+            assert_eq!(stage, bulk);
+        }
     }
 
     // Within one (level, interconnect) series, more chips never slows

@@ -400,6 +400,38 @@ impl AcousticMapping {
         }
     }
 
+    /// DMA stream charging the halo *send* snapshot: one `StoreOffchip`
+    /// per boundary element, moving its four fp32 variables out through
+    /// the off-chip port toward the inter-chip link. The functional copy
+    /// is [`Self::extract_vars_subset`]; this stream is its price on the
+    /// chip's off-chip lane.
+    pub fn compile_halo_store_for(&self, elems: &[usize]) -> InstrStream {
+        self.compile_halo_dma_for(elems, false)
+    }
+
+    /// DMA stream charging the halo *receive*: one `LoadOffchip` per
+    /// ghost element, landing the neighbors' pre-stage variables in the
+    /// ghost blocks. Because the DMA occupies the ghost block, any Flux
+    /// instruction reading that block waits for the data — the dependency
+    /// that keeps the overlapped schedule bit-equal to the native solver.
+    pub fn compile_halo_load_for(&self, elems: &[usize]) -> InstrStream {
+        self.compile_halo_dma_for(elems, true)
+    }
+
+    fn compile_halo_dma_for(&self, elems: &[usize], load: bool) -> InstrStream {
+        let bytes = (self.nodes() * AcousticLayout::NUM_VARS * 4) as u32;
+        let mut s = InstrStream::new();
+        for &e in elems {
+            let block = self.block_of(e);
+            s.push(if load {
+                Instr::LoadOffchip { block, bytes }
+            } else {
+                Instr::StoreOffchip { block, bytes }
+            });
+        }
+        s
+    }
+
     /// Reads a column family of a subset back into `into`.
     fn extract_cols(
         &self,

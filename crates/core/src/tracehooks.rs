@@ -42,9 +42,18 @@ pub fn begin_kernel_span(chip: &mut PimChip) -> f64 {
 
 /// Closes a kernel window opened by [`begin_kernel_span`].
 pub fn end_kernel_span(chip: &mut PimChip, kernel: Kernel, stage: u8, t0: f64) {
+    let t1 = chip.elapsed();
+    end_kernel_span_at(chip, kernel, stage, t0, t1);
+}
+
+/// Closes a kernel window at an explicit end time. The cluster runtime
+/// uses this for windows that end on the *off-chip* lane
+/// ([`PimChip::offchip_time`]) rather than the compute clock — the
+/// overlapped halo exchange finishes when its last ghost DMA lands, which
+/// is (by design) while `elapsed` is still inside the Volume kernel.
+pub fn end_kernel_span_at(chip: &mut PimChip, kernel: Kernel, stage: u8, t0: f64, t1: f64) {
     if pim_trace::enabled() {
         let pid = chip.trace_pid();
-        let t1 = chip.elapsed();
-        pim_trace::record_span(pid, TID_KERNELS, t0, t1, Payload::Kernel { kernel, stage });
+        pim_trace::record_span(pid, TID_KERNELS, t0, t1.max(t0), Payload::Kernel { kernel, stage });
     }
 }

@@ -8,6 +8,23 @@
 //! simulator" role of §7: fine-grained enough that interconnect conflicts,
 //! broadcast costs and off-chip batching transfers all surface in the
 //! reported time and energy.
+//!
+//! # The two lanes
+//!
+//! The timeline is **dual-lane**. Compute work (block ops, interconnect
+//! transfers) advances [`PimChip::elapsed`] directly. Off-chip work —
+//! HBM2 DMAs (`LoadOffchip`/`StoreOffchip`) and inter-chip
+//! [`PimChip::link_transfer`]s — serializes on its own `offchip` lane
+//! and does *not* advance `elapsed` on its own: the paper hides data
+//! movement behind compute (the Fig. 6/7 batching schedule, §6.1.2), so
+//! an in-flight DMA only costs wall-clock when something actually waits
+//! for it. That happens two ways: a compute instruction touching the
+//! DMA's target block starts no earlier than the DMA finishes (the data
+//! dependency), and an explicit [`PimChip::fence_offchip`] pulls the
+//! whole lane into `elapsed` (the cluster runtime issues one before
+//! Flux, which is the first kernel that reads ghost data).
+//! [`PimChip::finish`] fences implicitly so no off-chip time is ever
+//! dropped from the report.
 
 use std::collections::HashMap;
 
@@ -79,6 +96,7 @@ pub struct PimChip {
     block_busy: HashMap<u32, f64>,
     resource_ready: HashMap<Resource, f64>,
     offchip_ready: f64,
+    host_ready: f64,
     barrier: f64,
     elapsed: f64,
     ledger: EnergyLedger,
@@ -109,6 +127,7 @@ impl PimChip {
             block_busy: HashMap::new(),
             resource_ready: HashMap::new(),
             offchip_ready: 0.0,
+            host_ready: 0.0,
             barrier: 0.0,
             elapsed: 0.0,
             ledger: EnergyLedger::default(),
@@ -182,8 +201,28 @@ impl PimChip {
         );
     }
 
-    /// Unscaled simulated seconds so far.
+    /// Unscaled simulated seconds of the *compute* lane so far. Off-chip
+    /// work still in flight (see the module docs' dual-lane model) is not
+    /// included until a dependent instruction or [`Self::fence_offchip`]
+    /// pulls it in; [`Self::offchip_time`] exposes that lane.
     pub fn elapsed(&self) -> f64 {
+        self.elapsed
+    }
+
+    /// Absolute simulated time at which the off-chip lane (HBM2 DMAs and
+    /// inter-chip link transfers) frees up. May run ahead of
+    /// [`Self::elapsed`] while data movement is hidden behind compute.
+    pub fn offchip_time(&self) -> f64 {
+        self.offchip_ready
+    }
+
+    /// Joins the off-chip lane into the compute timeline: `elapsed`
+    /// advances to cover every issued DMA and link transfer. The cluster
+    /// runtime issues this before Flux — the first kernel that consumes
+    /// halo data — so Volume overlaps the exchange and only Flux pays for
+    /// whatever the overlap could not hide. Returns the new elapsed time.
+    pub fn fence_offchip(&mut self) -> f64 {
+        self.elapsed = self.elapsed.max(self.offchip_ready);
         self.elapsed
     }
 
@@ -230,6 +269,15 @@ impl PimChip {
         self.elapsed = self.elapsed.max(at);
     }
 
+    /// Off-chip variant of [`Self::finish_block`]: the DMA occupies the
+    /// block (so dependent compute waits for the data) but does *not*
+    /// advance `elapsed` — the transfer rides the off-chip lane until
+    /// something depends on it.
+    fn finish_block_offchip(&mut self, id: BlockId, start: f64, at: f64) {
+        *self.block_busy.entry(id.0).or_insert(0.0) += (at - start).max(0.0);
+        self.block_ready.insert(id.0, at);
+    }
+
     /// Executes a stream. Instructions issue in order; execution overlaps
     /// wherever the resources (blocks, switches, off-chip channel) are
     /// disjoint. `Sync` is a full barrier.
@@ -243,6 +291,9 @@ impl PimChip {
         let joules = dispatch * self.host.power();
         self.ledger.host += joules;
         self.elapsed = self.elapsed.max(dispatch);
+        // The host lane has been busy at least this long; a later
+        // preprocess call anchors after it.
+        self.host_ready = self.host_ready.max(dispatch);
         // The lower bound is absolute (measured from t = 0), so the span
         // is too.
         self.trace(
@@ -256,7 +307,11 @@ impl PimChip {
     fn execute_one(&mut self, instr: &Instr) {
         match *instr {
             Instr::Sync => {
-                self.barrier = self.elapsed;
+                // Monotone: a Sync must never *lower* an externally
+                // advanced barrier (the cluster aligns chips with
+                // `advance_barrier` at times the local clock has not
+                // reached yet).
+                self.barrier = self.barrier.max(self.elapsed);
             }
             Instr::Read { block, row, offset, words } => {
                 let start = self.block_start(block);
@@ -431,12 +486,16 @@ impl PimChip {
             }
             Instr::LoadOffchip { block, bytes } | Instr::StoreOffchip { block, bytes } => {
                 let dur = bytes as f64 / params::OFFCHIP_BANDWIDTH;
-                let start = self.block_start(block).max(self.offchip_ready);
+                // A DMA is clamped to the stage barrier like every other
+                // instruction — explicitly, so the invariant no longer
+                // hinges on `block_start` happening to fold the barrier
+                // in. `link_transfer` clamps the same way.
+                let start = self.block_start(block).max(self.offchip_ready).max(self.barrier);
                 let finish = start + dur;
                 self.offchip_ready = finish;
                 let joules = bytes as f64 * (params::OFFCHIP_POWER / params::OFFCHIP_BANDWIDTH);
                 self.ledger.offchip += joules;
-                self.finish_block(block, finish);
+                self.finish_block_offchip(block, start, finish);
                 self.trace(
                     TID_OFFCHIP,
                     start,
@@ -450,8 +509,11 @@ impl PimChip {
     /// Charges one endpoint of an inter-chip halo message to this chip:
     /// the transfer serializes on the off-chip port (shared with HBM2
     /// DMAs), its energy lands in `ledger.offchip`, and the span is
-    /// traced on the off-chip lane. Returns the seconds this chip spent
-    /// on the message.
+    /// traced on the off-chip lane. Like a DMA, the transfer rides the
+    /// off-chip lane without advancing [`Self::elapsed`] — compute keeps
+    /// running until [`Self::fence_offchip`] (or a dependent block op)
+    /// joins the lanes. Returns the seconds this chip spent on the
+    /// message.
     pub fn link_transfer(&mut self, link: &crate::link::InterChipLink, bytes: u64) -> f64 {
         let dur = link.duration(bytes);
         let start = self.offchip_ready.max(self.barrier);
@@ -459,7 +521,6 @@ impl PimChip {
         self.offchip_ready = finish;
         let joules = link.energy(bytes);
         self.ledger.offchip += joules;
-        self.elapsed = self.elapsed.max(finish);
         self.trace(TID_OFFCHIP, start, finish, Payload::Offchip { bytes, energy_j: joules });
         dur
     }
@@ -472,23 +533,31 @@ impl PimChip {
         self.barrier = self.barrier.max(at);
     }
 
-    /// Charges host preprocessing work (sqrt/inverse for the LUTs).
+    /// Charges host preprocessing work (sqrt/inverse for the LUTs). The
+    /// span is anchored at the current host-lane time, so a mid-run call
+    /// queues after the host work already booked instead of double-booking
+    /// t = 0 and overlapping prior spans.
     pub fn charge_host_preprocess(&mut self, sqrts: u64, divs: u64) {
         let (seconds, joules) = self.host.preprocess(sqrts, divs);
         self.ledger.host += joules;
-        self.elapsed = self.elapsed.max(seconds);
+        let t0 = self.host_ready;
+        let t1 = t0 + seconds;
+        self.host_ready = t1;
+        self.elapsed = self.elapsed.max(t1);
         self.trace(
             TID_HOST,
-            0.0,
-            seconds,
+            t0,
+            t1,
             Payload::HostCall { call: "preprocess", count: sqrts + divs, energy_j: joules },
         );
     }
 
     /// Finalizes the run: applies process-node scaling and charges static
-    /// power for the (scaled) elapsed time.
+    /// power for the (scaled) elapsed time. Off-chip work still in flight
+    /// is fenced into the total implicitly — a run can never report less
+    /// wall-clock than its own data movement.
     pub fn finish(&self) -> ExecReport {
-        let seconds = self.elapsed / self.config.node.perf_scale();
+        let seconds = self.elapsed.max(self.offchip_ready) / self.config.node.perf_scale();
         let mut ledger = self.ledger.scaled(1.0 / self.config.node.energy_scale());
         ledger.charge_static(self.config.capacity.static_power(self.config.interconnect), seconds);
         ExecReport { seconds, ledger }
@@ -584,9 +653,13 @@ mod tests {
         s.push(Instr::LoadOffchip { block: BlockId(0), bytes: 1 << 20 });
         s.push(Instr::LoadOffchip { block: BlockId(1), bytes: 1 << 20 });
         c.execute(&s);
-        let two = c.elapsed();
         let one = (1u64 << 20) as f64 / params::OFFCHIP_BANDWIDTH;
-        assert!((two - 2.0 * one).abs() < 1e-12, "HBM2 channel must serialize");
+        // Dual-lane: the DMAs ride the off-chip lane and cost no compute
+        // wall-clock until fenced.
+        assert!(c.elapsed() < one, "unfenced DMAs must not advance elapsed");
+        assert!((c.offchip_time() - 2.0 * one).abs() < 1e-12, "HBM2 channel must serialize");
+        let two = c.fence_offchip();
+        assert!((two - 2.0 * one).abs() < 1e-12, "fence joins the lane into elapsed");
         assert!(c.finish().ledger.offchip > 0.0);
     }
 
@@ -599,7 +672,9 @@ mod tests {
         let d2 = c.link_transfer(&link, 1 << 20);
         assert!((d1 - d2).abs() < 1e-18);
         assert!((d1 - link.duration(1 << 20)).abs() < 1e-18);
-        assert!((c.elapsed() - 2.0 * d1).abs() < 1e-15, "link shares the off-chip channel");
+        assert!((c.offchip_time() - 2.0 * d1).abs() < 1e-15, "link shares the off-chip channel");
+        c.fence_offchip();
+        assert!((c.elapsed() - 2.0 * d1).abs() < 1e-15);
         let expected = 2.0 * link.energy(1 << 20);
         assert!((c.finish().ledger.offchip - expected).abs() < 1e-15 * expected.max(1.0));
     }
@@ -611,7 +686,110 @@ mod tests {
         c.advance_barrier(1.0e-3);
         let link = InterChipLink::default();
         c.link_transfer(&link, 1024);
+        c.fence_offchip();
         assert!(c.elapsed() >= 1.0e-3 + link.duration(1024) - 1e-15);
+    }
+
+    #[test]
+    fn dma_start_respects_the_stage_barrier() {
+        // Regression: a ghost-load DMA issued after `advance_barrier`
+        // must not start before the cluster stage barrier, exactly like
+        // `link_transfer`.
+        let mut c = chip();
+        let barrier = 1.0e-3;
+        c.advance_barrier(barrier);
+        let mut s = InstrStream::new();
+        s.push(Instr::LoadOffchip { block: BlockId(0), bytes: 1 << 20 });
+        c.execute(&s);
+        let dur = (1u64 << 20) as f64 / params::OFFCHIP_BANDWIDTH;
+        assert!(
+            c.offchip_time() >= barrier + dur - 1e-15,
+            "DMA started before the barrier: lane frees at {} < {}",
+            c.offchip_time(),
+            barrier + dur
+        );
+    }
+
+    #[test]
+    fn offchip_lane_hides_behind_independent_compute() {
+        // A DMA into block 0 and arithmetic on block 1 overlap: elapsed
+        // covers only the compute until the fence.
+        let mut c = chip();
+        let mut s = InstrStream::new();
+        s.push(Instr::LoadOffchip { block: BlockId(0), bytes: 1 << 24 });
+        s.push(arith(1, AluOp::Mul, 512));
+        c.execute(&s);
+        let dma = (1u64 << 24) as f64 / params::OFFCHIP_BANDWIDTH;
+        let mul = params::nor_seconds(params::FP32_MUL_CYCLES);
+        assert!(dma > mul, "test premise: the DMA outlasts the compute");
+        assert!((c.elapsed() - mul).abs() < 1e-15, "compute lane ignores the in-flight DMA");
+        c.fence_offchip();
+        assert!((c.elapsed() - dma).abs() < 1e-15, "fence exposes the DMA tail");
+    }
+
+    #[test]
+    fn compute_on_the_dma_target_block_waits_for_the_data() {
+        // The data dependency: arithmetic on the block a DMA fills must
+        // start after the DMA finishes even without an explicit fence.
+        let mut c = chip();
+        let mut s = InstrStream::new();
+        s.push(Instr::LoadOffchip { block: BlockId(0), bytes: 1 << 24 });
+        s.push(arith(0, AluOp::Mul, 512));
+        c.execute(&s);
+        let dma = (1u64 << 24) as f64 / params::OFFCHIP_BANDWIDTH;
+        let mul = params::nor_seconds(params::FP32_MUL_CYCLES);
+        assert!((c.elapsed() - (dma + mul)).abs() < 1e-15, "dependent compute must serialize");
+    }
+
+    #[test]
+    fn sync_never_lowers_an_advanced_barrier() {
+        let mut c = chip();
+        c.advance_barrier(1.0e-3);
+        let mut s = InstrStream::new();
+        s.push(Instr::Sync); // elapsed is still 0 here
+        s.push(arith(0, AluOp::Mul, 1));
+        c.execute(&s);
+        let mul = params::nor_seconds(params::FP32_MUL_CYCLES);
+        assert!(
+            c.elapsed() >= 1.0e-3 + mul - 1e-15,
+            "Sync reset the cluster barrier: {}",
+            c.elapsed()
+        );
+    }
+
+    #[test]
+    fn mid_run_preprocess_anchors_on_the_host_lane() {
+        let mut c = chip();
+        let mut s = InstrStream::new();
+        s.push(arith(0, AluOp::Mul, 512));
+        c.execute(&s);
+
+        pim_trace::enable();
+        c.charge_host_preprocess(100, 100);
+        c.charge_host_preprocess(100, 100);
+        pim_trace::disable();
+        let (events, _) = pim_trace::drain();
+        let pid = c.trace_pid();
+        let spans: Vec<_> = events
+            .iter()
+            .filter(|e| {
+                e.pid == pid
+                    && e.tid == TID_HOST
+                    && matches!(e.payload, Payload::HostCall { call: "preprocess", .. })
+            })
+            .collect();
+        assert_eq!(spans.len(), 2);
+        let (per, _) = c.host().preprocess(100, 100);
+        // The first call queues after the dispatch work already booked;
+        // the second queues after the first — no double-booked t = 0.
+        let dispatch = c.host().dispatch_time(1);
+        assert!((spans[0].t0 - dispatch).abs() < 1e-18, "span 0 starts at {}", spans[0].t0);
+        assert!((spans[0].t1 - (dispatch + per)).abs() < 1e-15);
+        assert!(
+            (spans[1].t0 - spans[0].t1).abs() < 1e-18,
+            "mid-run preprocess must queue on the host lane, not restart at t=0"
+        );
+        assert!(c.elapsed() >= spans[1].t1 - 1e-15);
     }
 
     #[test]

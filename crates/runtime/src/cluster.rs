@@ -1,35 +1,45 @@
 //! Functional multi-chip execution: N simulated PIM chips advance one
-//! sharded acoustic problem in lockstep.
+//! sharded acoustic problem in lockstep, with the halo exchange
+//! **overlapped** with the Volume kernel.
 //!
 //! Each chip holds one [`wavesim_mesh::Shard`]: its resident elements
 //! packed from block 0, its ghost elements in the blocks after them
 //! (`AcousticMapping::install_shard_map`), and the shared impedance LUT
-//! block after those. Per LSRK stage the cluster:
+//! block after those. Per LSRK stage the cluster runs
 //!
-//! 1. **aligns** all chips on a barrier at the cluster-wide maximum
-//!    simulated time (a stage cannot start before the slowest chip of the
-//!    previous stage has finished — the lockstep of a bulk-synchronous
-//!    halo exchange),
-//! 2. **exchanges halos**: every [`HaloMessage`] of the plan moves the
-//!    senders' pre-stage variables over the inter-chip link. The link
-//!    time and energy are charged to *both* endpoint chips (serialize /
-//!    deserialize each occupy their chip's off-chip port), traced as
-//!    off-chip events on each chip's own process row, and the received
-//!    variables land in the ghost blocks,
-//! 3. **computes**: every chip runs its compiled Volume → Flux →
-//!    Integration streams on its residents, exactly the instruction
-//!    streams the single-chip mapper would emit, inside traced kernel
-//!    windows.
+//! > **barrier → { Volume ∥ halo } → fence → Flux → Integration**
 //!
-//! Because ghosts hold the neighbors' pre-stage variables when Flux runs,
-//! the merged cluster state reproduces the native dG solver to roundoff —
-//! the same ≤1e-12 bound the single-chip mapping meets.
+//! 1. **barrier**: all chips align at the cluster-wide maximum simulated
+//!    time (a stage cannot start before the slowest chip of the previous
+//!    stage has finished),
+//! 2. **Volume ∥ halo**: Volume reads only each element's own columns, so
+//!    it issues immediately after the barrier on every chip's compute
+//!    lane while the halo streams down the *off-chip* lane concurrently:
+//!    the send-side snapshot (`StoreOffchip` per boundary element), every
+//!    [`HaloMessage`] of the plan on the inter-chip link (time and energy
+//!    charged to *both* endpoint chips' ports, traced as off-chip events
+//!    on each chip's own process row), and the ghost-landing DMAs
+//!    (`LoadOffchip` per ghost element). Neither lane waits for the
+//!    other — `pim_sim::PimChip`'s dual-lane timeline keeps them
+//!    independent until something depends on the data,
+//! 3. **fence**: [`pim_sim::PimChip::fence_offchip`] joins the lanes
+//!    before Flux — the first kernel that reads ghost blocks. Only the
+//!    halo time the Volume window could not hide (the *exposed* halo,
+//!    tracked per chip in [`HaloStats::exposed_seconds`]) lengthens the
+//!    stage,
+//! 4. **Flux → Integration** run on the compute lane as before.
+//!
+//! Because ghosts hold the neighbors' pre-stage variables when Flux runs
+//! — the fence plus the ghost blocks' DMA dependencies guarantee it — the
+//! merged cluster state reproduces the native dG solver to roundoff, the
+//! same ≤1e-12 bound the single-chip mapping meets, while the stage
+//! wall-clock is never longer than the bulk-synchronous schedule's.
 
 use pim_sim::{ChipConfig, ExecReport, InterChipLink, PimChip};
 use pim_trace::Kernel;
 use rayon::prelude::*;
 use wave_pim::compiler::AcousticMapping;
-use wave_pim::tracehooks::{begin_kernel_span, end_kernel_span};
+use wave_pim::tracehooks::{begin_kernel_span, end_kernel_span, end_kernel_span_at};
 use wavesim_dg::{AcousticMaterial, FluxKind, Lsrk5, State};
 use wavesim_mesh::{HexMesh, SlicePartition};
 
@@ -65,18 +75,33 @@ pub struct HaloStats {
     /// Per-chip link busy time, seconds: every message occupies both its
     /// endpoints' off-chip ports for the link duration.
     pub link_seconds: Vec<f64>,
+    /// Per-chip *exposed* halo time, seconds: how much the pre-Flux
+    /// off-chip fence actually delayed each chip beyond its Volume work.
+    /// Zero when the Volume window hid the whole exchange.
+    pub exposed_seconds: Vec<f64>,
     /// LSRK stages executed so far.
     pub stages: u64,
 }
 
 impl HaloStats {
     /// The busiest chip's average link time per stage — the quantity the
-    /// analytic estimator models as `halo_seconds_per_stage`.
+    /// analytic estimator models as `halo_link_seconds_per_stage`.
     pub fn seconds_per_stage(&self) -> f64 {
-        if self.stages == 0 {
+        Self::per_stage_max(&self.link_seconds, self.stages)
+    }
+
+    /// The busiest chip's average *exposed* halo time per stage — what
+    /// the exchange still costs after hiding behind Volume (the
+    /// estimator's `halo_seconds_per_stage`).
+    pub fn exposed_seconds_per_stage(&self) -> f64 {
+        Self::per_stage_max(&self.exposed_seconds, self.stages)
+    }
+
+    fn per_stage_max(per_chip: &[f64], stages: u64) -> f64 {
+        if stages == 0 {
             return 0.0;
         }
-        self.link_seconds.iter().fold(0.0f64, |m, &s| m.max(s)) / self.stages as f64
+        per_chip.iter().fold(0.0f64, |m, &s| m.max(s)) / stages as f64
     }
 }
 
@@ -183,6 +208,7 @@ impl ClusterRunner {
                 messages: 0,
                 payload_bytes: 0,
                 link_seconds: vec![0.0; num_chips],
+                exposed_seconds: vec![0.0; num_chips],
                 stages: 0,
             },
         }
@@ -213,24 +239,38 @@ impl ClusterRunner {
         &self.halo
     }
 
-    /// Advances one time-step: five LSRK stages of barrier → halo
-    /// exchange → compute.
+    /// Advances one time-step: five LSRK stages of barrier →
+    /// { Volume ∥ halo } → fence → Flux → Integration (module docs).
     pub fn step(&mut self) {
         let nodes = self.mappings[0].nodes();
         for stage in 0..Lsrk5::STAGES {
-            // 1. Lockstep barrier at the cluster-wide simulated time.
-            let now = self.chips.iter().fold(0.0f64, |m, c| m.max(c.elapsed()));
+            // 1. Lockstep barrier at the cluster-wide simulated time
+            // (both lanes: a chip still draining its off-chip port holds
+            // the whole cluster back, though stages normally end fenced).
+            let now =
+                self.chips.iter().fold(0.0f64, |m, c| m.max(c.elapsed()).max(c.offchip_time()));
             for chip in &mut self.chips {
                 chip.advance_barrier(now);
             }
 
-            // 2. Halo exchange. Snapshot the send sets first: every
-            // message must carry *pre-stage* variables even though the
-            // sequential message loop interleaves sends and receives.
+            // 2a. Halo send snapshot. Functionally extract the send sets
+            // first — every message must carry *pre-stage* variables even
+            // though the sequential message loop interleaves sends and
+            // receives — and charge the snapshot DMAs to each chip's
+            // off-chip lane. The HaloExchange window opens here, at the
+            // barrier, so the snapshot time is inside the span.
             for (s, sends) in self.send_sets.iter().enumerate() {
                 self.mappings[s].extract_vars_subset(&mut self.chips[s], sends, &mut self.staging);
+                let store = self.mappings[s].compile_halo_store_for(sends);
+                self.chips[s].execute(&store);
             }
-            let t0: Vec<f64> = self.chips.iter().map(|c| c.elapsed()).collect();
+
+            // 2b. The link transfers stream while Volume computes: each
+            // message occupies both endpoints' off-chip ports. The whole
+            // exchange is *enqueued* ahead of the Volume stream (like an
+            // async prefetch, before Volume's trailing Sync raises the
+            // program-order barrier), but in simulated time it rides the
+            // off-chip lane concurrently with the kernel.
             for m in &self.messages {
                 let bytes = m.bytes(nodes);
                 let d_src = self.chips[m.src].link_transfer(&self.link, bytes);
@@ -240,25 +280,48 @@ impl ClusterRunner {
                 self.halo.messages += 1;
                 self.halo.payload_bytes += bytes;
             }
+
+            // 2c. Ghost landing: the received variables reach the ghost
+            // blocks functionally, and the landing DMAs occupy both the
+            // off-chip lane and the ghost blocks — Flux cannot read a
+            // ghost before its data arrives. The HaloExchange window
+            // closes on the off-chip lane, where the exchange really
+            // ends (typically mid-Volume).
             let staging = &self.staging;
             let (mappings, ghosts) = (&self.mappings, &self.ghosts);
             self.chips.par_chunks_mut(1).enumerate().for_each(|(c, chunk)| {
                 let chip = &mut chunk[0];
                 mappings[c].load_vars_subset(chip, staging, &ghosts[c]);
-                end_kernel_span(chip, Kernel::HaloExchange, stage as u8, t0[c]);
+                chip.execute(&mappings[c].compile_halo_load_for(&ghosts[c]));
+                let t1 = chip.offchip_time();
+                end_kernel_span_at(chip, Kernel::HaloExchange, stage as u8, now, t1);
             });
 
-            // 3. Compute: each chip runs the stage on its residents.
+            // 2d. Volume starts at the barrier on the compute lane: it
+            // reads only each element's own columns, so nothing above
+            // delays it — the lane ops did not advance `elapsed`, and the
+            // resident blocks are not DMA targets.
+            let (mappings, residents) = (&self.mappings, &self.residents);
+            self.chips.par_chunks_mut(1).enumerate().for_each(|(c, chunk)| {
+                let chip = &mut chunk[0];
+                chip.execute(&mappings[c].compile_volume_for(&residents[c]));
+                end_kernel_span(chip, Kernel::Volume, stage as u8, now);
+            });
+
+            // 3. Fence: only Flux waits for the exchange. Whatever the
+            // Volume window could not hide is the stage's exposed halo.
+            for (c, chip) in self.chips.iter_mut().enumerate() {
+                let before = chip.elapsed();
+                chip.fence_offchip();
+                self.halo.exposed_seconds[c] += chip.elapsed() - before;
+            }
+
+            // 4. Flux → Integration on the compute lane.
             let (mappings, residents) = (&self.mappings, &self.residents);
             self.chips.par_chunks_mut(1).enumerate().for_each(|(c, chunk)| {
                 let chip = &mut chunk[0];
                 let m = &mappings[c];
                 let res = &residents[c];
-                let stage_t0 = begin_kernel_span(chip);
-
-                let t0 = begin_kernel_span(chip);
-                chip.execute(&m.compile_volume_for(res));
-                end_kernel_span(chip, Kernel::Volume, stage as u8, t0);
 
                 let t0 = begin_kernel_span(chip);
                 chip.execute(&m.compile_flux_phased_for(res));
@@ -268,7 +331,7 @@ impl ClusterRunner {
                 chip.execute(&m.compile_integration_for(res, stage));
                 end_kernel_span(chip, Kernel::Integration, stage as u8, t0);
 
-                end_kernel_span(chip, Kernel::RkStage, stage as u8, stage_t0);
+                end_kernel_span(chip, Kernel::RkStage, stage as u8, now);
             });
 
             self.halo.stages += 1;
@@ -298,9 +361,16 @@ impl ClusterRunner {
         self.chips.iter().map(|c| c.finish()).collect()
     }
 
-    /// The cluster-wide simulated wall-clock: the slowest chip.
+    /// The cluster-wide simulated wall-clock: the slowest chip, counting
+    /// any off-chip work still in flight on its lane.
     pub fn elapsed(&self) -> f64 {
-        self.chips.iter().fold(0.0f64, |m, c| m.max(c.elapsed()))
+        self.chips.iter().fold(0.0f64, |m, c| m.max(c.elapsed()).max(c.offchip_time()))
+    }
+
+    /// Per-chip `(compute, off-chip)` lane times, in chip order —
+    /// [`pim_sim::PimChip::elapsed`] and [`pim_sim::PimChip::offchip_time`].
+    pub fn chip_times(&self) -> Vec<(f64, f64)> {
+        self.chips.iter().map(|c| (c.elapsed(), c.offchip_time())).collect()
     }
 
     /// Per-chip trace process ids (allocated at construction).

@@ -7,11 +7,16 @@
 //! axis. This crate closes it across *devices*: the mesh is partitioned
 //! into per-chip shards ([`wavesim_mesh::SlicePartition`]), each shard
 //! is compiled independently with the existing `wave-pim` mapper, and N
-//! simulated `pim-sim` chips advance in lockstep with an explicit
-//! **halo-exchange** phase per LSRK stage. Boundary face data crossing a
-//! chip boundary is costed on the [`pim_sim::InterChipLink`] model,
-//! charged to both endpoint chips' energy ledgers, and mirrored into
-//! `pim-trace` events on each chip's own process row.
+//! simulated `pim-sim` chips advance in lockstep with an **overlapped
+//! halo exchange** per LSRK stage: after the stage barrier every chip
+//! issues its Volume kernel immediately while boundary snapshots, link
+//! transfers and ghost loads stream on the off-chip lane; an explicit
+//! [`pim_sim::PimChip::fence_offchip`] joins the lanes before Flux, so
+//! only the halo time that outlives the Volume window is exposed.
+//! Boundary face data crossing a chip boundary is costed on the
+//! [`pim_sim::InterChipLink`] model, charged to both endpoint chips'
+//! energy ledgers, and mirrored into `pim-trace` events on each chip's
+//! own process row.
 //!
 //! Two coordinated views of the same cluster:
 //!

@@ -53,13 +53,16 @@ fn two_chip_level3_halo_traffic_is_traced_and_reconciles() {
     assert!(diff <= 1e-12, "traced 2-chip cluster diverged: {diff:e}");
 
     // (b) each chip has its own labeled process row carrying off-chip
-    // halo events: one send + one receive per stage, 5 stages.
+    // halo events. The overlapped protocol streams the exchange as
+    // explicit DMAs around the link hop, so per chip per stage that is
+    // 128 boundary-snapshot stores + 2 link endpoints (one send + one
+    // receive) + 128 ghost loads = 258 events, over 5 stages.
     assert_eq!(pids.len(), 2);
     for (i, &pid) in pids.iter().enumerate() {
         assert!(pim_trace::pid_label(pid).starts_with(&format!("pim-cluster chip {i}")));
         let offchip: Vec<_> =
             events.iter().filter(|e| e.pid == pid && e.tid == TID_OFFCHIP).collect();
-        assert_eq!(offchip.len(), 10, "chip {i}: one send + one receive per stage");
+        assert_eq!(offchip.len(), 5 * (128 + 2 + 128), "chip {i}: snapshot + link + ghost events");
         for e in &offchip {
             match e.payload {
                 Payload::Offchip { bytes, energy_j } => {
@@ -94,11 +97,12 @@ fn two_chip_level3_halo_traffic_is_traced_and_reconciles() {
         );
     }
     // And the halo payload seen on the trace matches the runner's own
-    // accounting (each message traced once per endpoint).
+    // accounting: every payload byte crosses the off-chip lane four
+    // times — snapshot store, link send, link receive, ghost load.
     let traced_offchip_bytes: u64 = events
         .iter()
         .filter(|e| e.tid == TID_OFFCHIP && pids.contains(&e.pid))
         .map(|e| e.payload.bytes())
         .sum();
-    assert_eq!(traced_offchip_bytes, 2 * cluster.halo_stats().payload_bytes);
+    assert_eq!(traced_offchip_bytes, 4 * cluster.halo_stats().payload_bytes);
 }

@@ -28,10 +28,13 @@ fn measured_halo_seconds_per_stage(level: u32, n: usize, num_chips: usize) -> f6
 
 #[test]
 fn modeled_halo_time_is_within_2x_of_the_executor() {
+    // The raw link-port time is the term both sides model independently;
+    // the *exposed* halo additionally depends on the Volume window, so
+    // the band is checked on the raw quantity.
     let (level, n, chips) = (3, 2, 2);
     let probe = KernelProbe::measure(n, FluxKind::Riemann, ChipConfig::default_2gb());
-    let modeled =
-        estimate_cluster(level, chips, InterChipLink::default(), &probe).halo_seconds_per_stage;
+    let modeled = estimate_cluster(level, chips, InterChipLink::default(), &probe)
+        .halo_link_seconds_per_stage;
     let measured = measured_halo_seconds_per_stage(level, n, chips);
     assert!(modeled > 0.0 && measured > 0.0);
     let ratio = measured / modeled;
@@ -40,6 +43,43 @@ fn modeled_halo_time_is_within_2x_of_the_executor() {
         "halo estimator drifted from the executor: measured {measured:e}, \
          modeled {modeled:e}, ratio {ratio:.3}"
     );
+}
+
+#[test]
+fn executor_exposes_less_halo_than_its_raw_link_time() {
+    // At this size the Volume window (hundreds of dispatched elements)
+    // dwarfs the exchange (a few µs of DMAs and link hops), so the
+    // pre-Flux fence must expose strictly less than the raw port time —
+    // the whole point of overlapping. The estimator mirrors the same
+    // relation on its modeled terms.
+    let (level, n, chips) = (3, 2, 2);
+    let mesh = HexMesh::refinement_level(level, Boundary::Periodic);
+    let material = AcousticMaterial::new(2.0, 1.0);
+    let initial = State::zeros(mesh.num_elements(), 4, n * n * n);
+    let mut cluster = ClusterRunner::new(
+        &mesh,
+        n,
+        FluxKind::Riemann,
+        material,
+        &initial,
+        1e-3,
+        ClusterConfig::new(chips),
+    );
+    cluster.step();
+    let stats = cluster.halo_stats();
+    let raw = stats.seconds_per_stage();
+    let exposed = stats.exposed_seconds_per_stage();
+    assert!(raw > 0.0);
+    assert!(exposed >= 0.0);
+    assert!(
+        exposed < raw,
+        "the Volume window hid none of the exchange: exposed {exposed:e} vs raw {raw:e}"
+    );
+
+    let probe = KernelProbe::measure(n, FluxKind::Riemann, ChipConfig::default_2gb());
+    let est = estimate_cluster(level, chips, InterChipLink::default(), &probe);
+    assert!(est.halo_seconds_per_stage <= est.halo_link_seconds_per_stage);
+    assert!(est.stage_seconds <= est.bulk_stage_seconds);
 }
 
 #[test]

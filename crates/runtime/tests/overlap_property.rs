@@ -1,0 +1,63 @@
+//! Property: the dual-lane timeline never lets a chip's clock run
+//! backwards. Overlapping the halo with Volume reorders *work*, not
+//! *time* — per-chip `elapsed` and the off-chip lane must stay monotone
+//! non-decreasing across stages and steps, and every step must end with
+//! the off-chip lane fenced, for every valid (level, chips, boundary)
+//! combination.
+
+use pim_cluster::{ClusterConfig, ClusterRunner};
+use proptest::prelude::*;
+use wavesim_dg::{AcousticMaterial, FluxKind, State};
+use wavesim_mesh::{Boundary, HexMesh};
+
+fn cases() -> impl Strategy<Value = (u32, usize, Boundary)> {
+    (1u32..3, 0usize..3, prop_oneof![Just(Boundary::Periodic), Just(Boundary::Wall)]).prop_map(
+        |(level, chips_exp, boundary)| {
+            let slices = 1usize << level;
+            (level, (1usize << chips_exp).min(slices), boundary)
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    #[test]
+    fn per_chip_clocks_are_monotone_and_fenced_across_stages(case in cases()) {
+        let (level, chips, boundary) = case;
+        let mesh = HexMesh::refinement_level(level, boundary);
+        let n = 2;
+        let initial = State::zeros(mesh.num_elements(), 4, n * n * n);
+        let mut cluster = ClusterRunner::new(
+            &mesh,
+            n,
+            FluxKind::Riemann,
+            AcousticMaterial::new(2.0, 1.0),
+            &initial,
+            1e-3,
+            ClusterConfig::new(chips),
+        );
+        let mut prev = cluster.chip_times();
+        for step in 0..3 {
+            cluster.step();
+            let times = cluster.chip_times();
+            for (c, (&(e0, o0), &(e1, o1))) in prev.iter().zip(&times).enumerate() {
+                prop_assert!(
+                    e1 >= e0,
+                    "step {}: chip {} compute clock ran backwards: {} -> {}", step, c, e0, e1
+                );
+                prop_assert!(
+                    o1 >= o0,
+                    "step {}: chip {} off-chip lane ran backwards: {} -> {}", step, c, o0, o1
+                );
+                // Flux fences the lane and Integration only adds compute,
+                // so at a step boundary elapsed covers the off-chip lane.
+                prop_assert!(
+                    e1 >= o1,
+                    "step {}: chip {} ended with off-chip work past the fence", step, c
+                );
+            }
+            prev = times;
+        }
+    }
+}

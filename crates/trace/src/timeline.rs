@@ -166,6 +166,31 @@ pub fn stage_order_is_pipeline_compatible(segs: &[ObservedSegment]) -> bool {
     true
 }
 
+/// Seconds of off-chip traffic (DMA and link events) on `pid`'s rows that
+/// fall *inside* that process's `kernel` windows — the overlap the
+/// cluster's dual-lane schedule is supposed to create. A bulk-synchronous
+/// trace, where all off-chip work happens between kernels, yields 0.
+pub fn offchip_kernel_overlap(events: &[Event], pid: u32, kernel: Kernel) -> f64 {
+    let windows: Vec<(f64, f64)> = events
+        .iter()
+        .filter(|e| e.pid == pid)
+        .filter_map(|e| match e.payload {
+            Payload::Kernel { kernel: k, .. } if k == kernel => Some((e.t0, e.t1)),
+            _ => None,
+        })
+        .collect();
+    events
+        .iter()
+        .filter(|e| e.pid == pid && matches!(e.payload, Payload::Offchip { .. }))
+        .map(|e| {
+            windows
+                .iter()
+                .map(|&(w0, w1)| (e.t1.min(w1) - e.t0.max(w0)).max(0.0))
+                .fold(0.0f64, f64::max)
+        })
+        .sum()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -259,6 +284,30 @@ mod tests {
             pid,
         );
         assert!(!stage_order_is_pipeline_compatible(&bad));
+    }
+
+    #[test]
+    fn offchip_overlap_measures_only_the_intersection() {
+        let pid = 7;
+        let offchip = |t0: f64, t1: f64, seq| Event {
+            pid,
+            tid: crate::TID_OFFCHIP,
+            t0,
+            t1,
+            seq,
+            payload: Payload::Offchip { bytes: 64, energy_j: 1e-12 },
+        };
+        let events = vec![
+            kernel(pid, Kernel::Volume, 0, 1.0, 3.0, 0),
+            offchip(0.5, 1.5, 1), // half inside
+            offchip(1.5, 2.5, 2), // fully inside
+            offchip(4.0, 5.0, 3), // outside
+        ];
+        let overlap = offchip_kernel_overlap(&events, pid, Kernel::Volume);
+        assert!((overlap - 1.5).abs() < 1e-12);
+        // A different pid or kernel sees none of it.
+        assert_eq!(offchip_kernel_overlap(&events, pid + 1, Kernel::Volume), 0.0);
+        assert_eq!(offchip_kernel_overlap(&events, pid, Kernel::Flux), 0.0);
     }
 
     #[test]

@@ -1,0 +1,69 @@
+//! Host-performance study of the compile-once program cache and the
+//! threaded execution pool: times the seed path (per-stage stream
+//! recompilation) against cached replay on the same cluster problem,
+//! checks both paths agree bit for bit and match the native dG solver
+//! ≤ 1e-12, reconciles a traced run's energy with the chip ledgers,
+//! and sweeps a thread-scaling curve. Writes `BENCH_host.json`.
+//!
+//! `--smoke` runs a small configuration as the CI gate; either mode
+//! exits nonzero if cached replay fails to beat recompilation.
+
+use std::process::ExitCode;
+
+use wavepim_bench::artifacts;
+use wavepim_bench::host::{host_bench_data, host_json, HostBenchConfig};
+
+fn main() -> ExitCode {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let cfg = if smoke { HostBenchConfig::smoke() } else { HostBenchConfig::full() };
+    println!(
+        "host_bench: level {} × {} chips × {} step(s), {} worker thread(s)",
+        cfg.level,
+        cfg.chips,
+        cfg.steps,
+        rayon::current_num_threads()
+    );
+
+    let r = host_bench_data(&cfg);
+
+    println!("  elements                : {}", r.elements);
+    println!("  seed (recompile) / step : {:.3} s", r.seed_step_seconds);
+    println!("  cached replay / step    : {:.3} s", r.cached_step_seconds);
+    println!("  speedup                 : {:.2}x", r.speedup);
+    println!("  program compile (once)  : {:.3} s", r.compile_seconds);
+    println!("  cached instrs           : {}", r.cached_instrs);
+    println!("  patch sites             : {}", r.patch_sites);
+    println!("  cached == recompiled    : {}", r.cached_equals_recompiled);
+    println!("  max |diff| vs native dG : {:e}", r.max_abs_diff_vs_native);
+    println!(
+        "  traced energy rel err   : {:.4e} (level {} × {} chips)",
+        r.trace_energy_rel_err, r.trace_level, r.trace_chips
+    );
+    for p in &r.thread_scaling {
+        println!("  {} thread(s): {:.3} s/step", p.threads, p.step_seconds);
+    }
+
+    assert!(
+        r.cached_equals_recompiled,
+        "cached replay must be bit-identical to per-stage recompilation"
+    );
+    assert!(
+        r.max_abs_diff_vs_native <= 1e-12,
+        "cached+threaded cluster diverged from native dG: {:e}",
+        r.max_abs_diff_vs_native
+    );
+    assert!(
+        r.trace_energy_rel_err <= 0.01,
+        "traced energy does not reconcile with the ledgers: rel err {:e}",
+        r.trace_energy_rel_err
+    );
+
+    let doc = host_json(&r);
+    artifacts::write_artifact("BENCH_host.json", &doc).expect("write BENCH_host.json");
+
+    if r.speedup < 1.0 {
+        eprintln!("host_bench: FAIL — cached replay slower than recompilation ({:.2}x)", r.speedup);
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,338 @@
+//! The host-performance study behind `BENCH_host.json`: how much host
+//! wall-clock the compile-once program cache and the threaded rayon
+//! shim buy on the functional cluster runner.
+//!
+//! Two runs of the same problem are timed end to end:
+//!
+//! * **seed path** — [`pim_cluster::ClusterRunner`] with the program
+//!   cache disabled, recompiling every kernel stream every LSRK stage
+//!   (the pre-cache behavior);
+//! * **cached path** — the default: compile once at construction,
+//!   replay each step with only the Integration patch table applied.
+//!
+//! The two paths execute byte-identical instruction streams, so their
+//! merged states must agree *exactly* — measured, not assumed, along
+//! with the ≤1e-12 equivalence against the native dG solver, a traced
+//! energy ↔ ledger reconciliation, and a thread-scaling curve swept
+//! through [`rayon::set_num_threads`].
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use pim_cluster::{ClusterConfig, ClusterRunner};
+use pim_sim::ChipCapacity;
+use pim_trace::json::number;
+use wavesim_dg::{Acoustic, AcousticMaterial, FluxKind, Solver, State};
+use wavesim_mesh::{Boundary, HexMesh};
+
+/// What the study runs. `full()` is the acceptance configuration (a
+/// level-5 mesh on four 8 GB chips); `smoke()` is the CI gate.
+#[derive(Debug, Clone)]
+pub struct HostBenchConfig {
+    /// Mesh refinement level of the headline seed-vs-cached comparison.
+    pub level: u32,
+    /// Nodes per axis.
+    pub n: usize,
+    /// Chips in the cluster.
+    pub chips: usize,
+    /// Time-steps per timed run.
+    pub steps: usize,
+    /// Per-chip capacity (level 5 needs 8 GB chips for 4 shards).
+    pub capacity: ChipCapacity,
+    /// Mesh level of the thread-scaling sweep (smaller than the
+    /// headline so the sweep stays affordable).
+    pub scaling_level: u32,
+    /// Chips in the thread-scaling sweep.
+    pub scaling_chips: usize,
+    /// Capacity for the sweep's chips.
+    pub scaling_capacity: ChipCapacity,
+    /// Thread counts the sweep pins via [`rayon::set_num_threads`].
+    pub threads: Vec<usize>,
+    /// Mesh level of the traced energy-reconciliation run (tracing a
+    /// level-5 step would buffer >100M events; the reconciliation only
+    /// needs *a* cached-replay run through the same step protocol).
+    pub trace_level: u32,
+    /// Chips in the traced run.
+    pub trace_chips: usize,
+}
+
+impl HostBenchConfig {
+    /// The acceptance configuration: level 5 across four 8 GB chips.
+    pub fn full() -> Self {
+        Self {
+            level: 5,
+            n: 2,
+            chips: 4,
+            steps: 1,
+            capacity: ChipCapacity::Gb8,
+            scaling_level: 4,
+            scaling_chips: 4,
+            scaling_capacity: ChipCapacity::Gb2,
+            threads: vec![1, 2, 4],
+            trace_level: 3,
+            trace_chips: 2,
+        }
+    }
+
+    /// The CI smoke configuration: small enough for a debug test run.
+    pub fn smoke() -> Self {
+        Self {
+            level: 3,
+            n: 2,
+            chips: 2,
+            steps: 2,
+            capacity: ChipCapacity::Gb2,
+            scaling_level: 3,
+            scaling_chips: 2,
+            scaling_capacity: ChipCapacity::Gb2,
+            threads: vec![1, 2],
+            trace_level: 2,
+            trace_chips: 2,
+        }
+    }
+}
+
+/// One point of the thread-scaling curve.
+#[derive(Debug, Clone, Copy)]
+pub struct ThreadPoint {
+    pub threads: usize,
+    /// Wall-clock of one cached-replay step at that thread count.
+    pub step_seconds: f64,
+}
+
+/// Everything `BENCH_host.json` reports.
+#[derive(Debug, Clone)]
+pub struct HostBenchResult {
+    pub level: u32,
+    pub n: usize,
+    pub chips: usize,
+    pub steps: usize,
+    pub elements: u64,
+    /// Worker threads the headline runs used.
+    pub threads: usize,
+    /// Wall-clock of `ClusterRunner::new` for the cached run (shard
+    /// compile + preload + program-cache build).
+    pub construct_seconds: f64,
+    /// The program-cache compilation inside that construction.
+    pub compile_seconds: f64,
+    /// Wall-clock of the cached run's `steps` time-steps.
+    pub replay_seconds: f64,
+    /// Cached-run total: construction + stepping.
+    pub total_seconds: f64,
+    /// Seed path (per-stage recompilation), seconds per step.
+    pub seed_step_seconds: f64,
+    /// Cached replay, seconds per step.
+    pub cached_step_seconds: f64,
+    /// `seed_step_seconds / cached_step_seconds`.
+    pub speedup: f64,
+    pub cached_instrs: u64,
+    pub patch_sites: u64,
+    /// The two paths' merged states agree bit for bit.
+    pub cached_equals_recompiled: bool,
+    /// Cached+threaded run vs the native dG solver.
+    pub max_abs_diff_vs_native: f64,
+    pub trace_level: u32,
+    pub trace_chips: usize,
+    /// Worst per-chip |traced − ledger| / ledger over the traced run.
+    pub trace_energy_rel_err: f64,
+    pub thread_scaling: Vec<ThreadPoint>,
+}
+
+fn initial_solver(mesh: &HexMesh, n: usize, material: AcousticMaterial) -> Solver<Acoustic> {
+    let mut s = Solver::<Acoustic>::uniform(mesh.clone(), n, FluxKind::Riemann, material);
+    let tau = std::f64::consts::TAU;
+    s.set_initial(|v, x| match v {
+        0 => (tau * x.x).sin() + 0.25 * (tau * x.y).cos(),
+        1 => 0.5 * (tau * x.y).sin(),
+        2 => 0.25 * (tau * (x.x + x.z)).cos(),
+        _ => 0.125 * (tau * x.z).sin(),
+    });
+    s
+}
+
+fn build_cluster(
+    mesh: &HexMesh,
+    n: usize,
+    material: AcousticMaterial,
+    initial: &State,
+    dt: f64,
+    chips: usize,
+    capacity: ChipCapacity,
+) -> ClusterRunner {
+    let mut config = ClusterConfig::new(chips);
+    config.chip.capacity = capacity;
+    ClusterRunner::new(mesh, n, FluxKind::Riemann, material, initial, dt, config)
+}
+
+/// Runs the study. See the module docs for what is measured.
+pub fn host_bench_data(cfg: &HostBenchConfig) -> HostBenchResult {
+    let material = AcousticMaterial::new(2.0, 1.0);
+    let dt = 1e-3;
+    let mesh = HexMesh::refinement_level(cfg.level, Boundary::Periodic);
+    let mut reference = initial_solver(&mesh, cfg.n, material);
+
+    // Seed path: per-stage recompilation, timed per step.
+    let mut seed =
+        build_cluster(&mesh, cfg.n, material, reference.state(), dt, cfg.chips, cfg.capacity);
+    seed.set_program_cache(false);
+    let t0 = Instant::now();
+    seed.run(cfg.steps);
+    let seed_seconds = t0.elapsed().as_secs_f64();
+    let seed_state = seed.state();
+    drop(seed);
+
+    // Cached path: compile once, replay every step.
+    let t0 = Instant::now();
+    let mut cached =
+        build_cluster(&mesh, cfg.n, material, reference.state(), dt, cfg.chips, cfg.capacity);
+    let construct_seconds = t0.elapsed().as_secs_f64();
+    let t0 = Instant::now();
+    cached.run(cfg.steps);
+    let replay_seconds = t0.elapsed().as_secs_f64();
+    let cached_state = cached.state();
+
+    // Equivalences: cached vs recompiled must be *exact* (identical
+    // instruction streams), cached vs native within roundoff.
+    let cached_equals_recompiled = cached_state.max_abs_diff(&seed_state) == 0.0;
+    reference.run(dt, cfg.steps);
+    let max_abs_diff_vs_native = cached_state.max_abs_diff(reference.state());
+
+    // Traced energy ↔ ledger reconciliation on a smaller cluster
+    // running the same cached-replay protocol.
+    let trace_energy_rel_err = traced_energy_rel_err(cfg, material, dt);
+
+    // Thread-scaling curve: one cached step per pinned thread count.
+    let scaling_mesh = HexMesh::refinement_level(cfg.scaling_level, Boundary::Periodic);
+    let scaling_ref = initial_solver(&scaling_mesh, cfg.n, material);
+    let mut sweep = build_cluster(
+        &scaling_mesh,
+        cfg.n,
+        material,
+        scaling_ref.state(),
+        dt,
+        cfg.scaling_chips,
+        cfg.scaling_capacity,
+    );
+    let mut thread_scaling = Vec::with_capacity(cfg.threads.len());
+    for &t in &cfg.threads {
+        rayon::set_num_threads(t);
+        let t0 = Instant::now();
+        sweep.step();
+        thread_scaling.push(ThreadPoint { threads: t, step_seconds: t0.elapsed().as_secs_f64() });
+    }
+    rayon::set_num_threads(0);
+
+    let seed_step_seconds = seed_seconds / cfg.steps as f64;
+    let cached_step_seconds = replay_seconds / cfg.steps as f64;
+    HostBenchResult {
+        level: cfg.level,
+        n: cfg.n,
+        chips: cfg.chips,
+        steps: cfg.steps,
+        elements: mesh.num_elements() as u64,
+        threads: rayon::current_num_threads(),
+        construct_seconds,
+        compile_seconds: cached.program_compile_seconds(),
+        replay_seconds,
+        total_seconds: construct_seconds + replay_seconds,
+        seed_step_seconds,
+        cached_step_seconds,
+        speedup: seed_step_seconds / cached_step_seconds,
+        cached_instrs: cached.cached_instrs(),
+        patch_sites: cached.patch_sites(),
+        cached_equals_recompiled,
+        max_abs_diff_vs_native,
+        trace_level: cfg.trace_level,
+        trace_chips: cfg.trace_chips,
+        trace_energy_rel_err,
+        thread_scaling,
+    }
+}
+
+/// One traced cached-replay step at `cfg.trace_level`: every traced
+/// joule on a chip's process row must be a joule in that chip's dynamic
+/// energy ledger. Returns the worst per-chip relative error.
+fn traced_energy_rel_err(cfg: &HostBenchConfig, material: AcousticMaterial, dt: f64) -> f64 {
+    let mesh = HexMesh::refinement_level(cfg.trace_level, Boundary::Periodic);
+    let reference = initial_solver(&mesh, cfg.n, material);
+
+    pim_trace::set_ring_capacity(1 << 22);
+    let _ = pim_trace::drain();
+    pim_trace::enable();
+    let mut cluster = build_cluster(
+        &mesh,
+        cfg.n,
+        material,
+        reference.state(),
+        dt,
+        cfg.trace_chips,
+        ChipCapacity::Gb2,
+    );
+    cluster.step();
+    let pids = cluster.trace_pids();
+    let reports = cluster.finish_reports();
+    pim_trace::disable();
+    let (events, dropped) = pim_trace::drain();
+    assert_eq!(dropped, 0, "trace ring must not drop events at the reconciliation scale");
+
+    let mut worst = 0.0f64;
+    for (&pid, report) in pids.iter().zip(&reports) {
+        let traced: f64 =
+            events.iter().filter(|e| e.pid == pid).map(|e| e.payload.energy_j()).sum();
+        let ledger = report.ledger.dynamic();
+        worst = worst.max((traced - ledger).abs() / ledger);
+    }
+    worst
+}
+
+/// Renders the stable-schema `BENCH_host.json` document.
+pub fn host_json(r: &HostBenchResult) -> String {
+    let mut out = String::with_capacity(1024);
+    let _ = write!(
+        out,
+        "{{\n  \"schema_version\": 1,\n  \
+         \"level\": {}, \"n\": {}, \"chips\": {}, \"steps\": {}, \
+         \"elements\": {}, \"threads\": {},\n  \
+         \"construct_seconds\": {}, \"compile_seconds\": {}, \
+         \"replay_seconds\": {}, \"total_seconds\": {},\n  \
+         \"seed_step_seconds\": {}, \"cached_step_seconds\": {}, \
+         \"speedup\": {},\n  \
+         \"cached_instrs\": {}, \"patch_sites\": {}, \
+         \"cached_equals_recompiled\": {},\n  \
+         \"max_abs_diff_vs_native\": {},\n  \
+         \"trace_level\": {}, \"trace_chips\": {}, \
+         \"trace_energy_rel_err\": {},\n  \
+         \"thread_scaling\": [",
+        r.level,
+        r.n,
+        r.chips,
+        r.steps,
+        r.elements,
+        r.threads,
+        number(r.construct_seconds),
+        number(r.compile_seconds),
+        number(r.replay_seconds),
+        number(r.total_seconds),
+        number(r.seed_step_seconds),
+        number(r.cached_step_seconds),
+        number(r.speedup),
+        r.cached_instrs,
+        r.patch_sites,
+        r.cached_equals_recompiled,
+        number(r.max_abs_diff_vs_native),
+        r.trace_level,
+        r.trace_chips,
+        number(r.trace_energy_rel_err),
+    );
+    for (i, p) in r.thread_scaling.iter().enumerate() {
+        let _ = write!(
+            out,
+            "\n    {{\"threads\": {}, \"step_seconds\": {}}}{}",
+            p.threads,
+            number(p.step_seconds),
+            if i + 1 < r.thread_scaling.len() { "," } else { "" }
+        );
+    }
+    out.push_str("\n  ]\n}\n");
+    out
+}

@@ -8,6 +8,7 @@
 pub mod artifacts;
 pub mod cluster;
 pub mod figures;
+pub mod host;
 pub mod report;
 pub mod summary;
 

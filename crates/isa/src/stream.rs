@@ -144,6 +144,30 @@ impl InstrStream {
         self.stats.merge(&other.stats);
     }
 
+    /// Replaces the instruction at `index` with a *stats-neutral*
+    /// substitute: same instruction class, same cost-relevant payload
+    /// (rows covered, words moved, add-like vs mul-like, off-chip
+    /// bytes). This is the primitive behind cached-program patch tables
+    /// — a replayed stream only ever retargets addresses/offsets, never
+    /// changes its cost shape, so the running statistics stay exact
+    /// without a rescan.
+    ///
+    /// # Panics
+    /// Panics if `index` is out of bounds or the replacement would
+    /// change the stream statistics.
+    pub fn patch(&mut self, index: usize, instr: Instr) {
+        let mut old = StreamStats::default();
+        old.record(&self.instrs[index]);
+        let mut new = StreamStats::default();
+        new.record(&instr);
+        assert_eq!(
+            old, new,
+            "patch at {index} must be stats-neutral: {:?} -> {instr:?}",
+            self.instrs[index]
+        );
+        self.instrs[index] = instr;
+    }
+
     /// The instructions in program order.
     pub fn instrs(&self) -> &[Instr] {
         &self.instrs
@@ -227,6 +251,25 @@ mod tests {
         doubled.merge(&a);
         assert_eq!(doubled, a.scaled(2));
         assert_eq!(a.scaled(3).copy_words, 30);
+    }
+
+    #[test]
+    fn patch_replaces_without_touching_stats() {
+        let mut s = InstrStream::new();
+        s.push(Instr::Read { block: BlockId(0), row: 9, offset: 10, words: 1 });
+        s.push(Instr::Sync);
+        let before = *s.stats();
+        s.patch(0, Instr::Read { block: BlockId(0), row: 9, offset: 11, words: 1 });
+        assert_eq!(*s.stats(), before);
+        assert_eq!(s.instrs()[0], Instr::Read { block: BlockId(0), row: 9, offset: 11, words: 1 });
+    }
+
+    #[test]
+    #[should_panic(expected = "stats-neutral")]
+    fn patch_rejects_class_changes() {
+        let mut s = InstrStream::new();
+        s.push(Instr::Sync);
+        s.patch(0, Instr::Read { block: BlockId(0), row: 0, offset: 0, words: 1 });
     }
 
     #[test]

@@ -21,6 +21,11 @@
 #[derive(Debug, Default)]
 pub struct NorMachine {
     gates: u64,
+    /// Retired bit buffers, reused by the arithmetic units below instead
+    /// of allocating a fresh vector per operation — these run hot under
+    /// the executor, and the gate counts are pure arithmetic, so buffer
+    /// recycling cannot change any result.
+    pool: Vec<Vec<bool>>,
 }
 
 impl NorMachine {
@@ -31,6 +36,24 @@ impl NorMachine {
     /// Gates executed so far — in MAGIC, also the cycle count.
     pub fn gate_count(&self) -> u64 {
         self.gates
+    }
+
+    /// A cleared bit buffer from the pool (or a fresh one on first use).
+    fn take_buf(&mut self) -> Vec<bool> {
+        let mut buf = self.pool.pop().unwrap_or_default();
+        buf.clear();
+        buf
+    }
+
+    /// Returns a retired bit buffer (e.g. a consumed `ripple_add` sum)
+    /// to the pool for reuse by later operations.
+    pub fn recycle(&mut self, buf: Vec<bool>) {
+        self.pool.push(buf);
+    }
+
+    /// Buffers currently parked in the reuse pool.
+    pub fn pooled_buffers(&self) -> usize {
+        self.pool.len()
     }
 
     /// The primitive: one NOR gate, one cycle.
@@ -80,7 +103,7 @@ impl NorMachine {
     /// Returns `(sum_bits, carry_out)`; uses exactly `9·N` gates.
     pub fn ripple_add(&mut self, a: &[bool], b: &[bool]) -> (Vec<bool>, bool) {
         assert_eq!(a.len(), b.len(), "operand widths must match");
-        let mut sum = Vec::with_capacity(a.len());
+        let mut sum = self.take_buf();
         let mut carry = false;
         for (&x, &y) in a.iter().zip(b) {
             let (s, c) = self.full_adder(x, y, carry);
@@ -95,16 +118,21 @@ impl NorMachine {
     pub fn multiply(&mut self, a: &[bool], b: &[bool]) -> Vec<bool> {
         assert_eq!(a.len(), b.len(), "operand widths must match");
         let n = a.len();
-        let mut acc = vec![false; 2 * n];
+        let mut acc = self.take_buf();
+        acc.resize(2 * n, false);
+        let mut partial = self.take_buf();
         for (shift, &bit) in b.iter().enumerate() {
             // Partial product: a AND b[shift], aligned at `shift`.
-            let mut partial = vec![false; 2 * n];
+            partial.clear();
+            partial.resize(2 * n, false);
             for (i, &abit) in a.iter().enumerate() {
                 partial[shift + i] = self.and(abit, bit);
             }
             let (sum, _) = self.ripple_add(&acc, &partial);
+            self.recycle(acc);
             acc = sum;
         }
+        self.recycle(partial);
         acc
     }
 }
@@ -115,7 +143,7 @@ impl NorMachine {
     /// true when `a < b` (unsigned).
     pub fn subtract(&mut self, a: &[bool], b: &[bool]) -> (Vec<bool>, bool) {
         assert_eq!(a.len(), b.len(), "operand widths must match");
-        let mut diff = Vec::with_capacity(a.len());
+        let mut diff = self.take_buf();
         let mut carry = true; // +1 of the two's complement
         for (&x, &y) in a.iter().zip(b) {
             let ny = self.not(y);
@@ -128,7 +156,9 @@ impl NorMachine {
 
     /// Unsigned comparison `a < b`, built on the subtractor's borrow.
     pub fn less_than(&mut self, a: &[bool], b: &[bool]) -> bool {
-        self.subtract(a, b).1
+        let (diff, borrow) = self.subtract(a, b);
+        self.recycle(diff);
+        borrow
     }
 }
 
@@ -308,6 +338,31 @@ mod tests {
             "FP32 add {} outside [{add_lo}, {add_hi}]",
             crate::params::FP32_ADD_CYCLES
         );
+    }
+
+    #[test]
+    fn buffer_pool_recycles_without_changing_results_or_counts() {
+        // Two identical multiplies on one machine: the second reuses the
+        // first's retired buffers, with identical product and gate cost.
+        let mut m = NorMachine::new();
+        let a = to_bits(0xBEEF, 16);
+        let b = to_bits(0x1234, 16);
+        let p1 = m.multiply(&a, &b);
+        let gates_first = m.gate_count();
+        assert!(m.pooled_buffers() > 0, "multiply must retire buffers into the pool");
+        let before = m.pooled_buffers();
+        let p2 = m.multiply(&a, &b);
+        assert_eq!(p1, p2);
+        assert_eq!(m.gate_count(), 2 * gates_first, "recycling must not change gate counts");
+        m.recycle(p1);
+        m.recycle(p2);
+        assert!(m.pooled_buffers() >= before, "retired results must return to the pool");
+        // And the recycled buffers feed adds/subs too.
+        let (sum, _) = m.ripple_add(&to_bits(7, 32), &to_bits(9, 32));
+        assert_eq!(from_bits(&sum), 16);
+        let (diff, borrow) = m.subtract(&to_bits(9, 32), &to_bits(7, 32));
+        assert_eq!(from_bits(&diff), 2);
+        assert!(!borrow);
     }
 
     #[test]

@@ -1,0 +1,88 @@
+//! Thread-count and program-cache determinism: the parallel runtime
+//! must be a pure performance lever, never a numerics lever.
+//!
+//! The execution pool deals disjoint chunks to workers and chips only
+//! interact at the sequential fences between kernel phases, so the
+//! simulated state must be *bit-identical* — not merely close — across
+//! worker counts, for both the cluster runner and the native dG solver
+//! whose kernels run on the same shim. Likewise, cached program replay
+//! executes byte-identical instruction streams to per-stage
+//! recompilation, so the two paths must agree exactly.
+
+use pim_cluster::{ClusterConfig, ClusterRunner};
+use wavesim_dg::{Acoustic, AcousticMaterial, FluxKind, Solver, State};
+use wavesim_mesh::{Boundary, HexMesh};
+
+fn native(mesh: &HexMesh, n: usize, material: AcousticMaterial) -> Solver<Acoustic> {
+    let mut s = Solver::<Acoustic>::uniform(mesh.clone(), n, FluxKind::Riemann, material);
+    let tau = std::f64::consts::TAU;
+    s.set_initial(|v, x| match v {
+        0 => (tau * x.x).sin() + 0.25 * (tau * x.y).cos(),
+        1 => 0.5 * (tau * x.y).sin(),
+        2 => 0.25 * (tau * (x.x + x.z)).cos(),
+        _ => 0.125 * (tau * x.z).sin(),
+    });
+    s
+}
+
+/// One 2-chip level-3 cluster run at a pinned worker count, returning
+/// (merged cluster state, native state after the same steps).
+fn run_at(threads: usize, cache: bool, steps: usize) -> (State, State) {
+    let mesh = HexMesh::refinement_level(3, Boundary::Periodic);
+    let n = 2;
+    let material = AcousticMaterial::new(2.0, 1.0);
+    let dt = 1e-3;
+    let mut reference = native(&mesh, n, material);
+
+    rayon::set_num_threads(threads);
+    let mut cluster = ClusterRunner::new(
+        &mesh,
+        n,
+        FluxKind::Riemann,
+        material,
+        reference.state(),
+        dt,
+        ClusterConfig::new(2),
+    );
+    cluster.set_program_cache(cache);
+    cluster.run(steps);
+    reference.run(dt, steps);
+    rayon::set_num_threads(0);
+
+    (cluster.state(), reference.state().clone())
+}
+
+#[test]
+fn cluster_and_native_solver_are_bit_identical_across_thread_counts() {
+    let steps = 2;
+    let (cluster1, native1) = run_at(1, true, steps);
+    let (cluster4, native4) = run_at(4, true, steps);
+
+    assert_eq!(
+        cluster1.as_slice(),
+        cluster4.as_slice(),
+        "cluster state depends on the worker count"
+    );
+    assert_eq!(
+        native1.as_slice(),
+        native4.as_slice(),
+        "native dG state depends on the worker count"
+    );
+
+    // And the parallel runs still satisfy the cross-model acceptance
+    // bound — determinism alone could hide an everywhere-wrong result.
+    let diff = cluster4.max_abs_diff(&native4);
+    assert!(diff <= 1e-12, "4-thread cluster diverged from native dG: {diff:e}");
+}
+
+#[test]
+fn cached_replay_matches_per_stage_recompilation_exactly() {
+    let steps = 2;
+    let (cached, _) = run_at(4, true, steps);
+    let (recompiled, _) = run_at(4, false, steps);
+    assert_eq!(
+        cached.as_slice(),
+        recompiled.as_slice(),
+        "cached program replay altered the numerics"
+    );
+}

@@ -1,53 +1,355 @@
-//! Offline stand-in for `rayon`.
+//! Offline stand-in for `rayon` — with a real thread pool.
 //!
-//! The dG kernels are written against rayon's parallel-slice adapters
-//! (`par_chunks_mut` + `enumerate`/`zip`/`for_each`/`for_each_init`) so the
-//! per-element parallel structure stays visible in the source. This shim
-//! maps those adapters onto the sequential `std` slice iterators, which
-//! support the same downstream combinators; `for_each_init`, which `std`
-//! lacks, is supplied by a blanket extension trait. Swapping the real
-//! rayon back in is a one-line Cargo change — no call site moves.
+//! The dG kernels and the cluster runner are written against rayon's
+//! parallel-slice adapters (`par_chunks`/`par_chunks_mut` +
+//! `enumerate`/`zip`/`for_each`/`for_each_init`) so the per-element and
+//! per-chip parallel structure stays visible in the source. This shim
+//! implements those adapters on `std::thread::scope`:
+//!
+//! - every `for_each`/`for_each_init` call spawns up to
+//!   [`current_num_threads`] scoped workers (never more than there are
+//!   items) that pull chunk indices from one shared atomic counter — a
+//!   chunk-granular work deal, so an uneven chunk costs only its own
+//!   worker time;
+//! - with one worker (or one item) the loop runs inline on the calling
+//!   thread — no spawn, no atomics, identical to the old sequential
+//!   shim;
+//! - `for_each_init` allocates one scratch value per *worker* (exactly
+//!   rayon's contract: per thread, not per item).
+//!
+//! The thread count comes from `RAYON_NUM_THREADS` (default: available
+//! cores), read once; [`set_num_threads`] overrides it in-process so
+//! benchmarks can sweep a scaling curve without re-exec'ing.
+//!
+//! Determinism: every adapter hands each worker a *disjoint* chunk of the
+//! underlying slice, and the closures are `Fn + Sync` (shared captures
+//! are immutable). The result of a parallel loop is therefore bit-
+//! identical at any thread count — only the order in which disjoint
+//! chunks are written varies. Swapping the real rayon back in is a
+//! one-line Cargo change; no call site moves.
+
+use std::marker::PhantomData;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::OnceLock;
+
+/// In-process override for the pool width; 0 = not set.
+static THREAD_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
+/// `RAYON_NUM_THREADS` (or core count), resolved once.
+static ENV_THREADS: OnceLock<usize> = OnceLock::new();
+
+/// The worker count parallel loops will use: the [`set_num_threads`]
+/// override if set, else `RAYON_NUM_THREADS`, else the available cores.
+pub fn current_num_threads() -> usize {
+    let forced = THREAD_OVERRIDE.load(Ordering::Relaxed);
+    if forced > 0 {
+        return forced;
+    }
+    *ENV_THREADS.get_or_init(|| {
+        std::env::var("RAYON_NUM_THREADS")
+            .ok()
+            .and_then(|v| v.trim().parse::<usize>().ok())
+            .filter(|&n| n > 0)
+            .unwrap_or_else(|| std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1))
+    })
+}
+
+/// Overrides the pool width for subsequent parallel loops (0 restores
+/// the environment default). Real rayon configures this through
+/// `ThreadPoolBuilder`; the shim exposes the one knob the benchmarks
+/// need to sweep a thread-scaling curve in-process.
+pub fn set_num_threads(n: usize) {
+    THREAD_OVERRIDE.store(n, Ordering::Relaxed);
+}
 
 pub mod prelude {
-    /// `par_chunks` on shared slices (sequentially: `chunks`).
-    pub trait ParallelSlice<T> {
-        fn par_chunks(&self, chunk_size: usize) -> std::slice::Chunks<'_, T>;
+    pub use crate::{ParallelIterator, ParallelSlice, ParallelSliceMut};
+}
+
+/// A fixed-length source of independent items, indexable from any
+/// worker. The driver guarantees each index is produced at most once —
+/// that is what lets `par_chunks_mut` hand out disjoint `&mut` chunks.
+pub trait ParallelIterator: Sized + Sync {
+    type Item;
+
+    /// Number of items.
+    fn pi_len(&self) -> usize;
+
+    /// Produces item `i`.
+    ///
+    /// # Safety
+    /// Each index in `0..pi_len()` must be produced at most once across
+    /// all callers (the mutable adapters return aliasing-free `&mut`
+    /// slices only under that contract).
+    unsafe fn pi_item(&self, i: usize) -> Self::Item;
+
+    /// Pairs every item with its index, like `Iterator::enumerate`.
+    fn enumerate(self) -> Enumerate<Self> {
+        Enumerate { inner: self }
     }
 
-    impl<T> ParallelSlice<T> for [T] {
-        #[inline]
-        fn par_chunks(&self, chunk_size: usize) -> std::slice::Chunks<'_, T> {
-            self.chunks(chunk_size)
+    /// Zips two equal-length parallel iterators item-wise.
+    fn zip<B: ParallelIterator>(self, other: B) -> Zip<Self, B> {
+        Zip { a: self, b: other }
+    }
+
+    /// Runs `f` on every item, on up to [`current_num_threads`] threads.
+    fn for_each<F>(self, f: F)
+    where
+        F: Fn(Self::Item) + Sync,
+    {
+        self.for_each_init(|| (), |(), item| f(item));
+    }
+
+    /// Like `for_each`, but each worker thread first builds one scratch
+    /// value with `init` and reuses it across all items it processes.
+    fn for_each_init<S, Init, F>(self, init: Init, f: F)
+    where
+        Init: Fn() -> S + Sync,
+        F: Fn(&mut S, Self::Item) + Sync,
+    {
+        let n = self.pi_len();
+        if n == 0 {
+            return;
         }
-    }
-
-    /// `par_chunks_mut` on mutable slices (sequentially: `chunks_mut`).
-    pub trait ParallelSliceMut<T> {
-        fn par_chunks_mut(&mut self, chunk_size: usize) -> std::slice::ChunksMut<'_, T>;
-    }
-
-    impl<T> ParallelSliceMut<T> for [T] {
-        #[inline]
-        fn par_chunks_mut(&mut self, chunk_size: usize) -> std::slice::ChunksMut<'_, T> {
-            self.chunks_mut(chunk_size)
-        }
-    }
-
-    /// Rayon's `for_each_init` for any iterator: one scratch allocation,
-    /// reused across items (sequentially there is exactly one "thread").
-    pub trait ParallelIteratorExt: Iterator + Sized {
-        #[inline]
-        fn for_each_init<T, Init, F>(self, mut init: Init, mut f: F)
-        where
-            Init: FnMut() -> T,
-            F: FnMut(&mut T, Self::Item),
-        {
+        let workers = current_num_threads().min(n);
+        if workers <= 1 {
             let mut scratch = init();
-            for item in self {
-                f(&mut scratch, item);
+            for i in 0..n {
+                // SAFETY: the sequential loop visits each index once.
+                f(&mut scratch, unsafe { self.pi_item(i) });
             }
+            return;
+        }
+        let next = AtomicUsize::new(0);
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| {
+                    let mut scratch = init();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= n {
+                            break;
+                        }
+                        // SAFETY: fetch_add hands out each index exactly
+                        // once across all workers.
+                        f(&mut scratch, unsafe { self.pi_item(i) });
+                    }
+                });
+            }
+        });
+    }
+}
+
+/// `par_chunks` on shared slices.
+pub trait ParallelSlice<T: Sync> {
+    fn par_chunks(&self, chunk_size: usize) -> ParChunks<'_, T>;
+}
+
+impl<T: Sync> ParallelSlice<T> for [T] {
+    #[inline]
+    fn par_chunks(&self, chunk_size: usize) -> ParChunks<'_, T> {
+        assert!(chunk_size > 0, "chunk size must be positive");
+        ParChunks { slice: self, chunk: chunk_size }
+    }
+}
+
+/// `par_chunks_mut` on mutable slices.
+pub trait ParallelSliceMut<T: Send> {
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> ParChunksMut<'_, T>;
+}
+
+impl<T: Send> ParallelSliceMut<T> for [T] {
+    #[inline]
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> ParChunksMut<'_, T> {
+        assert!(chunk_size > 0, "chunk size must be positive");
+        ParChunksMut {
+            ptr: self.as_mut_ptr(),
+            len: self.len(),
+            chunk: chunk_size,
+            _life: PhantomData,
+        }
+    }
+}
+
+/// Disjoint shared chunks of a slice.
+pub struct ParChunks<'a, T> {
+    slice: &'a [T],
+    chunk: usize,
+}
+
+impl<'a, T: Sync> ParallelIterator for ParChunks<'a, T> {
+    type Item = &'a [T];
+
+    fn pi_len(&self) -> usize {
+        self.slice.len().div_ceil(self.chunk)
+    }
+
+    unsafe fn pi_item(&self, i: usize) -> &'a [T] {
+        let start = i * self.chunk;
+        let end = (start + self.chunk).min(self.slice.len());
+        &self.slice[start..end]
+    }
+}
+
+/// Disjoint mutable chunks of a slice. Holds a raw pointer so distinct
+/// indices can be materialized as `&mut` from different threads; the
+/// one-index-once contract of [`ParallelIterator::pi_item`] keeps the
+/// chunks non-aliasing.
+pub struct ParChunksMut<'a, T> {
+    ptr: *mut T,
+    len: usize,
+    chunk: usize,
+    _life: PhantomData<&'a mut [T]>,
+}
+
+// SAFETY: ParChunksMut owns the slice borrow exclusively; workers only
+// ever touch disjoint index ranges (driver contract), and T: Send makes
+// handing those ranges to other threads sound. No `&T` is ever shared.
+unsafe impl<T: Send> Send for ParChunksMut<'_, T> {}
+unsafe impl<T: Send> Sync for ParChunksMut<'_, T> {}
+
+impl<'a, T: Send> ParallelIterator for ParChunksMut<'a, T> {
+    type Item = &'a mut [T];
+
+    fn pi_len(&self) -> usize {
+        self.len.div_ceil(self.chunk)
+    }
+
+    unsafe fn pi_item(&self, i: usize) -> &'a mut [T] {
+        let start = i * self.chunk;
+        let end = (start + self.chunk).min(self.len);
+        debug_assert!(start < self.len);
+        // SAFETY: caller produces each index at most once, so the ranges
+        // [start, end) never overlap between outstanding items.
+        unsafe { std::slice::from_raw_parts_mut(self.ptr.add(start), end - start) }
+    }
+}
+
+/// See [`ParallelIterator::enumerate`].
+pub struct Enumerate<P> {
+    inner: P,
+}
+
+impl<P: ParallelIterator> ParallelIterator for Enumerate<P> {
+    type Item = (usize, P::Item);
+
+    fn pi_len(&self) -> usize {
+        self.inner.pi_len()
+    }
+
+    unsafe fn pi_item(&self, i: usize) -> (usize, P::Item) {
+        // SAFETY: forwards the caller's one-index-once contract.
+        (i, unsafe { self.inner.pi_item(i) })
+    }
+}
+
+/// See [`ParallelIterator::zip`].
+pub struct Zip<A, B> {
+    a: A,
+    b: B,
+}
+
+impl<A: ParallelIterator, B: ParallelIterator> ParallelIterator for Zip<A, B> {
+    type Item = (A::Item, B::Item);
+
+    fn pi_len(&self) -> usize {
+        self.a.pi_len().min(self.b.pi_len())
+    }
+
+    unsafe fn pi_item(&self, i: usize) -> (A::Item, B::Item) {
+        // SAFETY: forwards the caller's one-index-once contract to both
+        // sides.
+        unsafe { (self.a.pi_item(i), self.b.pi_item(i)) }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use super::*;
+
+    /// `set_num_threads` is process-global; tests that touch it must not
+    /// interleave.
+    static OVERRIDE_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+    #[test]
+    fn par_chunks_mut_writes_every_chunk_once() {
+        let mut v = vec![0usize; 103];
+        v.as_mut_slice().par_chunks_mut(10).enumerate().for_each(|(i, chunk)| {
+            for x in chunk.iter_mut() {
+                *x += i + 1;
+            }
+        });
+        for (j, &x) in v.iter().enumerate() {
+            assert_eq!(x, j / 10 + 1);
         }
     }
 
-    impl<I: Iterator> ParallelIteratorExt for I {}
+    #[test]
+    fn zip_chain_matches_sequential() {
+        let n = 64;
+        let mut a = vec![0.0f64; n];
+        let mut b = vec![0.0f64; n];
+        let c: Vec<f64> = (0..n).map(|i| i as f64).collect();
+        a.as_mut_slice()
+            .par_chunks_mut(4)
+            .zip(b.as_mut_slice().par_chunks_mut(4))
+            .zip(c.par_chunks(4))
+            .for_each(|((ac, bc), cc)| {
+                for ((x, y), z) in ac.iter_mut().zip(bc.iter_mut()).zip(cc) {
+                    *x = z * 2.0;
+                    *y = z + 1.0;
+                }
+            });
+        for i in 0..n {
+            assert_eq!(a[i], i as f64 * 2.0);
+            assert_eq!(b[i], i as f64 + 1.0);
+        }
+    }
+
+    #[test]
+    fn for_each_init_scratch_is_per_worker() {
+        // The scratch must arrive zeroed-or-reused, never shared between
+        // concurrent items: sum into a per-worker accumulator, then fold
+        // through a mutex only at the end (here: per item for the check).
+        let data: Vec<u64> = (0..1000).collect();
+        let total = std::sync::Mutex::new(0u64);
+        data.par_chunks(7).for_each_init(
+            || 0u64,
+            |acc, chunk| {
+                *acc = chunk.iter().sum();
+                *total.lock().unwrap() += *acc;
+            },
+        );
+        assert_eq!(*total.lock().unwrap(), 1000 * 999 / 2);
+    }
+
+    #[test]
+    fn results_are_identical_across_thread_counts() {
+        let _guard = OVERRIDE_LOCK.lock().unwrap();
+        let run = |threads: usize| {
+            set_num_threads(threads);
+            let mut v: Vec<f64> = (0..517).map(|i| i as f64).collect();
+            v.as_mut_slice().par_chunks_mut(16).enumerate().for_each(|(i, chunk)| {
+                for x in chunk.iter_mut() {
+                    *x = x.sin() * (i as f64 + 1.0);
+                }
+            });
+            set_num_threads(0);
+            v
+        };
+        let seq = run(1);
+        for t in [2, 4, 8] {
+            assert_eq!(seq, run(t), "thread count {t} changed the result");
+        }
+    }
+
+    #[test]
+    fn thread_override_round_trips() {
+        let _guard = OVERRIDE_LOCK.lock().unwrap();
+        set_num_threads(3);
+        assert_eq!(current_num_threads(), 3);
+        set_num_threads(0);
+        assert!(current_num_threads() >= 1);
+    }
 }

@@ -1,0 +1,92 @@
+//! Smoke bench for the metrics subsystem's zero-cost-when-off claim,
+//! the same bar `trace_overhead.rs` holds the tracer to.
+//!
+//! With metrics disabled every instrumentation site in the hot path
+//! reduces to one relaxed atomic load. This bench measures (a) the
+//! native dG step on a level-4 mesh with metrics disabled, (b) the cost
+//! of the disabled probe itself, and (c) how many gated updates one
+//! step actually performs (by running one step enabled and reading the
+//! registry's update counter — an overcount of the disabled probe
+//! sites, since several updates share one gate). The asserted bound is
+//!
+//!     probe_cost × update_sites / step_time  <  1%
+//!
+//! The enabled step is also timed for reference (no assertion — it is
+//! allowed to cost more).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use wavesim_dg::{Acoustic, AcousticMaterial, FluxKind, Solver};
+use wavesim_mesh::{Boundary, HexMesh};
+
+fn solver() -> Solver<Acoustic> {
+    let mesh = HexMesh::refinement_level(4, Boundary::Periodic);
+    let mut s = Solver::<Acoustic>::uniform(mesh, 2, FluxKind::Riemann, AcousticMaterial::UNIT);
+    s.set_initial(|v, x| ((v + 1) as f64 * x.x * std::f64::consts::TAU).sin() * 0.1);
+    s
+}
+
+fn bench_overhead(c: &mut Criterion) {
+    let mut g = c.benchmark_group("metrics_overhead");
+
+    pim_metrics::disable();
+
+    let mut s = solver();
+    let dt = s.stable_dt(0.2);
+
+    let mut step_disabled = 0.0;
+    g.bench_function("dg_step_metrics_disabled", |b| {
+        b.iter(|| s.step(dt));
+        step_disabled = b.mean_seconds();
+    });
+
+    let mut probe_cost = 0.0;
+    g.bench_function("disabled_probe", |b| {
+        b.iter(|| black_box(pim_metrics::enabled()));
+        probe_cost = b.mean_seconds();
+    });
+
+    let mut step_enabled = 0.0;
+    g.bench_function("dg_step_metrics_enabled", |b| {
+        pim_metrics::enable();
+        b.iter(|| s.step(dt));
+        pim_metrics::disable();
+        step_enabled = b.mean_seconds();
+    });
+
+    // Count the gated updates one step performs. Each disabled site
+    // evaluates the gate once and stops; counting every enabled update
+    // only overstates the disabled cost.
+    let u0 = pim_metrics::updates_recorded();
+    pim_metrics::enable();
+    s.step(dt);
+    pim_metrics::disable();
+    let update_sites = (pim_metrics::updates_recorded() - u0) as f64;
+
+    g.finish();
+
+    let overhead = probe_cost * update_sites / step_disabled;
+    println!(
+        "\nmetrics-disabled overhead on the level-4 dG step: {:.4}% \
+         ({update_sites} updates x {:.2} ns over {:.3} ms; enabled step {:.3} ms)",
+        overhead * 100.0,
+        probe_cost * 1e9,
+        step_disabled * 1e3,
+        step_enabled * 1e3,
+    );
+    assert!(update_sites > 0.0, "an enabled step must record updates");
+    assert!(
+        overhead < 0.01,
+        "disabled metrics must stay under 1% of the dG step ({:.4}%)",
+        overhead * 100.0
+    );
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_secs(1))
+        .sample_size(10);
+    targets = bench_overhead
+}
+criterion_main!(benches);

@@ -159,8 +159,9 @@ fn build_cluster(
     chips: usize,
     capacity: ChipCapacity,
 ) -> ClusterRunner {
-    let mut config = ClusterConfig::new(chips);
-    config.chip.capacity = capacity;
+    let mut chip = pim_sim::ChipConfig::default_2gb();
+    chip.capacity = capacity;
+    let config = ClusterConfig::uniform(chips, chip);
     ClusterRunner::new(mesh, n, FluxKind::Riemann, material, initial, dt, config)
 }
 

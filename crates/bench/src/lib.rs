@@ -9,6 +9,7 @@ pub mod artifacts;
 pub mod cluster;
 pub mod figures;
 pub mod host;
+pub mod metrics_report;
 pub mod report;
 pub mod summary;
 

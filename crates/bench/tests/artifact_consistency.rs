@@ -165,6 +165,68 @@ fn cluster_artifact_schema_tells_a_coherent_scaling_story() {
 }
 
 #[test]
+fn metrics_artifact_schema_reconciles_and_stays_bounded() {
+    // Same schema and invariants the `profile_report` binary gates CI
+    // on, at the smoke configuration: every utilization-like share in
+    // [0, 1], every reconciliation ≤ 1e-9, exact byte accounting, and
+    // the capacity-weighted deal strictly lowering the worst chip's
+    // capacity-idle share.
+    use wavepim_bench::metrics_report::{
+        check_report, metrics_json, profile_report_data, MetricsReportConfig,
+    };
+    let r = profile_report_data(&MetricsReportConfig::smoke());
+    let violations = check_report(&r);
+    assert!(violations.is_empty(), "metrics report invariants violated: {violations:#?}");
+
+    let doc = metrics_json(&r);
+    let v = pim_trace::json::parse(&doc).expect("BENCH_metrics.json schema must parse");
+    assert_eq!(v.get("schema_version").and_then(|x| x.as_f64()), Some(1.0));
+
+    let chips = v.get("chips").and_then(|x| x.as_array()).unwrap();
+    assert_eq!(chips.len(), 2);
+    for c in chips {
+        let f = |k: &str| {
+            c.get(k)
+                .and_then(|x| x.as_f64())
+                .unwrap_or_else(|| panic!("chip row missing numeric field {k}"))
+        };
+        assert!(f("ledger_rel_err") <= 1e-9);
+        assert!(f("trace_rel_err") <= 1e-9);
+        assert!(f("kernel_attribution_rel_err") <= 1e-9);
+        assert!(f("exposed_rel_err") <= 1e-9);
+        assert_eq!(f("dma_bytes") + f("link_bytes"), f("traced_offchip_bytes"));
+        assert!((0.0..=1.0).contains(&f("capacity_idle_share")));
+        let kernels = c.get("kernels").and_then(|x| x.as_array()).unwrap();
+        assert_eq!(kernels.len(), 5, "Setup/Volume/Flux/Integration/HaloExchange rows");
+        for k in kernels {
+            let u = k.get("utilization").and_then(|x| x.as_f64()).unwrap();
+            assert!((0.0..=1.0).contains(&u), "utilization {u} out of bounds");
+        }
+        assert!(!c.get("opcodes").and_then(|x| x.as_array()).unwrap().is_empty());
+    }
+
+    let steps = v.get("per_step").and_then(|x| x.as_array()).unwrap();
+    assert_eq!(steps.len(), 2);
+    for s in steps {
+        assert_eq!(s.get("stages").and_then(|x| x.as_f64()), Some(5.0));
+        assert!(s.get("busy_seconds").and_then(|x| x.as_f64()).unwrap() > 0.0);
+    }
+
+    let roofline = v.get("roofline").and_then(|x| x.as_array()).unwrap();
+    assert_eq!(roofline.len(), 3);
+    for k in roofline {
+        assert!(k.get("flops").and_then(|x| x.as_f64()).unwrap() > 0.0);
+        assert!(k.get("intensity").and_then(|x| x.as_f64()).unwrap() > 0.0);
+    }
+
+    let hetero = v.get("heterogeneous").unwrap();
+    let drop = hetero.get("idle_drop").and_then(|x| x.as_f64()).unwrap();
+    assert!(drop > 0.0, "weighted deal must lower the worst capacity-idle share");
+    let weighted = hetero.get("weighted").unwrap();
+    assert!(weighted.get("weighted").and_then(|x| x.as_bool()).is_some());
+}
+
+#[test]
 fn artifact_writer_honors_the_directory_override() {
     // The bins resolve their output directory through one helper; the
     // env override is how CI or a user redirects every artifact at once.

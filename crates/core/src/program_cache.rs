@@ -24,6 +24,28 @@
 
 use pim_isa::{Instr, InstrStream};
 
+/// Cache-wide counters: replays that reused the already-applied stage vs
+/// stage switches, and how many instruction words the switches patched.
+/// Shared by every [`StageProgram`] in the process; the bench layer's
+/// compile-vs-replay accounting reads these.
+struct CacheMetrics {
+    stage_reuses: pim_metrics::Counter,
+    stage_switches: pim_metrics::Counter,
+    patched_instrs: pim_metrics::Counter,
+}
+
+fn cache_metrics() -> &'static CacheMetrics {
+    static METRICS: std::sync::OnceLock<CacheMetrics> = std::sync::OnceLock::new();
+    METRICS.get_or_init(|| {
+        let reg = pim_metrics::global();
+        CacheMetrics {
+            stage_reuses: reg.counter("program_cache_stage_reuses_total", &[]),
+            stage_switches: reg.counter("program_cache_stage_switches_total", &[]),
+            patched_instrs: reg.counter("program_cache_patched_instrs_total", &[]),
+        }
+    })
+}
+
 /// A kernel program compiled once, replayable for any of its stage
 /// variants by applying a small patch table in place.
 ///
@@ -68,6 +90,7 @@ impl StageProgram {
         let patches: Vec<Vec<Instr>> =
             variants.iter().map(|v| sites.iter().map(|&i| v.instrs()[i]).collect()).collect();
 
+        #[cfg_attr(not(debug_assertions), allow(unused_mut))]
         let mut program = Self {
             #[cfg(debug_assertions)]
             verified: vec![false; variants.len()],
@@ -109,6 +132,12 @@ impl StageProgram {
         self.working.len()
     }
 
+    /// The stream statistics shared by every stage variant (asserted
+    /// equal at construction).
+    pub fn stats(&self) -> &pim_isa::StreamStats {
+        self.working.stats()
+    }
+
     /// True when the program is empty.
     pub fn is_empty(&self) -> bool {
         self.working.is_empty()
@@ -127,10 +156,18 @@ impl StageProgram {
 
     fn apply(&mut self, stage: usize) {
         if self.applied == stage {
+            if pim_metrics::enabled() {
+                cache_metrics().stage_reuses.inc();
+            }
             return;
         }
         for (k, &i) in self.sites.iter().enumerate() {
             self.working.patch(i, self.patches[stage][k]);
+        }
+        if pim_metrics::enabled() {
+            let metrics = cache_metrics();
+            metrics.stage_switches.inc();
+            metrics.patched_instrs.add(self.sites.len() as u64);
         }
         self.applied = stage;
     }

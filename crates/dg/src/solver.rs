@@ -9,8 +9,40 @@ use wavesim_numerics::Vec3;
 use crate::integrator::Lsrk5;
 use crate::kernels::flux::{self, FluxTopology};
 use crate::kernels::{integration, volume};
+use crate::opcount::{self, ElementWorkload};
 use crate::physics::{FluxKind, Physics};
 use crate::state::State;
+
+/// Per-kernel roofline counters for the native solver: analytic FLOP and
+/// byte counts (from [`crate::opcount`]'s per-element model × elements)
+/// plus measured wall seconds, so `flops / seconds` vs `bytes / seconds`
+/// places each kernel on a host roofline. Shared across solvers; kernel
+/// index 0/1/2 = Volume/Flux/Integration.
+struct SolverMetrics {
+    flops: [pim_metrics::Counter; 3],
+    bytes: [pim_metrics::Counter; 3],
+    seconds: [pim_metrics::FloatCounter; 3],
+}
+
+const DG_KERNELS: [&str; 3] = ["Volume", "Flux", "Integration"];
+
+fn solver_metrics() -> &'static SolverMetrics {
+    static METRICS: std::sync::OnceLock<SolverMetrics> = std::sync::OnceLock::new();
+    METRICS.get_or_init(|| {
+        let reg = pim_metrics::global();
+        SolverMetrics {
+            flops: std::array::from_fn(|i| {
+                reg.counter("dg_kernel_flops_total", &[("kernel", DG_KERNELS[i])])
+            }),
+            bytes: std::array::from_fn(|i| {
+                reg.counter("dg_kernel_bytes_total", &[("kernel", DG_KERNELS[i])])
+            }),
+            seconds: std::array::from_fn(|i| {
+                reg.float_counter("dg_kernel_seconds_total", &[("kernel", DG_KERNELS[i])])
+            }),
+        }
+    })
+}
 
 /// A complete dG solver for one physics on one mesh.
 ///
@@ -197,6 +229,28 @@ impl<P: Physics> Solver<P> {
         self.compute_rhs_staged(0);
     }
 
+    /// Analytic per-element FLOP/byte model matching this solver's
+    /// physics and configuration.
+    fn element_workload(&self) -> ElementWorkload {
+        match P::NUM_VARS {
+            9 => opcount::elastic_workload(self.rule.len(), self.flux_kind),
+            _ => opcount::acoustic_workload(self.rule.len(), self.flux_kind),
+        }
+    }
+
+    /// Publishes one kernel launch (Volume/Flux/Integration = 0/1/2) to
+    /// the roofline counters: analytic FLOPs/bytes for the whole mesh
+    /// plus the measured wall seconds.
+    fn record_kernel_metrics(&self, kernel: usize, seconds: f64) {
+        let ne = self.state.num_elements() as u64;
+        let workload = self.element_workload();
+        let profile = [workload.volume, workload.flux, workload.integration][kernel];
+        let metrics = solver_metrics();
+        metrics.flops[kernel].add(profile.ops.flops() * ne);
+        metrics.bytes[kernel].add(profile.mem.total() * ne);
+        metrics.seconds[kernel].add(seconds);
+    }
+
     fn compute_rhs_staged(&mut self, stage: u8) {
         use pim_trace::{Kernel, Payload, WallSpan, TID_KERNELS};
         let pid = if pim_trace::enabled() { self.trace_pid() } else { 0 };
@@ -207,6 +261,7 @@ impl<P: Physics> Solver<P> {
                 TID_KERNELS,
                 Payload::Kernel { kernel: Kernel::Volume, stage },
             );
+            let timer = pim_metrics::enabled().then(std::time::Instant::now);
             volume::apply::<P>(
                 n,
                 &self.d,
@@ -215,9 +270,13 @@ impl<P: Physics> Solver<P> {
                 &self.state,
                 &mut self.rhs,
             );
+            if let Some(timer) = timer {
+                self.record_kernel_metrics(0, timer.elapsed().as_secs_f64());
+            }
         }
         let _span =
             WallSpan::begin(pid, TID_KERNELS, Payload::Kernel { kernel: Kernel::Flux, stage });
+        let timer = pim_metrics::enabled().then(std::time::Instant::now);
         flux::apply::<P>(
             &self.topo,
             &self.mesh,
@@ -227,6 +286,9 @@ impl<P: Physics> Solver<P> {
             &self.state,
             &mut self.rhs,
         );
+        if let Some(timer) = timer {
+            self.record_kernel_metrics(1, timer.elapsed().as_secs_f64());
+        }
     }
 
     /// Advances one time-step: five (Volume → Flux → Integration) rounds.
@@ -247,7 +309,11 @@ impl<P: Physics> Solver<P> {
                 TID_KERNELS,
                 Payload::Kernel { kernel: Kernel::Integration, stage: s as u8 },
             );
+            let timer = pim_metrics::enabled().then(std::time::Instant::now);
             integration::stage(s, dt, &mut self.state, &mut self.aux, &self.rhs);
+            if let Some(timer) = timer {
+                self.record_kernel_metrics(2, timer.elapsed().as_secs_f64());
+            }
         }
         self.time += dt;
         self.steps_taken += 1;

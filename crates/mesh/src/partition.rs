@@ -94,14 +94,64 @@ impl SlicePartition {
             num_shards <= slices && slices.is_multiple_of(num_shards),
             "{num_shards} shards must evenly divide {slices} y-slices"
         );
-        let per_shard = slices / num_shards;
+        Self::from_slice_counts(mesh, &vec![slices / num_shards; num_shards])
+    }
+
+    /// Splits `mesh` into one shard per weight, dealing the `2^level`
+    /// y-slices proportionally to `weights` (largest-remainder rounding,
+    /// every shard gets at least one slice). Weighting by
+    /// `ChipCapacity::num_blocks()` lets a heterogeneous cluster give the
+    /// big chip proportionally more resident elements instead of leaving
+    /// its extra crossbar blocks idle.
+    ///
+    /// Equal weights with a dividing shard count reduce exactly to
+    /// [`SlicePartition::new`].
+    ///
+    /// # Panics
+    /// Panics if `weights` is empty, any weight is zero, or there are more
+    /// shards than slices.
+    pub fn new_weighted(mesh: &HexMesh, weights: &[u64]) -> Self {
+        let num_shards = weights.len();
+        assert!(num_shards > 0, "at least one shard required");
+        assert!(weights.iter().all(|&w| w > 0), "shard weights must be positive: {weights:?}");
+        let slices = mesh.num_slices();
+        assert!(
+            num_shards <= slices,
+            "{num_shards} shards need at least as many y-slices, got {slices}"
+        );
+        // Every shard starts with one slice; the rest are dealt by largest
+        // remainder of `extra * w / W` (ties broken toward lower index), so
+        // counts are deterministic and sum exactly to `slices`.
+        let total_weight: u128 = weights.iter().map(|&w| u128::from(w)).sum();
+        let extra = (slices - num_shards) as u128;
+        let mut counts: Vec<usize> = Vec::with_capacity(num_shards);
+        let mut remainders: Vec<(usize, u128)> = Vec::with_capacity(num_shards);
+        for (i, &w) in weights.iter().enumerate() {
+            let scaled = extra * u128::from(w);
+            counts.push(1 + (scaled / total_weight) as usize);
+            remainders.push((i, scaled % total_weight));
+        }
+        let dealt: usize = counts.iter().sum();
+        remainders.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        for &(shard, _) in remainders.iter().take(slices - dealt) {
+            counts[shard] += 1;
+        }
+        debug_assert_eq!(counts.iter().sum::<usize>(), slices);
+        Self::from_slice_counts(mesh, &counts)
+    }
+
+    /// Builds the shard tables for an explicit per-shard slice count
+    /// (already validated to sum to `mesh.num_slices()`, every entry ≥ 1).
+    fn from_slice_counts(mesh: &HexMesh, counts: &[usize]) -> Self {
+        let num_shards = counts.len();
         let mut shard_of = vec![0usize; mesh.num_elements()];
         let mut shards = Vec::with_capacity(num_shards);
-        for s in 0..num_shards {
-            let slice_begin = s * per_shard;
-            let slice_end = slice_begin + per_shard;
-            let mut elements: Vec<ElemId> =
-                Vec::with_capacity(per_shard * mesh.elements_per_slice());
+        let mut next_slice = 0usize;
+        for (s, &count) in counts.iter().enumerate() {
+            let slice_begin = next_slice;
+            let slice_end = slice_begin + count;
+            next_slice = slice_end;
+            let mut elements: Vec<ElemId> = Vec::with_capacity(count * mesh.elements_per_slice());
             for slice in slice_begin..slice_end {
                 elements.extend(mesh.slice_elements(slice));
             }
@@ -248,5 +298,59 @@ mod tests {
     fn rejects_non_dividing_shard_count() {
         let mesh = HexMesh::refinement_level(2, Boundary::Periodic);
         let _ = SlicePartition::new(&mesh, 3);
+    }
+
+    #[test]
+    fn equal_weights_reduce_to_the_even_deal() {
+        let mesh = HexMesh::refinement_level(3, Boundary::Periodic);
+        let even = SlicePartition::new(&mesh, 4);
+        let weighted = SlicePartition::new_weighted(&mesh, &[7, 7, 7, 7]);
+        for (a, b) in even.shards().iter().zip(weighted.shards()) {
+            assert_eq!((a.slice_begin, a.slice_end), (b.slice_begin, b.slice_end));
+            assert_eq!(a.elements, b.elements);
+        }
+    }
+
+    #[test]
+    fn capacity_weights_deal_proportional_slices() {
+        // Level 3 = 8 slices over a 2 GB (16384 blocks) + 8 GB (65536
+        // blocks) pair: quotas 8·(1/5)=1.6 and 8·(4/5)=6.4 round to [2, 6]
+        // by largest remainder with the one-slice floor.
+        let mesh = HexMesh::refinement_level(3, Boundary::Periodic);
+        let p = SlicePartition::new_weighted(&mesh, &[16384, 65536]);
+        assert_eq!(p.shard(0).slice_end - p.shard(0).slice_begin, 2);
+        assert_eq!(p.shard(1).slice_end - p.shard(1).slice_begin, 6);
+        // Slices stay contiguous and every element is owned exactly once.
+        assert_eq!(p.shard(0).slice_begin, 0);
+        assert_eq!(p.shard(1).slice_begin, p.shard(0).slice_end);
+        let owned: usize = p.shards().iter().map(|s| s.elements.len()).sum();
+        assert_eq!(owned, mesh.num_elements());
+    }
+
+    #[test]
+    fn extreme_weights_still_give_every_shard_a_slice() {
+        let mesh = HexMesh::refinement_level(2, Boundary::Wall);
+        let p = SlicePartition::new_weighted(&mesh, &[1, 1_000_000, 1]);
+        for s in p.shards() {
+            assert!(s.slice_end > s.slice_begin, "shard {} got no slices", s.index);
+        }
+        assert_eq!(p.shard(1).slice_end - p.shard(1).slice_begin, 2);
+    }
+
+    #[test]
+    fn weighted_non_dividing_counts_are_allowed() {
+        // 3 shards over 8 slices is rejected by `new` but fine weighted:
+        // equal weights give [3, 3, 2] (largest remainder, low index wins).
+        let mesh = HexMesh::refinement_level(3, Boundary::Periodic);
+        let p = SlicePartition::new_weighted(&mesh, &[1, 1, 1]);
+        let counts: Vec<usize> = p.shards().iter().map(|s| s.slice_end - s.slice_begin).collect();
+        assert_eq!(counts, vec![3, 3, 2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn weighted_rejects_zero_weight() {
+        let mesh = HexMesh::refinement_level(2, Boundary::Periodic);
+        let _ = SlicePartition::new_weighted(&mesh, &[1, 0]);
     }
 }

@@ -28,7 +28,7 @@
 
 use std::collections::HashMap;
 
-use pim_isa::{AluOp, BlockId, Instr, InstrStream, BLOCK_ROWS, WORDS_PER_ROW};
+use pim_isa::{AluOp, BlockId, Instr, InstrStream, StreamStats, BLOCK_ROWS, WORDS_PER_ROW};
 use pim_trace::{Payload, TID_HOST, TID_INTERCONNECT, TID_OFFCHIP};
 
 use crate::block::MemBlock;
@@ -101,6 +101,131 @@ pub struct PimChip {
     elapsed: f64,
     ledger: EnergyLedger,
     trace_pid: u32,
+    metrics_label: String,
+    metrics: Option<ChipMetrics>,
+}
+
+/// Cached `pim-metrics` handles for one chip, labeled `chip="<label>"`.
+/// Allocated lazily on the first update while metrics are enabled, so
+/// unmetered runs never touch the registry. The energy counters mirror
+/// every [`EnergyLedger`] charge exactly (published as per-`execute`
+/// deltas, which telescope to the ledger totals), making the
+/// metrics ↔ ledger reconciliation in the bench layer a pure cross-check.
+struct ChipMetrics {
+    energy: [pim_metrics::FloatCounter; 6],
+    instrs: [pim_metrics::Counter; 10],
+    dma_bytes: pim_metrics::Counter,
+    row_activations: pim_metrics::Counter,
+    compute_seconds: pim_metrics::FloatCounter,
+    offchip_busy_seconds: pim_metrics::FloatCounter,
+    barrier_stall_seconds: pim_metrics::FloatCounter,
+    exposed_offchip_seconds: pim_metrics::FloatCounter,
+    link_bytes: pim_metrics::Counter,
+    link_messages: pim_metrics::Counter,
+    link_busy_seconds: pim_metrics::FloatCounter,
+}
+
+/// Ledger mechanisms in the order of [`ChipMetrics::energy`].
+const MECHANISMS: [&str; 6] = ["compute", "reads", "writes", "interconnect", "offchip", "host"];
+
+/// Instruction classes in the order of [`ChipMetrics::instrs`], matching
+/// the `StreamStats` opcode mix.
+const INSTR_CLASSES: [&str; 10] = [
+    "read",
+    "write",
+    "broadcast",
+    "copy",
+    "arith_add",
+    "arith_mul",
+    "lut",
+    "load_offchip",
+    "store_offchip",
+    "sync",
+];
+
+impl ChipMetrics {
+    fn new(label: &str) -> Self {
+        let reg = pim_metrics::global();
+        let chip = [("chip", label)];
+        Self {
+            energy: std::array::from_fn(|i| {
+                reg.float_counter(
+                    "pim_chip_energy_joules_total",
+                    &[("chip", label), ("mechanism", MECHANISMS[i])],
+                )
+            }),
+            instrs: std::array::from_fn(|i| {
+                reg.counter("pim_chip_instrs_total", &[("chip", label), ("op", INSTR_CLASSES[i])])
+            }),
+            dma_bytes: reg.counter("pim_chip_dma_bytes_total", &chip),
+            row_activations: reg.counter("pim_chip_row_activations_total", &chip),
+            compute_seconds: reg.float_counter("pim_chip_compute_seconds_total", &chip),
+            offchip_busy_seconds: reg.float_counter("pim_chip_offchip_busy_seconds_total", &chip),
+            barrier_stall_seconds: reg.float_counter("pim_chip_barrier_stall_seconds_total", &chip),
+            exposed_offchip_seconds: reg
+                .float_counter("pim_chip_exposed_offchip_seconds_total", &chip),
+            link_bytes: reg.counter("pim_chip_link_bytes_total", &chip),
+            link_messages: reg.counter("pim_chip_link_messages_total", &chip),
+            link_busy_seconds: reg.float_counter("pim_chip_link_busy_seconds_total", &chip),
+        }
+    }
+
+    fn add_energy_delta(&self, before: &EnergyLedger, after: &EnergyLedger) {
+        let deltas = [
+            after.compute - before.compute,
+            after.reads - before.reads,
+            after.writes - before.writes,
+            after.interconnect - before.interconnect,
+            after.offchip - before.offchip,
+            after.host - before.host,
+        ];
+        for (counter, delta) in self.energy.iter().zip(deltas) {
+            if delta != 0.0 {
+                counter.add(delta);
+            }
+        }
+    }
+
+    fn add_opcode_mix(&self, stats: &StreamStats) {
+        let counts = [
+            stats.reads,
+            stats.writes,
+            stats.broadcasts,
+            stats.copies,
+            stats.arith_addlike,
+            stats.arith_mullike,
+            stats.luts,
+            stats.offchip_loads,
+            stats.offchip_stores,
+            stats.syncs,
+        ];
+        for (counter, count) in self.instrs.iter().zip(counts) {
+            if count != 0 {
+                counter.add(count);
+            }
+        }
+    }
+}
+
+/// Crossbar row activations implied by a stream: one row per read/write,
+/// one per destination row of a broadcast, one per row of a row-parallel
+/// arithmetic op, and three for a LUT fetch (Algorithm 1: two reads plus
+/// the result write). Only evaluated while metrics are enabled.
+fn stream_row_activations(stream: &InstrStream) -> u64 {
+    let mut rows = 0u64;
+    for instr in stream.instrs() {
+        rows += match *instr {
+            Instr::Read { .. } | Instr::Write { .. } => 1,
+            Instr::Broadcast { dst_first, dst_last, .. } => u64::from(dst_last - dst_first) + 1,
+            Instr::Arith { first_row, last_row, .. } => u64::from(last_row - first_row) + 1,
+            Instr::Lut { .. } => 3,
+            Instr::Copy { .. }
+            | Instr::Sync
+            | Instr::LoadOffchip { .. }
+            | Instr::StoreOffchip { .. } => 0,
+        };
+    }
+    rows
 }
 
 /// Static op name for trace payloads.
@@ -132,7 +257,31 @@ impl PimChip {
             elapsed: 0.0,
             ledger: EnergyLedger::default(),
             trace_pid: 0,
+            metrics_label: format!("pim-chip {}", config.capacity.name()),
+            metrics: None,
         }
+    }
+
+    /// Labels this chip's metrics `chip="<label>"` instead of the default
+    /// `pim-chip <capacity>`. The cluster runtime assigns stable indices.
+    /// No-op once the first metric has been recorded.
+    pub fn set_metrics_label(&mut self, label: impl Into<String>) {
+        if self.metrics.is_none() {
+            self.metrics_label = label.into();
+        }
+    }
+
+    /// The label this chip's metrics are (or will be) recorded under.
+    pub fn metrics_label(&self) -> &str {
+        &self.metrics_label
+    }
+
+    /// Cached metric handles, allocated on first use.
+    fn metrics(&mut self) -> &ChipMetrics {
+        if self.metrics.is_none() {
+            self.metrics = Some(ChipMetrics::new(&self.metrics_label));
+        }
+        self.metrics.as_ref().expect("just initialized")
     }
 
     /// This chip's trace process id (lazily allocated so untraced runs
@@ -170,6 +319,23 @@ impl PimChip {
 
     pub fn config(&self) -> ChipConfig {
         self.config
+    }
+
+    /// The raw (unscaled, dynamic-only) energy ledger accumulated so far.
+    /// [`Self::finish`] applies process-node scaling and static power; this
+    /// accessor exposes the running totals so external instrumentation
+    /// (the cluster runner's per-kernel energy attribution) can take
+    /// deltas around individual executions.
+    pub fn ledger(&self) -> &EnergyLedger {
+        &self.ledger
+    }
+
+    /// Total busy seconds summed over every touched block — the numerator
+    /// of a capacity-utilization figure: a chip with `num_blocks()` blocks
+    /// idle for `num_blocks() × elapsed − total_block_busy_seconds()`
+    /// block-seconds.
+    pub fn total_block_busy_seconds(&self) -> f64 {
+        self.block_busy.values().sum()
     }
 
     pub fn host(&self) -> &HostModel {
@@ -222,6 +388,14 @@ impl PimChip {
     /// halo data — so Volume overlaps the exchange and only Flux pays for
     /// whatever the overlap could not hide. Returns the new elapsed time.
     pub fn fence_offchip(&mut self) -> f64 {
+        if pim_metrics::enabled() {
+            // The measured exposed off-chip time: how far the off-chip
+            // lane ran ahead of compute when something had to wait for it.
+            let exposed = (self.offchip_ready - self.elapsed).max(0.0);
+            if exposed > 0.0 {
+                self.metrics().exposed_offchip_seconds.add(exposed);
+            }
+        }
         self.elapsed = self.elapsed.max(self.offchip_ready);
         self.elapsed
     }
@@ -282,6 +456,11 @@ impl PimChip {
     /// wherever the resources (blocks, switches, off-chip channel) are
     /// disjoint. `Sync` is a full barrier.
     pub fn execute(&mut self, stream: &InstrStream) {
+        // Metrics are published once per stream from the ledger/clock
+        // deltas and the precomputed `StreamStats` — the per-instruction
+        // path stays untouched, so the disabled cost is one relaxed load
+        // per `execute`, not per instruction.
+        let before = pim_metrics::enabled().then_some((self.ledger, self.elapsed));
         for instr in stream.instrs() {
             self.execute_one(instr);
         }
@@ -302,6 +481,25 @@ impl PimChip {
             dispatch,
             Payload::HostCall { call: "dispatch", count: stream.len() as u64, energy_j: joules },
         );
+        if let Some((ledger_before, elapsed_before)) = before {
+            let ledger_after = self.ledger;
+            let elapsed_after = self.elapsed;
+            let rows = stream_row_activations(stream);
+            let stats = *stream.stats();
+            let metrics = self.metrics();
+            metrics.add_energy_delta(&ledger_before, &ledger_after);
+            metrics.add_opcode_mix(&stats);
+            metrics.compute_seconds.add(elapsed_after - elapsed_before);
+            if stats.offchip_bytes > 0 {
+                metrics.dma_bytes.add(stats.offchip_bytes);
+                metrics
+                    .offchip_busy_seconds
+                    .add(stats.offchip_bytes as f64 / params::OFFCHIP_BANDWIDTH);
+            }
+            if rows > 0 {
+                metrics.row_activations.add(rows);
+            }
+        }
     }
 
     fn execute_one(&mut self, instr: &Instr) {
@@ -522,6 +720,14 @@ impl PimChip {
         let joules = link.energy(bytes);
         self.ledger.offchip += joules;
         self.trace(TID_OFFCHIP, start, finish, Payload::Offchip { bytes, energy_j: joules });
+        if pim_metrics::enabled() {
+            let metrics = self.metrics();
+            metrics.energy[4].add(joules); // "offchip"
+            metrics.link_bytes.add(bytes);
+            metrics.link_messages.inc();
+            metrics.link_busy_seconds.add(dur);
+            metrics.offchip_busy_seconds.add(dur);
+        }
         dur
     }
 
@@ -530,6 +736,14 @@ impl PimChip {
     /// runtime uses this to align all chips on a stage boundary before a
     /// halo exchange.
     pub fn advance_barrier(&mut self, at: f64) {
+        if pim_metrics::enabled() {
+            // How long this chip's compute lane waits at the cluster stage
+            // barrier for the stragglers (0 if this chip is the straggler).
+            let stall = (at - self.elapsed).max(0.0);
+            if stall > 0.0 {
+                self.metrics().barrier_stall_seconds.add(stall);
+            }
+        }
         self.barrier = self.barrier.max(at);
     }
 
@@ -540,6 +754,9 @@ impl PimChip {
     pub fn charge_host_preprocess(&mut self, sqrts: u64, divs: u64) {
         let (seconds, joules) = self.host.preprocess(sqrts, divs);
         self.ledger.host += joules;
+        if pim_metrics::enabled() {
+            self.metrics().energy[5].add(joules); // "host"
+        }
         let t0 = self.host_ready;
         let t1 = t0 + seconds;
         self.host_ready = t1;
@@ -858,6 +1075,106 @@ mod tests {
         assert_eq!(c.block_utilization(BlockId(99)), 0.0);
         let mean = c.mean_active_utilization();
         assert!((mean - 0.75).abs() < 1e-9, "{mean}");
+    }
+
+    #[test]
+    fn metrics_counters_mirror_the_ledger_exactly() {
+        let mut c = chip();
+        c.set_metrics_label("test-mirror");
+        c.block_mut(BlockId(2)).set(0, 9, 3.0);
+        c.block_mut(BlockId(0)).set(100, 4, 9.0);
+
+        let s0 = pim_metrics::global().snapshot();
+        pim_metrics::enable();
+        let mut s = InstrStream::new();
+        s.push(arith(0, AluOp::Mul, 512));
+        s.push(arith(1, AluOp::Add, 16));
+        s.push(Instr::Read { block: BlockId(0), row: 7, offset: 3, words: 1 });
+        s.push(Instr::Copy { src: BlockId(0), dst: BlockId(5), words: 1 });
+        s.push(Instr::Write { block: BlockId(5), row: 9, offset: 0, words: 1 });
+        s.push(Instr::Broadcast {
+            block: BlockId(1),
+            dst_first: 0,
+            dst_last: 3,
+            offset: 0,
+            words: 1,
+        });
+        s.push(Instr::Lut { row: 100, offset_s: 4, lut_block: 2, offset_d: 11 });
+        s.push(Instr::LoadOffchip { block: BlockId(3), bytes: 4096 });
+        s.push(Instr::Sync);
+        c.execute(&s);
+        c.link_transfer(&crate::link::InterChipLink::default(), 2048);
+        c.charge_host_preprocess(10, 10);
+        pim_metrics::disable();
+        let delta = pim_metrics::global().snapshot().delta(&s0);
+
+        // Energy counters mirror every ledger charge: per-mechanism and in
+        // total (unscaled dynamic joules).
+        let prefix = "pim_chip_energy_joules_total{chip=\"test-mirror\"";
+        let metered: f64 = delta.float_total(prefix);
+        let ledger = *c.ledger();
+        let rel = (metered - ledger.dynamic()).abs() / ledger.dynamic();
+        assert!(rel < 1e-12, "metrics {metered} vs ledger {} (rel {rel:.2e})", ledger.dynamic());
+        for (mechanism, expected) in [
+            ("compute", ledger.compute),
+            ("reads", ledger.reads),
+            ("writes", ledger.writes),
+            ("interconnect", ledger.interconnect),
+            ("offchip", ledger.offchip),
+            ("host", ledger.host),
+        ] {
+            let key = format!(
+                "pim_chip_energy_joules_total{{chip=\"test-mirror\",mechanism=\"{mechanism}\"}}"
+            );
+            let got = delta.float_counters.get(&key).copied().unwrap_or(0.0);
+            assert!(
+                (got - expected).abs() <= 1e-15 + 1e-12 * expected.abs(),
+                "{mechanism}: metrics {got} vs ledger {expected}"
+            );
+        }
+
+        // Opcode mix matches the stream stats; DMA bytes and link traffic
+        // land in their counters.
+        let op = |name: &str| {
+            delta
+                .counters
+                .get(&format!("pim_chip_instrs_total{{chip=\"test-mirror\",op=\"{name}\"}}"))
+                .copied()
+                .unwrap_or(0)
+        };
+        assert_eq!(op("arith_mul"), 1);
+        assert_eq!(op("arith_add"), 1);
+        assert_eq!(op("read"), 1);
+        assert_eq!(op("copy"), 1);
+        assert_eq!(op("write"), 1);
+        assert_eq!(op("broadcast"), 1);
+        assert_eq!(op("lut"), 1);
+        assert_eq!(op("load_offchip"), 1);
+        assert_eq!(op("sync"), 1);
+        assert_eq!(delta.counters["pim_chip_dma_bytes_total{chip=\"test-mirror\"}"], 4096);
+        assert_eq!(delta.counters["pim_chip_link_bytes_total{chip=\"test-mirror\"}"], 2048);
+        // 512 + 16 arith rows, 1 read, 1 write, 4 broadcast rows, 3 LUT.
+        assert_eq!(
+            delta.counters["pim_chip_row_activations_total{chip=\"test-mirror\"}"],
+            512 + 16 + 1 + 1 + 4 + 3
+        );
+    }
+
+    #[test]
+    fn disabled_metrics_record_nothing() {
+        pim_metrics::disable();
+        let s0 = pim_metrics::global().snapshot();
+        let mut c = chip();
+        c.set_metrics_label("test-disabled");
+        let mut s = InstrStream::new();
+        s.push(arith(0, AluOp::Mul, 64));
+        c.execute(&s);
+        let delta = pim_metrics::global().snapshot().delta(&s0);
+        assert!(
+            !delta.float_counters.keys().any(|k| k.contains("test-disabled")),
+            "disabled run leaked metrics: {:?}",
+            delta.float_counters
+        );
     }
 
     #[test]

@@ -47,22 +47,54 @@ use wavesim_mesh::{HexMesh, SlicePartition};
 
 use crate::halo::{halo_messages, HaloMessage};
 
-/// Cluster shape: how many chips, what each chip is, and what connects
-/// them.
-#[derive(Debug, Clone, Copy)]
+/// Cluster shape: what each chip is (one [`ChipConfig`] per chip, so
+/// clusters may mix capacities) and what connects them.
+#[derive(Debug, Clone)]
 pub struct ClusterConfig {
-    /// Number of chips (must evenly divide the mesh's y-slice count).
-    pub num_chips: usize,
-    /// Per-chip configuration (capacity, interconnect, process node).
-    pub chip: ChipConfig,
+    /// Per-chip configuration, one entry per chip (capacity,
+    /// interconnect, process node). Chips need not be identical.
+    pub chips: Vec<ChipConfig>,
     /// The inter-chip link model.
     pub link: InterChipLink,
+    /// Weight the slice deal by each chip's block capacity (default).
+    /// Disabled, every chip receives the same slice count regardless of
+    /// capacity — the pre-weighting baseline, kept so `profile_report`
+    /// can measure what the weighted deal buys on mixed clusters.
+    pub weighted_partition: bool,
 }
 
 impl ClusterConfig {
     /// `num_chips` paper-default 2 GB chips on the default link.
     pub fn new(num_chips: usize) -> Self {
-        Self { num_chips, chip: ChipConfig::default_2gb(), link: InterChipLink::default() }
+        Self::uniform(num_chips, ChipConfig::default_2gb())
+    }
+
+    /// `num_chips` identical `chip`s on the default link.
+    pub fn uniform(num_chips: usize, chip: ChipConfig) -> Self {
+        Self::heterogeneous(vec![chip; num_chips])
+    }
+
+    /// One chip per entry of `chips`, on the default link. The slice
+    /// deal is weighted by each chip's block capacity, so bigger chips
+    /// shoulder proportionally more of the mesh.
+    pub fn heterogeneous(chips: Vec<ChipConfig>) -> Self {
+        Self { chips, link: InterChipLink::default(), weighted_partition: true }
+    }
+
+    /// Number of chips.
+    pub fn num_chips(&self) -> usize {
+        self.chips.len()
+    }
+
+    /// The capacity-derived partition weights: one slice-deal weight per
+    /// chip, each chip's [`pim_sim::ChipCapacity::num_blocks`]. All ones
+    /// when capacity weighting is disabled.
+    pub fn partition_weights(&self) -> Vec<u64> {
+        if self.weighted_partition {
+            self.chips.iter().map(|c| c.capacity.num_blocks()).collect()
+        } else {
+            vec![1; self.chips.len()]
+        }
     }
 }
 
@@ -104,6 +136,79 @@ impl HaloStats {
             return 0.0;
         }
         per_chip.iter().fold(0.0f64, |m, &s| m.max(s)) / stages as f64
+    }
+}
+
+/// Publishes one kernel window's busy time and dynamic energy to the
+/// per-(chip, kernel) cluster counters. `busy_before`/`energy_before`
+/// are the chip's compute-lane time and dynamic energy captured when the
+/// window opened. Gated, and called once per kernel per stage, so the
+/// registry lookup cost is irrelevant next to simulating the kernel.
+fn record_cluster_kernel(chip: &PimChip, kernel: &str, busy_before: f64, energy_before: f64) {
+    if !pim_metrics::enabled() {
+        return;
+    }
+    let reg = pim_metrics::global();
+    let labels = [("chip", chip.metrics_label()), ("kernel", kernel)];
+    reg.float_counter("cluster_kernel_busy_seconds_total", &labels)
+        .add((chip.elapsed() - busy_before).max(0.0));
+    reg.float_counter("cluster_kernel_energy_joules_total", &labels)
+        .add((chip.ledger().dynamic() - energy_before).max(0.0));
+}
+
+/// Like [`record_cluster_kernel`] but for the halo exchange, whose busy
+/// time lives on the *off-chip* lane.
+fn record_cluster_halo(chip: &PimChip, busy_before: f64, energy_before: f64) {
+    if !pim_metrics::enabled() {
+        return;
+    }
+    let reg = pim_metrics::global();
+    let labels = [("chip", chip.metrics_label()), ("kernel", "HaloExchange")];
+    reg.float_counter("cluster_kernel_busy_seconds_total", &labels)
+        .add((chip.offchip_time() - busy_before).max(0.0));
+    reg.float_counter("cluster_kernel_energy_joules_total", &labels)
+        .add((chip.ledger().dynamic() - energy_before).max(0.0));
+}
+
+/// Publishes one cached kernel program's opcode mix to the
+/// per-(chip, kernel, op) counters — the compiler-level instruction
+/// breakdown of what each replayed kernel executes.
+fn record_program_mix(chip: &PimChip, kernel: &str, stats: &pim_isa::StreamStats) {
+    if !pim_metrics::enabled() {
+        return;
+    }
+    let reg = pim_metrics::global();
+    let classes = [
+        ("read", stats.reads),
+        ("write", stats.writes),
+        ("broadcast", stats.broadcasts),
+        ("copy", stats.copies),
+        ("arith_add", stats.arith_addlike),
+        ("arith_mul", stats.arith_mullike),
+        ("lut", stats.luts),
+        ("load_offchip", stats.offchip_loads),
+        ("store_offchip", stats.offchip_stores),
+        ("sync", stats.syncs),
+    ];
+    for (op, n) in classes {
+        if n > 0 {
+            reg.counter(
+                "cluster_program_instrs_total",
+                &[("chip", chip.metrics_label()), ("kernel", kernel), ("op", op)],
+            )
+            .add(n);
+        }
+    }
+}
+
+/// The chip's `(compute elapsed, dynamic energy)` pair — the opening
+/// snapshot for [`record_cluster_kernel`] — or zeros when metrics are
+/// off (the close side is gated too, so the zeros are never published).
+fn kernel_window_open(chip: &PimChip) -> (f64, f64) {
+    if pim_metrics::enabled() {
+        (chip.elapsed(), chip.ledger().dynamic())
+    } else {
+        (0.0, 0.0)
     }
 }
 
@@ -176,13 +281,14 @@ pub struct ClusterRunner {
 }
 
 impl ClusterRunner {
-    /// Shards `mesh` across `config.num_chips` chips, compiles each shard
-    /// with the single-chip mapper, and preloads every chip.
+    /// Shards `mesh` across `config.num_chips()` chips — the slice deal
+    /// weighted by each chip's block capacity unless
+    /// [`ClusterConfig::weighted_partition`] is off — compiles each
+    /// shard with the single-chip mapper, and preloads every chip.
     ///
     /// # Panics
-    /// Panics if the chip count does not divide the mesh's slice count,
-    /// or a shard (residents + ghosts + LUT + parking) does not fit one
-    /// chip.
+    /// Panics if there are more chips than mesh slices, or a shard
+    /// (residents + ghosts + LUT + parking) does not fit its chip.
     pub fn new(
         mesh: &HexMesh,
         n: usize,
@@ -193,16 +299,18 @@ impl ClusterRunner {
         config: ClusterConfig,
     ) -> Self {
         assert_eq!(initial.num_elements(), mesh.num_elements(), "initial state must match mesh");
-        let partition = SlicePartition::new(mesh, config.num_chips);
+        let num_chips = config.num_chips();
+        let partition = SlicePartition::new_weighted(mesh, &config.partition_weights());
         let messages = halo_messages(&partition);
 
-        let mut mappings = Vec::with_capacity(config.num_chips);
-        let mut chips = Vec::with_capacity(config.num_chips);
-        let mut residents = Vec::with_capacity(config.num_chips);
-        let mut ghosts = Vec::with_capacity(config.num_chips);
-        let mut send_sets = Vec::with_capacity(config.num_chips);
+        let mut mappings = Vec::with_capacity(num_chips);
+        let mut chips = Vec::with_capacity(num_chips);
+        let mut residents = Vec::with_capacity(num_chips);
+        let mut ghosts = Vec::with_capacity(num_chips);
+        let mut send_sets = Vec::with_capacity(num_chips);
 
         for shard in partition.shards() {
+            let chip_config = config.chips[shard.index];
             let res: Vec<usize> = shard.elements.iter().map(|e| e.index()).collect();
             let gho: Vec<usize> = shard.ghosts.iter().map(|e| e.index()).collect();
             let snd: Vec<usize> =
@@ -212,20 +320,21 @@ impl ClusterRunner {
             let window = mapping.install_shard_map(&res, &gho);
             // window blocks + 1 shared parking block + 1 LUT block.
             assert!(
-                u64::from(window) + 2 <= config.chip.capacity.num_blocks(),
+                u64::from(window) + 2 <= chip_config.capacity.num_blocks(),
                 "shard {}: {} resident + {} ghost elements exceed {} blocks",
                 shard.index,
                 res.len(),
                 gho.len(),
-                config.chip.capacity.num_blocks()
+                chip_config.capacity.num_blocks()
             );
 
-            let mut chip = PimChip::new(config.chip);
+            let mut chip = PimChip::new(chip_config);
             chip.set_trace_label(format!(
                 "pim-cluster chip {} ({})",
                 shard.index,
-                config.chip.capacity.name()
+                chip_config.capacity.name()
             ));
+            chip.set_metrics_label(format!("{}", shard.index));
             // Residents get their full static + dynamic image; ghosts
             // only ever serve variable reads, so variables suffice.
             mapping.preload_static_subset(&mut chip, dt, &res);
@@ -235,6 +344,10 @@ impl ClusterRunner {
             // The block map is static for the whole run, so the LUT
             // constants are resolved once here, not per stage.
             chip.execute(&mapping.compile_lut_setup_for(&res));
+            // Everything up to here — preload DMA + LUT resolution — is
+            // the chip's one-time setup; the per-kernel ledgers start
+            // from this baseline.
+            record_cluster_kernel(&chip, "Setup", 0.0, 0.0);
 
             mappings.push(mapping);
             chips.push(chip);
@@ -247,7 +360,7 @@ impl ClusterRunner {
         // chip, compiled here and only here. Compilation is independent
         // per chip, so it rides the same pool as execution.
         let t0 = std::time::Instant::now();
-        let mut programs: Vec<Option<ChipPrograms>> = (0..config.num_chips).map(|_| None).collect();
+        let mut programs: Vec<Option<ChipPrograms>> = (0..num_chips).map(|_| None).collect();
         {
             let (mappings, residents, ghosts, send_sets) =
                 (&mappings, &residents, &ghosts, &send_sets);
@@ -263,7 +376,20 @@ impl ClusterRunner {
         let programs: Vec<ChipPrograms> = programs.into_iter().map(Option::unwrap).collect();
         let compile_seconds = t0.elapsed().as_secs_f64();
 
-        let num_chips = config.num_chips;
+        // The static opcode mix of every cached kernel program, per
+        // chip — the compiler-level breakdown the profiling report
+        // scales by replay counts.
+        if pim_metrics::enabled() {
+            for (c, prog) in programs.iter().enumerate() {
+                let chip = &chips[c];
+                record_program_mix(chip, "HaloStore", prog.halo_store.stats());
+                record_program_mix(chip, "HaloLoad", prog.halo_load.stats());
+                record_program_mix(chip, "Volume", prog.volume.stats());
+                record_program_mix(chip, "Flux", prog.flux.stats());
+                record_program_mix(chip, "Integration", prog.integration.stats());
+            }
+        }
+
         Self {
             partition,
             mappings,
@@ -348,6 +474,7 @@ impl ClusterRunner {
     pub fn step(&mut self) {
         let nodes = self.mappings[0].nodes();
         for stage in 0..Lsrk5::STAGES {
+            let metrics_on = pim_metrics::enabled();
             // 1. Lockstep barrier at the cluster-wide simulated time
             // (both lanes: a chip still draining its off-chip port holds
             // the whole cluster back, though stages normally end fenced).
@@ -356,6 +483,15 @@ impl ClusterRunner {
             for chip in &mut self.chips {
                 chip.advance_barrier(now);
             }
+
+            // The halo window (2a–2c) rides the off-chip lane; snapshot
+            // each chip's lane time and energy here so its close can
+            // publish the deltas.
+            let halo_open: Vec<(f64, f64)> = if metrics_on {
+                self.chips.iter().map(|c| (c.offchip_time(), c.ledger().dynamic())).collect()
+            } else {
+                Vec::new()
+            };
 
             // 2a. Halo send snapshot. Functionally extract the send sets
             // first — every message must carry *pre-stage* variables even
@@ -408,6 +544,9 @@ impl ClusterRunner {
                 }
                 let t1 = chip.offchip_time();
                 end_kernel_span_at(chip, Kernel::HaloExchange, stage as u8, now, t1);
+                if metrics_on {
+                    record_cluster_halo(chip, halo_open[c].0, halo_open[c].1);
+                }
             });
 
             // 2d. Volume starts at the barrier on the compute lane: it
@@ -417,12 +556,14 @@ impl ClusterRunner {
             let (mappings, residents) = (&self.mappings, &self.residents);
             self.chips.par_chunks_mut(1).enumerate().for_each(|(c, chunk)| {
                 let chip = &mut chunk[0];
+                let (busy0, energy0) = kernel_window_open(chip);
                 if cached {
                     chip.execute(&programs[c].volume);
                 } else {
                     chip.execute(&mappings[c].compile_volume_for(&residents[c]));
                 }
                 end_kernel_span(chip, Kernel::Volume, stage as u8, now);
+                record_cluster_kernel(chip, "Volume", busy0, energy0);
             });
 
             // 3. Fence: only Flux waits for the exchange. Whatever the
@@ -430,7 +571,16 @@ impl ClusterRunner {
             for (c, chip) in self.chips.iter_mut().enumerate() {
                 let before = chip.elapsed();
                 chip.fence_offchip();
-                self.halo.exposed_seconds[c] += chip.elapsed() - before;
+                let exposed = chip.elapsed() - before;
+                self.halo.exposed_seconds[c] += exposed;
+                if metrics_on {
+                    pim_metrics::global()
+                        .float_counter(
+                            "cluster_exposed_halo_seconds_total",
+                            &[("chip", chip.metrics_label())],
+                        )
+                        .add(exposed.max(0.0));
+                }
             }
 
             // 4. Flux → Integration on the compute lane. Integration is
@@ -447,14 +597,17 @@ impl ClusterRunner {
                     let res = &residents[c];
 
                     let t0 = begin_kernel_span(chip);
+                    let (busy0, energy0) = kernel_window_open(chip);
                     if cached {
                         chip.execute(&prog.flux);
                     } else {
                         chip.execute(&m.compile_flux_phased_for(res));
                     }
                     end_kernel_span(chip, Kernel::Flux, stage as u8, t0);
+                    record_cluster_kernel(chip, "Flux", busy0, energy0);
 
                     let t0 = begin_kernel_span(chip);
+                    let (busy0, energy0) = kernel_window_open(chip);
                     if cached {
                         #[cfg(debug_assertions)]
                         let verify = prog.integration.take_verify(stage);
@@ -476,12 +629,34 @@ impl ClusterRunner {
                         chip.execute(&m.compile_integration_for(res, stage));
                     }
                     end_kernel_span(chip, Kernel::Integration, stage as u8, t0);
+                    record_cluster_kernel(chip, "Integration", busy0, energy0);
 
                     end_kernel_span(chip, Kernel::RkStage, stage as u8, now);
                 },
             );
 
             self.halo.stages += 1;
+            if metrics_on {
+                pim_metrics::global().counter("cluster_stages_total", &[]).inc();
+            }
+        }
+
+        // Per-chip occupancy gauges: latest simulated wall-clock, how
+        // much aggregate block-busy time the chip accumulated, and its
+        // block capacity — everything the capacity-idle share
+        // `1 - block_busy / (num_blocks * elapsed)` needs, measured.
+        if pim_metrics::enabled() {
+            let reg = pim_metrics::global();
+            reg.counter("cluster_steps_total", &[]).inc();
+            for chip in &self.chips {
+                let labels = [("chip", chip.metrics_label())];
+                reg.gauge("cluster_chip_num_blocks", &labels)
+                    .set(chip.config().capacity.num_blocks() as f64);
+                reg.gauge("cluster_chip_elapsed_seconds", &labels)
+                    .set(chip.elapsed().max(chip.offchip_time()));
+                reg.gauge("cluster_chip_block_busy_seconds", &labels)
+                    .set(chip.total_block_busy_seconds());
+            }
         }
     }
 
@@ -518,6 +693,19 @@ impl ClusterRunner {
     /// [`pim_sim::PimChip::elapsed`] and [`pim_sim::PimChip::offchip_time`].
     pub fn chip_times(&self) -> Vec<(f64, f64)> {
         self.chips.iter().map(|c| (c.elapsed(), c.offchip_time())).collect()
+    }
+
+    /// Per-chip aggregate block-busy seconds, in chip order — the
+    /// numerator of the capacity-idle share
+    /// `1 − block_busy / (num_blocks × elapsed)`
+    /// ([`pim_sim::PimChip::total_block_busy_seconds`]).
+    pub fn capacity_busy_seconds(&self) -> Vec<f64> {
+        self.chips.iter().map(PimChip::total_block_busy_seconds).collect()
+    }
+
+    /// Per-chip configurations, in chip order.
+    pub fn chip_configs(&self) -> Vec<ChipConfig> {
+        self.chips.iter().map(PimChip::config).collect()
     }
 
     /// Per-chip trace process ids (allocated at construction).

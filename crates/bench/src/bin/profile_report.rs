@@ -8,7 +8,9 @@
 //!
 //! Exits nonzero if any utilization-like share leaves [0, 1] or any
 //! reconciliation bound fails — the CI regression gate. `--smoke` runs
-//! the reduced CI configuration.
+//! the reduced CI configuration; `--serve ADDR` additionally exposes
+//! the live metrics registry as a Prometheus pull endpoint for the
+//! duration of the run.
 
 use wavepim_bench::metrics_report::{
     check_report, metrics_json, profile_report_data, MetricsReportConfig,
@@ -16,7 +18,19 @@ use wavepim_bench::metrics_report::{
 use wavepim_bench::report::Table;
 
 fn main() {
-    let smoke = std::env::args().any(|a| a == "--smoke");
+    let args: Vec<String> = std::env::args().collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let server = args
+        .iter()
+        .position(|a| a == "--serve")
+        .map(|i| args.get(i + 1).cloned().unwrap_or_else(|| "127.0.0.1:0".into()))
+        .map(|addr| {
+            pim_metrics::enable();
+            let s = pim_metrics::http::serve(addr.as_str()).expect("bind metrics scrape endpoint");
+            println!("Serving Prometheus metrics on http://{}/metrics\n", s.local_addr());
+            s
+        });
+
     let cfg = if smoke { MetricsReportConfig::smoke() } else { MetricsReportConfig::full() };
     let r = profile_report_data(&cfg);
 
@@ -105,6 +119,11 @@ fn main() {
     let prom_path = wavepim_bench::artifacts::write_artifact("BENCH_metrics.prom", &prom)
         .expect("write BENCH_metrics.prom");
     println!("Wrote {} ({} lines).", prom_path.display(), r.prometheus_lines);
+
+    if let Some(s) = server {
+        println!("Metrics endpoint served {} scrape(s).", s.scrapes_served());
+        s.shutdown();
+    }
 
     if !violations.is_empty() {
         eprintln!("{} invariant(s) violated — failing.", violations.len());

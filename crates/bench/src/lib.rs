@@ -8,6 +8,7 @@
 pub mod artifacts;
 pub mod cluster;
 pub mod figures;
+pub mod fleet;
 pub mod host;
 pub mod metrics_report;
 pub mod report;

@@ -143,6 +143,41 @@ impl StageProgram {
         self.working.is_empty()
     }
 
+    /// A stable content key for the whole program: the FNV-1a hash of
+    /// stage 0's full stream followed by the patch-site indices and
+    /// every stage's patch row. Independent of which stage is currently
+    /// applied to the working stream, so two programs key equal exactly
+    /// when every stage variant is byte-identical — the property that
+    /// lets a fleet-level cache score placement affinity by key and
+    /// trust that a key hit replays byte-identically.
+    pub fn content_key(&self) -> u64 {
+        let mut h = pim_isa::FNV_OFFSET;
+        // Stage 0's stream, reconstructed site-by-site so the currently
+        // applied patch state does not leak into the key: off-site
+        // instructions are shared by every variant, on-site ones come
+        // from stage 0's patch row.
+        let mut next_site = 0usize;
+        for (i, instr) in self.working.instrs().iter().enumerate() {
+            let canonical = if self.sites.get(next_site) == Some(&i) {
+                let patched = &self.patches[0][next_site];
+                next_site += 1;
+                patched
+            } else {
+                instr
+            };
+            h = pim_isa::fnv1a(h, pim_isa::encode(canonical));
+        }
+        for &site in &self.sites {
+            h = pim_isa::fnv1a(h, site as u64);
+        }
+        for row in &self.patches {
+            for instr in row {
+                h = pim_isa::fnv1a(h, pim_isa::encode(instr));
+            }
+        }
+        h
+    }
+
     /// Debug-build helper for issue sites: returns `true` the first
     /// time it is asked about `stage`, `false` forever after. Runners
     /// use it to compare the patched replay against a fresh per-stage
@@ -225,6 +260,24 @@ mod tests {
         assert_eq!(prog.num_patch_sites(), 0);
         let a = prog.for_stage(1).clone();
         assert_eq!(&a, prog.for_stage(0));
+    }
+
+    #[test]
+    fn content_key_is_stable_across_applied_stages() {
+        let variants: Vec<InstrStream> =
+            (0..5).map(|s| variant([10 + s as u8, 15 + s as u8])).collect();
+        let mut a = StageProgram::new(variants.clone());
+        let mut b = StageProgram::new(variants);
+        let key = a.content_key();
+        // Patching a to a different stage than b must not move the key:
+        // it names the program, not the working stream's current state.
+        let _ = a.for_stage(3);
+        let _ = b.for_stage(1);
+        assert_eq!(a.content_key(), key);
+        assert_eq!(b.content_key(), key);
+        // A genuinely different program keys differently.
+        let other = StageProgram::new((0..5).map(|s| variant([11 + s as u8, 15])).collect());
+        assert_ne!(other.content_key(), key);
     }
 
     #[test]

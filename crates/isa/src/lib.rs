@@ -28,7 +28,7 @@ pub mod stream;
 
 pub use encode::{decode, encode, DecodeError};
 pub use instr::{AluOp, BlockId, Instr};
-pub use stream::{InstrStream, StreamStats};
+pub use stream::{fnv1a, InstrStream, StreamStats, FNV_OFFSET};
 
 /// Rows per memory block (the paper's 1K×1K crossbar, Table 3).
 pub const BLOCK_ROWS: usize = 1024;

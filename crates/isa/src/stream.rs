@@ -9,6 +9,21 @@ use serde::{Deserialize, Serialize};
 
 use crate::instr::Instr;
 
+/// The FNV-1a offset basis — the canonical seed for [`fnv1a`] chains.
+pub const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+
+/// One FNV-1a mixing step folding a 64-bit word into hash `h`, byte by
+/// byte. Used wherever the workspace needs a stable, dependency-free
+/// content hash (instruction streams, program cache keys).
+#[inline]
+pub fn fnv1a(mut h: u64, x: u64) -> u64 {
+    for byte in x.to_le_bytes() {
+        h ^= u64::from(byte);
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    }
+    h
+}
+
 /// Class-wise instruction counts of a stream.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct StreamStats {
@@ -166,6 +181,15 @@ impl InstrStream {
             self.instrs[index]
         );
         self.instrs[index] = instr;
+    }
+
+    /// Folds every instruction's 64-bit encoding into `seed` with the
+    /// FNV-1a mix — a stable content hash of the stream. Two streams
+    /// hash equal exactly when they encode the same program, so a cache
+    /// layer can key compiled programs by what they *are* rather than by
+    /// where they came from.
+    pub fn content_hash(&self, seed: u64) -> u64 {
+        self.instrs.iter().fold(seed, |h, instr| fnv1a(h, crate::encode(instr)))
     }
 
     /// The instructions in program order.

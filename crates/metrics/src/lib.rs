@@ -42,6 +42,7 @@ use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
 
 pub mod export;
+pub mod http;
 
 // ---------------------------------------------------------------------------
 // Global enable/disable gate (contract mirrors pim-trace).

@@ -243,6 +243,20 @@ impl ChipPrograms {
         }
     }
 
+    /// Stable content key of this chip's whole program set: every
+    /// kernel stream's [`pim_isa::InstrStream::content_hash`] plus the
+    /// Integration [`StageProgram::content_key`], chained in kernel
+    /// order. Two chips key equal exactly when every compiled kernel is
+    /// byte-identical.
+    fn content_key(&self) -> u64 {
+        let mut h = pim_isa::FNV_OFFSET;
+        h = self.halo_store.content_hash(h);
+        h = self.halo_load.content_hash(h);
+        h = self.volume.content_hash(h);
+        h = self.flux.content_hash(h);
+        pim_isa::fnv1a(h, self.integration.content_key())
+    }
+
     /// Cached instructions across all kernels (one Integration variant).
     fn num_instrs(&self) -> u64 {
         (self.halo_store.len()
@@ -467,6 +481,48 @@ impl ClusterRunner {
     /// table rewrites between stages (two per resident element).
     pub fn patch_sites(&self) -> u64 {
         self.programs.iter().map(|p| p.integration.num_patch_sites() as u64).sum()
+    }
+
+    /// Stable content key of the cluster's entire compiled program set:
+    /// each chip's kernel streams and Integration patch table, chained
+    /// in chip order. Two runners key equal exactly when every compiled
+    /// instruction of every chip is byte-identical — which is what lets
+    /// a fleet-level scheduler treat a key hit as "this runner already
+    /// holds my program" and skip recompilation (see [`Self::reset_state`]).
+    pub fn program_content_key(&self) -> u64 {
+        self.programs.iter().fold(pim_isa::FNV_OFFSET, |h, p| pim_isa::fnv1a(h, p.content_key()))
+    }
+
+    /// Rewinds the cluster to a fresh simulation from `initial` without
+    /// recompiling anything: reloads every chip's resident and ghost
+    /// variables, zeroes the dynamic scratch columns, and resets the
+    /// host staging buffer — exactly the variable-state work
+    /// [`Self::new`] does after its one-time static preload. The cached
+    /// programs, block maps, and LUT constants are untouched (they
+    /// depend only on the mesh, mapping, and chip set), so a reset
+    /// runner replays the *same* instruction streams a freshly
+    /// constructed one would compile, and `run(steps)` from here is
+    /// bit-identical to a brand-new runner on the same configuration.
+    ///
+    /// Simulated chip clocks and energy ledgers keep accumulating —
+    /// the chips are the same physical devices serving a new job — so
+    /// only the numerical state rewinds, not the hardware accounting.
+    ///
+    /// # Panics
+    /// Panics if `initial` does not match the mesh the runner was
+    /// compiled for.
+    pub fn reset_state(&mut self, initial: &State) {
+        assert_eq!(
+            initial.num_elements(),
+            self.partition.num_elements(),
+            "reset state must match the compiled mesh"
+        );
+        for (c, (mapping, chip)) in self.mappings.iter().zip(self.chips.iter_mut()).enumerate() {
+            mapping.load_vars_subset(chip, initial, &self.residents[c]);
+            mapping.load_vars_subset(chip, initial, &self.ghosts[c]);
+            mapping.zero_dynamic_subset(chip, &self.residents[c]);
+        }
+        self.staging = initial.clone();
     }
 
     /// Advances one time-step: five LSRK stages of barrier →

@@ -407,3 +407,82 @@ fn host_artifact_schema_reports_a_winning_program_cache() {
         assert!(p.get("step_seconds").and_then(|x| x.as_f64()).unwrap() > 0.0);
     }
 }
+
+#[test]
+fn math_artifact_schema_holds_the_accuracy_and_placement_gates() {
+    // Same schema and gates the `math_bench` binary writes CI on, at
+    // the smoke configuration: the LUT + Newton sequences sit inside
+    // the documented ULP bound from the first stage on, every per-op
+    // cost is a real measurement, the fully PIM-placed arm exposes no
+    // host-math window while the host arm does, and every arm stays
+    // within its divergence bound of the native solver.
+    use wavepim_bench::math::{check_math, math_bench_data, math_json, MathBenchConfig};
+    let cfg = MathBenchConfig::smoke();
+    let r = math_bench_data(&cfg);
+    check_math(&r).expect("math bench invariants");
+
+    let doc = math_json(&r);
+    let v = pim_trace::json::parse(&doc).expect("BENCH_math.json schema must parse");
+    assert_eq!(v.get("schema_version").and_then(|x| x.as_f64()), Some(1.0));
+    let field = |obj: &pim_trace::json::Value, k: &str| {
+        obj.get(k)
+            .and_then(|x| x.as_f64())
+            .unwrap_or_else(|| panic!("BENCH_math.json missing numeric field {k}"))
+    };
+
+    assert_eq!(field(&v, "ulp_bound"), pim_math::ULP_BOUND);
+    assert_eq!(field(&v, "cluster_math_bound"), pim_math::CLUSTER_MATH_BOUND);
+
+    // Accuracy rows: seed only, then the per-stage refinement levels.
+    let ulp = v.get("ulp").and_then(|x| x.as_array()).unwrap();
+    assert_eq!(ulp.len(), 3);
+    for row in ulp {
+        if field(row, "iters") >= 2.0 {
+            assert!(field(row, "sqrt_max_ulp") <= pim_math::ULP_BOUND);
+            assert!(field(row, "recip_max_ulp") <= pim_math::ULP_BOUND);
+        }
+        assert!(field(row, "sqrt_mean_ulp") <= field(row, "sqrt_max_ulp"));
+        assert!(field(row, "recip_mean_ulp") <= field(row, "recip_max_ulp"));
+    }
+
+    // Per-op rows: positive measured costs for every alternative.
+    let per_op = v.get("per_op").and_then(|x| x.as_array()).unwrap();
+    assert_eq!(per_op.len(), 2);
+    for row in per_op {
+        for k in [
+            "host_seconds",
+            "host_joules",
+            "lut_only_seconds",
+            "lut_only_joules",
+            "lut_newton_seconds",
+            "lut_newton_joules",
+        ] {
+            assert!(field(row, k) > 0.0, "per-op field {k} must be positive");
+        }
+    }
+
+    // Cluster arms: the exposed-window story and the divergence bounds.
+    let host = v.get("host").unwrap();
+    let onpim = v.get("onpim").unwrap();
+    let auto = v.get("auto").unwrap();
+    assert!(field(host, "exposed_seconds_per_stage") > 0.0);
+    assert_eq!(field(onpim, "exposed_seconds_per_stage"), 0.0);
+    assert_eq!(onpim.get("fully_onpim").and_then(|x| x.as_bool()), Some(true));
+    assert!(field(&v, "exposed_reduction_per_stage") > 0.0);
+    assert!(field(host, "native_diff") <= 1e-12);
+    assert!(field(onpim, "native_diff") <= pim_math::CLUSTER_MATH_BOUND);
+    assert!(field(auto, "native_diff") <= pim_math::CLUSTER_MATH_BOUND);
+    for arm in [host, onpim, auto] {
+        assert!(field(arm, "makespan_per_stage") > 0.0);
+        assert_eq!(arm.get("placements").and_then(|x| x.as_array()).unwrap().len(), cfg.chips);
+    }
+    // The smoke shard sits below the crossover: Auto must resolve to
+    // the host and match the host arm's pricing exactly.
+    assert!(auto
+        .get("placements")
+        .and_then(|x| x.as_array())
+        .unwrap()
+        .iter()
+        .all(|p| p.as_str() == Some("host")));
+    assert_eq!(field(auto, "host_seconds_per_stage"), field(host, "host_seconds_per_stage"));
+}

@@ -24,6 +24,10 @@
 //! is exactly what the paper offloads to the host, §4.3).
 
 use pim_isa::{AluOp, BlockId, Instr, InstrStream};
+use pim_math::{
+    eval as math_eval, MathPlacement, MathSite, Placement, RecipDest, SiteParams, SqrtDest,
+    ITERS_PER_STAGE,
+};
 use pim_sim::PimChip;
 use wavesim_dg::kernels::flux::FluxTopology;
 use wavesim_dg::physics::acoustic_vars;
@@ -42,6 +46,10 @@ mod staging {
     pub const NEG_INV_RHO_J: usize = 1;
     pub const HALF: usize = 2;
     pub const Z: usize = 3;
+    /// `−jac_inv` — staged only for the on-PIM reciprocal lane, which
+    /// multiplies it with its freshly computed `1/ρ` to produce
+    /// [`NEG_INV_RHO_J`] on chip.
+    pub const NEG_JAC: usize = 4;
     pub const KAPPA: usize = 6;
     pub const INV_RHO: usize = 7;
     pub const LIFT: usize = 8;
@@ -101,6 +109,9 @@ pub struct AcousticMapping {
     /// Element → block placement (identity by default; the batched
     /// runner remaps resident elements into the available window).
     block_map: Vec<u32>,
+    /// Per-op transcendental placement (`None` = legacy host-exact
+    /// constants, the bit-identical default).
+    math: Option<MathPlacement>,
 }
 
 impl AcousticMapping {
@@ -164,6 +175,7 @@ impl AcousticMapping {
             pairs,
             face_pair,
             block_map,
+            math: None,
         }
     }
 
@@ -184,6 +196,121 @@ impl AcousticMapping {
     /// ordinary memory blocks").
     pub fn lut_block(&self) -> BlockId {
         BlockId(self.block_map.iter().copied().max().unwrap_or(0) + 1)
+    }
+
+    /// The reserved `1/√x` seed-table block for the on-PIM math lanes —
+    /// the block right after the impedance-pair LUT. Only used (and only
+    /// loaded) when a placement with an on-PIM lane is installed.
+    pub fn math_block(&self) -> BlockId {
+        BlockId(self.lut_block().0 + 1)
+    }
+
+    /// Installs the per-op transcendental placement. `None` (the
+    /// default) keeps the legacy host-exact staged constants; any on-PIM
+    /// lane makes [`Self::preload_static_subset`] stage raw operands
+    /// instead and reserves [`Self::math_block`] for the seed table.
+    pub fn set_math_placement(&mut self, placement: Option<MathPlacement>) {
+        self.math = placement;
+    }
+
+    /// The installed per-op placement, if any.
+    pub fn math_placement(&self) -> Option<MathPlacement> {
+        self.math
+    }
+
+    /// Blocks the chip must provide beyond the shard window: parked slot
+    /// and impedance LUT, plus the seed-table block when math runs
+    /// on-PIM.
+    pub fn extra_blocks(&self) -> u32 {
+        if self.math.is_some_and(|p| p.any_onpim()) {
+            3
+        } else {
+            2
+        }
+    }
+
+    /// One element's math placement site: the sqrt lane on the constants
+    /// staging row, the reciprocal lane on the first face-staging row
+    /// (columns 25..31 are free on both).
+    fn math_site(&self, elem: usize) -> MathSite {
+        let row = self.layout.const_staging_row() as u16;
+        MathSite {
+            block: self.block_of(elem),
+            row,
+            aux_row: row + 1,
+            math_block: self.math_block().0,
+        }
+    }
+
+    /// The sqrt lane's raw operand for an element: `κρ` (so `√x` is the
+    /// impedance `Z`).
+    fn sqrt_operand(&self, elem: usize) -> f64 {
+        let m = self.materials[elem];
+        m.kappa * m.rho
+    }
+
+    /// The reciprocal lane's raw operand: `ρ` (so `1/x` is `1/ρ`).
+    fn recip_operand(&self, elem: usize) -> f64 {
+        self.materials[elem].rho
+    }
+
+    /// The op-site summary the placement cost model prices for a shard:
+    /// the host op counts per element per stage and the operand ranges
+    /// of the two transcendentals (out-of-range operands pin an op to
+    /// the host).
+    pub fn math_site_params(&self, elems: &[usize]) -> SiteParams {
+        let w = wavesim_dg::opcount::acoustic_workload(self.n(), self.flux_kind);
+        let mut sqrt_range = (f64::INFINITY, f64::NEG_INFINITY);
+        let mut recip_range = (f64::INFINITY, f64::NEG_INFINITY);
+        for &e in elems {
+            let s = self.sqrt_operand(e);
+            let r = self.recip_operand(e);
+            sqrt_range = (sqrt_range.0.min(s), sqrt_range.1.max(s));
+            recip_range = (recip_range.0.min(r), recip_range.1.max(r));
+        }
+        SiteParams {
+            elems: elems.len(),
+            sqrts_per_elem: w.flux.host_sqrts,
+            // The host also refreshes 1/ρ and −jac/ρ alongside the flux
+            // reciprocal; the opcount's per-stage div stands for them.
+            divs_per_elem: w.flux.host_divs.max(1),
+            sqrt_operands: sqrt_range,
+            recip_operands: recip_range,
+        }
+    }
+
+    /// The one-time on-PIM math setup stream for a subset: range
+    /// reduction, `Lut` seed fetch, `x/2` precompute per element (empty
+    /// without an on-PIM lane). Runs after
+    /// [`Self::preload_static_subset`] has staged the raw operands.
+    pub fn compile_math_setup_for(&self, elems: &[usize]) -> InstrStream {
+        let mut s = InstrStream::new();
+        let Some(p) = self.math.filter(|p| p.any_onpim()) else { return s };
+        for &e in elems {
+            self.math_site(e).emit_setup(&mut s, p);
+        }
+        s.push(Instr::Sync);
+        s
+    }
+
+    /// The per-stage on-PIM refinement stream for a subset: Newton steps
+    /// refining the seeds in place, then the finalize multiplies that
+    /// write the staged `Z`, `1/ρ` and `−jac/ρ` constants the kernels
+    /// broadcast. Must run before the stage's Volume stream.
+    pub fn compile_math_stage_for(&self, elems: &[usize]) -> InstrStream {
+        let mut s = InstrStream::new();
+        let Some(p) = self.math.filter(|p| p.any_onpim()) else { return s };
+        let sqrt_dest = SqrtDest { col: staging::Z as u8 };
+        let recip_dest = RecipDest {
+            inv_col: staging::INV_RHO as u8,
+            neg_jac_col: staging::NEG_JAC as u8,
+            neg_col: staging::NEG_INV_RHO_J as u8,
+        };
+        for &e in elems {
+            self.math_site(e).emit_stage(&mut s, p, Some(sqrt_dest), Some(recip_dest));
+        }
+        s.push(Instr::Sync);
+        s
     }
 
     /// Number of distinct impedance pairs in the LUT.
@@ -226,7 +353,9 @@ impl AcousticMapping {
     /// runner's distinct parking, which assumes the mesh fits the chip.
     ///
     /// Returns the window size (`residents.len() + ghosts.len()`); the
-    /// chip must provide `window + 2` blocks (window, parked slot, LUT).
+    /// chip must provide `window + `[`Self::extra_blocks`] blocks
+    /// (window, parked slot, LUT, and the math seed table when a lane
+    /// runs on-PIM).
     ///
     /// # Panics
     /// Panics if an element appears twice across `residents`/`ghosts`.
@@ -279,13 +408,49 @@ impl AcousticMapping {
         // computation begins" (§4.3). Entry layout per pair p:
         //   [4p+0] = Z⁺, [4p+1] = Z⁻Z⁺, [4p+2] = 1/(Z⁻+Z⁺).
         let lut = self.lut_block();
+        let sqrt_pim = self.math.is_some_and(|p| p.sqrt == Placement::OnPim);
+        let recip_pim = self.math.is_some_and(|p| p.reciprocal == Placement::OnPim);
+        // When an op runs on-PIM, the interface constants derived from it
+        // go through the same LUT + Newton arithmetic (the functional
+        // mirror of the emitted sequence), so the pair table stays
+        // consistent with the chip-computed staged constants. Operands
+        // outside the seed table's range fall back to the exact host
+        // value — the same per-op fallback the placement guard applies.
+        let imp = |z: f64| {
+            if sqrt_pim {
+                math_eval::sqrt_eval(z * z, ITERS_PER_STAGE).unwrap_or(z)
+            } else {
+                z
+            }
+        };
+        let recip = |x: f64| {
+            if recip_pim {
+                math_eval::recip_eval(x, ITERS_PER_STAGE).unwrap_or(1.0 / x)
+            } else {
+                1.0 / x
+            }
+        };
         for (pidx, &(zm, zp)) in self.pairs.iter().enumerate() {
             let base = pidx * LUT_STRIDE;
-            let values = [zp, zm * zp, 1.0 / (zm + zp)];
+            let (zm, zp) = (imp(zm), imp(zp));
+            let values = [zp, zm * zp, recip(zm + zp)];
             let b = chip.block_mut(lut);
             for (k, &v) in values.iter().enumerate() {
                 let w = base + k;
                 b.set(w / pim_isa::WORDS_PER_ROW, w % pim_isa::WORDS_PER_ROW, v);
+            }
+        }
+
+        // The on-PIM math lanes' seed table: the f32-quantized `1/√x`
+        // samples fill the reserved block exactly (32K words).
+        if sqrt_pim || recip_pim {
+            let b = chip.block_mut(self.math_block());
+            for i in 0..pim_math::table::TABLE_ENTRIES {
+                b.set(
+                    i / pim_isa::WORDS_PER_ROW,
+                    i % pim_isa::WORDS_PER_ROW,
+                    pim_math::table::seed_at(i),
+                );
             }
         }
 
@@ -324,7 +489,25 @@ impl AcousticMapping {
                 (staging::DT, dt),
             ];
             for (col, value) in consts {
-                b.set(staging_row, col, value);
+                // Constants an on-PIM lane computes itself are not
+                // host-staged: the chip's own finalize multiplies write
+                // them each stage.
+                let on_pim = (sqrt_pim && col == staging::Z)
+                    || (recip_pim && (col == staging::INV_RHO || col == staging::NEG_INV_RHO_J));
+                if !on_pim {
+                    b.set(staging_row, col, value);
+                }
+            }
+            if recip_pim {
+                b.set(staging_row, staging::NEG_JAC, -self.jac_inv);
+            }
+            if let Some(p) = self.math {
+                let site = self.math_site(e);
+                for (row, col, v) in
+                    site.staged_values(p, self.sqrt_operand(e), self.recip_operand(e))
+                {
+                    b.set(row as usize, col as usize, v);
+                }
             }
             for s in 0..Lsrk5::STAGES {
                 b.set(staging_row, staging::A0 + s, Lsrk5::A[s]);
@@ -1091,6 +1274,78 @@ mod tests {
             c.stats().ariths,
             r.stats().ariths
         );
+    }
+
+    #[test]
+    fn legacy_mapping_emits_no_math_streams_and_reserves_no_extra_block() {
+        let m = mapping(FluxKind::Riemann);
+        assert_eq!(m.extra_blocks(), 2);
+        let elems: Vec<usize> = (0..8).collect();
+        assert!(m.compile_math_setup_for(&elems).instrs().is_empty());
+        assert!(m.compile_math_stage_for(&elems).instrs().is_empty());
+        // All-host placements also stay stream-free but are recorded.
+        let mut m = mapping(FluxKind::Riemann);
+        m.set_math_placement(Some(MathPlacement::all_host()));
+        assert_eq!(m.extra_blocks(), 2);
+        assert!(m.compile_math_stage_for(&elems).instrs().is_empty());
+    }
+
+    #[test]
+    fn on_pim_math_streams_reproduce_the_eval_mirrors_bit_exactly() {
+        let mut m = mapping(FluxKind::Riemann);
+        m.set_math_placement(Some(MathPlacement::all_onpim()));
+        assert_eq!(m.extra_blocks(), 3);
+        let mut chip = PimChip::new(pim_sim::ChipConfig::default_2gb());
+        let elems: Vec<usize> = (0..8).collect();
+        m.preload_static_subset(&mut chip, 1e-3, &elems);
+        chip.execute(&m.compile_math_setup_for(&elems));
+        chip.execute(&m.compile_math_stage_for(&elems));
+
+        // κ = 2.0, ρ = 0.5 → sqrt operand κρ = 1.0, recip operand 0.5.
+        let row = m.layout.const_staging_row();
+        let b = chip.block(BlockId(0));
+        let z = b.get(row, staging::Z);
+        let inv_rho = b.get(row, staging::INV_RHO);
+        let neg = b.get(row, staging::NEG_INV_RHO_J);
+        let neg_jac = b.get(row, staging::NEG_JAC);
+        assert_eq!(z, math_eval::sqrt_eval(1.0, ITERS_PER_STAGE).unwrap());
+        assert_eq!(inv_rho, math_eval::recip_eval(0.5, ITERS_PER_STAGE).unwrap());
+        assert_eq!(neg, inv_rho * neg_jac);
+
+        // A second stage refines the seeds in place (two more steps).
+        chip.execute(&m.compile_math_stage_for(&elems));
+        let z2 = chip.block(BlockId(0)).get(row, staging::Z);
+        assert_eq!(z2, math_eval::sqrt_eval(1.0, 2 * ITERS_PER_STAGE).unwrap());
+        assert!((z2 - 1.0).abs() <= (z - 1.0).abs());
+    }
+
+    #[test]
+    fn on_pim_preload_skips_host_exact_constants_for_pim_lanes() {
+        let mut m = mapping(FluxKind::Riemann);
+        m.set_math_placement(Some(MathPlacement {
+            sqrt: Placement::OnPim,
+            reciprocal: Placement::Host,
+        }));
+        let mut chip = PimChip::new(pim_sim::ChipConfig::default_2gb());
+        m.preload_static_subset(&mut chip, 1e-3, &[0]);
+        let row = m.layout.const_staging_row();
+        let b = chip.block(BlockId(0));
+        // Z left for the chip to produce; the host-placed reciprocal
+        // constants stay exact.
+        assert_eq!(b.get(row, staging::Z), 0.0);
+        assert_eq!(b.get(row, staging::INV_RHO), 1.0 / 0.5);
+    }
+
+    #[test]
+    fn math_site_params_capture_opcounts_and_operand_ranges() {
+        let m = mapping(FluxKind::Riemann);
+        let p = m.math_site_params(&[0, 1, 2]);
+        assert_eq!(p.elems, 3);
+        assert_eq!(p.sqrts_per_elem, 1);
+        assert_eq!(p.divs_per_elem, 1);
+        assert_eq!(p.sqrt_operands, (1.0, 1.0)); // κρ = 2.0 · 0.5
+        assert_eq!(p.recip_operands, (0.5, 0.5));
+        assert!(p.sqrt_supported() && p.recip_supported());
     }
 
     #[test]

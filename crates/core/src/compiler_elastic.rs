@@ -29,6 +29,7 @@
 //! real distributed execution of the same dataflow.
 
 use pim_isa::{AluOp, BlockId, Instr, InstrStream};
+use pim_math::{eval as math_eval, MathPlacement, Placement, ITERS_PER_STAGE};
 use pim_sim::PimChip;
 use wavesim_dg::kernels::flux::FluxTopology;
 use wavesim_dg::{ElasticMaterial, FluxKind, Lsrk5, State};
@@ -111,6 +112,14 @@ pub struct ElasticMapping {
     /// Element → quartet placement (identity by default; the batched
     /// runner remaps resident elements into the available window).
     quartet_map: Vec<u32>,
+    /// Transcendental placement. `None` (the default) preloads host-exact
+    /// constants, bit-identical to the pre-math-subsystem behavior. When
+    /// an op is PIM-placed, the preload routes its derived constants
+    /// through the `pim_math` fixed-point mirrors so the four-block
+    /// mapping prices the same accuracy contract as the one-block one
+    /// (full on-chip refinement streams for this mapping are an open
+    /// follow-up; see ROADMAP).
+    math: Option<MathPlacement>,
 }
 
 impl ElasticMapping {
@@ -168,6 +177,7 @@ impl ElasticMapping {
             pairs,
             face_pair,
             quartet_map,
+            math: None,
         }
     }
 
@@ -224,6 +234,15 @@ impl ElasticMapping {
         self.pairs.len()
     }
 
+    /// Selects the transcendental placement for subsequent preloads.
+    pub fn set_math_placement(&mut self, placement: Option<MathPlacement>) {
+        self.math = placement;
+    }
+
+    pub fn math_placement(&self) -> Option<MathPlacement> {
+        self.math
+    }
+
     // ---- preload / extract ----
 
     /// Preloads variables, dshape, masks, staged constants, LUT contents
@@ -242,12 +261,33 @@ impl ElasticMapping {
         let nodes = self.nodes();
         let staging = self.layout.const_staging_row();
 
+        // PIM-placed ops route their derived constants through the
+        // fixed-point mirrors; host-placed ops keep the exact values
+        // (both closures are identity-exact when the op is host-placed,
+        // so the default path stays bit-identical).
+        let sqrt_pim = self.math.is_some_and(|p| p.sqrt == Placement::OnPim);
+        let recip_pim = self.math.is_some_and(|p| p.reciprocal == Placement::OnPim);
+        let imp = |z: f64| {
+            if sqrt_pim {
+                math_eval::sqrt_eval(z * z, ITERS_PER_STAGE).unwrap_or(z)
+            } else {
+                z
+            }
+        };
+        let recip = |x: f64| {
+            if recip_pim {
+                math_eval::recip_eval(x, ITERS_PER_STAGE).unwrap_or(1.0 / x)
+            } else {
+                1.0 / x
+            }
+        };
+
         // LUT contents.
         let lut = self.lut_block();
         for (pidx, &(own, nb)) in self.pairs.iter().enumerate() {
-            let (zpm, zpp) = (own.p_impedance(), nb.p_impedance());
-            let (zsm, zsp) = (own.s_impedance(), nb.s_impedance());
-            let values = [zpp, zpm * zpp, 1.0 / (zpm + zpp), zsp, zsm * zsp, 1.0 / (zsm + zsp)];
+            let (zpm, zpp) = (imp(own.p_impedance()), imp(nb.p_impedance()));
+            let (zsm, zsp) = (imp(own.s_impedance()), imp(nb.s_impedance()));
+            let values = [zpp, zpm * zpp, recip(zpm + zpp), zsp, zsm * zsp, recip(zsm + zsp)];
             let b = chip.block_mut(lut);
             for (k, &v) in values.iter().enumerate() {
                 let w = pidx * LUT_STRIDE + k;
@@ -257,6 +297,10 @@ impl ElasticMapping {
 
         for &e in elems {
             let m = self.materials[e];
+            // `jac_inv / ρ` keeps its fused form on the default path; the
+            // PIM-placed form factors through the mirrored reciprocal.
+            let invrho_j =
+                if recip_pim { self.jac_inv * recip(m.rho) } else { self.jac_inv / m.rho };
             for role in [ElasticRole::Velocity, ElasticRole::DiagStress, ElasticRole::ShearStress] {
                 let block = self.block_of(e, role);
                 let b = chip.block_mut(block);
@@ -279,16 +323,16 @@ impl ElasticMapping {
                     (estaging::L2M_J, (m.lambda + 2.0 * m.mu) * self.jac_inv),
                     (estaging::LAM_J, m.lambda * self.jac_inv),
                     (estaging::MU_J, m.mu * self.jac_inv),
-                    (estaging::INVRHO_J, self.jac_inv / m.rho),
+                    (estaging::INVRHO_J, invrho_j),
                     (estaging::TWO_MU, 2.0 * m.mu),
                     (estaging::LAM, m.lambda),
                     (estaging::MU, m.mu),
-                    (estaging::INVRHO, 1.0 / m.rho),
+                    (estaging::INVRHO, recip(m.rho)),
                     (estaging::LIFT, self.lift),
                     (estaging::DT, dt),
                     (estaging::HALF, 0.5),
-                    (estaging::ZPM, m.p_impedance()),
-                    (estaging::ZSM, m.s_impedance()),
+                    (estaging::ZPM, imp(m.p_impedance())),
+                    (estaging::ZSM, imp(m.s_impedance())),
                 ];
                 for (col, v) in consts {
                     b.set(staging, col, v);
@@ -1025,6 +1069,39 @@ mod tests {
         assert!(st.copies > 0, "cross-block volume/flux exchange required");
         assert!(st.ariths > 0);
         assert_eq!(st.syncs, 3);
+    }
+
+    #[test]
+    fn pim_placed_math_routes_preloaded_constants_through_the_mirrors() {
+        let mesh = HexMesh::refinement_level(1, wavesim_mesh::Boundary::Periodic);
+        let mat = ElasticMaterial::new(2.0, 1.0, 1.0);
+        let mut m = ElasticMapping::uniform(mesh, 2, FluxKind::Riemann, mat);
+        let state = State::zeros(m.mesh().num_elements(), 9, m.nodes());
+
+        let mut exact_chip = PimChip::new(pim_sim::ChipConfig::default_2gb());
+        m.preload(&mut exact_chip, &state, 1e-3);
+        m.set_math_placement(Some(MathPlacement::all_onpim()));
+        let mut pim_chip = PimChip::new(pim_sim::ChipConfig::default_2gb());
+        m.preload(&mut pim_chip, &state, 1e-3);
+
+        let staging = m.layout.const_staging_row();
+        let vb = m.block_of(0, ElasticRole::Velocity);
+        let zpm_exact = exact_chip.block(vb).get(staging, estaging::ZPM);
+        let zpm_pim = pim_chip.block(vb).get(staging, estaging::ZPM);
+        assert_eq!(zpm_exact, mat.p_impedance(), "default path must stay host-exact");
+        let z = mat.p_impedance();
+        assert_eq!(
+            zpm_pim,
+            math_eval::sqrt_eval(z * z, ITERS_PER_STAGE).unwrap(),
+            "PIM-placed impedance must equal the fixed-point mirror"
+        );
+        assert!((zpm_pim - zpm_exact).abs() / zpm_exact < 1e-6);
+
+        let inv_exact = exact_chip.block(vb).get(staging, estaging::INVRHO);
+        let inv_pim = pim_chip.block(vb).get(staging, estaging::INVRHO);
+        assert_eq!(inv_exact, 1.0 / mat.rho);
+        assert_eq!(inv_pim, math_eval::recip_eval(mat.rho, ITERS_PER_STAGE).unwrap());
+        assert!((inv_pim - inv_exact).abs() < 1e-6);
     }
 
     #[test]

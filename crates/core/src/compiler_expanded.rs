@@ -25,6 +25,7 @@
 //! validation is tolerance-based like the elastic mapping's.
 
 use pim_isa::{AluOp, BlockId, Instr, InstrStream};
+use pim_math::{eval as math_eval, MathPlacement, Placement, ITERS_PER_STAGE};
 use pim_sim::PimChip;
 use wavesim_dg::kernels::flux::FluxTopology;
 use wavesim_dg::physics::acoustic_vars;
@@ -115,6 +116,11 @@ pub struct ExpandedAcousticMapping {
     lift: f64,
     pairs: Vec<(f64, f64)>,
     face_pair: Vec<[usize; 6]>,
+    /// Transcendental placement (`None` = host-exact constants, the
+    /// bit-identical default). PIM-placed ops preload mirrored values;
+    /// full on-chip streams for the four-block mapping are a ROADMAP
+    /// follow-up.
+    math: Option<MathPlacement>,
 }
 
 impl ExpandedAcousticMapping {
@@ -153,7 +159,20 @@ impl ExpandedAcousticMapping {
             face_pair.push(per_face);
         }
 
-        Self { mesh, n, rule, d, topo, materials, flux_kind, jac_inv, lift, pairs, face_pair }
+        Self {
+            mesh,
+            n,
+            rule,
+            d,
+            topo,
+            materials,
+            flux_kind,
+            jac_inv,
+            lift,
+            pairs,
+            face_pair,
+            math: None,
+        }
     }
 
     pub fn uniform(
@@ -193,6 +212,15 @@ impl ExpandedAcousticMapping {
         self.mesh.num_elements() * 4 + 1
     }
 
+    /// Selects the transcendental placement for subsequent preloads.
+    pub fn set_math_placement(&mut self, placement: Option<MathPlacement>) {
+        self.math = placement;
+    }
+
+    pub fn math_placement(&self) -> Option<MathPlacement> {
+        self.math
+    }
+
     fn staging_row(&self) -> usize {
         CONST_ROWS + self.n
     }
@@ -214,10 +242,31 @@ impl ExpandedAcousticMapping {
         use acoustic_vars::{P, VX};
         let nodes = self.nodes();
 
+        // Identity-exact closures when an op is host-placed, fixed-point
+        // mirrors when it is PIM-placed (same contract as the one-block
+        // mapping's preload).
+        let sqrt_pim = self.math.is_some_and(|p| p.sqrt == Placement::OnPim);
+        let recip_pim = self.math.is_some_and(|p| p.reciprocal == Placement::OnPim);
+        let imp = |z: f64| {
+            if sqrt_pim {
+                math_eval::sqrt_eval(z * z, ITERS_PER_STAGE).unwrap_or(z)
+            } else {
+                z
+            }
+        };
+        let recip = |x: f64| {
+            if recip_pim {
+                math_eval::recip_eval(x, ITERS_PER_STAGE).unwrap_or(1.0 / x)
+            } else {
+                1.0 / x
+            }
+        };
+
         // LUT contents (same pair table as the one-block mapping).
         let lut = self.lut_block();
         for (pidx, &(zm, zp)) in self.pairs.iter().enumerate() {
-            let values = [zp, zm * zp, 1.0 / (zm + zp)];
+            let (zm, zp) = (imp(zm), imp(zp));
+            let values = [zp, zm * zp, recip(zm + zp)];
             let b = chip.block_mut(lut);
             for (k, &v) in values.iter().enumerate() {
                 let w = pidx * LUT_STRIDE + k;
@@ -227,14 +276,18 @@ impl ExpandedAcousticMapping {
 
         for e in 0..self.mesh.num_elements() {
             let m = self.materials[e];
-            let z = m.impedance();
+            let z = imp(m.impedance());
+            // The fused `jac_inv / ρ` form survives on the default path;
+            // the PIM-placed form factors through the mirrored reciprocal.
+            let neg_invrho_j =
+                if recip_pim { -(self.jac_inv * recip(m.rho)) } else { -(self.jac_inv / m.rho) };
             let consts: [(usize, f64); 8] = [
                 (xstaging::NEG_KAPPA_J, -(m.kappa * self.jac_inv)),
-                (xstaging::NEG_INV_RHO_J, -(self.jac_inv / m.rho)),
+                (xstaging::NEG_INV_RHO_J, neg_invrho_j),
                 (xstaging::HALF, 0.5),
                 (xstaging::Z, z),
                 (xstaging::KAPPA, m.kappa),
-                (xstaging::INV_RHO, 1.0 / m.rho),
+                (xstaging::INV_RHO, recip(m.rho)),
                 (xstaging::LIFT, self.lift),
                 (xstaging::DT, dt),
             ];
@@ -707,6 +760,40 @@ mod tests {
         assert_eq!(m.blocks_required(), 33);
         // The quartet shares a fanout-4 quad (one S0 switch).
         assert_eq!(m.p_block(5).0 / 4, m.v_block(5, 2).0 / 4);
+    }
+
+    #[test]
+    fn pim_placed_math_routes_preloaded_constants_through_the_mirrors() {
+        use wavesim_dg::State;
+        let mesh = HexMesh::refinement_level(1, Boundary::Periodic);
+        let mat = AcousticMaterial::new(2.0, 2.0); // Z = 2, in table range
+        let mut m = ExpandedAcousticMapping::uniform(mesh, 3, FluxKind::Riemann, mat);
+        let state = State::zeros(m.mesh().num_elements(), 4, m.nodes());
+
+        let mut exact_chip = PimChip::new(pim_sim::ChipConfig::default_2gb());
+        m.preload(&mut exact_chip, &state, 1e-3);
+        m.set_math_placement(Some(MathPlacement::all_onpim()));
+        let mut pim_chip = PimChip::new(pim_sim::ChipConfig::default_2gb());
+        m.preload(&mut pim_chip, &state, 1e-3);
+
+        let row = m.staging_row();
+        let b = m.v_block(0, 0);
+        let z_exact = exact_chip.block(b).get(row, xstaging::Z);
+        let z_pim = pim_chip.block(b).get(row, xstaging::Z);
+        assert_eq!(z_exact, mat.impedance(), "default path must stay host-exact");
+        let z = mat.impedance();
+        assert_eq!(
+            z_pim,
+            math_eval::sqrt_eval(z * z, ITERS_PER_STAGE).unwrap(),
+            "PIM-placed impedance must equal the fixed-point mirror"
+        );
+        assert!((z_pim - z_exact).abs() / z_exact < 1e-6);
+
+        let ir_exact = exact_chip.block(b).get(row, xstaging::INV_RHO);
+        let ir_pim = pim_chip.block(b).get(row, xstaging::INV_RHO);
+        assert_eq!(ir_exact, 1.0 / mat.rho);
+        assert_eq!(ir_pim, math_eval::recip_eval(mat.rho, ITERS_PER_STAGE).unwrap());
+        assert!((ir_pim - ir_exact).abs() < 1e-6);
     }
 
     #[test]

@@ -1,0 +1,102 @@
+//! Functional mirrors of the emitted instruction sequences.
+//!
+//! The chip executes block words as 64-bit values (see
+//! `pim_sim::block`); these helpers replay the *exact* operation order
+//! of [`crate::seq`] in plain `f64`, so a host-side caller (the elastic
+//! and expanded compilers' setup-time placement, the ULP study, the
+//! property tests) reproduces on-PIM results bit-for-bit.
+
+use crate::table;
+
+/// Newton refinement steps the per-stage sequence applies.
+pub const DEFAULT_ITERS: u32 = crate::seq::ITERS_PER_STAGE;
+
+/// Table index the range reduction produces for `x`, or `None` when the
+/// operand leaves the supported range (the interpreter would surface an
+/// out-of-range `Lut` as a diagnostic; the placement guard keeps such
+/// sites on the host).
+pub fn seed_index(x: f64) -> Option<usize> {
+    // Mirrors the emitted ops: Mul by scale, Add bias, then the
+    // interpreter's round-to-nearest in `Instr::Lut`.
+    let idx = (x * table::index_scale() + table::index_bias()).round();
+    if idx >= 0.0 && idx < table::TABLE_ENTRIES as f64 {
+        Some(idx as usize)
+    } else {
+        None
+    }
+}
+
+/// The f32-quantized `1/√x` seed the `Lut` fetch lands in the block.
+pub fn rsqrt_seed(x: f64) -> Option<f64> {
+    seed_index(x).map(table::seed_at)
+}
+
+/// `iters` Newton–Raphson steps `r ← r·(3/2 − x/2·r²)`, in the exact
+/// operation order the emitted stream uses (`t = r·r; t = xh·t;
+/// t = 3/2 − t; r = r·t` with `xh = x·0.5` precomputed at setup).
+pub fn refine_rsqrt(x: f64, mut r: f64, iters: u32) -> f64 {
+    let xh = x * 0.5;
+    for _ in 0..iters {
+        let mut t = r * r;
+        t *= xh; // xh·t — IEEE multiplication commutes bit-exactly
+
+        t = 1.5 - t;
+        r *= t;
+    }
+    r
+}
+
+/// On-PIM `1/√x` after `iters` refinement steps.
+pub fn rsqrt_eval(x: f64, iters: u32) -> Option<f64> {
+    rsqrt_seed(x).map(|r| refine_rsqrt(x, r, iters))
+}
+
+/// On-PIM `√x` after `iters` refinement steps (`√x = x·r`, the final
+/// single-row multiply of the sequence).
+pub fn sqrt_eval(x: f64, iters: u32) -> Option<f64> {
+    rsqrt_eval(x, iters).map(|r| x * r)
+}
+
+/// On-PIM `1/x` after `iters` refinement steps (`1/x = r²`, the fused
+/// squaring that closes the sequence).
+pub fn recip_eval(x: f64, iters: u32) -> Option<f64> {
+    rsqrt_eval(x, iters).map(|r| r * r)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::table::{OPERAND_HI, OPERAND_LO};
+
+    #[test]
+    fn two_steps_reach_sub_ulp_accuracy_at_spot_checks() {
+        for x in [OPERAND_LO, 0.1, 0.5, 1.0, 2.0, 3.7, 9.81, OPERAND_HI] {
+            let s = sqrt_eval(x, 2).unwrap();
+            let r = recip_eval(x, 2).unwrap();
+            assert!((s - x.sqrt()).abs() / x.sqrt() < 1e-8, "sqrt({x}) = {s}");
+            assert!((r - 1.0 / x).abs() * x < 1e-8, "recip({x}) = {r}");
+        }
+    }
+
+    #[test]
+    fn out_of_range_operands_are_refused() {
+        assert!(seed_index(OPERAND_LO * 0.9).is_none());
+        assert!(seed_index(OPERAND_HI * 1.1).is_none());
+        assert!(seed_index(-1.0).is_none());
+        assert!(sqrt_eval(0.0, 2).is_none());
+    }
+
+    #[test]
+    fn refinement_is_monotone_in_iterations() {
+        // More Newton steps never hurt: error is non-increasing.
+        for x in [0.07f64, 0.9, 4.2, 15.5] {
+            let exact = 1.0 / x.sqrt();
+            let mut last = f64::INFINITY;
+            for iters in 0..4 {
+                let err = (rsqrt_eval(x, iters).unwrap() - exact).abs();
+                assert!(err <= last + f64::EPSILON, "iters {iters} worsened {x}");
+                last = err;
+            }
+        }
+    }
+}

@@ -1,0 +1,253 @@
+//! `InstrStream` fragment emitters for the on-PIM sequences.
+//!
+//! Layout: each element block runs the math on two staging rows — the
+//! element's constants staging row (`row`, the sqrt lane) and the row
+//! after it (`aux_row`, the reciprocal lane). Columns 25..31 are free
+//! on both rows in the acoustic layout, and both lanes use the *same*
+//! columns, so when both ops are PIM-placed every Newton step is one
+//! row-parallel instruction covering both rows — the second
+//! transcendental is nearly free.
+//!
+//! Per-element fragments:
+//! * **setup** (once, at preload): range-reduce the raw operand into a
+//!   table index (`Mul` scale, `Add` bias), fetch the `1/√x` seed with
+//!   one `Instr::Lut` per lane, precompute `x/2`.
+//! * **stage** (each RK stage): [`ITERS_PER_STAGE`] Newton steps refine
+//!   the seed *in place* (later stages start from the previous stage's
+//!   refined value and converge further), then the finalize multiplies
+//!   write the staged constants the Volume/Flux kernels broadcast:
+//!   `√x = x·r` on the sqrt lane, `1/x = r²` on the reciprocal lane.
+
+use pim_isa::{AluOp, BlockId, Instr, InstrStream, BLOCK_ROWS};
+
+use crate::placement::{MathPlacement, Placement};
+
+/// Newton refinement steps per RK stage. Two steps take the worst-case
+/// table seed (relative error ≈ 2e-3) to ≈ 4e-9, inside [`crate::ULP_BOUND`].
+pub const ITERS_PER_STAGE: u32 = 2;
+
+/// Shared column map of the two math lanes (free columns 25..31 of the
+/// staging rows).
+pub mod cols {
+    /// The raw operand `x` (κρ on the sqrt lane, ρ on the reciprocal
+    /// lane for the acoustic mapping).
+    pub const RAW: u8 = 25;
+    /// `x/2` after setup; holds the index *bias* at preload time (setup
+    /// consumes it, then overwrites).
+    pub const XH: u8 = 26;
+    /// The refined `1/√x` iterate.
+    pub const SEED: u8 = 27;
+    /// Newton temporary; holds the index *scale* at preload time.
+    pub const SCRATCH: u8 = 28;
+    /// Constant 0.5.
+    pub const HALF: u8 = 29;
+    /// Constant 1.5.
+    pub const THREE_HALVES: u8 = 30;
+    /// Computed table index (input of the `Lut` fetch).
+    pub const IDX: u8 = 31;
+}
+
+/// One element's math placement site.
+#[derive(Debug, Clone, Copy)]
+pub struct MathSite {
+    /// The element's block.
+    pub block: BlockId,
+    /// The sqrt lane's row (the element-constants staging row).
+    pub row: u16,
+    /// The reciprocal lane's row (`row + 1` in the acoustic layout).
+    pub aux_row: u16,
+    /// Block id of the reserved seed-table block.
+    pub math_block: u32,
+}
+
+/// Where the sqrt lane's finalize lands (`√x = x·r`).
+#[derive(Debug, Clone, Copy)]
+pub struct SqrtDest {
+    /// Destination column on the sqrt lane's row.
+    pub col: u8,
+}
+
+/// Where the reciprocal lane's finalize lands. `1/x` is written at
+/// `(row, inv_col)` and the derived `(1/x)·neg_jac` product at
+/// `(row, neg_col)` — the two staged constants the acoustic kernels
+/// broadcast.
+#[derive(Debug, Clone, Copy)]
+pub struct RecipDest {
+    pub inv_col: u8,
+    /// Column of the pre-staged `−jac` multiplier on the main row.
+    pub neg_jac_col: u8,
+    /// Destination of the `(1/x)·neg_jac` product.
+    pub neg_col: u8,
+}
+
+impl MathSite {
+    fn lanes(&self, p: MathPlacement) -> (Option<u16>, Option<u16>) {
+        let s = (p.sqrt == Placement::OnPim).then_some(self.row);
+        let r = (p.reciprocal == Placement::OnPim).then_some(self.aux_row);
+        (s, r)
+    }
+
+    /// The contiguous row range one fused arithmetic op covers.
+    fn row_span(&self, p: MathPlacement) -> Option<(u16, u16)> {
+        match self.lanes(p) {
+            (Some(a), Some(b)) => Some((a.min(b), a.max(b))),
+            (Some(a), None) | (None, Some(a)) => Some((a, a)),
+            (None, None) => None,
+        }
+    }
+
+    /// `(row, col, value)` triples the host must preload for the
+    /// PIM-placed lanes: the raw operand, the range-reduction scale and
+    /// bias, and the two Newton constants.
+    pub fn staged_values(
+        &self,
+        p: MathPlacement,
+        sqrt_operand: f64,
+        recip_operand: f64,
+    ) -> Vec<(u16, u8, f64)> {
+        let mut out = Vec::new();
+        let (sqrt_lane, recip_lane) = self.lanes(p);
+        for (lane, x) in [(sqrt_lane, sqrt_operand), (recip_lane, recip_operand)] {
+            let Some(row) = lane else { continue };
+            debug_assert!(crate::table::supported(x), "unsupported operand {x} reached a PIM lane");
+            out.push((row, cols::RAW, x));
+            out.push((row, cols::XH, crate::table::index_bias()));
+            out.push((row, cols::SCRATCH, crate::table::index_scale()));
+            out.push((row, cols::HALF, 0.5));
+            out.push((row, cols::THREE_HALVES, 1.5));
+        }
+        out
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn arith(&self, s: &mut InstrStream, first: u16, last: u16, op: AluOp, dst: u8, a: u8, b: u8) {
+        s.push(Instr::Arith { block: self.block, op, first_row: first, last_row: last, dst, a, b });
+    }
+
+    /// The one-time seed fragment: range reduction, `Lut` seed fetch per
+    /// lane, `x/2` precompute.
+    pub fn emit_setup(&self, s: &mut InstrStream, p: MathPlacement) {
+        let Some((first, last)) = self.row_span(p) else { return };
+        // idx = x·scale + bias (scale/bias pre-staged in SCRATCH/XH).
+        self.arith(s, first, last, AluOp::Mul, cols::IDX, cols::RAW, cols::SCRATCH);
+        self.arith(s, first, last, AluOp::Add, cols::IDX, cols::IDX, cols::XH);
+        let (sqrt_lane, recip_lane) = self.lanes(p);
+        for row in [sqrt_lane, recip_lane].into_iter().flatten() {
+            s.push(Instr::Lut {
+                row: self.block.0 * BLOCK_ROWS as u32 + row as u32,
+                offset_s: cols::IDX,
+                lut_block: self.math_block,
+                offset_d: cols::SEED,
+            });
+        }
+        // xh = x·0.5 — overwrites the staged bias, which is now dead.
+        self.arith(s, first, last, AluOp::Mul, cols::XH, cols::RAW, cols::HALF);
+    }
+
+    /// The per-stage refinement fragment. Entirely intra-block (no
+    /// interconnect, no LUT serialization), so fragments for different
+    /// elements overlap perfectly: the per-chip latency is that of one
+    /// element regardless of the shard size.
+    pub fn emit_stage(
+        &self,
+        s: &mut InstrStream,
+        p: MathPlacement,
+        sqrt_dest: Option<SqrtDest>,
+        recip_dest: Option<RecipDest>,
+    ) {
+        let Some((first, last)) = self.row_span(p) else { return };
+        for _ in 0..ITERS_PER_STAGE {
+            // r ← r·(3/2 − xh·r²), fused across the active lanes.
+            self.arith(s, first, last, AluOp::Mul, cols::SCRATCH, cols::SEED, cols::SEED);
+            self.arith(s, first, last, AluOp::Mul, cols::SCRATCH, cols::XH, cols::SCRATCH);
+            self.arith(
+                s,
+                first,
+                last,
+                AluOp::Sub,
+                cols::SCRATCH,
+                cols::THREE_HALVES,
+                cols::SCRATCH,
+            );
+            self.arith(s, first, last, AluOp::Mul, cols::SEED, cols::SEED, cols::SCRATCH);
+        }
+        let (sqrt_lane, recip_lane) = self.lanes(p);
+        if let (Some(row), Some(d)) = (sqrt_lane, sqrt_dest) {
+            // √x = x·r on the sqrt lane only.
+            self.arith(s, row, row, AluOp::Mul, d.col, cols::RAW, cols::SEED);
+        }
+        if let (Some(row), Some(d)) = (recip_lane, recip_dest) {
+            // 1/x = r² on the reciprocal lane, then hop it to the main
+            // staging row where the kernels' broadcasts read constants.
+            self.arith(s, row, row, AluOp::Mul, cols::SCRATCH, cols::SEED, cols::SEED);
+            s.push(Instr::Read { block: self.block, row, offset: cols::SCRATCH, words: 1 });
+            s.push(Instr::Write { block: self.block, row: self.row, offset: d.inv_col, words: 1 });
+            self.arith(s, self.row, self.row, AluOp::Mul, d.neg_col, d.inv_col, d.neg_jac_col);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn site() -> MathSite {
+        MathSite { block: BlockId(3), row: 514, aux_row: 515, math_block: 40 }
+    }
+
+    #[test]
+    fn fused_placement_emits_row_pair_arithmetic() {
+        let mut s = InstrStream::new();
+        site().emit_stage(
+            &mut s,
+            MathPlacement::all_onpim(),
+            Some(SqrtDest { col: 3 }),
+            Some(RecipDest { inv_col: 7, neg_jac_col: 4, neg_col: 1 }),
+        );
+        let fused = s
+            .instrs()
+            .iter()
+            .filter(|i| matches!(i, Instr::Arith { first_row: 514, last_row: 515, .. }))
+            .count();
+        // 2 Newton steps × 4 ops, all fused across the two lanes.
+        assert_eq!(fused, 8);
+    }
+
+    #[test]
+    fn single_op_placement_stays_on_one_row() {
+        let mut s = InstrStream::new();
+        let p = MathPlacement { sqrt: Placement::OnPim, reciprocal: Placement::Host };
+        site().emit_stage(&mut s, p, Some(SqrtDest { col: 3 }), None);
+        for i in s.instrs() {
+            if let Instr::Arith { first_row, last_row, .. } = i {
+                assert_eq!((*first_row, *last_row), (514, 514));
+            }
+        }
+        // A host-only placement emits nothing at all.
+        let mut empty = InstrStream::new();
+        site().emit_stage(&mut empty, MathPlacement::all_host(), Some(SqrtDest { col: 3 }), None);
+        assert!(empty.instrs().is_empty());
+    }
+
+    #[test]
+    fn setup_emits_one_lut_per_active_lane() {
+        let mut s = InstrStream::new();
+        site().emit_setup(&mut s, MathPlacement::all_onpim());
+        let luts: Vec<_> = s.instrs().iter().filter(|i| matches!(i, Instr::Lut { .. })).collect();
+        assert_eq!(luts.len(), 2);
+        if let Instr::Lut { row, offset_s, lut_block, offset_d } = luts[0] {
+            assert_eq!(*row, 3 * BLOCK_ROWS as u32 + 514);
+            assert_eq!(*offset_s, cols::IDX);
+            assert_eq!(*lut_block, 40);
+            assert_eq!(*offset_d, cols::SEED);
+        }
+    }
+
+    #[test]
+    fn staged_values_cover_only_active_lanes() {
+        let p = MathPlacement { sqrt: Placement::Host, reciprocal: Placement::OnPim };
+        let staged = site().staged_values(p, 2.0, 1.0);
+        assert!(staged.iter().all(|&(row, _, _)| row == 515));
+        assert_eq!(staged.len(), 5);
+    }
+}

@@ -1,0 +1,92 @@
+//! Seed-table generation and the affine index transform.
+//!
+//! One reserved memory block holds a full [`LutTable`] of `1/√x` seeds
+//! over the supported operand range. Linear spacing keeps the on-chip
+//! index computation to one multiply and one add (range reduction); the
+//! worst-case seed error sits at the low end of the range and is wiped
+//! out by the Newton refinement (§ DESIGN.md 11).
+
+use pim_isa::lut::LutTable;
+
+/// Entries in the seed table — exactly one 1 Mib block (32K × 32 bit).
+pub const TABLE_ENTRIES: usize = LutTable::CAPACITY;
+
+/// Smallest supported operand (1/16). Below this the linear table's
+/// relative seed error grows past what two Newton steps repair.
+pub const OPERAND_LO: f64 = 0.0625;
+
+/// Largest supported operand.
+pub const OPERAND_HI: f64 = 16.0;
+
+/// Index scale of the affine range reduction `idx = x·scale + bias`.
+pub fn index_scale() -> f64 {
+    (TABLE_ENTRIES as f64 - 1.0) / (OPERAND_HI - OPERAND_LO)
+}
+
+/// Index bias of the affine range reduction.
+pub fn index_bias() -> f64 {
+    -OPERAND_LO * index_scale()
+}
+
+/// Whether `x` lies in the range the table serves. Out-of-range
+/// operands must stay on the host — the placement model's range guard.
+pub fn supported(x: f64) -> bool {
+    x.is_finite() && (OPERAND_LO..=OPERAND_HI).contains(&x)
+}
+
+/// The operand a table slot is centered on.
+pub fn abscissa(i: usize) -> f64 {
+    assert!(i < TABLE_ENTRIES);
+    OPERAND_LO + i as f64 / index_scale()
+}
+
+/// The `1/√x` seed table, f32-quantized exactly as the 32-bit block
+/// words store it. Both transcendentals share it: `√x = x·r`,
+/// `1/x = r²`.
+pub fn rsqrt_table() -> LutTable {
+    let seeds: Vec<f32> = (0..TABLE_ENTRIES).map(|i| (1.0 / abscissa(i).sqrt()) as f32).collect();
+    LutTable::from_f32(&seeds)
+}
+
+/// The seed value the chip reads for slot `i` — the f32 table entry
+/// widened back to the f64 block word.
+pub fn seed_at(i: usize) -> f64 {
+    (1.0 / abscissa(i).sqrt()) as f32 as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_fills_exactly_one_block() {
+        let t = rsqrt_table();
+        // Every entry is a valid positive f32 seed.
+        for i in [0usize, 1, TABLE_ENTRIES / 2, TABLE_ENTRIES - 1] {
+            let v = t.get_f32(i as u32);
+            assert!(v.is_finite() && v > 0.0);
+            assert_eq!(v as f64, seed_at(i));
+        }
+    }
+
+    #[test]
+    fn range_reduction_hits_the_bounds_exactly() {
+        let scale = index_scale();
+        let bias = index_bias();
+        assert_eq!((OPERAND_LO * scale + bias).round(), 0.0);
+        assert_eq!((OPERAND_HI * scale + bias).round(), (TABLE_ENTRIES - 1) as f64);
+        assert!(supported(OPERAND_LO) && supported(OPERAND_HI));
+        assert!(!supported(OPERAND_LO * 0.5) && !supported(OPERAND_HI * 2.0));
+        assert!(!supported(f64::NAN) && !supported(-1.0));
+    }
+
+    #[test]
+    fn worst_seed_error_sits_at_the_low_end() {
+        // Linear spacing: the relative seed error ≈ step/(4x) peaks at
+        // OPERAND_LO and must stay below what two Newton steps repair
+        // (≈ 2.2e-2 would still converge; we are orders better).
+        let step = 1.0 / index_scale();
+        let worst = step / (4.0 * OPERAND_LO);
+        assert!(worst < 3e-3, "seed error {worst} too large for 2-step Newton");
+    }
+}

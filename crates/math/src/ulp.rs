@@ -1,0 +1,52 @@
+//! ULP-level accuracy measurement against correctly rounded references.
+//!
+//! The sequences store 32-bit table words and target f32-level accuracy
+//! (the paper's LUT entries are 32-bit, §4.3), so errors are measured
+//! in **f32 ULPs**: `|approx − exact| / ulp_f32(exact)`.
+
+/// Documented accuracy bound for the LUT + Newton sequences over the
+/// full operand range, in f32 ULPs. Measured worst case is well below
+/// 1; the bound leaves headroom for the f32 rounding of a consumer.
+pub const ULP_BOUND: f64 = 4.0;
+
+/// Documented bound on cluster-vs-native state divergence when math
+/// runs on-PIM (the default host path stays ≤ 1e-12). The first stage
+/// sees 2-step-Newton coefficients (relative error ≈ 4e-9 worst case);
+/// subsequent stages refine in place toward exactness. 1e-6 bounds the
+/// propagated effect with a wide margin; `math_bench` reports the
+/// measured value (≈ 1e-9).
+pub const CLUSTER_MATH_BOUND: f64 = 1e-6;
+
+/// The spacing of f32 values at `|x|` — one unit in the last place —
+/// expressed in f64.
+pub fn ulp_f32(x: f64) -> f64 {
+    let v = (x.abs() as f32).max(f32::MIN_POSITIVE);
+    let up = f32::from_bits(v.to_bits() + 1);
+    (up - v) as f64
+}
+
+/// Error of `approx` against `exact` in f32 ULPs.
+pub fn ulp_error(approx: f64, exact: f64) -> f64 {
+    (approx - exact).abs() / ulp_f32(exact)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ulp_spacing_matches_the_f32_grid() {
+        // At 1.0 an f32 ULP is 2^-23.
+        assert_eq!(ulp_f32(1.0), (2.0f64).powi(-23));
+        // Doubling the magnitude doubles the spacing (same binade ×2).
+        assert_eq!(ulp_f32(2.0), 2.0 * ulp_f32(1.0));
+        // Tiny arguments clamp to the smallest normal's spacing.
+        assert!(ulp_f32(0.0) > 0.0);
+    }
+
+    #[test]
+    fn exact_values_have_zero_ulp_error() {
+        assert_eq!(ulp_error(2.0, 2.0), 0.0);
+        assert!(ulp_error(1.0 + (2.0f64).powi(-23), 1.0) > 0.99);
+    }
+}

@@ -80,9 +80,7 @@ pub fn serve(addr: impl ToSocketAddrs) -> std::io::Result<ScrapeServer> {
                     break;
                 }
                 if let Ok(stream) = conn {
-                    if handle(stream).is_ok() {
-                        scrapes2.fetch_add(1, Ordering::Relaxed);
-                    }
+                    let _ = handle(stream, &scrapes2);
                 }
             }
         })?;
@@ -90,14 +88,21 @@ pub fn serve(addr: impl ToSocketAddrs) -> std::io::Result<ScrapeServer> {
 }
 
 /// Serves one connection: reads the request head, answers `/metrics`
-/// (or `/`) with the text exposition, anything else with 404.
-fn handle(stream: TcpStream) -> std::io::Result<()> {
+/// (or `/`) with the text exposition, anything else with 404. The
+/// scrape counter increments *before* the response bytes go out, so a
+/// client that has read the response always observes its own scrape
+/// counted.
+fn handle(stream: TcpStream, scrapes: &AtomicU64) -> std::io::Result<()> {
     stream.set_read_timeout(Some(Duration::from_secs(5)))?;
     stream.set_write_timeout(Some(Duration::from_secs(5)))?;
     let mut reader = BufReader::new(stream.try_clone()?);
 
     let mut request_line = String::new();
-    reader.read_line(&mut request_line)?;
+    if reader.read_line(&mut request_line)? == 0 {
+        // No request at all — the shutdown wake-up connection. Not a
+        // scrape; don't count or answer it.
+        return Ok(());
+    }
     // Drain the header block; the response does not depend on it.
     loop {
         let mut line = String::new();
@@ -114,6 +119,7 @@ fn handle(stream: TcpStream) -> std::io::Result<()> {
         ("404 Not Found", "text/plain; charset=utf-8", "not found; scrape /metrics\n".to_string())
     };
 
+    scrapes.fetch_add(1, Ordering::Relaxed);
     let mut out = stream;
     write!(
         out,

@@ -103,6 +103,7 @@ pub struct PimChip {
     trace_pid: u32,
     metrics_label: String,
     metrics: Option<ChipMetrics>,
+    diagnostics: Vec<String>,
 }
 
 /// Cached `pim-metrics` handles for one chip, labeled `chip="<label>"`.
@@ -259,7 +260,20 @@ impl PimChip {
             trace_pid: 0,
             metrics_label: format!("pim-chip {}", config.capacity.name()),
             metrics: None,
+            diagnostics: Vec::new(),
         }
+    }
+
+    /// Diagnostics recorded by the interpreter for malformed programs
+    /// (e.g. a LUT index addressing past the table block). A well-formed
+    /// program leaves this empty.
+    pub fn diagnostics(&self) -> &[String] {
+        &self.diagnostics
+    }
+
+    /// Drains and returns the accumulated diagnostics.
+    pub fn take_diagnostics(&mut self) -> Vec<String> {
+        std::mem::take(&mut self.diagnostics)
     }
 
     /// Labels this chip's metrics `chip="<label>"` instead of the default
@@ -625,7 +639,28 @@ impl PimChip {
                 };
                 self.ledger.reads += read1_joules;
                 let index = index.round() as usize;
-                assert!(index < BLOCK_ROWS * WORDS_PER_ROW, "LUT index {index} exceeds one block");
+                // Route the address math through the fallible expansion so
+                // a malformed program (index past the table block) becomes
+                // a diagnostic, not a crash: the index read that physically
+                // happened stays charged, the content fetch and write-back
+                // are skipped.
+                if let Err(e) = pim_isa::lut::try_expand(instr, index.min(u32::MAX as usize) as u32)
+                {
+                    self.diagnostics.push(format!(
+                        "skipped Lut at row {row} offset_s {offset_s}: {e} \
+                         (index word read as {index})"
+                    ));
+                    self.finish_block(holder, start + params::T_SEARCH);
+                    if pim_trace::enabled() {
+                        self.trace(
+                            holder.0,
+                            start,
+                            start + params::T_SEARCH,
+                            Payload::BlockOp { op: "read", nor_cycles: 0, energy_j: read1_joules },
+                        );
+                    }
+                    return;
+                }
                 let (content, read2_joules) = {
                     let b = self.block_mut(lut);
                     let cost = b.read_to_buffer(index / WORDS_PER_ROW, index % WORDS_PER_ROW, 1);
@@ -769,6 +804,35 @@ impl PimChip {
         );
     }
 
+    /// Charges a host-lane window that *gates* subsequent chip work: the
+    /// per-stage sqrt/inverse preprocess plus the constants-refresh DMA
+    /// when transcendental math is host-placed. The span anchors at
+    /// `max(at, host-lane time)` — `at` being the stage barrier the
+    /// caller aligned on — and the returned `(t0, t1)` lets the caller
+    /// [`Self::advance_barrier`] to `t1` so the stage kernels wait for
+    /// the refreshed constants (the synchronous "CPU Host: sqrt /
+    /// inverse" lane of Fig. 13). Unlike
+    /// [`Self::charge_host_preprocess`], the caller prices the window
+    /// (it knows the refresh traffic); `ops` is the call count for the
+    /// trace payload.
+    pub fn charge_host_math(&mut self, at: f64, seconds: f64, joules: f64, ops: u64) -> (f64, f64) {
+        self.ledger.host += joules;
+        if pim_metrics::enabled() {
+            self.metrics().energy[5].add(joules); // "host"
+        }
+        let t0 = self.host_ready.max(at);
+        let t1 = t0 + seconds;
+        self.host_ready = t1;
+        self.elapsed = self.elapsed.max(t1);
+        self.trace(
+            TID_HOST,
+            t0,
+            t1,
+            Payload::HostCall { call: "math", count: ops, energy_j: joules },
+        );
+        (t0, t1)
+    }
+
     /// Finalizes the run: applies process-node scaling and charges static
     /// power for the (scaled) elapsed time. Off-chip work still in flight
     /// is fenced into the total implicitly — a run can never report less
@@ -861,6 +925,27 @@ mod tests {
         s.push(Instr::Lut { row: 100, offset_s: 4, lut_block: 2, offset_d: 11 });
         c.execute(&s);
         assert_eq!(c.block(BlockId(0)).get(100, 11), 3.0);
+    }
+
+    #[test]
+    fn out_of_range_lut_index_surfaces_as_a_diagnostic_not_a_crash() {
+        let mut c = chip();
+        // The index word holds 40000.0 — past the 32K entries one block
+        // serves. The instruction must skip (destination untouched) and
+        // leave a diagnostic instead of panicking.
+        c.block_mut(BlockId(0)).set(100, 4, 40000.0);
+        c.block_mut(BlockId(0)).set(100, 11, -1.0);
+        let mut s = InstrStream::new();
+        s.push(Instr::Lut { row: 100, offset_s: 4, lut_block: 2, offset_d: 11 });
+        c.execute(&s);
+        assert_eq!(c.block(BlockId(0)).get(100, 11), -1.0, "write-back must be skipped");
+        assert_eq!(c.diagnostics().len(), 1);
+        assert!(c.diagnostics()[0].contains("exceeds one block"), "{:?}", c.diagnostics());
+        let drained = c.take_diagnostics();
+        assert_eq!(drained.len(), 1);
+        assert!(c.diagnostics().is_empty());
+        // The index read that physically happened stays charged.
+        assert!(c.finish().ledger.reads > 0.0);
     }
 
     #[test]
@@ -1007,6 +1092,29 @@ mod tests {
             "mid-run preprocess must queue on the host lane, not restart at t=0"
         );
         assert!(c.elapsed() >= spans[1].t1 - 1e-15);
+    }
+
+    #[test]
+    fn host_math_window_anchors_at_the_stage_barrier_and_gates_later_work() {
+        let mut c = chip();
+        // The window starts at the barrier even though the host lane is
+        // idle before it.
+        let (t0, t1) = c.charge_host_math(2.0e-3, 5.0e-4, 1.0e-6, 64);
+        assert_eq!(t0, 2.0e-3);
+        assert!((t1 - 2.5e-3).abs() < 1e-15);
+        assert!(c.elapsed() >= t1);
+        // Advancing the barrier to t1 makes subsequent block ops wait
+        // for the refreshed constants.
+        c.advance_barrier(t1);
+        let mut s = InstrStream::new();
+        s.push(arith(0, AluOp::Mul, 1));
+        c.execute(&s);
+        let mul = params::nor_seconds(params::FP32_MUL_CYCLES);
+        assert!((c.elapsed() - (t1 + mul)).abs() < 1e-12);
+        // A second window queues after the first on the host lane even
+        // with an earlier anchor.
+        let (u0, _) = c.charge_host_math(0.0, 1.0e-4, 0.0, 64);
+        assert_eq!(u0, t1);
     }
 
     #[test]

@@ -36,6 +36,7 @@
 //! wall-clock is never longer than the bulk-synchronous schedule's.
 
 use pim_isa::InstrStream;
+use pim_math::{CostModel, MathConfig, MathDecision, MathPlacement, OpCost};
 use pim_sim::{ChipConfig, ExecReport, InterChipLink, PimChip};
 use pim_trace::Kernel;
 use rayon::prelude::*;
@@ -61,6 +62,11 @@ pub struct ClusterConfig {
     /// capacity — the pre-weighting baseline, kept so `profile_report`
     /// can measure what the weighted deal buys on mixed clusters.
     pub weighted_partition: bool,
+    /// Transcendental treatment: `Off` (default) is the seed behavior —
+    /// host-exact staged constants, no per-stage charge; `Host` prices
+    /// the per-stage host sqrt/inverse refresh; `OnPim`/`Auto` move
+    /// supported ops onto the in-block LUT + Newton sequence.
+    pub math: MathConfig,
 }
 
 impl ClusterConfig {
@@ -78,7 +84,18 @@ impl ClusterConfig {
     /// deal is weighted by each chip's block capacity, so bigger chips
     /// shoulder proportionally more of the mesh.
     pub fn heterogeneous(chips: Vec<ChipConfig>) -> Self {
-        Self { chips, link: InterChipLink::default(), weighted_partition: true }
+        Self {
+            chips,
+            link: InterChipLink::default(),
+            weighted_partition: true,
+            math: MathConfig::default(),
+        }
+    }
+
+    /// Returns the config with the given transcendental treatment.
+    pub fn with_math(mut self, math: MathConfig) -> Self {
+        self.math = math;
+        self
     }
 
     /// Number of chips.
@@ -136,6 +153,44 @@ impl HaloStats {
             return 0.0;
         }
         per_chip.iter().fold(0.0f64, |m, &s| m.max(s)) / stages as f64
+    }
+}
+
+/// Accumulated transcendental-math accounting, mirroring [`HaloStats`]:
+/// how much per-stage host preprocess the cluster charged, how much of
+/// it gated the stage, and how much compute-lane time the on-PIM
+/// refinement streams took instead.
+#[derive(Debug, Clone)]
+pub struct MathStats {
+    /// Per-chip host-lane window time charged for host-placed ops
+    /// (sqrt/inverse preprocess + constants-refresh DMA), seconds.
+    pub host_seconds: Vec<f64>,
+    /// Per-chip stage delay the host window caused beyond the stage
+    /// barrier — the *exposed* host preprocess (the staged constants are
+    /// Volume inputs, so in the synchronous schedule the whole window is
+    /// normally exposed).
+    pub exposed_seconds: Vec<f64>,
+    /// Per-chip compute-lane time in on-PIM refinement streams, seconds.
+    pub onpim_seconds: Vec<f64>,
+    /// LSRK stages executed so far.
+    pub stages: u64,
+}
+
+impl MathStats {
+    /// The busiest chip's average charged host window per stage.
+    pub fn host_seconds_per_stage(&self) -> f64 {
+        HaloStats::per_stage_max(&self.host_seconds, self.stages)
+    }
+
+    /// The busiest chip's average *exposed* host preprocess per stage —
+    /// the quantity `math_bench` shows shrinking when math moves on-PIM.
+    pub fn exposed_seconds_per_stage(&self) -> f64 {
+        HaloStats::per_stage_max(&self.exposed_seconds, self.stages)
+    }
+
+    /// The busiest chip's average on-PIM refinement time per stage.
+    pub fn onpim_seconds_per_stage(&self) -> f64 {
+        HaloStats::per_stage_max(&self.onpim_seconds, self.stages)
     }
 }
 
@@ -228,10 +283,20 @@ struct ChipPrograms {
     flux: InstrStream,
     /// Integration with the per-stage `A`/`B` patch table.
     integration: StageProgram,
+    /// The per-stage on-PIM math refinement stream (`None` without an
+    /// on-PIM lane).
+    math: Option<InstrStream>,
+    /// [`MathPlacement::key`] of the installed placement (0 when the
+    /// legacy no-math path is active), folded into the content key so
+    /// differently placed programs never collide while the legacy keys
+    /// stay bit-identical.
+    math_key: u64,
 }
 
 impl ChipPrograms {
     fn compile(m: &AcousticMapping, res: &[usize], ghosts: &[usize], sends: &[usize]) -> Self {
+        let math =
+            m.math_placement().filter(|p| p.any_onpim()).map(|_| m.compile_math_stage_for(res));
         Self {
             halo_store: m.compile_halo_store_for(sends),
             halo_load: m.compile_halo_load_for(ghosts),
@@ -240,6 +305,8 @@ impl ChipPrograms {
             integration: StageProgram::new(
                 (0..Lsrk5::STAGES).map(|s| m.compile_integration_for(res, s)).collect(),
             ),
+            math,
+            math_key: m.math_placement().map(|p| p.key()).unwrap_or(0),
         }
     }
 
@@ -247,14 +314,23 @@ impl ChipPrograms {
     /// kernel stream's [`pim_isa::InstrStream::content_hash`] plus the
     /// Integration [`StageProgram::content_key`], chained in kernel
     /// order. Two chips key equal exactly when every compiled kernel is
-    /// byte-identical.
+    /// byte-identical. An installed math placement (and its refinement
+    /// stream, when on-PIM) folds in after, so host-math, on-PIM and
+    /// legacy programs are always distinguishable.
     fn content_key(&self) -> u64 {
         let mut h = pim_isa::FNV_OFFSET;
         h = self.halo_store.content_hash(h);
         h = self.halo_load.content_hash(h);
         h = self.volume.content_hash(h);
         h = self.flux.content_hash(h);
-        pim_isa::fnv1a(h, self.integration.content_key())
+        h = pim_isa::fnv1a(h, self.integration.content_key());
+        if let Some(math) = &self.math {
+            h = math.content_hash(h);
+        }
+        if self.math_key != 0 {
+            h = pim_isa::fnv1a(h, self.math_key);
+        }
+        h
     }
 
     /// Cached instructions across all kernels (one Integration variant).
@@ -263,7 +339,8 @@ impl ChipPrograms {
             + self.halo_load.len()
             + self.volume.len()
             + self.flux.len()
-            + self.integration.len()) as u64
+            + self.integration.len()
+            + self.math.as_ref().map_or(0, InstrStream::len)) as u64
     }
 }
 
@@ -284,6 +361,15 @@ pub struct ClusterRunner {
     /// Host-side staging for pre-stage boundary variables in flight.
     staging: State,
     halo: HaloStats,
+    /// Per-shard math decision from the placement cost model (`None`
+    /// placement = legacy path).
+    math_decisions: Vec<MathDecision>,
+    /// Per-chip per-stage host window for the host-placed math ops
+    /// (ZERO when nothing stays on the host).
+    math_host_cost: Vec<OpCost>,
+    /// Per-chip host op count behind that window (trace payload).
+    math_host_ops: Vec<u64>,
+    math: MathStats,
     /// Per-chip compile-once kernel programs.
     programs: Vec<ChipPrograms>,
     /// Replay the cached programs (default). When disabled, every stage
@@ -322,6 +408,10 @@ impl ClusterRunner {
         let mut residents = Vec::with_capacity(num_chips);
         let mut ghosts = Vec::with_capacity(num_chips);
         let mut send_sets = Vec::with_capacity(num_chips);
+        let mut math_decisions = Vec::with_capacity(num_chips);
+        let mut math_host_cost = Vec::with_capacity(num_chips);
+        let mut math_host_ops = Vec::with_capacity(num_chips);
+        let cost_model = CostModel::default();
 
         for shard in partition.shards() {
             let chip_config = config.chips[shard.index];
@@ -332,9 +422,36 @@ impl ClusterRunner {
 
             let mut mapping = AcousticMapping::uniform(mesh.clone(), n, flux_kind, material);
             let window = mapping.install_shard_map(&res, &gho);
-            // window blocks + 1 shared parking block + 1 LUT block.
+
+            // Per-shard math placement: the cost model prices the host
+            // refresh against the on-PIM fragment for *this* shard's
+            // element count and operand ranges.
+            let site = mapping.math_site_params(&res);
+            let decision = cost_model.resolve(config.math.mode, &site);
+            mapping.set_math_placement(decision.placement);
+            let host_cost = decision
+                .placement
+                .map(|p| cost_model.host_stage_cost(p, &site))
+                .unwrap_or(OpCost::ZERO);
+            let host_ops = decision
+                .placement
+                .map(|p| {
+                    let mut ops = 0u64;
+                    if p.any_host() {
+                        ops = (site.sqrts_per_elem + site.divs_per_elem) * site.elems as u64;
+                    }
+                    ops
+                })
+                .unwrap_or(0);
+            math_decisions.push(decision);
+            math_host_cost.push(host_cost);
+            math_host_ops.push(host_ops);
+
+            // window blocks + 1 shared parking block + 1 LUT block
+            // (+ the math seed-table block when a lane runs on-PIM).
             assert!(
-                u64::from(window) + 2 <= chip_config.capacity.num_blocks(),
+                u64::from(window) + u64::from(mapping.extra_blocks())
+                    <= chip_config.capacity.num_blocks(),
                 "shard {}: {} resident + {} ghost elements exceed {} blocks",
                 shard.index,
                 res.len(),
@@ -358,6 +475,13 @@ impl ClusterRunner {
             // The block map is static for the whole run, so the LUT
             // constants are resolved once here, not per stage.
             chip.execute(&mapping.compile_lut_setup_for(&res));
+            // On-PIM math setup (range reduction + seed fetch), once;
+            // absent without an on-PIM lane (not even an empty dispatch,
+            // so the legacy trace stays untouched).
+            let math_setup = mapping.compile_math_setup_for(&res);
+            if !math_setup.instrs().is_empty() {
+                chip.execute(&math_setup);
+            }
             // Everything up to here — preload DMA + LUT resolution — is
             // the chip's one-time setup; the per-kernel ledgers start
             // from this baseline.
@@ -422,6 +546,15 @@ impl ClusterRunner {
                 exposed_seconds: vec![0.0; num_chips],
                 stages: 0,
             },
+            math_decisions,
+            math_host_cost,
+            math_host_ops,
+            math: MathStats {
+                host_seconds: vec![0.0; num_chips],
+                exposed_seconds: vec![0.0; num_chips],
+                onpim_seconds: vec![0.0; num_chips],
+                stages: 0,
+            },
             programs,
             use_program_cache: true,
             compile_seconds,
@@ -451,6 +584,22 @@ impl ClusterRunner {
     /// Halo accounting so far.
     pub fn halo_stats(&self) -> &HaloStats {
         &self.halo
+    }
+
+    /// Transcendental-math accounting so far.
+    pub fn math_stats(&self) -> &MathStats {
+        &self.math
+    }
+
+    /// Per-shard math decisions from the placement cost model.
+    pub fn math_decisions(&self) -> &[MathDecision] {
+        &self.math_decisions
+    }
+
+    /// Per-chip resolved placements (`None` = legacy path), in chip
+    /// order.
+    pub fn math_placements(&self) -> Vec<Option<MathPlacement>> {
+        self.math_decisions.iter().map(|d| d.placement).collect()
     }
 
     /// Enables or disables cached-program replay (enabled by default).
@@ -540,6 +689,32 @@ impl ClusterRunner {
                 chip.advance_barrier(now);
             }
 
+            // 1b. Host-placed math: the per-stage sqrt/inverse refresh
+            // *gates* the stage (the staged constants it produces are
+            // Volume/Flux inputs), so its window anchors at the barrier
+            // and this chip's barrier advances to its end. Nothing
+            // happens on the legacy path (cost is ZERO when no placement
+            // or nothing stays on the host).
+            for (c, chip) in self.chips.iter_mut().enumerate() {
+                let cost = self.math_host_cost[c];
+                if cost.seconds <= 0.0 {
+                    continue;
+                }
+                let (t0, t1) =
+                    chip.charge_host_math(now, cost.seconds, cost.joules, self.math_host_ops[c]);
+                chip.advance_barrier(t1);
+                end_kernel_span_at(chip, Kernel::HostPreprocess, stage as u8, t0, t1);
+                self.math.host_seconds[c] += t1 - t0;
+                self.math.exposed_seconds[c] += (t1 - now).max(0.0);
+                if metrics_on {
+                    let reg = pim_metrics::global();
+                    let labels = [("chip", chip.metrics_label())];
+                    reg.float_counter("cluster_math_host_seconds_total", &labels).add(t1 - t0);
+                    reg.float_counter("cluster_math_exposed_seconds_total", &labels)
+                        .add((t1 - now).max(0.0));
+                }
+            }
+
             // The halo window (2a–2c) rides the off-chip lane; snapshot
             // each chip's lane time and energy here so its close can
             // publish the deltas.
@@ -610,32 +785,74 @@ impl ClusterRunner {
             // delays it — the lane ops did not advance `elapsed`, and the
             // resident blocks are not DMA targets.
             let (mappings, residents) = (&self.mappings, &self.residents);
-            self.chips.par_chunks_mut(1).enumerate().for_each(|(c, chunk)| {
-                let chip = &mut chunk[0];
-                let (busy0, energy0) = kernel_window_open(chip);
-                if cached {
-                    chip.execute(&programs[c].volume);
-                } else {
-                    chip.execute(&mappings[c].compile_volume_for(&residents[c]));
-                }
-                end_kernel_span(chip, Kernel::Volume, stage as u8, now);
-                record_cluster_kernel(chip, "Volume", busy0, energy0);
-            });
+            let math_onpim = &mut self.math.onpim_seconds;
+            let math_host_cost = &self.math_host_cost;
+            self.chips.par_chunks_mut(1).zip(math_onpim.par_chunks_mut(1)).enumerate().for_each(
+                |(c, (chunk, onpim))| {
+                    let chip = &mut chunk[0];
+                    // Volume opens at the stage barrier unless a math
+                    // window (host gate or on-PIM refine) pushed this
+                    // chip's start past it.
+                    let mut vol_t0 =
+                        if math_host_cost[c].seconds > 0.0 { chip.elapsed().max(now) } else { now };
+                    // On-PIM math refinement runs first on the compute
+                    // lane: the finalize multiplies write the staged
+                    // constants Volume is about to broadcast.
+                    if programs[c].math.is_some() {
+                        let t0 = begin_kernel_span(chip);
+                        let (busy0, energy0) = kernel_window_open(chip);
+                        let before = chip.elapsed();
+                        if cached {
+                            chip.execute(programs[c].math.as_ref().unwrap());
+                        } else {
+                            chip.execute(&mappings[c].compile_math_stage_for(&residents[c]));
+                        }
+                        onpim[0] += chip.elapsed() - before;
+                        end_kernel_span(chip, Kernel::MathRefine, stage as u8, t0);
+                        record_cluster_kernel(chip, "MathRefine", busy0, energy0);
+                        if metrics_on {
+                            pim_metrics::global()
+                                .float_counter(
+                                    "cluster_math_onpim_seconds_total",
+                                    &[("chip", chip.metrics_label())],
+                                )
+                                .add((chip.elapsed() - before).max(0.0));
+                        }
+                        vol_t0 = chip.elapsed();
+                    }
+                    let (busy0, energy0) = kernel_window_open(chip);
+                    if cached {
+                        chip.execute(&programs[c].volume);
+                    } else {
+                        chip.execute(&mappings[c].compile_volume_for(&residents[c]));
+                    }
+                    end_kernel_span(chip, Kernel::Volume, stage as u8, vol_t0);
+                    record_cluster_kernel(chip, "Volume", busy0, energy0);
+                },
+            );
 
             // 3. Fence: only Flux waits for the exchange. Whatever the
             // Volume window could not hide is the stage's exposed halo.
-            for (c, chip) in self.chips.iter_mut().enumerate() {
-                let before = chip.elapsed();
-                chip.fence_offchip();
-                let exposed = chip.elapsed() - before;
-                self.halo.exposed_seconds[c] += exposed;
-                if metrics_on {
-                    pim_metrics::global()
-                        .float_counter(
-                            "cluster_exposed_halo_seconds_total",
-                            &[("chip", chip.metrics_label())],
-                        )
-                        .add(exposed.max(0.0));
+            // A single-chip cluster running its math fully on-PIM has no
+            // halo in flight and no host round-trip left mid-stage, so
+            // the pre-Flux off-chip fence is provably a no-op and is
+            // skipped.
+            let skip_fence = self.chips.len() == 1
+                && self.math_decisions[0].placement.is_some_and(|p| !p.any_host());
+            if !skip_fence {
+                for (c, chip) in self.chips.iter_mut().enumerate() {
+                    let before = chip.elapsed();
+                    chip.fence_offchip();
+                    let exposed = chip.elapsed() - before;
+                    self.halo.exposed_seconds[c] += exposed;
+                    if metrics_on {
+                        pim_metrics::global()
+                            .float_counter(
+                                "cluster_exposed_halo_seconds_total",
+                                &[("chip", chip.metrics_label())],
+                            )
+                            .add(exposed.max(0.0));
+                    }
                 }
             }
 
@@ -692,6 +909,7 @@ impl ClusterRunner {
             );
 
             self.halo.stages += 1;
+            self.math.stages += 1;
             if metrics_on {
                 pim_metrics::global().counter("cluster_stages_total", &[]).inc();
             }

@@ -21,6 +21,9 @@ pub enum Kernel {
     Integration,
     /// Host sqrt/inverse preprocessing feeding the LUTs.
     HostPreprocess,
+    /// On-PIM LUT + Newton refinement of the transcendental constants
+    /// (replaces the host preprocess when math is PIM-placed).
+    MathRefine,
     /// One whole LSRK stage (encloses the kernels of that stage).
     RkStage,
     /// Whole time-step (encloses the five stages).
@@ -38,6 +41,7 @@ impl Kernel {
             Kernel::FluxCompute => "Flux compute",
             Kernel::Integration => "Integration",
             Kernel::HostPreprocess => "Host preprocess",
+            Kernel::MathRefine => "Math refine",
             Kernel::RkStage => "RK stage",
             Kernel::Step => "Step",
             Kernel::HaloExchange => "Halo exchange",

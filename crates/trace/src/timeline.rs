@@ -29,6 +29,8 @@ pub struct ObservedBreakdown {
     pub flux_compute: f64,
     pub integration: f64,
     pub host_preprocess: f64,
+    /// On-PIM transcendental refinement (zero when math stays on host).
+    pub math_refine: f64,
     /// Number of LSRK stages observed (averaging divisor).
     pub stages: u32,
 }
@@ -67,6 +69,7 @@ pub fn observed_breakdown(events: &[Event], pid: u32) -> ObservedBreakdown {
             Kernel::Volume => b.volume += dur,
             Kernel::Integration => b.integration += dur,
             Kernel::HostPreprocess => b.host_preprocess += dur,
+            Kernel::MathRefine => b.math_refine += dur,
             Kernel::Flux | Kernel::FluxFetch | Kernel::FluxCompute => {
                 // Split the window by what happened inside it.
                 let (fetch, compute) = split_flux(events, pid, seg.t0, seg.t1);
@@ -101,6 +104,7 @@ pub fn observed_breakdown(events: &[Event], pid: u32) -> ObservedBreakdown {
     b.flux_compute *= inv;
     b.integration *= inv;
     b.host_preprocess *= inv;
+    b.math_refine *= inv;
     b
 }
 

@@ -6,7 +6,9 @@
 //! and sweeps a thread-scaling curve. Writes `BENCH_host.json`.
 //!
 //! `--smoke` runs a small configuration as the CI gate; either mode
-//! exits nonzero if cached replay fails to beat recompilation.
+//! exits nonzero if cached replay fails to beat recompilation, or if
+//! the word-parallel engine stops beating the recorded scalar-engine
+//! baseline for the configuration.
 
 use std::process::ExitCode;
 
@@ -17,18 +19,25 @@ fn main() -> ExitCode {
     let smoke = std::env::args().any(|a| a == "--smoke");
     let cfg = if smoke { HostBenchConfig::smoke() } else { HostBenchConfig::full() };
     println!(
-        "host_bench: level {} × {} chips × {} step(s), {} worker thread(s)",
+        "host_bench: level {} × {} chips × {} step(s) × {} rep(s), {} worker thread(s)",
         cfg.level,
         cfg.chips,
         cfg.steps,
+        cfg.measure_reps,
         rayon::current_num_threads()
     );
 
     let r = host_bench_data(&cfg);
 
     println!("  elements                : {}", r.elements);
-    println!("  seed (recompile) / step : {:.3} s", r.seed_step_seconds);
-    println!("  cached replay / step    : {:.3} s", r.cached_step_seconds);
+    println!(
+        "  seed (recompile) / step : {:.3} s (min of {} reps)",
+        r.seed_step_seconds, r.measure_reps
+    );
+    println!(
+        "  cached replay / step    : {:.3} s (min of {} reps)",
+        r.cached_step_seconds, r.measure_reps
+    );
     println!("  speedup                 : {:.2}x", r.speedup);
     println!("  program compile (once)  : {:.3} s", r.compile_seconds);
     println!("  cached instrs           : {}", r.cached_instrs);
@@ -39,6 +48,12 @@ fn main() -> ExitCode {
         "  traced energy rel err   : {:.4e} (level {} × {} chips)",
         r.trace_energy_rel_err, r.trace_level, r.trace_chips
     );
+    if r.scalar_baseline_step_seconds > 0.0 {
+        println!(
+            "  scalar-engine baseline  : {:.3} s/step ({:.2}x vs vectorized)",
+            r.scalar_baseline_step_seconds, r.speedup_vs_scalar_baseline
+        );
+    }
     for p in &r.thread_scaling {
         println!("  {} thread(s): {:.3} s/step", p.threads, p.step_seconds);
     }
@@ -63,6 +78,16 @@ fn main() -> ExitCode {
 
     if r.speedup < 1.0 {
         eprintln!("host_bench: FAIL — cached replay slower than recompilation ({:.2}x)", r.speedup);
+        return ExitCode::FAILURE;
+    }
+    if r.scalar_baseline_step_seconds > 0.0
+        && r.cached_step_seconds >= r.scalar_baseline_step_seconds
+    {
+        eprintln!(
+            "host_bench: FAIL — vectorized engine regressed to the scalar baseline \
+             ({:.3} s/step vs recorded {:.3} s/step)",
+            r.cached_step_seconds, r.scalar_baseline_step_seconds
+        );
         return ExitCode::FAILURE;
     }
     ExitCode::SUCCESS

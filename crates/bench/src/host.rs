@@ -15,6 +15,10 @@
 //! with the ≤1e-12 equivalence against the native dG solver, a traced
 //! energy ↔ ledger reconciliation, and a thread-scaling curve swept
 //! through [`rayon::set_num_threads`].
+//!
+//! Per-step timings are minima over [`HostBenchConfig::measure_reps`]
+//! repetitions, because the benchmark hosts exhibit one-sided
+//! interference noise that inflates single runs.
 
 use std::fmt::Write as _;
 use std::time::Instant;
@@ -24,6 +28,25 @@ use pim_sim::ChipCapacity;
 use pim_trace::json::number;
 use wavesim_dg::{Acoustic, AcousticMaterial, FluxKind, Solver, State};
 use wavesim_mesh::{Boundary, HexMesh};
+
+/// Recorded cached-replay seconds-per-step of the scalar (row-major,
+/// one-cell-at-a-time) execution engine at the `full()` workload,
+/// measured immediately before the word-parallel engine landed. The
+/// vectorized engine is gated against this number: `host_bench` exits
+/// nonzero if a cached step stops beating it.
+///
+/// Methodology: minimum over five consecutive cached-replay steps in
+/// one process (the host VM shows multi-second interference spikes, so
+/// single-run numbers swing by tens of percent; the min is the stable
+/// statistic). Re-measured whenever the compiled workload changes —
+/// the streams grew substantially when on-PIM math (LUT + Newton)
+/// landed, so older recorded values are not comparable.
+pub const SCALAR_BASELINE_FULL_STEP_SECONDS: f64 = 13.80;
+
+/// Recorded scalar-engine cached-replay seconds-per-step at the
+/// `smoke()` configuration (release build), the CI regression floor.
+/// Minimum of three runs, same methodology as the full constant.
+pub const SCALAR_BASELINE_SMOKE_STEP_SECONDS: f64 = 0.164;
 
 /// What the study runs. `full()` is the acceptance configuration (a
 /// level-5 mesh on four 8 GB chips); `smoke()` is the CI gate.
@@ -37,6 +60,14 @@ pub struct HostBenchConfig {
     pub chips: usize,
     /// Time-steps per timed run.
     pub steps: usize,
+    /// Timed repetitions of both the seed and cached runs; the
+    /// reported per-step numbers are the **minimum** over the reps.
+    /// The benchmark hosts show multi-second interference spikes that
+    /// inflate single runs by tens of percent, and the minimum is the
+    /// stable statistic under one-sided noise. Both paths always run
+    /// the same `steps × measure_reps` total so their final states
+    /// stay comparable bit for bit.
+    pub measure_reps: usize,
     /// Per-chip capacity (level 5 needs 8 GB chips for 4 shards).
     pub capacity: ChipCapacity,
     /// Mesh level of the thread-scaling sweep (smaller than the
@@ -54,6 +85,10 @@ pub struct HostBenchConfig {
     pub trace_level: u32,
     /// Chips in the traced run.
     pub trace_chips: usize,
+    /// Recorded scalar-engine seconds-per-step at this configuration,
+    /// if one was ever measured (`None` for ad-hoc configurations).
+    /// When present, the binary gates the vectorized engine against it.
+    pub scalar_baseline_step_seconds: Option<f64>,
 }
 
 impl HostBenchConfig {
@@ -64,6 +99,7 @@ impl HostBenchConfig {
             n: 2,
             chips: 4,
             steps: 1,
+            measure_reps: 5,
             capacity: ChipCapacity::Gb8,
             scaling_level: 4,
             scaling_chips: 4,
@@ -71,6 +107,7 @@ impl HostBenchConfig {
             threads: vec![1, 2, 4],
             trace_level: 3,
             trace_chips: 2,
+            scalar_baseline_step_seconds: Some(SCALAR_BASELINE_FULL_STEP_SECONDS),
         }
     }
 
@@ -81,6 +118,7 @@ impl HostBenchConfig {
             n: 2,
             chips: 2,
             steps: 2,
+            measure_reps: 3,
             capacity: ChipCapacity::Gb2,
             scaling_level: 3,
             scaling_chips: 2,
@@ -88,6 +126,7 @@ impl HostBenchConfig {
             threads: vec![1, 2],
             trace_level: 2,
             trace_chips: 2,
+            scalar_baseline_step_seconds: Some(SCALAR_BASELINE_SMOKE_STEP_SECONDS),
         }
     }
 }
@@ -107,6 +146,8 @@ pub struct HostBenchResult {
     pub n: usize,
     pub chips: usize,
     pub steps: usize,
+    /// Timed repetitions behind the per-step minima.
+    pub measure_reps: usize,
     pub elements: u64,
     /// Worker threads the headline runs used.
     pub threads: usize,
@@ -115,13 +156,15 @@ pub struct HostBenchResult {
     pub construct_seconds: f64,
     /// The program-cache compilation inside that construction.
     pub compile_seconds: f64,
-    /// Wall-clock of the cached run's `steps` time-steps.
+    /// Wall-clock of all `steps × measure_reps` cached time-steps.
     pub replay_seconds: f64,
     /// Cached-run total: construction + stepping.
     pub total_seconds: f64,
-    /// Seed path (per-stage recompilation), seconds per step.
+    /// Seed path (per-stage recompilation), seconds per step — minimum
+    /// over `measure_reps` timed runs.
     pub seed_step_seconds: f64,
-    /// Cached replay, seconds per step.
+    /// Cached replay, seconds per step — minimum over `measure_reps`
+    /// timed runs.
     pub cached_step_seconds: f64,
     /// `seed_step_seconds / cached_step_seconds`.
     pub speedup: f64,
@@ -135,6 +178,13 @@ pub struct HostBenchResult {
     pub trace_chips: usize,
     /// Worst per-chip |traced − ledger| / ledger over the traced run.
     pub trace_energy_rel_err: f64,
+    /// Recorded scalar-engine seconds-per-step for this configuration
+    /// (0 when no baseline was ever recorded).
+    pub scalar_baseline_step_seconds: f64,
+    /// `scalar_baseline_step_seconds / cached_step_seconds` — how much
+    /// faster the word-parallel engine steps than the recorded scalar
+    /// engine (0 when no baseline exists).
+    pub speedup_vs_scalar_baseline: f64,
     pub thread_scaling: Vec<ThreadPoint>,
 }
 
@@ -172,13 +222,21 @@ pub fn host_bench_data(cfg: &HostBenchConfig) -> HostBenchResult {
     let mesh = HexMesh::refinement_level(cfg.level, Boundary::Periodic);
     let mut reference = initial_solver(&mesh, cfg.n, material);
 
+    // Both paths run `steps × reps` total; each `steps`-long run is
+    // timed separately and the per-step statistic is the minimum over
+    // the reps (see `HostBenchConfig::measure_reps`).
+    let reps = cfg.measure_reps.max(1);
+
     // Seed path: per-stage recompilation, timed per step.
     let mut seed =
         build_cluster(&mesh, cfg.n, material, reference.state(), dt, cfg.chips, cfg.capacity);
     seed.set_program_cache(false);
-    let t0 = Instant::now();
-    seed.run(cfg.steps);
-    let seed_seconds = t0.elapsed().as_secs_f64();
+    let mut seed_step_seconds = f64::INFINITY;
+    for _ in 0..reps {
+        let t0 = Instant::now();
+        seed.run(cfg.steps);
+        seed_step_seconds = seed_step_seconds.min(t0.elapsed().as_secs_f64() / cfg.steps as f64);
+    }
     let seed_state = seed.state();
     drop(seed);
 
@@ -187,15 +245,21 @@ pub fn host_bench_data(cfg: &HostBenchConfig) -> HostBenchResult {
     let mut cached =
         build_cluster(&mesh, cfg.n, material, reference.state(), dt, cfg.chips, cfg.capacity);
     let construct_seconds = t0.elapsed().as_secs_f64();
+    let mut cached_step_seconds = f64::INFINITY;
     let t0 = Instant::now();
-    cached.run(cfg.steps);
+    for _ in 0..reps {
+        let r0 = Instant::now();
+        cached.run(cfg.steps);
+        cached_step_seconds =
+            cached_step_seconds.min(r0.elapsed().as_secs_f64() / cfg.steps as f64);
+    }
     let replay_seconds = t0.elapsed().as_secs_f64();
     let cached_state = cached.state();
 
     // Equivalences: cached vs recompiled must be *exact* (identical
     // instruction streams), cached vs native within roundoff.
     let cached_equals_recompiled = cached_state.max_abs_diff(&seed_state) == 0.0;
-    reference.run(dt, cfg.steps);
+    reference.run(dt, cfg.steps * reps);
     let max_abs_diff_vs_native = cached_state.max_abs_diff(reference.state());
 
     // Traced energy ↔ ledger reconciliation on a smaller cluster
@@ -223,13 +287,12 @@ pub fn host_bench_data(cfg: &HostBenchConfig) -> HostBenchResult {
     }
     rayon::set_num_threads(0);
 
-    let seed_step_seconds = seed_seconds / cfg.steps as f64;
-    let cached_step_seconds = replay_seconds / cfg.steps as f64;
     HostBenchResult {
         level: cfg.level,
         n: cfg.n,
         chips: cfg.chips,
         steps: cfg.steps,
+        measure_reps: reps,
         elements: mesh.num_elements() as u64,
         threads: rayon::current_num_threads(),
         construct_seconds,
@@ -246,6 +309,10 @@ pub fn host_bench_data(cfg: &HostBenchConfig) -> HostBenchResult {
         trace_level: cfg.trace_level,
         trace_chips: cfg.trace_chips,
         trace_energy_rel_err,
+        scalar_baseline_step_seconds: cfg.scalar_baseline_step_seconds.unwrap_or(0.0),
+        speedup_vs_scalar_baseline: cfg
+            .scalar_baseline_step_seconds
+            .map_or(0.0, |b| b / cached_step_seconds),
         thread_scaling,
     }
 }
@@ -291,13 +358,15 @@ pub fn host_json(r: &HostBenchResult) -> String {
     let mut out = String::with_capacity(1024);
     let _ = write!(
         out,
-        "{{\n  \"schema_version\": 1,\n  \
+        "{{\n  \"schema_version\": 2,\n  \
          \"level\": {}, \"n\": {}, \"chips\": {}, \"steps\": {}, \
-         \"elements\": {}, \"threads\": {},\n  \
+         \"measure_reps\": {}, \"elements\": {}, \"threads\": {},\n  \
          \"construct_seconds\": {}, \"compile_seconds\": {}, \
          \"replay_seconds\": {}, \"total_seconds\": {},\n  \
          \"seed_step_seconds\": {}, \"cached_step_seconds\": {}, \
          \"speedup\": {},\n  \
+         \"scalar_baseline_step_seconds\": {}, \
+         \"speedup_vs_scalar_baseline\": {},\n  \
          \"cached_instrs\": {}, \"patch_sites\": {}, \
          \"cached_equals_recompiled\": {},\n  \
          \"max_abs_diff_vs_native\": {},\n  \
@@ -308,6 +377,7 @@ pub fn host_json(r: &HostBenchResult) -> String {
         r.n,
         r.chips,
         r.steps,
+        r.measure_reps,
         r.elements,
         r.threads,
         number(r.construct_seconds),
@@ -317,6 +387,8 @@ pub fn host_json(r: &HostBenchResult) -> String {
         number(r.seed_step_seconds),
         number(r.cached_step_seconds),
         number(r.speedup),
+        number(r.scalar_baseline_step_seconds),
+        number(r.speedup_vs_scalar_baseline),
         r.cached_instrs,
         r.patch_sites,
         r.cached_equals_recompiled,

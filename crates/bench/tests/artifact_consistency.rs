@@ -350,6 +350,7 @@ fn host_artifact_schema_reports_a_winning_program_cache() {
         n: 2,
         chips: 2,
         steps: 4,
+        measure_reps: 1,
         capacity: ChipCapacity::Gb2,
         scaling_level: 2,
         scaling_chips: 2,
@@ -357,6 +358,9 @@ fn host_artifact_schema_reports_a_winning_program_cache() {
         threads: vec![1, 2],
         trace_level: 2,
         trace_chips: 2,
+        // No scalar-engine baseline was ever recorded for this tiny
+        // ad-hoc configuration; the artifact must report that as 0.
+        scalar_baseline_step_seconds: None,
     };
     // The speedup is a wall-clock measurement on a deliberately tiny
     // problem, so a debug run sharing the machine with the rest of the
@@ -371,14 +375,14 @@ fn host_artifact_schema_reports_a_winning_program_cache() {
     }
     let doc = host_json(&r);
     let v = pim_trace::json::parse(&doc).expect("BENCH_host.json schema must parse");
-    assert_eq!(v.get("schema_version").and_then(|x| x.as_f64()), Some(1.0));
+    assert_eq!(v.get("schema_version").and_then(|x| x.as_f64()), Some(2.0));
 
     let field = |k: &str| {
         v.get(k)
             .and_then(|x| x.as_f64())
             .unwrap_or_else(|| panic!("BENCH_host.json missing numeric field {k}"))
     };
-    for k in ["level", "n", "chips", "steps", "elements", "threads"] {
+    for k in ["level", "n", "chips", "steps", "measure_reps", "elements", "threads"] {
         assert!(field(k) > 0.0, "{k} must be positive");
     }
     assert_eq!(field("level"), 2.0);
@@ -392,6 +396,20 @@ fn host_artifact_schema_reports_a_winning_program_cache() {
     assert!(field("speedup") >= 1.0, "cached replay lost to recompilation: {}", field("speedup"));
     let expected = field("seed_step_seconds") / field("cached_step_seconds");
     assert!((field("speedup") - expected).abs() <= 1e-9 * expected);
+
+    // Scalar-engine baseline fields are present even when no baseline
+    // was recorded (both 0), and `full()`/`smoke()` carry the recorded
+    // constants the binary gates on.
+    assert_eq!(field("scalar_baseline_step_seconds"), 0.0);
+    assert_eq!(field("speedup_vs_scalar_baseline"), 0.0);
+    assert_eq!(
+        HostBenchConfig::full().scalar_baseline_step_seconds,
+        Some(wavepim_bench::host::SCALAR_BASELINE_FULL_STEP_SECONDS)
+    );
+    assert_eq!(
+        HostBenchConfig::smoke().scalar_baseline_step_seconds,
+        Some(wavepim_bench::host::SCALAR_BASELINE_SMOKE_STEP_SECONDS)
+    );
 
     // Correctness fields: exact agreement between the two paths,
     // roundoff agreement with the native solver, reconciled energy.

@@ -41,6 +41,11 @@ pub struct StreamStats {
     /// cycle counts differ by ~2× (see `pim-sim::params`).
     pub arith_addlike: u64,
     pub arith_mullike: u64,
+    /// Rows covered by row-parallel arithmetic (each selected row is one
+    /// crossbar activation; the energy model charges per row). Defaults
+    /// to 0 when deserializing stats recorded before this counter.
+    #[serde(default)]
+    pub arith_rows: u64,
     pub luts: u64,
     pub offchip_loads: u64,
     pub offchip_stores: u64,
@@ -76,8 +81,13 @@ impl StreamStats {
                 self.copies += 1;
                 self.copy_words += *words as u64;
             }
-            Instr::Arith { op, .. } => {
+            Instr::Arith { op, first_row, last_row, .. } => {
                 self.ariths += 1;
+                // `saturating_sub`, like `broadcast_rows`: a degenerate
+                // range (last < first) counts one row here and is rejected
+                // by the block when executed — the counters must never be
+                // the thing that panics first.
+                self.arith_rows += (*last_row as u64).saturating_sub(*first_row as u64) + 1;
                 match op {
                     crate::AluOp::Mul | crate::AluOp::Mac => self.arith_mullike += 1,
                     _ => self.arith_addlike += 1,
@@ -107,11 +117,22 @@ impl StreamStats {
         self.ariths += other.ariths;
         self.arith_addlike += other.arith_addlike;
         self.arith_mullike += other.arith_mullike;
+        self.arith_rows += other.arith_rows;
         self.luts += other.luts;
         self.offchip_loads += other.offchip_loads;
         self.offchip_stores += other.offchip_stores;
         self.offchip_bytes += other.offchip_bytes;
         self.syncs += other.syncs;
+    }
+
+    /// Crossbar row activations implied by the counted instructions: one
+    /// row per read/write, one per destination row of a broadcast, one
+    /// per selected row of a row-parallel arithmetic op, and three per
+    /// LUT fetch (Algorithm 1: two reads plus the result write). O(1)
+    /// from the running counters — the simulator's metrics path used to
+    /// rescan the whole stream for this.
+    pub fn row_activations(&self) -> u64 {
+        self.reads + self.writes + self.broadcast_rows + self.arith_rows + 3 * self.luts
     }
 
     /// Scales all counters (e.g. one element's stream × element count).
@@ -126,6 +147,7 @@ impl StreamStats {
             ariths: self.ariths * by,
             arith_addlike: self.arith_addlike * by,
             arith_mullike: self.arith_mullike * by,
+            arith_rows: self.arith_rows * by,
             luts: self.luts * by,
             offchip_loads: self.offchip_loads * by,
             offchip_stores: self.offchip_stores * by,
@@ -265,6 +287,69 @@ mod tests {
         assert_eq!(st.syncs, 1);
         assert_eq!(st.total(), 8);
         assert_eq!(s.len(), 8);
+    }
+
+    #[test]
+    fn arith_rows_and_row_activations_track_pushes() {
+        let mut s = InstrStream::new();
+        s.push(Instr::Arith {
+            block: BlockId(0),
+            op: AluOp::Mul,
+            first_row: 0,
+            last_row: 511,
+            dst: 0,
+            a: 1,
+            b: 2,
+        });
+        s.push(Instr::Arith {
+            block: BlockId(0),
+            op: AluOp::Add,
+            first_row: 10,
+            last_row: 10,
+            dst: 0,
+            a: 1,
+            b: 2,
+        });
+        s.push(Instr::Read { block: BlockId(0), row: 0, offset: 0, words: 1 });
+        s.push(Instr::Write { block: BlockId(0), row: 0, offset: 0, words: 1 });
+        s.push(Instr::Broadcast {
+            block: BlockId(0),
+            dst_first: 0,
+            dst_last: 3,
+            offset: 0,
+            words: 1,
+        });
+        s.push(Instr::Lut { row: 0, offset_s: 0, lut_block: 1, offset_d: 1 });
+        let st = s.stats();
+        assert_eq!(st.arith_rows, 513);
+        assert_eq!(st.row_activations(), 513 + 1 + 1 + 4 + 3);
+    }
+
+    #[test]
+    fn degenerate_ranges_saturate_to_one_row_in_both_counters() {
+        // A malformed (last < first) range must count one row, exactly
+        // like `broadcast_rows` — the simulator rejects the instruction
+        // at execution; the counters stay panic-free.
+        let mut st = StreamStats::default();
+        st.record(&Instr::Broadcast {
+            block: BlockId(0),
+            dst_first: 7,
+            dst_last: 2,
+            offset: 0,
+            words: 1,
+        });
+        st.record(&Instr::Arith {
+            block: BlockId(0),
+            op: AluOp::Add,
+            first_row: 9,
+            last_row: 3,
+            dst: 0,
+            a: 1,
+            b: 2,
+        });
+        assert_eq!(st.broadcast_rows, 1);
+        assert_eq!(st.arith_rows, 1);
+        assert_eq!(st.row_activations(), 2);
     }
 
     #[test]

@@ -26,8 +26,6 @@
 //! [`PimChip::finish`] fences implicitly so no off-chip time is ever
 //! dropped from the report.
 
-use std::collections::HashMap;
-
 use pim_isa::{AluOp, BlockId, Instr, InstrStream, StreamStats, BLOCK_ROWS, WORDS_PER_ROW};
 use pim_trace::{Payload, TID_HOST, TID_INTERCONNECT, TID_OFFCHIP};
 
@@ -91,10 +89,27 @@ pub struct PimChip {
     htree: HTreeNetwork,
     bus: BusNetwork,
     host: HostModel,
-    blocks: HashMap<u32, MemBlock>,
-    block_ready: HashMap<u32, f64>,
-    block_busy: HashMap<u32, f64>,
-    resource_ready: HashMap<Resource, f64>,
+    /// Block contents, indexed by `BlockId.0`. Allocation stays lazy —
+    /// an untouched block is `None` (a Gb16 chip has 131K blocks ×
+    /// 256 KiB each, so materializing all of them up front would be
+    /// 32 GiB) — but lookup is a single indexed load into a table of
+    /// pointers instead of a hash probe, and the slot can be prefetched
+    /// ahead of use (see [`Self::prefetch_instr`]).
+    blocks: Vec<Option<Box<MemBlock>>>,
+    /// Dense per-block timelines, indexed by `BlockId.0`: the ready/busy
+    /// clocks are one `f64` per block, so the interpreter's hot path
+    /// indexes flat arrays instead of hashing.
+    block_ready: Vec<f64>,
+    block_busy: Vec<f64>,
+    /// Which blocks any instruction has touched (for utilization over
+    /// *active* blocks — a touched block can have 0.0 busy seconds).
+    block_touched: Vec<bool>,
+    touched_blocks: usize,
+    /// Dense per-resource timeline; see [`Self::resource_index`].
+    resource_ready: Vec<f64>,
+    /// Reusable scratch for routed paths; see [`Self::take_route`].
+    route_scratch: Vec<Resource>,
+    resource_slots_per_tile: usize,
     offchip_ready: f64,
     host_ready: f64,
     barrier: f64,
@@ -208,25 +223,57 @@ impl ChipMetrics {
     }
 }
 
-/// Crossbar row activations implied by a stream: one row per read/write,
-/// one per destination row of a broadcast, one per row of a row-parallel
-/// arithmetic op, and three for a LUT fetch (Algorithm 1: two reads plus
-/// the result write). Only evaluated while metrics are enabled.
-fn stream_row_activations(stream: &InstrStream) -> u64 {
-    let mut rows = 0u64;
-    for instr in stream.instrs() {
-        rows += match *instr {
-            Instr::Read { .. } | Instr::Write { .. } => 1,
-            Instr::Broadcast { dst_first, dst_last, .. } => u64::from(dst_last - dst_first) + 1,
-            Instr::Arith { first_row, last_row, .. } => u64::from(last_row - first_row) + 1,
-            Instr::Lut { .. } => 3,
-            Instr::Copy { .. }
-            | Instr::Sync
-            | Instr::LoadOffchip { .. }
-            | Instr::StoreOffchip { .. } => 0,
-        };
+/// The single block a purely block-local instruction occupies, or `None`
+/// for instructions that touch the interconnect, the off-chip channel,
+/// the barrier, or more than one block. Consecutive instructions that
+/// agree on `Some(block)` are fused into one [`PimChip::execute_block_run`].
+#[inline]
+fn block_local(instr: &Instr) -> Option<BlockId> {
+    match *instr {
+        Instr::Read { block, .. }
+        | Instr::Write { block, .. }
+        | Instr::Broadcast { block, .. }
+        | Instr::Arith { block, .. } => Some(block),
+        Instr::Copy { .. }
+        | Instr::Lut { .. }
+        | Instr::Sync
+        | Instr::LoadOffchip { .. }
+        | Instr::StoreOffchip { .. } => None,
     }
-    rows
+}
+
+/// Hints the cells a block-local instruction will touch in `b` (which
+/// the caller has already resolved to the instruction's target block).
+/// `Copy` moves row buffers only and DMAs touch no cells, so neither
+/// appears here. Store targets use the write-intent hint. Ops that go
+/// through the row buffer also hint the buffer itself — the per-block
+/// structs are tiny but there are thousands of them, so they miss just
+/// like the plane data once the working set outgrows the caches.
+#[inline]
+fn prefetch_block_local(b: &MemBlock, instr: &Instr) {
+    match *instr {
+        Instr::Read { row, offset, words, .. } => {
+            b.prefetch_row_buffer();
+            b.prefetch_words(row as usize, offset as usize, words as usize, false);
+        }
+        Instr::Write { row, offset, words, .. } => {
+            b.prefetch_row_buffer();
+            b.prefetch_words(row as usize, offset as usize, words as usize, true);
+        }
+        Instr::Broadcast { dst_first, dst_last, offset, words, .. } => {
+            b.prefetch_row_buffer();
+            for w in 0..words as usize {
+                b.prefetch_col(offset as usize + w, dst_first as usize, dst_last as usize, true);
+            }
+        }
+        Instr::Arith { first_row, last_row, dst, a, b: rhs, .. } => {
+            let (first, last) = (first_row as usize, last_row as usize);
+            b.prefetch_col(a as usize, first, last, false);
+            b.prefetch_col(rhs as usize, first, last, false);
+            b.prefetch_col(dst as usize, first, last, true);
+        }
+        _ => {}
+    }
 }
 
 /// Static op name for trace payloads.
@@ -241,17 +288,40 @@ fn alu_name(op: AluOp) -> &'static str {
     }
 }
 
+/// How far past the segment being executed the prefetch cursor in
+/// [`PimChip::execute`] runs. Executing one instruction costs tens of
+/// nanoseconds, so 16 instructions of lookahead gives each hinted
+/// line comfortably more than a DRAM round-trip to arrive while still
+/// bounding how many line-fill buffers the hints occupy (measured:
+/// 16 beats both 8 and 32 on the level-5 workload).
+const PREFETCH_AHEAD: usize = 16;
+
 impl PimChip {
     pub fn new(config: ChipConfig) -> Self {
+        let htree = HTreeNetwork::new();
+        let num_blocks = config.capacity.num_blocks() as usize;
+        let num_tiles = num_blocks / pim_isa::BLOCKS_PER_TILE;
+        // One slot per tile bus plus one per H-tree switch; slot 0 is the
+        // chip router. The denser of the two interconnects sizes the
+        // table so either kind indexes without collisions.
+        let resource_slots_per_tile = 1 + htree.switches_per_tile() as usize;
         Self {
             config,
-            htree: HTreeNetwork::new(),
+            htree,
             bus: BusNetwork::new(),
             host: HostModel::default(),
-            blocks: HashMap::new(),
-            block_ready: HashMap::new(),
-            block_busy: HashMap::new(),
-            resource_ready: HashMap::new(),
+            blocks: {
+                let mut v = Vec::new();
+                v.resize_with(num_blocks, || None);
+                v
+            },
+            block_ready: vec![0.0; num_blocks],
+            block_busy: vec![0.0; num_blocks],
+            block_touched: vec![false; num_blocks],
+            touched_blocks: 0,
+            resource_ready: vec![0.0; 1 + num_tiles * resource_slots_per_tile],
+            route_scratch: Vec::new(),
+            resource_slots_per_tile,
             offchip_ready: 0.0,
             host_ready: 0.0,
             barrier: 0.0,
@@ -349,7 +419,7 @@ impl PimChip {
     /// idle for `num_blocks() × elapsed − total_block_busy_seconds()`
     /// block-seconds.
     pub fn total_block_busy_seconds(&self) -> f64 {
-        self.block_busy.values().sum()
+        self.block_busy.iter().sum()
     }
 
     pub fn host(&self) -> &HostModel {
@@ -359,7 +429,7 @@ impl PimChip {
     /// Read access to a block's storage (allocating it zeroed if new).
     pub fn block(&mut self, id: BlockId) -> &MemBlock {
         self.check_block(id);
-        self.blocks.entry(id.0).or_default()
+        self.blocks[id.0 as usize].get_or_insert_with(Box::default)
     }
 
     /// Mutable access for host-side preloading of inputs and LUT contents
@@ -368,7 +438,7 @@ impl PimChip {
     /// instructions, not here).
     pub fn block_mut(&mut self, id: BlockId) -> &mut MemBlock {
         self.check_block(id);
-        self.blocks.entry(id.0).or_default()
+        self.blocks[id.0 as usize].get_or_insert_with(Box::default)
     }
 
     fn check_block(&self, id: BlockId) {
@@ -421,39 +491,82 @@ impl PimChip {
         if self.elapsed <= 0.0 {
             return 0.0;
         }
-        self.block_busy.get(&id.0).copied().unwrap_or(0.0) / self.elapsed
+        self.block_busy.get(id.0 as usize).copied().unwrap_or(0.0) / self.elapsed
     }
 
     /// Mean utilization over the blocks that were touched at all.
     pub fn mean_active_utilization(&self) -> f64 {
-        if self.block_busy.is_empty() || self.elapsed <= 0.0 {
+        if self.touched_blocks == 0 || self.elapsed <= 0.0 {
             return 0.0;
         }
-        self.block_busy.values().sum::<f64>() / (self.block_busy.len() as f64 * self.elapsed)
+        self.block_busy.iter().sum::<f64>() / (self.touched_blocks as f64 * self.elapsed)
     }
 
-    fn route(&self, src: BlockId, dst: BlockId) -> Vec<Resource> {
+    /// Routes `src → dst` into the chip's reusable scratch path and
+    /// returns it (the caller hands it back via [`Self::put_route`]).
+    /// Taking the vector out keeps the borrow checker happy while the
+    /// caller goes on to mutate timelines, and reuses one allocation
+    /// across every `Copy`/`Lut` of a stream.
+    fn take_route(&mut self, src: BlockId, dst: BlockId) -> Vec<Resource> {
+        let mut path = std::mem::take(&mut self.route_scratch);
         match self.config.interconnect {
-            InterconnectKind::HTree => self.htree.route(src, dst),
-            InterconnectKind::Bus => self.bus.route(src, dst),
+            InterconnectKind::HTree => self.htree.route_into(src, dst, &mut path),
+            InterconnectKind::Bus => self.bus.route_into(src, dst, &mut path),
+        }
+        path
+    }
+
+    fn put_route(&mut self, path: Vec<Resource>) {
+        self.route_scratch = path;
+    }
+
+    /// Transfer duration and energy, with the hop count taken from the
+    /// already-routed path rather than re-deriving the route.
+    fn transfer_cost(&self, t: &Transfer, hops: usize) -> (f64, f64) {
+        match self.config.interconnect {
+            InterconnectKind::HTree => {
+                (self.htree.duration(t), self.htree.energy_with_hops(t, hops))
+            }
+            InterconnectKind::Bus => (self.bus.duration(t), self.bus.energy_with_hops(t, hops)),
         }
     }
 
-    fn transfer_cost(&self, t: &Transfer) -> (f64, f64) {
-        match self.config.interconnect {
-            InterconnectKind::HTree => (self.htree.duration(t), self.htree.energy(t)),
-            InterconnectKind::Bus => (self.bus.duration(t), self.bus.energy(t)),
+    /// Dense slot of an interconnect resource in [`Self::resource_ready`]:
+    /// slot 0 is the chip router; each tile then gets a contiguous run of
+    /// `resource_slots_per_tile` slots — its bus first, then its H-tree
+    /// switches in [`HTreeNetwork::switch_slot`] order.
+    #[inline]
+    fn resource_index(&self, r: &Resource) -> usize {
+        match *r {
+            Resource::ChipRouter => 0,
+            Resource::TileBus { tile } => 1 + tile as usize * self.resource_slots_per_tile,
+            Resource::Switch { tile, level, index } => {
+                1 + tile as usize * self.resource_slots_per_tile
+                    + 1
+                    + self.htree.switch_slot(level, index) as usize
+            }
+        }
+    }
+
+    #[inline]
+    fn mark_touched(&mut self, idx: usize) {
+        if !self.block_touched[idx] {
+            self.block_touched[idx] = true;
+            self.touched_blocks += 1;
         }
     }
 
     fn block_start(&self, id: BlockId) -> f64 {
-        self.block_ready.get(&id.0).copied().unwrap_or(0.0).max(self.barrier)
+        self.check_block(id); // keeps the capacity panic message, not an index panic
+        self.block_ready[id.0 as usize].max(self.barrier)
     }
 
     fn finish_block(&mut self, id: BlockId, at: f64) {
-        let start = self.block_ready.get(&id.0).copied().unwrap_or(0.0).max(self.barrier);
-        *self.block_busy.entry(id.0).or_insert(0.0) += (at - start).max(0.0);
-        self.block_ready.insert(id.0, at);
+        let idx = id.0 as usize;
+        let start = self.block_ready[idx].max(self.barrier);
+        self.mark_touched(idx);
+        self.block_busy[idx] += (at - start).max(0.0);
+        self.block_ready[idx] = at;
         self.elapsed = self.elapsed.max(at);
     }
 
@@ -462,21 +575,55 @@ impl PimChip {
     /// advance `elapsed` — the transfer rides the off-chip lane until
     /// something depends on it.
     fn finish_block_offchip(&mut self, id: BlockId, start: f64, at: f64) {
-        *self.block_busy.entry(id.0).or_insert(0.0) += (at - start).max(0.0);
-        self.block_ready.insert(id.0, at);
+        let idx = id.0 as usize;
+        self.mark_touched(idx);
+        self.block_busy[idx] += (at - start).max(0.0);
+        self.block_ready[idx] = at;
     }
 
     /// Executes a stream. Instructions issue in order; execution overlaps
     /// wherever the resources (blocks, switches, off-chip channel) are
     /// disjoint. `Sync` is a full barrier.
+    ///
+    /// Runs of consecutive instructions on the *same* block — the
+    /// compiler's dominant shape, since each element's kernel is a burst
+    /// of row-parallel ops on its home block — take a batched fast path
+    /// ([`Self::execute_block_run`]) that looks the block up once and
+    /// replays the per-op bookkeeping in one pass.
     pub fn execute(&mut self, stream: &InstrStream) {
         // Metrics are published once per stream from the ledger/clock
         // deltas and the precomputed `StreamStats` — the per-instruction
         // path stays untouched, so the disabled cost is one relaxed load
         // per `execute`, not per instruction.
         let before = pim_metrics::enabled().then_some((self.ledger, self.elapsed));
-        for instr in stream.instrs() {
-            self.execute_one(instr);
+        let instrs = stream.instrs();
+        let mut spans = Vec::new();
+        let mut i = 0;
+        // Decoupled access/execute: the whole stream is known up front,
+        // so a prefetch cursor runs ahead of the instruction being
+        // executed and hints the cells it will touch into the caches.
+        // At cluster scale the plane working set is GBs spread over
+        // thousands of blocks — without the hints nearly every cell
+        // access is a dependent DRAM miss paid one at a time.
+        let mut pf = 0;
+        while i < instrs.len() {
+            let Some(block) = block_local(&instrs[i]) else {
+                self.prefetch_to(instrs, &mut pf, i + 1 + PREFETCH_AHEAD);
+                self.execute_one(&instrs[i]);
+                i += 1;
+                continue;
+            };
+            let mut j = i + 1;
+            while j < instrs.len() && block_local(&instrs[j]) == Some(block) {
+                j += 1;
+            }
+            if j - i >= 2 {
+                self.execute_block_run(block, instrs, i, j, &mut pf, &mut spans);
+            } else {
+                self.prefetch_to(instrs, &mut pf, j + PREFETCH_AHEAD);
+                self.execute_one(&instrs[i]);
+            }
+            i = j;
         }
         // Host dispatch of the whole stream is a lower bound on elapsed
         // time: the chip cannot outrun its instruction feed.
@@ -498,8 +645,8 @@ impl PimChip {
         if let Some((ledger_before, elapsed_before)) = before {
             let ledger_after = self.ledger;
             let elapsed_after = self.elapsed;
-            let rows = stream_row_activations(stream);
             let stats = *stream.stats();
+            let rows = stats.row_activations();
             let metrics = self.metrics();
             metrics.add_energy_delta(&ledger_before, &ledger_after);
             metrics.add_opcode_mix(&stats);
@@ -513,6 +660,173 @@ impl PimChip {
             if rows > 0 {
                 metrics.row_activations.add(rows);
             }
+        }
+    }
+
+    /// Best-effort prefetch of the plane cells `instr` will touch.
+    /// Only already-materialized blocks are hinted (a `None` slot means
+    /// the block is still all zeros and will be allocated on first
+    /// touch); nothing observable changes either way.
+    #[inline]
+    fn prefetch_instr(&self, instr: &Instr) {
+        let resident = |id: BlockId| self.blocks.get(id.0 as usize).and_then(|s| s.as_deref());
+        match *instr {
+            Instr::Lut { row, offset_s, lut_block, offset_d } => {
+                let holder = BlockId(row / BLOCK_ROWS as u32);
+                let row_in_block = row as usize % BLOCK_ROWS;
+                if let Some(b) = resident(holder) {
+                    b.prefetch_words(row_in_block, offset_d as usize, 1, true);
+                    // The content fetch is data-dependent, so peek at
+                    // the index word now: if an instruction between the
+                    // cursor and execution rewrites it we merely hint a
+                    // stale line — the real access re-reads the cell.
+                    let raw = b.get(row_in_block, offset_s as usize);
+                    if let (Ok(index), Some(lut)) =
+                        (pim_isa::lut::try_index_word(raw), resident(BlockId(lut_block)))
+                    {
+                        let index = index as usize;
+                        lut.prefetch_words(index / WORDS_PER_ROW, index % WORDS_PER_ROW, 1, false);
+                    }
+                }
+            }
+            Instr::Copy { src, dst, .. } => {
+                // Copy moves one row buffer into another: no plane
+                // cells, but both block structs get touched.
+                if let Some(b) = resident(src) {
+                    b.prefetch_row_buffer();
+                }
+                if let Some(b) = resident(dst) {
+                    b.prefetch_row_buffer();
+                }
+            }
+            _ => {
+                if let Some(b) = block_local(instr).and_then(resident) {
+                    prefetch_block_local(b, instr);
+                }
+            }
+        }
+    }
+
+    /// Advances the prefetch cursor `pf` to `target` (clamped to the
+    /// stream end), hinting each passed instruction's cells.
+    #[inline]
+    fn prefetch_to(&self, instrs: &[Instr], pf: &mut usize, target: usize) {
+        let target = target.min(instrs.len());
+        while *pf < target {
+            self.prefetch_instr(&instrs[*pf]);
+            *pf += 1;
+        }
+    }
+
+    /// Batched fast path for a run of ≥2 consecutive block-local
+    /// instructions (Read/Write/Broadcast/Arith) on one block: one
+    /// capacity check and one block-map lookup for the whole run, with
+    /// the per-op ledger charges, busy/ready clock updates and trace
+    /// spans replayed in exactly the order the one-at-a-time path
+    /// produces. Within a run every op starts when the previous one
+    /// finishes (same block ⇒ fully serialized), so the clock chain is
+    /// a running `t` rather than repeated timeline lookups; the f64
+    /// accumulation order of every observable (ledger joules, busy
+    /// seconds, elapsed) is preserved bit for bit.
+    ///
+    /// `spans` is caller-owned scratch (drained before returning) so a
+    /// traced run reuses one allocation across the stream.
+    ///
+    /// The run is `instrs[i..j]`; the full stream and the prefetch
+    /// cursor `pf` come along so the lookahead keeps pacing itself one
+    /// instruction at a time through the run (issuing a long run's
+    /// hints in one burst would overflow the core's fill buffers and
+    /// get most of them dropped). The block is *taken out* of its slot
+    /// for the duration so the cursor can still hint other blocks
+    /// through `&self`; run-local targets are hinted directly.
+    fn execute_block_run(
+        &mut self,
+        block: BlockId,
+        instrs: &[Instr],
+        i: usize,
+        j: usize,
+        pf: &mut usize,
+        spans: &mut Vec<(f64, f64, Payload)>,
+    ) {
+        self.check_block(block);
+        let idx = block.0 as usize;
+        self.mark_touched(idx);
+        let tracing = pim_trace::enabled();
+        let mut t = self.block_ready[idx].max(self.barrier);
+        let mut busy = self.block_busy[idx];
+        let mut b = self.blocks[idx].take().unwrap_or_default();
+        for (k, instr) in instrs[i..j].iter().enumerate() {
+            let ahead = (i + k + 1 + PREFETCH_AHEAD).min(instrs.len());
+            while *pf < ahead {
+                let upcoming = &instrs[*pf];
+                if block_local(upcoming) == Some(block) {
+                    prefetch_block_local(&b, upcoming);
+                } else {
+                    self.prefetch_instr(upcoming);
+                }
+                *pf += 1;
+            }
+            let (cost, payload) = match *instr {
+                Instr::Read { row, offset, words, .. } => {
+                    let cost = b.read_to_buffer(row as usize, offset as usize, words as usize);
+                    self.ledger.reads += cost.joules;
+                    (cost, Payload::BlockOp { op: "read", nor_cycles: 0, energy_j: cost.joules })
+                }
+                Instr::Write { row, offset, words, .. } => {
+                    let cost = b.write_from_buffer(row as usize, offset as usize, words as usize);
+                    self.ledger.writes += cost.joules;
+                    (cost, Payload::BlockOp { op: "write", nor_cycles: 0, energy_j: cost.joules })
+                }
+                Instr::Broadcast { dst_first, dst_last, offset, words, .. } => {
+                    let cost = b.broadcast(
+                        dst_first as usize,
+                        dst_last as usize,
+                        offset as usize,
+                        words as usize,
+                    );
+                    self.ledger.writes += cost.joules;
+                    (
+                        cost,
+                        Payload::BlockOp { op: "broadcast", nor_cycles: 0, energy_j: cost.joules },
+                    )
+                }
+                Instr::Arith { op, first_row, last_row, dst, a, b: rhs, .. } => {
+                    let cost = b.arith(
+                        op,
+                        first_row as usize,
+                        last_row as usize,
+                        dst as usize,
+                        a as usize,
+                        rhs as usize,
+                    );
+                    self.ledger.compute += cost.joules;
+                    (
+                        cost,
+                        Payload::BlockOp {
+                            op: alu_name(op),
+                            nor_cycles: params::alu_cycles(op),
+                            energy_j: cost.joules,
+                        },
+                    )
+                }
+                _ => unreachable!("execute_block_run only fuses block-local instructions"),
+            };
+            // Identical to finish_block op by op: the previous op's
+            // finish time is ≥ the barrier, so `.max(barrier)` would
+            // return it unchanged.
+            let t1 = t + cost.seconds;
+            busy += (t1 - t).max(0.0);
+            if tracing {
+                spans.push((t, t1, payload));
+            }
+            t = t1;
+        }
+        self.blocks[idx] = Some(b);
+        self.block_busy[idx] = busy;
+        self.block_ready[idx] = t;
+        self.elapsed = self.elapsed.max(t);
+        for (t0, t1, payload) in spans.drain(..) {
+            self.trace(block.0, t0, t1, payload);
         }
     }
 
@@ -599,16 +913,18 @@ impl PimChip {
             }
             Instr::Copy { src, dst, words } => {
                 let t = Transfer { src, dst, words: words as u32 };
-                let path = self.route(src, dst);
-                let (dur, joules) = self.transfer_cost(&t);
+                let path = self.take_route(src, dst);
+                let (dur, joules) = self.transfer_cost(&t, path.len());
                 let mut start = self.block_start(src).max(self.block_start(dst));
                 for r in &path {
-                    start = start.max(self.resource_ready.get(r).copied().unwrap_or(0.0));
+                    start = start.max(self.resource_ready[self.resource_index(r)]);
                 }
                 let finish = start + dur;
-                for r in path {
-                    self.resource_ready.insert(r, finish);
+                for r in &path {
+                    let slot = self.resource_index(r);
+                    self.resource_ready[slot] = finish;
                 }
+                self.put_route(path);
                 // Move the data: source row buffer → destination buffer.
                 let buf = *self.block(src).row_buffer();
                 self.block_mut(dst).load_row_buffer(&buf[..(words as usize).min(WORDS_PER_ROW)]);
@@ -632,35 +948,45 @@ impl PimChip {
 
                 let start = self.block_start(holder).max(self.block_start(lut));
 
-                let (index, read1_joules) = {
+                let (raw, read1_joules) = {
                     let b = self.block_mut(holder);
                     let cost = b.read_to_buffer(row_in_block, offset_s as usize, 1);
                     (b.row_buffer()[0], cost.joules)
                 };
                 self.ledger.reads += read1_joules;
-                let index = index.round() as usize;
-                // Route the address math through the fallible expansion so
-                // a malformed program (index past the table block) becomes
-                // a diagnostic, not a crash: the index read that physically
-                // happened stays charged, the content fetch and write-back
-                // are skipped.
-                if let Err(e) = pim_isa::lut::try_expand(instr, index.min(u32::MAX as usize) as u32)
-                {
-                    self.diagnostics.push(format!(
-                        "skipped Lut at row {row} offset_s {offset_s}: {e} \
-                         (index word read as {index})"
-                    ));
-                    self.finish_block(holder, start + params::T_SEARCH);
-                    if pim_trace::enabled() {
+                // Validate the raw word (negative and NaN words would
+                // silently cast to index 0), then route the rounded index
+                // through the fallible expansion so a malformed program
+                // (index past the table block) becomes a diagnostic, not a
+                // crash or a bogus entry-0 fetch: the index read that
+                // physically happened stays charged, the content fetch and
+                // write-back are skipped.
+                let checked = pim_isa::lut::try_index_word(raw)
+                    .and_then(|index| pim_isa::lut::try_expand(instr, index).map(|_| index));
+                let index = match checked {
+                    Ok(index) => index as usize,
+                    Err(e) => {
+                        self.diagnostics.push(format!(
+                            "skipped Lut at row {row} offset_s {offset_s}: {e} \
+                             (index word read as {raw})"
+                        ));
+                        // The skip's timeline matches the normal path's
+                        // shape: both blocks the instruction reserved are
+                        // released at the point the failure was detected,
+                        // and the span that physically happened is traced
+                        // through the same self-gating `trace` as every
+                        // other instruction.
+                        self.finish_block(holder, start + params::T_SEARCH);
+                        self.finish_block(lut, start + params::T_SEARCH);
                         self.trace(
                             holder.0,
                             start,
                             start + params::T_SEARCH,
                             Payload::BlockOp { op: "read", nor_cycles: 0, energy_j: read1_joules },
                         );
+                        return;
                     }
-                    return;
-                }
+                };
                 let (content, read2_joules) = {
                     let b = self.block_mut(lut);
                     let cost = b.read_to_buffer(index / WORDS_PER_ROW, index % WORDS_PER_ROW, 1);
@@ -669,16 +995,18 @@ impl PimChip {
                 self.ledger.reads += read2_joules;
 
                 let t = Transfer { src: lut, dst: holder, words: 1 };
-                let path = self.route(lut, holder);
-                let (dur, joules) = self.transfer_cost(&t);
+                let path = self.take_route(lut, holder);
+                let (dur, joules) = self.transfer_cost(&t, path.len());
                 let mut xfer_start = start + 2.0 * params::T_SEARCH;
                 for r in &path {
-                    xfer_start = xfer_start.max(self.resource_ready.get(r).copied().unwrap_or(0.0));
+                    xfer_start = xfer_start.max(self.resource_ready[self.resource_index(r)]);
                 }
                 let xfer_finish = xfer_start + dur;
-                for r in path {
-                    self.resource_ready.insert(r, xfer_finish);
+                for r in &path {
+                    let slot = self.resource_index(r);
+                    self.resource_ready[slot] = xfer_finish;
                 }
+                self.put_route(path);
                 self.ledger.interconnect += joules;
 
                 let b = self.block_mut(holder);
@@ -854,6 +1182,14 @@ mod tests {
         PimChip::new(ChipConfig::default_2gb())
     }
 
+    /// Serializes the tests that enable + drain the global trace registry
+    /// (drain collects every thread's ring, so two concurrent drainers
+    /// would steal each other's spans).
+    fn trace_test_lock() -> std::sync::MutexGuard<'static, ()> {
+        static LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+        LOCK.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+    }
+
     fn arith(block: u32, op: AluOp, rows: u16) -> Instr {
         Instr::Arith {
             block: BlockId(block),
@@ -885,6 +1221,80 @@ mod tests {
             overlapped < serialized * 0.6,
             "distinct blocks must overlap: {overlapped} vs {serialized}"
         );
+    }
+
+    #[test]
+    fn fused_block_runs_are_bit_identical_to_the_one_at_a_time_path() {
+        // The batched fast path fuses runs of same-block instructions;
+        // every observable — cell contents, ledger joules, busy/ready
+        // clocks, elapsed — must come out bit-identical to driving
+        // `execute_one` per instruction.
+        let instrs = [
+            Instr::Read { block: BlockId(0), row: 3, offset: 0, words: 4 },
+            Instr::Broadcast {
+                block: BlockId(0),
+                dst_first: 0,
+                dst_last: 511,
+                offset: 28,
+                words: 2,
+            },
+            arith(0, AluOp::Mul, 512),
+            arith(0, AluOp::Mac, 512),
+            Instr::Write { block: BlockId(0), row: 700, offset: 5, words: 3 },
+            arith(1, AluOp::Add, 16), // splits the run: different block
+            arith(1, AluOp::Neg, 16),
+            arith(0, AluOp::Sub, 100),
+        ];
+        let preload = |c: &mut PimChip| {
+            for row in 0..512 {
+                c.block_mut(BlockId(0)).set(row, 0, row as f64 * 0.25 - 17.0);
+                c.block_mut(BlockId(0)).set(row, 1, 1.0 / (row as f64 + 1.0));
+            }
+        };
+        let mut fused = chip();
+        preload(&mut fused);
+        let mut s = InstrStream::new();
+        for i in &instrs {
+            s.push(*i);
+        }
+        fused.execute(&s);
+
+        let mut single = chip();
+        preload(&mut single);
+        for i in &instrs {
+            single.execute_one(i);
+        }
+        // Replicate execute()'s dispatch epilogue so the two chips saw
+        // the same total work.
+        let dispatch = single.host.dispatch_time(instrs.len() as u64);
+        single.ledger.host += dispatch * single.host.power();
+        single.elapsed = single.elapsed.max(dispatch);
+        single.host_ready = single.host_ready.max(dispatch);
+
+        assert_eq!(fused.elapsed.to_bits(), single.elapsed.to_bits(), "elapsed");
+        for (name, f, s) in [
+            ("compute", fused.ledger.compute, single.ledger.compute),
+            ("reads", fused.ledger.reads, single.ledger.reads),
+            ("writes", fused.ledger.writes, single.ledger.writes),
+            ("host", fused.ledger.host, single.ledger.host),
+        ] {
+            assert_eq!(f.to_bits(), s.to_bits(), "ledger.{name}");
+        }
+        for id in [0u32, 1] {
+            let i = id as usize;
+            assert_eq!(fused.block_ready[i].to_bits(), single.block_ready[i].to_bits());
+            assert_eq!(fused.block_busy[i].to_bits(), single.block_busy[i].to_bits());
+            for row in 0..BLOCK_ROWS {
+                for col in 0..WORDS_PER_ROW {
+                    let (f, s) = (
+                        fused.block(BlockId(id)).get(row, col),
+                        single.block(BlockId(id)).get(row, col),
+                    );
+                    assert_eq!(f.to_bits(), s.to_bits(), "block {id} ({row},{col})");
+                }
+            }
+        }
+        assert_eq!(fused.touched_blocks, single.touched_blocks);
     }
 
     #[test]
@@ -935,17 +1345,59 @@ mod tests {
         // leave a diagnostic instead of panicking.
         c.block_mut(BlockId(0)).set(100, 4, 40000.0);
         c.block_mut(BlockId(0)).set(100, 11, -1.0);
+        let _guard = trace_test_lock();
+        pim_trace::enable();
         let mut s = InstrStream::new();
         s.push(Instr::Lut { row: 100, offset_s: 4, lut_block: 2, offset_d: 11 });
         c.execute(&s);
+        pim_trace::disable();
         assert_eq!(c.block(BlockId(0)).get(100, 11), -1.0, "write-back must be skipped");
         assert_eq!(c.diagnostics().len(), 1);
         assert!(c.diagnostics()[0].contains("exceeds one block"), "{:?}", c.diagnostics());
         let drained = c.take_diagnostics();
         assert_eq!(drained.len(), 1);
         assert!(c.diagnostics().is_empty());
+        // The skip path's timeline matches the normal path's shape: both
+        // reserved blocks are released at the failure point, so the LUT
+        // block shows busy time too (the old interpreter folded its
+        // ready-time into `start` and then never advanced it).
+        assert!(c.block_utilization(BlockId(0)) > 0.0);
+        assert!(c.block_utilization(BlockId(2)) > 0.0, "lut block timeline left untouched");
+        // The index read that physically happened is traced even though
+        // the instruction was skipped.
+        let pid = c.trace_pid();
+        let (events, _) = pim_trace::drain();
+        assert!(
+            events.iter().any(|e| e.pid == pid
+                && e.tid == 0
+                && matches!(e.payload, Payload::BlockOp { op: "read", .. })),
+            "skip path must trace the index read"
+        );
         // The index read that physically happened stays charged.
         assert!(c.finish().ledger.reads > 0.0);
+    }
+
+    #[test]
+    fn negative_lut_index_is_a_diagnostic_not_an_entry_zero_fetch() {
+        // Regression: `index.round() as usize` saturates a negative index
+        // word to 0, so the old interpreter silently fetched LUT entry 0
+        // instead of diagnosing the malformed program.
+        let mut c = chip();
+        c.block_mut(BlockId(2)).set(0, 0, 99.0); // entry 0 sentinel
+        c.block_mut(BlockId(0)).set(100, 4, -3.0); // negative index word
+        c.block_mut(BlockId(0)).set(100, 11, -1.0);
+        let mut s = InstrStream::new();
+        s.push(Instr::Lut { row: 100, offset_s: 4, lut_block: 2, offset_d: 11 });
+        c.execute(&s);
+        assert_eq!(c.block(BlockId(0)).get(100, 11), -1.0, "negative index must not fetch entry 0");
+        assert_eq!(c.diagnostics().len(), 1);
+        assert!(c.diagnostics()[0].contains("not a valid table index"), "{:?}", c.diagnostics());
+        assert!(c.diagnostics()[0].contains("-3"), "{:?}", c.diagnostics());
+        // NaN index words take the same path.
+        c.block_mut(BlockId(0)).set(100, 4, f64::NAN);
+        c.execute(&s);
+        assert_eq!(c.diagnostics().len(), 2);
+        assert_eq!(c.block(BlockId(0)).get(100, 11), -1.0);
     }
 
     #[test]
@@ -1066,6 +1518,7 @@ mod tests {
         s.push(arith(0, AluOp::Mul, 512));
         c.execute(&s);
 
+        let _guard = trace_test_lock();
         pim_trace::enable();
         c.charge_host_preprocess(100, 100);
         c.charge_host_preprocess(100, 100);

@@ -62,8 +62,21 @@ pub struct Schedule {
 
 /// Common behavior of the two interconnects.
 pub trait Interconnect {
+    /// The resources (switches) a transfer occupies, written into `out`
+    /// (cleared first) in path order. The interpreter's hot path reuses
+    /// one scratch vector across millions of transfers instead of
+    /// allocating a fresh path per `Copy`/`Lut`.
+    fn route_into(&self, src: BlockId, dst: BlockId, out: &mut Vec<Resource>);
+
+    /// Path length of a transfer, without materializing the path.
+    fn hops(&self, src: BlockId, dst: BlockId) -> usize;
+
     /// The resources (switches) a transfer occupies, in path order.
-    fn route(&self, src: BlockId, dst: BlockId) -> Vec<Resource>;
+    fn route(&self, src: BlockId, dst: BlockId) -> Vec<Resource> {
+        let mut out = Vec::new();
+        self.route_into(src, dst, &mut out);
+        out
+    }
 
     /// Seconds a transfer occupies each switch on its path. Switches are
     /// cut-through: the payload streams through the whole path, so the
@@ -78,7 +91,14 @@ pub trait Interconnect {
 
     /// Switch energy of one transfer: every word pays every hop.
     fn energy(&self, transfer: &Transfer) -> f64 {
-        let hops = self.route(transfer.src, transfer.dst).len().max(1) as f64;
+        self.energy_with_hops(transfer, self.hops(transfer.src, transfer.dst))
+    }
+
+    /// [`Self::energy`] with the hop count already known (the hot path
+    /// has just routed the transfer, so it passes the path length along
+    /// rather than re-deriving the route).
+    fn energy_with_hops(&self, transfer: &Transfer, hops: usize) -> f64 {
+        let hops = hops.max(1) as f64;
         transfer.words as f64 * hops * HOP_ENERGY_PER_WORD
     }
 
@@ -159,6 +179,23 @@ impl HTreeNetwork {
     fn switch_above(&self, within_tile: u32, level: u8) -> u32 {
         within_tile / self.fanout.pow(level as u32 + 1)
     }
+
+    /// Dense within-tile slot of the level-`level` switch `index`:
+    /// switches are numbered level by level from the leaves, so the slots
+    /// `0..switches_per_tile()` enumerate every switch of one tile
+    /// exactly once. Lets a simulator keep per-switch state in a flat
+    /// array instead of a hash map.
+    pub fn switch_slot(&self, level: u8, index: u32) -> u32 {
+        debug_assert!(level < self.levels);
+        let mut base = 0;
+        let mut nodes = BLOCKS_PER_TILE as u32;
+        for _ in 0..level {
+            nodes /= self.fanout;
+            base += nodes;
+        }
+        debug_assert!(index < nodes / self.fanout);
+        base + index
+    }
 }
 
 impl Default for HTreeNetwork {
@@ -167,10 +204,22 @@ impl Default for HTreeNetwork {
     }
 }
 
+impl HTreeNetwork {
+    /// Level of the lowest common ancestor of two blocks in one tile.
+    fn lca_level(&self, sw: u32, dw: u32) -> u8 {
+        let mut lca_level = 0u8;
+        while self.switch_above(sw, lca_level) != self.switch_above(dw, lca_level) {
+            lca_level += 1;
+        }
+        lca_level
+    }
+}
+
 impl Interconnect for HTreeNetwork {
-    fn route(&self, src: BlockId, dst: BlockId) -> Vec<Resource> {
+    fn route_into(&self, src: BlockId, dst: BlockId, path: &mut Vec<Resource>) {
+        path.clear();
         if src == dst {
-            return Vec::new();
+            return;
         }
         let (st, dt) = (src.tile(), dst.tile());
         if st == dt {
@@ -178,22 +227,16 @@ impl Interconnect for HTreeNetwork {
             // occupies each switch from leaf to LCA on both sides (the LCA
             // once).
             let (sw, dw) = (src.within_tile(), dst.within_tile());
-            let mut lca_level = 0u8;
-            while self.switch_above(sw, lca_level) != self.switch_above(dw, lca_level) {
-                lca_level += 1;
-            }
-            let mut path = Vec::new();
+            let lca_level = self.lca_level(sw, dw);
             for l in 0..=lca_level {
                 path.push(Resource::Switch { tile: st, level: l, index: self.switch_above(sw, l) });
             }
             for l in (0..lca_level).rev() {
                 path.push(Resource::Switch { tile: dt, level: l, index: self.switch_above(dw, l) });
             }
-            path
         } else {
             // Up the whole source tree, across the chip router, down the
             // whole destination tree.
-            let mut path = Vec::new();
             let sw = src.within_tile();
             for l in 0..self.levels {
                 path.push(Resource::Switch { tile: st, level: l, index: self.switch_above(sw, l) });
@@ -203,7 +246,20 @@ impl Interconnect for HTreeNetwork {
             for l in (0..self.levels).rev() {
                 path.push(Resource::Switch { tile: dt, level: l, index: self.switch_above(dw, l) });
             }
-            path
+        }
+    }
+
+    fn hops(&self, src: BlockId, dst: BlockId) -> usize {
+        if src == dst {
+            return 0;
+        }
+        let (st, dt) = (src.tile(), dst.tile());
+        if st == dt {
+            // `lca_level + 1` switches up, `lca_level` down.
+            2 * self.lca_level(src.within_tile(), dst.within_tile()) as usize + 1
+        } else {
+            // Both full trees plus the chip router.
+            2 * self.levels as usize + 1
         }
     }
 }
@@ -219,19 +275,30 @@ impl BusNetwork {
 }
 
 impl Interconnect for BusNetwork {
-    fn route(&self, src: BlockId, dst: BlockId) -> Vec<Resource> {
+    fn route_into(&self, src: BlockId, dst: BlockId, path: &mut Vec<Resource>) {
+        path.clear();
         if src == dst {
-            return Vec::new();
+            return;
         }
         let (st, dt) = (src.tile(), dst.tile());
         if st == dt {
-            vec![Resource::TileBus { tile: st }]
+            path.push(Resource::TileBus { tile: st });
         } else {
-            vec![
+            path.extend([
                 Resource::TileBus { tile: st },
                 Resource::ChipRouter,
                 Resource::TileBus { tile: dt },
-            ]
+            ]);
+        }
+    }
+
+    fn hops(&self, src: BlockId, dst: BlockId) -> usize {
+        if src == dst {
+            0
+        } else if src.tile() == dst.tile() {
+            1
+        } else {
+            3
         }
     }
 }
@@ -251,6 +318,24 @@ mod tests {
         let h = HTreeNetwork::new();
         assert_eq!(h.switches_per_tile(), 85);
         assert_eq!(h.levels(), 4);
+    }
+
+    #[test]
+    fn switch_slots_enumerate_every_switch_once() {
+        for fanout in [2u32, 4, 16] {
+            let h = HTreeNetwork::with_fanout(fanout);
+            let mut seen = vec![false; h.switches_per_tile() as usize];
+            let mut nodes = BLOCKS_PER_TILE as u32;
+            for level in 0..h.levels() {
+                nodes /= fanout;
+                for index in 0..nodes {
+                    let slot = h.switch_slot(level, index) as usize;
+                    assert!(!seen[slot], "fanout {fanout}: slot {slot} assigned twice");
+                    seen[slot] = true;
+                }
+            }
+            assert!(seen.iter().all(|&s| s), "fanout {fanout}: unassigned slots");
+        }
     }
 
     #[test]

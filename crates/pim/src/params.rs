@@ -16,6 +16,14 @@
 //! add/mul mix). With `T_NOR = 1.1 ns`, that pins the average FP op at
 //! 2,104 NOR cycles; we split it 1,400 (add) / 2,808 (mul), the ~1:2
 //! ratio of the underlying MAGIC netlists (see [`crate::nor`]).
+//!
+//! These constants price *simulated hardware* cost only. The functional
+//! model ([`crate::MemBlock`]) stores and computes cell values in `f64`
+//! so PIM runs can be compared against the native dG solver at 1e-12 —
+//! every op is still charged as the paper's 32-bit bit-serial sequence,
+//! and neither the stored word width nor the host-side memory layout
+//! (column-major planes since the word-parallel engine) enters any
+//! cycle, joule, or row-activation figure here.
 
 use serde::{Deserialize, Serialize};
 

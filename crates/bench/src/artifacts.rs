@@ -9,13 +9,19 @@ use std::path::{Path, PathBuf};
 /// Environment variable overriding the artifact output directory.
 pub const ARTIFACT_DIR_ENV: &str = "WAVEPIM_ARTIFACT_DIR";
 
+/// Fallback artifact directory when [`ARTIFACT_DIR_ENV`] is unset:
+/// under `target/` so generated output never lands in (and litters) the
+/// repository working tree — a stray 97 MB `trace.json` at the repo
+/// root is what this guards against.
+pub const DEFAULT_ARTIFACT_DIR: &str = "target/artifacts";
+
 /// The directory artifacts are written to: `$WAVEPIM_ARTIFACT_DIR` when
-/// set and non-empty, otherwise the current working directory (which is
-/// what CI's `test -s <name>` steps check).
+/// set and non-empty, otherwise [`DEFAULT_ARTIFACT_DIR`] (which is what
+/// CI's `test -s <dir>/<name>` steps check).
 pub fn artifact_dir() -> PathBuf {
     match std::env::var(ARTIFACT_DIR_ENV) {
         Ok(dir) if !dir.is_empty() => PathBuf::from(dir),
-        _ => PathBuf::from("."),
+        _ => PathBuf::from(DEFAULT_ARTIFACT_DIR),
     }
 }
 
@@ -49,11 +55,15 @@ mod tests {
     }
 
     #[test]
-    fn default_dir_is_the_working_directory() {
+    fn default_dir_stays_out_of_the_working_tree() {
         // The env override is exercised by `artifact_consistency.rs`;
         // in-process the variable is unset and the default applies.
         if std::env::var(ARTIFACT_DIR_ENV).is_err() {
-            assert_eq!(artifact_dir(), PathBuf::from("."));
+            assert_eq!(artifact_dir(), PathBuf::from(DEFAULT_ARTIFACT_DIR));
         }
+        assert!(
+            Path::new(DEFAULT_ARTIFACT_DIR).starts_with("target"),
+            "the fallback must sit under the ignored build directory"
+        );
     }
 }

@@ -57,6 +57,7 @@ fn main() -> ExitCode {
     for p in &r.thread_scaling {
         println!("  {} thread(s): {:.3} s/step", p.threads, p.step_seconds);
     }
+    println!("  best thread count       : {}", r.best_threads);
 
     assert!(
         r.cached_equals_recompiled,

@@ -1,20 +1,33 @@
 //! Multi-chip scaling study: how wall-time, utilization and the halo
-//! share evolve for level 3–7 acoustic problems across 1/2/4/8 chips
-//! and the two interconnects, priced by the probe-calibrated cluster
-//! estimator. Writes the machine-readable `BENCH_cluster.json`.
+//! share evolve for level 3–8 acoustic problems across 1–64 chips and
+//! the two interconnects, priced by the probe-calibrated cluster
+//! estimator, with the pipelined-protocol arm and the halo wall (the
+//! chip count where exposed halo first gates a stage) alongside the
+//! fenced one. Writes the machine-readable `BENCH_cluster.json`.
+//!
+//! `--smoke` runs a reduced sweep (levels 3–4, chips 1–16) plus a
+//! functional fenced-vs-pipelined executor cross-check, which is what
+//! CI gates on.
 
 use pim_sim::InterconnectKind;
-use wavepim_bench::cluster::{cluster_json, cluster_scaling_data, CHIP_COUNTS, LEVELS};
+use wavepim_bench::cluster::{
+    cluster_json, cluster_scaling_data, executor_protocol_crosscheck, halo_walls, link_share,
+    CHIP_COUNTS, LEVELS,
+};
 use wavepim_bench::report::{fmt_joules, fmt_seconds, Table};
 use wavepim_bench::{artifacts, cluster};
 
 fn main() {
-    let rows = cluster_scaling_data(&LEVELS, &CHIP_COUNTS);
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let (levels, chip_counts): (&[u32], &[usize]) =
+        if smoke { (&[3, 4], &[1, 2, 4, 8, 16]) } else { (&LEVELS, &CHIP_COUNTS) };
+    let rows = cluster_scaling_data(levels, chip_counts);
 
-    // The overlap acceptance bound, on the full sweep: a stage that
+    // The overlap acceptance bound, on the whole sweep: a stage that
     // overlaps its halo with Volume must never be slower than the
-    // bulk-synchronous schedule, and must be strictly faster whenever
-    // there is halo time to hide. CI runs this binary, so a regression
+    // bulk-synchronous schedule, must be strictly faster whenever there
+    // is halo time to hide, and the pipelined per-block fence can only
+    // shrink the stage further. CI runs this binary, so a regression
     // fails the smoke step.
     for e in &rows {
         assert!(
@@ -25,6 +38,15 @@ fn main() {
             e.interconnect.name(),
             e.stage_seconds,
             e.bulk_stage_seconds
+        );
+        assert!(
+            e.pipelined_stage_seconds <= e.stage_seconds,
+            "level {} × {} chips ({}): pipelined stage {} s slower than fenced {} s",
+            e.level,
+            e.num_chips,
+            e.interconnect.name(),
+            e.pipelined_stage_seconds,
+            e.stage_seconds
         );
         if e.halo_link_seconds_per_stage > 0.0 {
             assert!(
@@ -48,10 +70,13 @@ fn main() {
                 "Level",
                 "Elements",
                 "Chips",
+                "Link",
                 "Batches",
                 "Stage",
+                "P-stage",
                 "Halo",
                 "Exposed",
+                "P-exposed",
                 "Util",
                 "Weak eff",
                 "Strong eff",
@@ -60,14 +85,18 @@ fn main() {
             ],
         );
         for e in rows.iter().filter(|e| e.interconnect == interconnect) {
+            let share = link_share(&e.link);
             t.row(vec![
                 e.level.to_string(),
                 e.num_elements.to_string(),
                 e.num_chips.to_string(),
+                if share >= 1.0 { "1".to_string() } else { format!("1/{:.0}", 1.0 / share) },
                 e.batches_per_chip.to_string(),
                 fmt_seconds(e.stage_seconds),
+                fmt_seconds(e.pipelined_stage_seconds),
                 format!("{:.1}%", 100.0 * e.halo_time_fraction),
                 format!("{:.1}%", 100.0 * e.exposed_halo_share),
+                format!("{:.1}%", 100.0 * e.pipelined_exposed_halo_share),
                 format!("{:.1}%", 100.0 * e.utilization),
                 format!("{:.3}", e.weak_efficiency),
                 format!("{:.3}", e.strong_efficiency),
@@ -80,9 +109,49 @@ fn main() {
     }
     println!("Halo is the share of the bulk-synchronous stage the inter-chip exchange");
     println!("would claim; Exposed is what is left of it on the wall-clock after the");
-    println!("exchange overlaps the Volume kernel; Util is the compute share (the rest");
-    println!("is batch swap traffic). Weak/strong efficiency compare against a");
-    println!("halo-free single chip at the same per-chip / total load.");
+    println!("exchange overlaps the Volume kernel; P-stage/P-exposed are the same");
+    println!("stage under the pipelined protocol, whose pre-Flux fence waits only for");
+    println!("inbound traffic; Link is the bandwidth arm as a share of the default");
+    println!("inter-chip link; Util is the compute share (the rest is batch swap");
+    println!("traffic). Weak/strong efficiency compare against a halo-free single");
+    println!("chip at the same per-chip / total load.");
+    println!();
+
+    for w in halo_walls(&rows) {
+        let arm = |chips: Option<usize>| {
+            chips.map_or("beyond the sweep".to_string(), |c| format!("{c} chips"))
+        };
+        println!(
+            "halo wall {} level {} (link x{}): fenced at {}, pipelined at {}",
+            w.interconnect.name(),
+            w.level,
+            w.link_share,
+            arm(w.fenced_wall_chips),
+            arm(w.pipelined_wall_chips)
+        );
+    }
+
+    // Tie the analytic pipelined arm back to the functional executor,
+    // past the wall: on the narrow link both protocols must agree
+    // bit-for-bit on state and the pipelined schedule must never be
+    // slower (both asserted inside); at the 16-chip smoke point the
+    // fenced schedule exposes halo there, so the win must be strict.
+    let (crosscheck_chips, crosscheck_level) = if smoke { (16, 4) } else { (8, 3) };
+    let narrow = wavepim_bench::cluster::sweep_link(1.0 / 64.0);
+    let (fenced, pipelined) =
+        executor_protocol_crosscheck(crosscheck_level, 2, crosscheck_chips, 1, narrow);
+    println!(
+        "\nexecutor cross-check (level {crosscheck_level}, {crosscheck_chips} chips, 1/64 link): \
+         fenced {} vs pipelined {} — bit-identical state",
+        fmt_seconds(fenced),
+        fmt_seconds(pipelined)
+    );
+    if smoke {
+        assert!(
+            pipelined < fenced,
+            "pipelined must win strictly past the halo wall: {pipelined:e}s vs {fenced:e}s"
+        );
+    }
 
     let doc = cluster_json(&rows);
     pim_trace::json::parse(&doc).expect("BENCH_cluster.json must be valid JSON");

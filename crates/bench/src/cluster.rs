@@ -1,60 +1,227 @@
 //! The multi-chip scaling study: sweeps refinement levels × chip counts
 //! × interconnects through the probe-calibrated cluster estimator
-//! (`pim-cluster`) and renders the machine-readable
+//! (`pim-cluster`), locates the **halo wall** — the smallest chip count
+//! at which exposed halo time first gates a stage — for both the fenced
+//! and the pipelined protocol, and renders the machine-readable
 //! `BENCH_cluster.json` the `scaling_cluster` binary writes.
 
 use std::fmt::Write as _;
 
-use pim_cluster::{estimate_cluster, ClusterEstimate, KernelProbe};
+use pim_cluster::{
+    estimate_cluster_on, ClusterConfig, ClusterEstimate, ClusterProtocol, ClusterRunner,
+    KernelProbe,
+};
 use pim_sim::{ChipCapacity, ChipConfig, InterChipLink, InterconnectKind, ProcessNode};
 use pim_trace::json::{escape, number};
-use wavesim_dg::FluxKind;
+use wavesim_dg::{Acoustic, AcousticMaterial, FluxKind, Solver, State};
+use wavesim_mesh::{Boundary, HexMesh};
 
 /// Refinement levels the study sweeps: the paper's benchmarks stop at
-/// level 5; 6–7 are the beyond-single-chip sizes the cluster targets.
-pub const LEVELS: [u32; 5] = [3, 4, 5, 6, 7];
+/// level 5; 6–8 are the beyond-single-chip sizes the cluster targets.
+pub const LEVELS: [u32; 6] = [3, 4, 5, 6, 7, 8];
 
-/// Chip counts evaluated at every level.
-pub const CHIP_COUNTS: [usize; 4] = [1, 2, 4, 8];
+/// Chip counts evaluated at every level (where the level can host them;
+/// see [`swept_chip_counts`]).
+pub const CHIP_COUNTS: [usize; 7] = [1, 2, 4, 8, 16, 32, 64];
 
 /// Element order the probe calibrates at (the paper's 4×4×4-node
 /// elements).
 pub const PROBE_N: usize = 4;
 
+/// Inter-chip link arms, as shares of the default bandwidth. At the
+/// default HBM-class link the Volume window hides the whole exchange
+/// through 64 chips — the halo wall sits beyond the sweep — so a
+/// 64×-narrower arm (think cabled instead of in-package links) is swept
+/// alongside it to bring the wall inside the measured chip counts.
+pub const LINK_SHARES: [f64; 2] = [1.0, 1.0 / 64.0];
+
+/// The default link scaled to `share` of its bandwidth (latency and
+/// per-byte energy unchanged).
+pub fn sweep_link(share: f64) -> InterChipLink {
+    let mut link = InterChipLink::default();
+    link.bandwidth *= share;
+    link
+}
+
+/// `link`'s bandwidth as a share of the default — the inverse of
+/// [`sweep_link`], used to label sweep rows.
+pub fn link_share(link: &InterChipLink) -> f64 {
+    link.bandwidth / InterChipLink::default().bandwidth
+}
+
+/// The chip counts from `counts` actually swept at `level`: the slab
+/// partition needs `chips ≤ 2^level` y-slices, and the level-8 mesh
+/// (16.7M elements) is expensive enough to build that it is swept only
+/// in the ≥16-chip region where the halo wall lives.
+pub fn swept_chip_counts(level: u32, counts: &[usize]) -> Vec<usize> {
+    counts
+        .iter()
+        .copied()
+        .filter(|&chips| (chips as u64) <= 1u64 << level)
+        .filter(|&chips| level < 8 || chips >= 16)
+        .collect()
+}
+
 /// Runs the sweep: one [`KernelProbe`] per interconnect (the probe
 /// executes on a real simulated chip, so contention differs between
-/// H-tree and bus), then every (level, chip-count) point on that probe.
+/// H-tree and bus), then every feasible (level, chip-count, link-arm)
+/// point on that probe. Each level's mesh is built once and shared
+/// across all its points.
 pub fn cluster_scaling_data(levels: &[u32], chip_counts: &[usize]) -> Vec<ClusterEstimate> {
+    let probes: Vec<KernelProbe> = [InterconnectKind::HTree, InterconnectKind::Bus]
+        .into_iter()
+        .map(|interconnect| {
+            let chip =
+                ChipConfig { capacity: ChipCapacity::Gb2, interconnect, node: ProcessNode::Nm28 };
+            KernelProbe::measure(PROBE_N, FluxKind::Riemann, chip)
+        })
+        .collect();
     let mut rows = Vec::new();
-    for interconnect in [InterconnectKind::HTree, InterconnectKind::Bus] {
-        let chip =
-            ChipConfig { capacity: ChipCapacity::Gb2, interconnect, node: ProcessNode::Nm28 };
-        let probe = KernelProbe::measure(PROBE_N, FluxKind::Riemann, chip);
-        for &level in levels {
-            for &chips in chip_counts {
-                rows.push(estimate_cluster(level, chips, InterChipLink::default(), &probe));
+    for &level in levels {
+        let mesh = HexMesh::refinement_level(level, Boundary::Periodic);
+        for probe in &probes {
+            for share in LINK_SHARES {
+                for chips in swept_chip_counts(level, chip_counts) {
+                    rows.push(estimate_cluster_on(&mesh, level, chips, sweep_link(share), probe));
+                }
             }
         }
     }
     rows
 }
 
+/// Where the halo wall sits for one (interconnect, level, link-arm)
+/// series: the smallest swept chip count whose *exposed* halo is
+/// nonzero, per protocol arm. `None` = the Volume window hides the
+/// whole exchange at every swept count, i.e. the wall is beyond the
+/// sweep.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HaloWall {
+    pub interconnect: InterconnectKind,
+    pub level: u32,
+    /// Link-bandwidth share of the default this series was priced on.
+    pub link_share: f64,
+    pub fenced_wall_chips: Option<usize>,
+    pub pipelined_wall_chips: Option<usize>,
+}
+
+/// Scans the sweep for the halo wall of every (interconnect, level,
+/// link-arm) series. The pipelined fence waits only for inbound
+/// traffic, so its wall can never sit at a smaller chip count than the
+/// fenced one.
+pub fn halo_walls(rows: &[ClusterEstimate]) -> Vec<HaloWall> {
+    let mut walls: Vec<HaloWall> = Vec::new();
+    for e in rows {
+        let share = link_share(&e.link);
+        let wall = match walls.iter_mut().find(|w| {
+            w.interconnect == e.interconnect && w.level == e.level && w.link_share == share
+        }) {
+            Some(w) => w,
+            None => {
+                walls.push(HaloWall {
+                    interconnect: e.interconnect,
+                    level: e.level,
+                    link_share: share,
+                    fenced_wall_chips: None,
+                    pipelined_wall_chips: None,
+                });
+                walls.last_mut().unwrap()
+            }
+        };
+        let hit = |slot: &mut Option<usize>, exposed: f64| {
+            if exposed > 0.0 {
+                *slot = Some(slot.map_or(e.num_chips, |c| c.min(e.num_chips)));
+            }
+        };
+        hit(&mut wall.fenced_wall_chips, e.halo_seconds_per_stage);
+        hit(&mut wall.pipelined_wall_chips, e.pipelined_halo_seconds_per_stage);
+    }
+    for w in &walls {
+        if let (Some(f), Some(p)) = (w.fenced_wall_chips, w.pipelined_wall_chips) {
+            assert!(
+                p >= f,
+                "{} level {}: pipelined wall at {} chips before fenced at {}",
+                w.interconnect.name(),
+                w.level,
+                p,
+                f
+            );
+        }
+    }
+    walls
+}
+
+/// Runs the *executor* (not the estimator) under both cluster protocols
+/// on one small problem over `link` and checks the pipelining contract
+/// end to end: bit-identical merged state and a never-worse makespan.
+/// Returns `(fenced, pipelined)` total makespans in simulated seconds.
+/// This is the smoke-mode cross-check tying the sweep's analytic
+/// pipelined arm back to `ClusterRunner`.
+pub fn executor_protocol_crosscheck(
+    level: u32,
+    n: usize,
+    chips: usize,
+    steps: usize,
+    link: InterChipLink,
+) -> (f64, f64) {
+    let mesh = HexMesh::refinement_level(level, Boundary::Periodic);
+    let material = AcousticMaterial::new(2.0, 1.0);
+    let mut reference = Solver::<Acoustic>::uniform(mesh.clone(), n, FluxKind::Riemann, material);
+    reference.set_initial(|v, x| (x.x + 0.1 * v as f64).sin());
+
+    let run = |protocol: ClusterProtocol| -> (State, f64) {
+        let mut config = ClusterConfig::new(chips).with_protocol(protocol);
+        config.link = link;
+        let mut cluster = ClusterRunner::new(
+            &mesh,
+            n,
+            FluxKind::Riemann,
+            material,
+            reference.state(),
+            1e-3,
+            config,
+        );
+        cluster.run(steps);
+        let elapsed = cluster.elapsed();
+        (cluster.state(), elapsed)
+    };
+    let (fenced_state, fenced_makespan) = run(ClusterProtocol::Fenced);
+    let (pipelined_state, pipelined_makespan) = run(ClusterProtocol::Pipelined);
+    assert_eq!(
+        fenced_state.max_abs_diff(&pipelined_state),
+        0.0,
+        "pipelined state must be bit-identical to fenced (level {level}, {chips} chips)"
+    );
+    assert!(
+        pipelined_makespan <= fenced_makespan * (1.0 + 1e-12),
+        "pipelined makespan {pipelined_makespan:e}s exceeds fenced {fenced_makespan:e}s"
+    );
+    (fenced_makespan, pipelined_makespan)
+}
+
 /// Renders the sweep as the stable-schema `BENCH_cluster.json` document.
+/// Schema v2 adds the pipelined-protocol arm per point and the
+/// `halo_wall` records (0 = no wall inside the swept chip counts).
 pub fn cluster_json(rows: &[ClusterEstimate]) -> String {
-    let mut out = String::with_capacity(64 + 384 * rows.len());
-    out.push_str("{\n  \"schema_version\": 1,\n  \"points\": [\n");
+    let mut out = String::with_capacity(64 + 512 * rows.len());
+    out.push_str("{\n  \"schema_version\": 2,\n  \"points\": [\n");
     for (i, e) in rows.iter().enumerate() {
         let _ = write!(
             out,
             "    {{\"level\": {}, \"elements\": {}, \"chips\": {}, \
-             \"interconnect\": {}, \"elements_per_chip\": {}, \
+             \"interconnect\": {}, \"link_bandwidth_share\": {}, \
+             \"elements_per_chip\": {}, \
              \"batches_per_chip\": {}, \"stage_seconds\": {}, \
              \"bulk_stage_seconds\": {}, \
+             \"pipelined_stage_seconds\": {}, \
              \"compute_seconds_per_stage\": {}, \"volume_seconds_per_stage\": {}, \
              \"swap_seconds_per_stage\": {}, \
              \"halo_seconds_per_stage\": {}, \"halo_link_seconds_per_stage\": {}, \
+             \"pipelined_halo_seconds_per_stage\": {}, \
+             \"pipelined_halo_link_seconds_per_stage\": {}, \
              \"halo_bytes_per_stage\": {}, \
              \"halo_time_fraction\": {}, \"exposed_halo_share\": {}, \
+             \"pipelined_exposed_halo_share\": {}, \
              \"utilization\": {}, \
              \"strong_efficiency\": {}, \"weak_efficiency\": {}, \
              \"total_seconds\": {}, \"total_joules\": {}}}",
@@ -62,18 +229,23 @@ pub fn cluster_json(rows: &[ClusterEstimate]) -> String {
             e.num_elements,
             e.num_chips,
             escape(e.interconnect.name()),
+            number(link_share(&e.link)),
             e.elements_per_chip,
             e.batches_per_chip,
             number(e.stage_seconds),
             number(e.bulk_stage_seconds),
+            number(e.pipelined_stage_seconds),
             number(e.compute_seconds_per_stage),
             number(e.volume_seconds_per_stage),
             number(e.swap_seconds_per_stage),
             number(e.halo_seconds_per_stage),
             number(e.halo_link_seconds_per_stage),
+            number(e.pipelined_halo_seconds_per_stage),
+            number(e.pipelined_halo_link_seconds_per_stage),
             e.halo_bytes_per_stage,
             number(e.halo_time_fraction),
             number(e.exposed_halo_share),
+            number(e.pipelined_exposed_halo_share),
             number(e.utilization),
             number(e.strong_efficiency),
             number(e.weak_efficiency),
@@ -81,6 +253,22 @@ pub fn cluster_json(rows: &[ClusterEstimate]) -> String {
             number(e.energy.total()),
         );
         out.push_str(if i + 1 < rows.len() { ",\n" } else { "\n" });
+    }
+    out.push_str("  ],\n  \"halo_wall\": [\n");
+    let walls = halo_walls(rows);
+    for (i, w) in walls.iter().enumerate() {
+        let _ = write!(
+            out,
+            "    {{\"interconnect\": {}, \"level\": {}, \
+             \"link_bandwidth_share\": {}, \
+             \"fenced_wall_chips\": {}, \"pipelined_wall_chips\": {}}}",
+            escape(w.interconnect.name()),
+            w.level,
+            number(w.link_share),
+            w.fenced_wall_chips.unwrap_or(0),
+            w.pipelined_wall_chips.unwrap_or(0),
+        );
+        out.push_str(if i + 1 < walls.len() { ",\n" } else { "\n" });
     }
     out.push_str("  ]\n}\n");
     out
@@ -93,11 +281,11 @@ mod tests {
     #[test]
     fn small_sweep_renders_a_valid_stable_schema() {
         let rows = cluster_scaling_data(&[3], &[1, 2]);
-        // 1 level × 2 chip counts × 2 interconnects.
-        assert_eq!(rows.len(), 4);
+        // 1 level × 2 chip counts × 2 interconnects × 2 link arms.
+        assert_eq!(rows.len(), 8);
         let doc = cluster_json(&rows);
         let v = pim_trace::json::parse(&doc).expect("BENCH_cluster.json must be valid JSON");
-        assert_eq!(v.get("schema_version").and_then(|x| x.as_f64()), Some(1.0));
+        assert_eq!(v.get("schema_version").and_then(|x| x.as_f64()), Some(2.0));
         let points = v.get("points").and_then(|x| x.as_array()).unwrap();
         assert_eq!(points.len(), rows.len());
         for p in points {
@@ -108,21 +296,72 @@ mod tests {
         }
         // Single-chip points carry no halo; multi-chip points must, and
         // overlapping it with Volume must never make the stage slower
-        // than the bulk-synchronous baseline.
+        // than the bulk-synchronous baseline; the pipelined fence can
+        // only shrink the stage further.
         for (p, e) in points.iter().zip(&rows) {
             let halo = p.get("halo_time_fraction").and_then(|x| x.as_f64()).unwrap();
             let exposed = p.get("exposed_halo_share").and_then(|x| x.as_f64()).unwrap();
             let stage = p.get("stage_seconds").and_then(|x| x.as_f64()).unwrap();
             let bulk = p.get("bulk_stage_seconds").and_then(|x| x.as_f64()).unwrap();
+            let pipelined = p.get("pipelined_stage_seconds").and_then(|x| x.as_f64()).unwrap();
+            assert!(pipelined <= stage);
             assert!(stage <= bulk);
             assert!((0.0..1.0).contains(&exposed));
             if e.num_chips == 1 {
                 assert_eq!(halo, 0.0);
                 assert_eq!(stage, bulk);
+                assert_eq!(pipelined, stage);
             } else {
                 assert!(halo > 0.0);
                 assert!(stage < bulk, "overlap hid none of the halo at {} chips", e.num_chips);
             }
         }
+        // The wall records exist per (interconnect, level, link arm)
+        // even when the wall sits beyond the swept counts (rendered 0).
+        let walls = v.get("halo_wall").and_then(|x| x.as_array()).unwrap();
+        assert_eq!(walls.len(), 4);
+        for w in walls {
+            assert_eq!(w.get("level").and_then(|x| x.as_f64()), Some(3.0));
+            assert!(w.get("link_bandwidth_share").and_then(|x| x.as_f64()).unwrap() > 0.0);
+            assert!(w.get("fenced_wall_chips").and_then(|x| x.as_f64()).unwrap() >= 0.0);
+        }
+    }
+
+    #[test]
+    fn swept_chip_counts_respect_slices_and_the_level8_floor() {
+        assert_eq!(swept_chip_counts(3, &CHIP_COUNTS), vec![1, 2, 4, 8]);
+        assert_eq!(swept_chip_counts(4, &CHIP_COUNTS), vec![1, 2, 4, 8, 16]);
+        assert_eq!(swept_chip_counts(5, &CHIP_COUNTS), vec![1, 2, 4, 8, 16, 32]);
+        assert_eq!(swept_chip_counts(6, &CHIP_COUNTS), vec![1, 2, 4, 8, 16, 32, 64]);
+        assert_eq!(swept_chip_counts(7, &CHIP_COUNTS), vec![1, 2, 4, 8, 16, 32, 64]);
+        assert_eq!(swept_chip_counts(8, &CHIP_COUNTS), vec![16, 32, 64]);
+    }
+
+    #[test]
+    fn halo_walls_order_the_two_arms() {
+        // Scanning a sweep never puts the pipelined wall before the
+        // fenced one (asserted inside), every (interconnect, link arm)
+        // series gets exactly one record, and on the narrow link the
+        // wall must actually be inside the swept counts — the arm
+        // exists to locate it.
+        let rows = cluster_scaling_data(&[3], &[1, 2, 4, 8]);
+        let walls = halo_walls(&rows);
+        assert_eq!(walls.len(), 4);
+        for w in &walls {
+            if let (Some(f), Some(p)) = (w.fenced_wall_chips, w.pipelined_wall_chips) {
+                assert!(p >= f);
+            }
+        }
+        assert!(
+            walls.iter().filter(|w| w.link_share < 1.0).all(|w| w.fenced_wall_chips.is_some()),
+            "narrow-link arm failed to locate a fenced halo wall: {walls:#?}"
+        );
+    }
+
+    #[test]
+    fn executor_crosscheck_holds_on_a_small_problem() {
+        let (fenced, pipelined) = executor_protocol_crosscheck(2, 2, 4, 1, sweep_link(1.0));
+        assert!(fenced > 0.0);
+        assert!(pipelined <= fenced * (1.0 + 1e-12));
     }
 }

@@ -105,16 +105,17 @@ fn cluster_artifact_schema_tells_a_coherent_scaling_story() {
     let rows = cluster_scaling_data(&[3, 4], &[1, 2, 4]);
     let doc = cluster_json(&rows);
     let v = pim_trace::json::parse(&doc).expect("BENCH_cluster.json schema must parse");
-    assert_eq!(v.get("schema_version").and_then(|x| x.as_f64()), Some(1.0));
+    assert_eq!(v.get("schema_version").and_then(|x| x.as_f64()), Some(2.0));
     let points = v.get("points").and_then(|x| x.as_array()).unwrap();
-    // 2 levels × 3 chip counts × 2 interconnects.
-    assert_eq!(points.len(), 12);
+    // 2 levels × 3 chip counts × 2 interconnects × 2 link arms.
+    assert_eq!(points.len(), 24);
 
     let field = |p: &pim_trace::json::Value, k: &str| p.get(k).and_then(|x| x.as_f64()).unwrap();
     for p in points {
         // Time shares decompose exactly: compute + swap + *exposed* halo
         // = overlapped stage, and compute + swap + raw halo = the
-        // bulk-synchronous baseline.
+        // bulk-synchronous baseline; the pipelined arm replays the same
+        // decomposition on the inbound-only port term.
         let stage = field(p, "stage_seconds");
         let parts = field(p, "compute_seconds_per_stage")
             + field(p, "swap_seconds_per_stage")
@@ -125,6 +126,14 @@ fn cluster_artifact_schema_tells_a_coherent_scaling_story() {
             + field(p, "swap_seconds_per_stage")
             + field(p, "halo_link_seconds_per_stage");
         assert!((bulk - bulk_parts).abs() <= 1e-12 * bulk, "bulk decomposition broke");
+        let pipelined = field(p, "pipelined_stage_seconds");
+        let pipelined_parts = field(p, "compute_seconds_per_stage")
+            + field(p, "swap_seconds_per_stage")
+            + field(p, "pipelined_halo_seconds_per_stage");
+        assert!(
+            (pipelined - pipelined_parts).abs() <= 1e-12 * pipelined,
+            "pipelined decomposition broke"
+        );
         let shares = field(p, "utilization") + field(p, "exposed_halo_share");
         assert!(shares <= 1.0 + 1e-12, "shares exceed the stage: {shares}");
         // The exposed halo is exactly the part of the raw port time the
@@ -142,10 +151,46 @@ fn cluster_artifact_schema_tells_a_coherent_scaling_story() {
         } else {
             assert_eq!(stage, bulk);
         }
+        // The pipelined fence waits only for inbound traffic, so its
+        // port term and stage are bounded by the fenced ones; slab
+        // shards send as many bytes as they receive, so on multi-chip
+        // points the inbound-only term is strictly smaller.
+        let p_raw = field(p, "pipelined_halo_link_seconds_per_stage");
+        let p_exposed = field(p, "pipelined_halo_seconds_per_stage");
+        assert!(p_raw <= raw);
+        assert!((p_exposed - (p_raw - volume).max(0.0)).abs() <= 1e-15_f64.max(1e-12 * p_raw));
+        assert!(pipelined <= stage);
+        if raw > 0.0 {
+            assert!(p_raw > 0.0 && p_raw < raw);
+        } else {
+            assert_eq!(pipelined, stage);
+        }
+        let p_share = field(p, "pipelined_exposed_halo_share");
+        assert!((0.0..1.0).contains(&p_share));
     }
 
-    // Within one (level, interconnect) series, more chips never slows
-    // the fixed problem down — the acceptance bound of the study.
+    // The halo-wall records: one per (interconnect, level, link arm),
+    // and the pipelined wall (if inside the sweep) never sits at a
+    // smaller chip count than the fenced one — an inbound-only fence
+    // exposes halo no earlier. 0 means the wall is beyond the swept
+    // chip counts.
+    let walls = v.get("halo_wall").and_then(|x| x.as_array()).unwrap();
+    assert_eq!(walls.len(), 8);
+    for w in walls {
+        let fenced = field(w, "fenced_wall_chips");
+        let pipelined = field(w, "pipelined_wall_chips");
+        assert!(fenced >= 0.0 && pipelined >= 0.0);
+        if fenced > 0.0 && pipelined > 0.0 {
+            assert!(pipelined >= fenced);
+        }
+        assert!(w.get("interconnect").and_then(|x| x.as_str()).is_some());
+        assert!(field(w, "link_bandwidth_share") > 0.0);
+    }
+
+    // Within one (level, interconnect) series at the *default* link,
+    // more chips never slows the fixed problem down — the acceptance
+    // bound of the study. (The narrow-link arm exists precisely to put
+    // the halo wall inside the sweep, where this can stop holding.)
     for interconnect in ["H-tree", "Bus"] {
         for level in [3.0, 4.0] {
             let series: Vec<f64> = points
@@ -153,6 +198,7 @@ fn cluster_artifact_schema_tells_a_coherent_scaling_story() {
                 .filter(|p| {
                     p.get("interconnect").and_then(|x| x.as_str()) == Some(interconnect)
                         && field(p, "level") == level
+                        && field(p, "link_bandwidth_share") == 1.0
                 })
                 .map(|p| field(p, "total_seconds"))
                 .collect();
@@ -375,7 +421,7 @@ fn host_artifact_schema_reports_a_winning_program_cache() {
     }
     let doc = host_json(&r);
     let v = pim_trace::json::parse(&doc).expect("BENCH_host.json schema must parse");
-    assert_eq!(v.get("schema_version").and_then(|x| x.as_f64()), Some(2.0));
+    assert_eq!(v.get("schema_version").and_then(|x| x.as_f64()), Some(3.0));
 
     let field = |k: &str| {
         v.get(k)
@@ -423,6 +469,18 @@ fn host_artifact_schema_reports_a_winning_program_cache() {
     for p in curve {
         assert!(p.get("threads").and_then(|x| x.as_f64()).unwrap() >= 1.0);
         assert!(p.get("step_seconds").and_then(|x| x.as_f64()).unwrap() > 0.0);
+    }
+    // `best_threads` is derived from the curve, not asserted to a value:
+    // it must be one of the swept counts and its point must be the
+    // curve's minimum.
+    let best = field("best_threads");
+    let best_point = curve
+        .iter()
+        .find(|p| p.get("threads").and_then(|x| x.as_f64()) == Some(best))
+        .expect("best_threads must come from the swept counts");
+    let best_seconds = best_point.get("step_seconds").and_then(|x| x.as_f64()).unwrap();
+    for p in curve {
+        assert!(best_seconds <= p.get("step_seconds").and_then(|x| x.as_f64()).unwrap());
     }
 }
 

@@ -484,6 +484,43 @@ impl PimChip {
         self.elapsed
     }
 
+    /// Absolute simulated time at which `block`'s last scheduled access
+    /// — compute op or DMA — completes. This is the per-block readiness
+    /// the pipelined cluster protocol fences on: a consumer of one ghost
+    /// block need not wait for unrelated traffic still draining on the
+    /// off-chip lane.
+    pub fn block_ready_time(&self, id: BlockId) -> f64 {
+        self.check_block(id);
+        self.block_ready[id.0 as usize]
+    }
+
+    /// Latest readiness over `blocks` ([`Self::block_ready_time`]);
+    /// 0 when `blocks` is empty.
+    pub fn blocks_ready_time(&self, blocks: &[BlockId]) -> f64 {
+        blocks.iter().fold(0.0f64, |m, &b| m.max(self.block_ready_time(b)))
+    }
+
+    /// Partial fence: joins the compute lane to exactly the given
+    /// blocks' readiness instead of the whole off-chip lane. Where
+    /// [`Self::fence_offchip`] charges the stage for every DMA and link
+    /// transfer in flight, this waits only for the blocks the next
+    /// kernel actually reads — outbound link charges and unrelated DMAs
+    /// keep draining on the off-chip lane concurrently with compute.
+    /// Because every fenced block's readiness is ≤ the lane's ready
+    /// time, `fence_blocks` never advances `elapsed` past what
+    /// `fence_offchip` would. Returns the new elapsed time.
+    pub fn fence_blocks(&mut self, blocks: &[BlockId]) -> f64 {
+        let ready = self.blocks_ready_time(blocks);
+        if pim_metrics::enabled() {
+            let exposed = (ready - self.elapsed).max(0.0);
+            if exposed > 0.0 {
+                self.metrics().exposed_offchip_seconds.add(exposed);
+            }
+        }
+        self.elapsed = self.elapsed.max(ready);
+        self.elapsed
+    }
+
     /// Fraction of the elapsed time a block spent busy (0 for untouched
     /// blocks) — the per-block view of the paper's resource-utilization
     /// discussion (§6.2.1).
@@ -1076,8 +1113,23 @@ impl PimChip {
     /// joins the lanes. Returns the seconds this chip spent on the
     /// message.
     pub fn link_transfer(&mut self, link: &crate::link::InterChipLink, bytes: u64) -> f64 {
+        self.link_transfer_from(link, bytes, 0.0)
+    }
+
+    /// Like [`Self::link_transfer`], but the transfer additionally
+    /// cannot start before `available_at` — the sender-side causality
+    /// floor the pipelined cluster protocol puts under receive-side
+    /// charges, so a chip running ahead of its neighbor cannot take
+    /// delivery of a payload before that neighbor even entered the
+    /// stage that produces it.
+    pub fn link_transfer_from(
+        &mut self,
+        link: &crate::link::InterChipLink,
+        bytes: u64,
+        available_at: f64,
+    ) -> f64 {
         let dur = link.duration(bytes);
-        let start = self.offchip_ready.max(self.barrier);
+        let start = self.offchip_ready.max(self.barrier).max(available_at);
         let finish = start + dur;
         self.offchip_ready = finish;
         let joules = link.energy(bytes);
@@ -1748,5 +1800,58 @@ mod tests {
         }
         c.execute(&s);
         assert!(c.elapsed() >= c.host().dispatch_time(1000));
+    }
+
+    #[test]
+    fn fence_blocks_waits_only_for_the_named_blocks() {
+        use crate::link::InterChipLink;
+        let link = InterChipLink::default();
+        // A ghost-landing DMA followed by a long outbound link charge:
+        // the partial fence must join compute to the DMA'd block without
+        // paying for the tail still draining on the lane.
+        let build = || {
+            let mut c = chip();
+            let mut s = InstrStream::new();
+            s.push(Instr::LoadOffchip { block: BlockId(3), bytes: 1 << 16 });
+            c.execute(&s);
+            c.link_transfer(&link, 1 << 22);
+            c
+        };
+        let mut partial = build();
+        let dma_done = partial.block_ready_time(BlockId(3));
+        assert!(dma_done > 0.0);
+        assert!(partial.offchip_time() > dma_done, "the link tail must extend past the DMA");
+        assert_eq!(partial.blocks_ready_time(&[BlockId(3)]).to_bits(), dma_done.to_bits());
+        assert_eq!(partial.blocks_ready_time(&[]), 0.0);
+
+        let after_partial = partial.fence_blocks(&[BlockId(3)]);
+        assert!(after_partial >= dma_done);
+        assert!(
+            after_partial < partial.offchip_time(),
+            "a partial fence must not charge the outbound tail"
+        );
+
+        let mut full = build();
+        let after_full = full.fence_offchip();
+        assert!(after_partial <= after_full, "fence_blocks can never exceed fence_offchip");
+    }
+
+    #[test]
+    fn link_transfer_from_floors_the_start_without_changing_the_cost() {
+        use crate::link::InterChipLink;
+        let link = InterChipLink::default();
+        let mut plain = chip();
+        let d = plain.link_transfer(&link, 4096);
+        let mut zero_floor = chip();
+        let d0 = zero_floor.link_transfer_from(&link, 4096, 0.0);
+        assert_eq!(d.to_bits(), d0.to_bits());
+        assert_eq!(plain.offchip_time().to_bits(), zero_floor.offchip_time().to_bits());
+
+        let mut floored = chip();
+        let floor = 0.125;
+        let df = floored.link_transfer_from(&link, 4096, floor);
+        assert_eq!(df.to_bits(), d.to_bits(), "the floor shifts the span, not its duration");
+        assert!((floored.offchip_time() - (floor + d)).abs() < 1e-15);
+        assert!(floored.elapsed() < floor, "a floored transfer must not advance compute");
     }
 }

@@ -1,11 +1,14 @@
 //! Functional multi-chip execution: N simulated PIM chips advance one
-//! sharded acoustic problem in lockstep, with the halo exchange
-//! **overlapped** with the Volume kernel.
+//! sharded acoustic problem, with the halo exchange **overlapped** with
+//! the Volume kernel. Two per-stage protocols share one compiled
+//! program set ([`ClusterProtocol`]): the bulk-synchronous **fenced**
+//! schedule below, and the dependency-driven **pipelined** schedule
+//! (the default) documented at [`ClusterRunner::step_pipelined`].
 //!
 //! Each chip holds one [`wavesim_mesh::Shard`]: its resident elements
 //! packed from block 0, its ghost elements in the blocks after them
 //! (`AcousticMapping::install_shard_map`), and the shared impedance LUT
-//! block after those. Per LSRK stage the cluster runs
+//! block after those. Per LSRK stage the fenced cluster runs
 //!
 //! > **barrier → { Volume ∥ halo } → fence → Flux → Integration**
 //!
@@ -35,7 +38,7 @@
 //! same ≤1e-12 bound the single-chip mapping meets, while the stage
 //! wall-clock is never longer than the bulk-synchronous schedule's.
 
-use pim_isa::InstrStream;
+use pim_isa::{BlockId, InstrStream};
 use pim_math::{CostModel, MathConfig, MathDecision, MathPlacement, OpCost};
 use pim_sim::{ChipConfig, ExecReport, InterChipLink, PimChip};
 use pim_trace::Kernel;
@@ -47,6 +50,47 @@ use wavesim_dg::{AcousticMaterial, FluxKind, Lsrk5, State};
 use wavesim_mesh::{HexMesh, SlicePartition};
 
 use crate::halo::{halo_messages, HaloMessage};
+
+/// Which per-stage schedule [`ClusterRunner::step`] runs. Both
+/// protocols execute byte-identical instruction streams in the same
+/// per-chip order, so the merged states agree **bit for bit** — only
+/// the simulated-time placement of the work differs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ClusterProtocol {
+    /// Bulk-synchronous: every stage opens at the cluster-wide barrier
+    /// and a global [`pim_sim::PimChip::fence_offchip`] joins each
+    /// chip's whole off-chip lane before Flux. One slow chip (or one
+    /// long halo route) stalls the entire cluster.
+    Fenced,
+    /// Dependency-driven: each chip enters a stage at its own clock,
+    /// fences only the ghost blocks its Flux actually reads
+    /// ([`pim_sim::PimChip::fence_blocks`]), and lets its outbound link
+    /// charges drain concurrently with Flux/Integration. Per-stage
+    /// makespan is provably ≤ the fenced schedule's; inter-chip skew is
+    /// bounded by the halo dependency chain (at most one stage between
+    /// link neighbors, asserted every stage).
+    Pipelined,
+}
+
+impl ClusterProtocol {
+    /// The construction-time default: pipelined, unless the
+    /// `fenced-protocol` cargo feature flips the whole build back to
+    /// the bulk-synchronous schedule (the CI mirror of pim-sim's
+    /// `scalar-oracle` gate).
+    pub fn default_protocol() -> Self {
+        if cfg!(feature = "fenced-protocol") {
+            ClusterProtocol::Fenced
+        } else {
+            ClusterProtocol::Pipelined
+        }
+    }
+}
+
+impl Default for ClusterProtocol {
+    fn default() -> Self {
+        Self::default_protocol()
+    }
+}
 
 /// Cluster shape: what each chip is (one [`ChipConfig`] per chip, so
 /// clusters may mix capacities) and what connects them.
@@ -67,6 +111,10 @@ pub struct ClusterConfig {
     /// the per-stage host sqrt/inverse refresh; `OnPim`/`Auto` move
     /// supported ops onto the in-block LUT + Newton sequence.
     pub math: MathConfig,
+    /// The per-stage schedule (default:
+    /// [`ClusterProtocol::default_protocol`]). Bit-identical state
+    /// either way; only simulated-time placement differs.
+    pub protocol: ClusterProtocol,
 }
 
 impl ClusterConfig {
@@ -89,12 +137,19 @@ impl ClusterConfig {
             link: InterChipLink::default(),
             weighted_partition: true,
             math: MathConfig::default(),
+            protocol: ClusterProtocol::default_protocol(),
         }
     }
 
     /// Returns the config with the given transcendental treatment.
     pub fn with_math(mut self, math: MathConfig) -> Self {
         self.math = math;
+        self
+    }
+
+    /// Returns the config with the given per-stage schedule.
+    pub fn with_protocol(mut self, protocol: ClusterProtocol) -> Self {
+        self.protocol = protocol;
         self
     }
 
@@ -127,9 +182,17 @@ pub struct HaloStats {
     /// endpoints' off-chip ports for the link duration.
     pub link_seconds: Vec<f64>,
     /// Per-chip *exposed* halo time, seconds: how much the pre-Flux
-    /// off-chip fence actually delayed each chip beyond its Volume work.
-    /// Zero when the Volume window hid the whole exchange.
+    /// fence (global off-chip fence under [`ClusterProtocol::Fenced`],
+    /// ghost-block fence under [`ClusterProtocol::Pipelined`]) actually
+    /// delayed each chip beyond its Volume work. Zero when the Volume
+    /// window hid the whole exchange.
     pub exposed_seconds: Vec<f64>,
+    /// Largest per-stage spread between the earliest and latest chip
+    /// stage-entry times seen so far, seconds. Always 0 under the
+    /// fenced protocol (every chip enters at the barrier); under the
+    /// pipelined protocol the halo dependency chain bounds it to at
+    /// most one stage between link neighbors.
+    pub max_skew_seconds: f64,
     /// LSRK stages executed so far.
     pub stages: u64,
 }
@@ -355,9 +418,21 @@ pub struct ClusterRunner {
     ghosts: Vec<Vec<usize>>,
     /// Boundary element ids per shard (the send set).
     send_sets: Vec<Vec<usize>>,
+    /// Deduplicated chip blocks holding each shard's ghost elements —
+    /// exactly what the pipelined pre-Flux `fence_blocks` waits on.
+    ghost_blocks: Vec<Vec<BlockId>>,
     messages: Vec<HaloMessage>,
     link: InterChipLink,
     dt: f64,
+    /// Which per-stage schedule `step` runs.
+    protocol: ClusterProtocol,
+    /// Per-chip stage-entry times of the previous stage — the left side
+    /// of the pipelined skew-bound assertion.
+    prev_starts: Vec<f64>,
+    /// Cluster-wide simulated clock after each completed LSRK stage
+    /// (both protocols), the per-stage makespan record behind the
+    /// `pipelined ≤ fenced` comparison.
+    stage_makespans: Vec<f64>,
     /// Host-side staging for pre-stage boundary variables in flight.
     staging: State,
     halo: HaloStats,
@@ -408,6 +483,7 @@ impl ClusterRunner {
         let mut residents = Vec::with_capacity(num_chips);
         let mut ghosts = Vec::with_capacity(num_chips);
         let mut send_sets = Vec::with_capacity(num_chips);
+        let mut ghost_blocks = Vec::with_capacity(num_chips);
         let mut math_decisions = Vec::with_capacity(num_chips);
         let mut math_host_cost = Vec::with_capacity(num_chips);
         let mut math_host_ops = Vec::with_capacity(num_chips);
@@ -422,6 +498,13 @@ impl ClusterRunner {
 
             let mut mapping = AcousticMapping::uniform(mesh.clone(), n, flux_kind, material);
             let window = mapping.install_shard_map(&res, &gho);
+
+            // The chip blocks this shard's ghosts land in, deduplicated
+            // in block order — the pipelined protocol's pre-Flux fence
+            // set (Flux is the only ghost reader).
+            let mut gblocks: Vec<BlockId> = gho.iter().map(|&e| mapping.block_of(e)).collect();
+            gblocks.sort_unstable_by_key(|b| b.0);
+            gblocks.dedup();
 
             // Per-shard math placement: the cost model prices the host
             // refresh against the on-PIM fragment for *this* shard's
@@ -492,6 +575,7 @@ impl ClusterRunner {
             residents.push(res);
             ghosts.push(gho);
             send_sets.push(snd);
+            ghost_blocks.push(gblocks);
         }
 
         // The compile-once program cache: every kernel stream of every
@@ -535,15 +619,20 @@ impl ClusterRunner {
             residents,
             ghosts,
             send_sets,
+            ghost_blocks,
             messages,
             link: config.link,
             dt,
+            protocol: config.protocol,
+            prev_starts: vec![0.0; num_chips],
+            stage_makespans: Vec::new(),
             staging: initial.clone(),
             halo: HaloStats {
                 messages: 0,
                 payload_bytes: 0,
                 link_seconds: vec![0.0; num_chips],
                 exposed_seconds: vec![0.0; num_chips],
+                max_skew_seconds: 0.0,
                 stages: 0,
             },
             math_decisions,
@@ -584,6 +673,26 @@ impl ClusterRunner {
     /// Halo accounting so far.
     pub fn halo_stats(&self) -> &HaloStats {
         &self.halo
+    }
+
+    /// The per-stage schedule `step` runs.
+    pub fn protocol(&self) -> ClusterProtocol {
+        self.protocol
+    }
+
+    /// Switches the per-stage schedule. Both protocols execute the same
+    /// instruction streams in the same per-chip order, so switching
+    /// mid-run never changes the numerical state — only where the
+    /// remaining work lands in simulated time.
+    pub fn set_protocol(&mut self, protocol: ClusterProtocol) {
+        self.protocol = protocol;
+    }
+
+    /// Cluster-wide simulated clock after each completed LSRK stage, in
+    /// execution order (5 entries per step) — the makespan record
+    /// behind the per-stage `pipelined ≤ fenced` guarantee.
+    pub fn stage_makespans(&self) -> &[f64] {
+        &self.stage_makespans
     }
 
     /// Transcendental-math accounting so far.
@@ -674,9 +783,21 @@ impl ClusterRunner {
         self.staging = initial.clone();
     }
 
-    /// Advances one time-step: five LSRK stages of barrier →
-    /// { Volume ∥ halo } → fence → Flux → Integration (module docs).
+    /// Advances one time-step: five LSRK stages under the configured
+    /// [`ClusterProtocol`] — barrier → { Volume ∥ halo } → fence →
+    /// Flux → Integration for [`ClusterProtocol::Fenced`] (module
+    /// docs), the per-chip dependency-driven schedule of
+    /// [`Self::step_pipelined`] for [`ClusterProtocol::Pipelined`].
     pub fn step(&mut self) {
+        match self.protocol {
+            ClusterProtocol::Fenced => self.step_fenced(),
+            ClusterProtocol::Pipelined => self.step_pipelined(),
+        }
+    }
+
+    /// The bulk-synchronous schedule (module docs): one cluster-wide
+    /// barrier per stage, one global off-chip fence before Flux.
+    fn step_fenced(&mut self) {
         let nodes = self.mappings[0].nodes();
         for stage in 0..Lsrk5::STAGES {
             let metrics_on = pim_metrics::enabled();
@@ -908,17 +1029,317 @@ impl ClusterRunner {
                 },
             );
 
+            self.stage_makespans.push(self.elapsed());
             self.halo.stages += 1;
             self.math.stages += 1;
             if metrics_on {
                 pim_metrics::global().counter("cluster_stages_total", &[]).inc();
             }
         }
+        self.publish_step_gauges();
+    }
 
-        // Per-chip occupancy gauges: latest simulated wall-clock, how
-        // much aggregate block-busy time the chip accumulated, and its
-        // block capacity — everything the capacity-idle share
-        // `1 - block_busy / (num_blocks * elapsed)` needs, measured.
+    /// The dependency-driven schedule behind
+    /// [`ClusterProtocol::Pipelined`]. Same instruction streams, same
+    /// per-chip execution order as [`Self::step_fenced`] — so the state
+    /// is bit-identical — but the simulated-time placement is per-chip:
+    ///
+    /// 1. **per-chip stage cursor**: chip `c` enters the stage at its
+    ///    own compute-lane clock `starts[c]` instead of the cluster
+    ///    maximum; a straggler no longer stalls its non-neighbors. The
+    ///    halo dependency chain bounds the skew — every inbound link
+    ///    charge is floored at its *sender's* stage entry
+    ///    ([`pim_sim::PimChip::link_transfer_from`]), so a chip's next
+    ///    stage cannot open before every in-neighbor opened this one
+    ///    (asserted each stage, at most one stage apart per edge);
+    /// 2. **halo lane order** per chip: send snapshot → inbound
+    ///    (receive-side) charges → ghost-landing DMAs → outbound
+    ///    (send-side) charges. Everything is enqueued before Volume in
+    ///    host order (the same async-prefetch ordering the fenced path
+    ///    uses), and the outbound tail rides *behind* the ghost
+    ///    landings so the fence below never waits for it;
+    /// 3. **per-block fence**: before Flux — the only ghost reader —
+    ///    the compute lane joins exactly the ghost blocks' readiness
+    ///    ([`pim_sim::PimChip::fence_blocks`]); the outbound charges
+    ///    keep draining concurrently with Flux/Integration and, if need
+    ///    be, into the next stage's Volume window.
+    ///
+    /// **Never slower, per stage**: every lane release above happens no
+    /// later than its fenced counterpart (stage entries are ≤ the
+    /// fenced barrier, inbound floors are a sender's stage entry ≤ that
+    /// barrier, and the charge multiset is identical), so each chip's
+    /// lane and compute clocks are ≤ their fenced values by induction,
+    /// and `fence_blocks ≤ fence_offchip` on equal-or-earlier lanes —
+    /// the per-stage cluster makespan never exceeds the fenced one.
+    fn step_pipelined(&mut self) {
+        let nodes = self.mappings[0].nodes();
+        for stage in 0..Lsrk5::STAGES {
+            let metrics_on = pim_metrics::enabled();
+            // 1. Per-chip stage cursor. A chip's compute clock already
+            // covers everything its own Flux fenced last stage; its
+            // outbound tail may still be draining and is *not* waited
+            // for here.
+            let starts: Vec<f64> = self.chips.iter().map(|c| c.elapsed()).collect();
+
+            // The skew bound: entering this stage, every chip that
+            // sends to `dst` must have entered the previous one —
+            // guaranteed because last stage's fence floored `dst` at
+            // `prev_starts[src]` plus a positive link duration. Link
+            // neighbors are therefore never more than one stage apart.
+            for m in &self.messages {
+                assert!(
+                    starts[m.dst] >= self.prev_starts[m.src] - 1e-12,
+                    "pipelined skew bound violated: chip {} entered a stage at {:.6e}s \
+                     before its in-neighbor {} entered the previous one ({:.6e}s)",
+                    m.dst,
+                    starts[m.dst],
+                    m.src,
+                    self.prev_starts[m.src],
+                );
+            }
+            let spread = starts.iter().fold(0.0f64, |m, &s| m.max(s))
+                - starts.iter().fold(f64::INFINITY, |m, &s| m.min(s));
+            let spread = spread.max(0.0);
+            self.halo.max_skew_seconds = self.halo.max_skew_seconds.max(spread);
+            if metrics_on {
+                pim_metrics::global().gauge("cluster_stage_skew_seconds", &[]).set(spread);
+            }
+
+            for (c, chip) in self.chips.iter_mut().enumerate() {
+                chip.advance_barrier(starts[c]);
+            }
+
+            // 1b. Host-placed math, anchored at each chip's own stage
+            // entry instead of a global barrier; it still gates only
+            // *this* chip's stage kernels.
+            for (c, chip) in self.chips.iter_mut().enumerate() {
+                let cost = self.math_host_cost[c];
+                if cost.seconds <= 0.0 {
+                    continue;
+                }
+                let (t0, t1) = chip.charge_host_math(
+                    starts[c],
+                    cost.seconds,
+                    cost.joules,
+                    self.math_host_ops[c],
+                );
+                chip.advance_barrier(t1);
+                end_kernel_span_at(chip, Kernel::HostPreprocess, stage as u8, t0, t1);
+                self.math.host_seconds[c] += t1 - t0;
+                self.math.exposed_seconds[c] += (t1 - starts[c]).max(0.0);
+                if metrics_on {
+                    let reg = pim_metrics::global();
+                    let labels = [("chip", chip.metrics_label())];
+                    reg.float_counter("cluster_math_host_seconds_total", &labels).add(t1 - t0);
+                    reg.float_counter("cluster_math_exposed_seconds_total", &labels)
+                        .add((t1 - starts[c]).max(0.0));
+                }
+            }
+
+            let halo_open: Vec<(f64, f64)> = if metrics_on {
+                self.chips.iter().map(|c| (c.offchip_time(), c.ledger().dynamic())).collect()
+            } else {
+                Vec::new()
+            };
+
+            // 2a. Halo send snapshot — identical to the fenced path:
+            // extract every send set first (pre-stage variables), then
+            // charge the snapshot DMAs to each chip's off-chip lane.
+            for (s, sends) in self.send_sets.iter().enumerate() {
+                self.mappings[s].extract_vars_subset(&mut self.chips[s], sends, &mut self.staging);
+                if self.use_program_cache {
+                    self.chips[s].execute(&self.programs[s].halo_store);
+                } else {
+                    let store = self.mappings[s].compile_halo_store_for(sends);
+                    self.chips[s].execute(&store);
+                }
+            }
+
+            // 2b. Inbound (receive-side) link charges, floored at each
+            // message's *sender* stage entry: a chip running ahead
+            // cannot take delivery of a payload its producer has not
+            // started computing. The floor is what both bounds the skew
+            // and keeps the schedule dominated by the fenced one
+            // (`starts[src] ≤` the fenced barrier).
+            for m in &self.messages {
+                let bytes = m.bytes(nodes);
+                let d_dst = self.chips[m.dst].link_transfer_from(&self.link, bytes, starts[m.src]);
+                self.halo.link_seconds[m.dst] += d_dst;
+                self.halo.messages += 1;
+                self.halo.payload_bytes += bytes;
+            }
+
+            // 2c. Ghost landing, queued directly behind the inbound
+            // charges so the pre-Flux fence covers exactly the
+            // store → inbound → landing chain.
+            let staging = &self.staging;
+            let (mappings, ghosts) = (&self.mappings, &self.ghosts);
+            let (programs, cached) = (&self.programs, self.use_program_cache);
+            self.chips.par_chunks_mut(1).enumerate().for_each(|(c, chunk)| {
+                let chip = &mut chunk[0];
+                mappings[c].load_vars_subset(chip, staging, &ghosts[c]);
+                if cached {
+                    chip.execute(&programs[c].halo_load);
+                } else {
+                    chip.execute(&mappings[c].compile_halo_load_for(&ghosts[c]));
+                }
+            });
+
+            // 2d. Outbound (send-side) link charges ride the lane
+            // *behind* the ghost landings: the fence below waits only
+            // for the ghost blocks, so this tail drains concurrently
+            // with Flux/Integration — the pipelined win. Posted before
+            // Volume in host order so Volume's trailing Sync cannot
+            // delay it. The HaloExchange span closes here, where the
+            // exchange really ends on each chip's lane.
+            for m in &self.messages {
+                let bytes = m.bytes(nodes);
+                let d_src = self.chips[m.src].link_transfer(&self.link, bytes);
+                self.halo.link_seconds[m.src] += d_src;
+            }
+            for (c, chip) in self.chips.iter_mut().enumerate() {
+                let t1 = chip.offchip_time();
+                end_kernel_span_at(chip, Kernel::HaloExchange, stage as u8, starts[c], t1);
+                if metrics_on {
+                    record_cluster_halo(chip, halo_open[c].0, halo_open[c].1);
+                }
+            }
+
+            // 2e. Volume at each chip's own stage entry on the compute
+            // lane — nothing above advanced `elapsed`, exactly as in
+            // the fenced schedule.
+            let (mappings, residents) = (&self.mappings, &self.residents);
+            let math_onpim = &mut self.math.onpim_seconds;
+            let math_host_cost = &self.math_host_cost;
+            let starts_ref = &starts;
+            self.chips.par_chunks_mut(1).zip(math_onpim.par_chunks_mut(1)).enumerate().for_each(
+                |(c, (chunk, onpim))| {
+                    let chip = &mut chunk[0];
+                    let mut vol_t0 = if math_host_cost[c].seconds > 0.0 {
+                        chip.elapsed().max(starts_ref[c])
+                    } else {
+                        starts_ref[c]
+                    };
+                    if programs[c].math.is_some() {
+                        let t0 = begin_kernel_span(chip);
+                        let (busy0, energy0) = kernel_window_open(chip);
+                        let before = chip.elapsed();
+                        if cached {
+                            chip.execute(programs[c].math.as_ref().unwrap());
+                        } else {
+                            chip.execute(&mappings[c].compile_math_stage_for(&residents[c]));
+                        }
+                        onpim[0] += chip.elapsed() - before;
+                        end_kernel_span(chip, Kernel::MathRefine, stage as u8, t0);
+                        record_cluster_kernel(chip, "MathRefine", busy0, energy0);
+                        if metrics_on {
+                            pim_metrics::global()
+                                .float_counter(
+                                    "cluster_math_onpim_seconds_total",
+                                    &[("chip", chip.metrics_label())],
+                                )
+                                .add((chip.elapsed() - before).max(0.0));
+                        }
+                        vol_t0 = chip.elapsed();
+                    }
+                    let (busy0, energy0) = kernel_window_open(chip);
+                    if cached {
+                        chip.execute(&programs[c].volume);
+                    } else {
+                        chip.execute(&mappings[c].compile_volume_for(&residents[c]));
+                    }
+                    end_kernel_span(chip, Kernel::Volume, stage as u8, vol_t0);
+                    record_cluster_kernel(chip, "Volume", busy0, energy0);
+                },
+            );
+
+            // 3. Per-block fence: Flux reads exactly the ghost blocks,
+            // so the compute lane joins only their readiness. Whatever
+            // the Volume window could not hide of the
+            // store → inbound → landing chain is this stage's exposed
+            // halo; the outbound tail is never charged here.
+            let skip_fence = self.chips.len() == 1
+                && self.math_decisions[0].placement.is_some_and(|p| !p.any_host());
+            if !skip_fence {
+                let ghost_blocks = &self.ghost_blocks;
+                for (c, chip) in self.chips.iter_mut().enumerate() {
+                    let before = chip.elapsed();
+                    chip.fence_blocks(&ghost_blocks[c]);
+                    let exposed = chip.elapsed() - before;
+                    self.halo.exposed_seconds[c] += exposed;
+                    if metrics_on {
+                        pim_metrics::global()
+                            .float_counter(
+                                "cluster_exposed_halo_seconds_total",
+                                &[("chip", chip.metrics_label())],
+                            )
+                            .add(exposed.max(0.0));
+                    }
+                }
+            }
+
+            // 4. Flux → Integration, identical to the fenced path
+            // except the RkStage span anchors at this chip's own stage
+            // entry.
+            let (mappings, residents) = (&self.mappings, &self.residents);
+            self.chips.par_chunks_mut(1).zip(self.programs.par_chunks_mut(1)).enumerate().for_each(
+                |(c, (chunk, progs))| {
+                    let chip = &mut chunk[0];
+                    let prog = &mut progs[0];
+                    let m = &mappings[c];
+                    let res = &residents[c];
+
+                    let t0 = begin_kernel_span(chip);
+                    let (busy0, energy0) = kernel_window_open(chip);
+                    if cached {
+                        chip.execute(&prog.flux);
+                    } else {
+                        chip.execute(&m.compile_flux_phased_for(res));
+                    }
+                    end_kernel_span(chip, Kernel::Flux, stage as u8, t0);
+                    record_cluster_kernel(chip, "Flux", busy0, energy0);
+
+                    let t0 = begin_kernel_span(chip);
+                    let (busy0, energy0) = kernel_window_open(chip);
+                    if cached {
+                        #[cfg(debug_assertions)]
+                        let verify = prog.integration.take_verify(stage);
+                        let stream = prog.integration.for_stage(stage);
+                        #[cfg(debug_assertions)]
+                        if verify {
+                            assert_eq!(
+                                stream,
+                                &m.compile_integration_for(res, stage),
+                                "patched Integration replay diverged from a fresh compile"
+                            );
+                        }
+                        chip.execute(stream);
+                    } else {
+                        chip.execute(&m.compile_integration_for(res, stage));
+                    }
+                    end_kernel_span(chip, Kernel::Integration, stage as u8, t0);
+                    record_cluster_kernel(chip, "Integration", busy0, energy0);
+
+                    end_kernel_span(chip, Kernel::RkStage, stage as u8, starts_ref[c]);
+                },
+            );
+
+            self.prev_starts = starts;
+            self.stage_makespans.push(self.elapsed());
+            self.halo.stages += 1;
+            self.math.stages += 1;
+            if metrics_on {
+                pim_metrics::global().counter("cluster_stages_total", &[]).inc();
+            }
+        }
+        self.publish_step_gauges();
+    }
+
+    /// Per-chip occupancy gauges published at the end of every step:
+    /// latest simulated wall-clock, aggregate block-busy time, and
+    /// block capacity — everything the capacity-idle share
+    /// `1 - block_busy / (num_blocks * elapsed)` needs, measured.
+    fn publish_step_gauges(&self) {
         if pim_metrics::enabled() {
             let reg = pim_metrics::global();
             reg.counter("cluster_steps_total", &[]).inc();

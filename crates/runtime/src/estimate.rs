@@ -33,6 +33,17 @@
 //! lengthens the stage. [`ClusterEstimate::bulk_stage_seconds`] keeps the
 //! bulk-synchronous baseline for comparison — overlap can only help, so
 //! `stage_seconds ≤ bulk_stage_seconds` always.
+//!
+//! The **pipelined** protocol arm models the per-chip schedule of
+//! `ClusterRunner`'s default: only the *receive-side* traffic gates a
+//! chip's pre-Flux fence (outbound charges drain concurrently with
+//! Flux/Integration), so the port term shrinks to the busiest chip's
+//! inbound bytes and
+//! [`ClusterEstimate::pipelined_stage_seconds`] ≤ `stage_seconds` ≤
+//! `bulk_stage_seconds` by construction. The slab partition sends as
+//! many bytes as it receives, so pipelining roughly halves the fenced
+//! port time — which is what pushes the halo wall (the chip count where
+//! exposed halo first gates the stage) outward.
 
 use pim_sim::host::HostModel;
 use pim_sim::params as prm;
@@ -134,6 +145,8 @@ pub struct ClusterEstimate {
     pub num_elements: u64,
     pub num_chips: usize,
     pub interconnect: InterconnectKind,
+    /// The inter-chip link the halo terms were priced on.
+    pub link: InterChipLink,
     /// Resident elements per chip.
     pub elements_per_chip: u64,
     /// Per-chip batch count (1 = the shard fits resident).
@@ -157,6 +170,19 @@ pub struct ClusterEstimate {
     /// The bulk-synchronous baseline stage (28 nm): compute + swap +
     /// raw halo, i.e. what the stage would cost without overlap.
     pub bulk_stage_seconds: f64,
+    /// Per-stage *receive-side* halo time on the busiest chip's port
+    /// (28 nm) — the only traffic the pipelined protocol's per-block
+    /// fence waits for (outbound drains concurrently with
+    /// Flux/Integration).
+    pub pipelined_halo_link_seconds_per_stage: f64,
+    /// Per-stage exposed halo under the pipelined protocol,
+    /// `max(receive-side halo − volume, 0)` (28 nm).
+    pub pipelined_halo_seconds_per_stage: f64,
+    /// One full pipelined cluster stage (28 nm): compute + swap +
+    /// pipelined exposed halo. Always ≤ [`Self::stage_seconds`].
+    pub pipelined_stage_seconds: f64,
+    /// Exposed halo share of the pipelined stage wall-time.
+    pub pipelined_exposed_halo_share: f64,
     /// Halo payload bytes per stage, cluster-wide (each message once).
     pub halo_bytes_per_stage: u64,
     /// Raw halo share of the *bulk-synchronous* stage wall-time — how
@@ -213,7 +239,29 @@ pub fn estimate_cluster(
     probe: &KernelProbe,
 ) -> ClusterEstimate {
     let mesh = HexMesh::refinement_level(level, Boundary::Periodic);
-    let partition = SlicePartition::new(&mesh, num_chips);
+    estimate_cluster_on(&mesh, level, num_chips, link, probe)
+}
+
+/// [`estimate_cluster`] on a caller-built mesh, so a sweep touching the
+/// same level many times (chip counts × interconnects) builds the mesh
+/// once — at level 8 (16.7M elements) the build dominates the point.
+///
+/// # Panics
+/// Panics if `mesh` is not the level's periodic refinement or if
+/// `num_chips` does not evenly divide its `2^level` y-slices.
+pub fn estimate_cluster_on(
+    mesh: &HexMesh,
+    level: u32,
+    num_chips: usize,
+    link: InterChipLink,
+    probe: &KernelProbe,
+) -> ClusterEstimate {
+    assert_eq!(
+        mesh.num_elements() as u64,
+        1u64 << (3 * level),
+        "mesh does not match refinement level {level}"
+    );
+    let partition = SlicePartition::new(mesh, num_chips);
     let messages = halo_messages(&partition);
 
     let e_total = mesh.num_elements() as u64;
@@ -224,17 +272,24 @@ pub fn estimate_cluster(
     // back-to-back (one latency per stage); energy is charged at both
     // endpoints, as the functional runner does.
     let mut port_bytes = vec![0u64; num_chips];
+    let mut recv_bytes = vec![0u64; num_chips];
     let mut halo_bytes_per_stage = 0u64;
     let mut halo_joules_per_stage = 0.0f64;
     for m in &messages {
         let bytes = m.bytes(probe.nodes);
         port_bytes[m.src] += bytes;
         port_bytes[m.dst] += bytes;
+        recv_bytes[m.dst] += bytes;
         halo_bytes_per_stage += bytes;
         halo_joules_per_stage += 2.0 * link.energy(bytes);
     }
     let max_port = port_bytes.iter().copied().max().unwrap_or(0);
     let halo_raw = if max_port > 0 { link.latency + max_port as f64 / link.bandwidth } else { 0.0 };
+    // The pipelined protocol fences only on the receive side of the
+    // busiest port; its outbound half drains behind Flux/Integration.
+    let max_recv = recv_bytes.iter().copied().max().unwrap_or(0);
+    let pipelined_halo_raw =
+        if max_recv > 0 { link.latency + max_recv as f64 / link.bandwidth } else { 0.0 };
 
     let (compute, swap, batches) = stage_compute(probe, e_chip, ghosts_max);
     // The exchange streams while the Volume kernel runs; only the part
@@ -243,6 +298,8 @@ pub fn estimate_cluster(
     let exposed = (halo_raw - volume).max(0.0);
     let stage = compute + swap + exposed;
     let bulk_stage = compute + swap + halo_raw;
+    let pipelined_exposed = (pipelined_halo_raw - volume).max(0.0);
+    let pipelined_stage = compute + swap + pipelined_exposed;
 
     // Reference points for the efficiency metrics.
     let (c1, s1, _) = stage_compute(probe, e_total, 0);
@@ -276,6 +333,7 @@ pub fn estimate_cluster(
         num_elements: e_total,
         num_chips,
         interconnect: probe.chip.interconnect,
+        link,
         elements_per_chip: e_chip,
         batches_per_chip: batches,
         compute_seconds_per_stage: compute,
@@ -285,6 +343,10 @@ pub fn estimate_cluster(
         halo_seconds_per_stage: exposed,
         stage_seconds: stage,
         bulk_stage_seconds: bulk_stage,
+        pipelined_halo_link_seconds_per_stage: pipelined_halo_raw,
+        pipelined_halo_seconds_per_stage: pipelined_exposed,
+        pipelined_stage_seconds: pipelined_stage,
+        pipelined_exposed_halo_share: pipelined_exposed / pipelined_stage,
         halo_bytes_per_stage,
         halo_time_fraction: halo_raw / bulk_stage,
         exposed_halo_share: exposed / stage,
@@ -348,6 +410,31 @@ mod tests {
             assert!(e.volume_seconds_per_stage > 0.0);
             assert!(e.stage_seconds < e.bulk_stage_seconds);
         }
+    }
+
+    #[test]
+    fn pipelined_stage_never_exceeds_fenced_and_fences_only_inbound() {
+        let p = probe();
+        for chips in [2usize, 4, 8, 16] {
+            let e = estimate_cluster(4, chips, InterChipLink::default(), &p);
+            // Slab shards send as many bytes as they receive, so the
+            // inbound-only port term is strictly under the full one.
+            assert!(e.pipelined_halo_link_seconds_per_stage > 0.0);
+            assert!(e.pipelined_halo_link_seconds_per_stage < e.halo_link_seconds_per_stage);
+            assert!(
+                (e.pipelined_halo_seconds_per_stage
+                    - (e.pipelined_halo_link_seconds_per_stage - e.volume_seconds_per_stage)
+                        .max(0.0))
+                .abs()
+                    < 1e-18
+            );
+            assert!(e.pipelined_stage_seconds <= e.stage_seconds);
+            assert!(e.stage_seconds <= e.bulk_stage_seconds);
+            assert!(e.pipelined_exposed_halo_share >= 0.0 && e.pipelined_exposed_halo_share < 1.0);
+        }
+        let single = estimate_cluster(3, 1, InterChipLink::default(), &p);
+        assert_eq!(single.pipelined_halo_link_seconds_per_stage, 0.0);
+        assert_eq!(single.pipelined_stage_seconds, single.stage_seconds);
     }
 
     #[test]

@@ -7,12 +7,17 @@
 //! axis. This crate closes it across *devices*: the mesh is partitioned
 //! into per-chip shards ([`wavesim_mesh::SlicePartition`]), each shard
 //! is compiled independently with the existing `wave-pim` mapper, and N
-//! simulated `pim-sim` chips advance in lockstep with an **overlapped
-//! halo exchange** per LSRK stage: after the stage barrier every chip
-//! issues its Volume kernel immediately while boundary snapshots, link
-//! transfers and ghost loads stream on the off-chip lane; an explicit
-//! [`pim_sim::PimChip::fence_offchip`] joins the lanes before Flux, so
-//! only the halo time that outlives the Volume window is exposed.
+//! simulated `pim-sim` chips advance with an **overlapped halo
+//! exchange** per LSRK stage: every chip issues its Volume kernel
+//! immediately while boundary snapshots, link transfers and ghost loads
+//! stream on the off-chip lane, and a fence joins the lanes before
+//! Flux, so only the halo time that outlives the Volume window is
+//! exposed. Two schedules share the compiled programs
+//! ([`cluster::ClusterProtocol`]): the bulk-synchronous **fenced** one
+//! (cluster-wide barrier + global [`pim_sim::PimChip::fence_offchip`])
+//! and the default **pipelined** one (per-chip stage cursors + a
+//! per-ghost-block [`pim_sim::PimChip::fence_blocks`], never slower per
+//! stage, bit-identical state).
 //! Boundary face data crossing a chip boundary is costed on the
 //! [`pim_sim::InterChipLink`] model, charged to both endpoint chips'
 //! energy ledgers, and mirrored into `pim-trace` events on each chip's
@@ -30,6 +35,6 @@ pub mod cluster;
 pub mod estimate;
 pub mod halo;
 
-pub use cluster::{ClusterConfig, ClusterRunner, HaloStats};
-pub use estimate::{estimate_cluster, ClusterEstimate, KernelProbe};
+pub use cluster::{ClusterConfig, ClusterProtocol, ClusterRunner, HaloStats};
+pub use estimate::{estimate_cluster, estimate_cluster_on, ClusterEstimate, KernelProbe};
 pub use halo::{halo_messages, HaloMessage};

@@ -8,9 +8,12 @@
 //!
 //! - every `for_each`/`for_each_init` call spawns up to
 //!   [`current_num_threads`] scoped workers (never more than there are
-//!   items) that pull chunk indices from one shared atomic counter — a
-//!   chunk-granular work deal, so an uneven chunk costs only its own
-//!   worker time;
+//!   items) that pull contiguous *batches* of chunk indices from one
+//!   shared atomic counter — a granularity-aware work deal (one atomic
+//!   op per batch, not per item, with ~4 batches per worker so an
+//!   uneven batch still rebalances) that keeps tiny per-item loops from
+//!   drowning in counter contention when the host has fewer cores than
+//!   workers;
 //! - with one worker (or one item) the loop runs inline on the calling
 //!   thread — no spawn, no atomics, identical to the old sequential
 //!   shim;
@@ -120,19 +123,25 @@ pub trait ParallelIterator: Sized + Sync {
             }
             return;
         }
+        // Deal contiguous batches, not single indices: one atomic op
+        // per batch bounds counter contention, and ~4 batches per
+        // worker keeps enough slack for an uneven batch to rebalance.
+        let batch = n.div_ceil(workers * 4).max(1);
         let next = AtomicUsize::new(0);
         std::thread::scope(|scope| {
             for _ in 0..workers {
                 scope.spawn(|| {
                     let mut scratch = init();
                     loop {
-                        let i = next.fetch_add(1, Ordering::Relaxed);
-                        if i >= n {
+                        let start = next.fetch_add(batch, Ordering::Relaxed);
+                        if start >= n {
                             break;
                         }
-                        // SAFETY: fetch_add hands out each index exactly
-                        // once across all workers.
-                        f(&mut scratch, unsafe { self.pi_item(i) });
+                        for i in start..(start + batch).min(n) {
+                            // SAFETY: fetch_add hands out each batch of
+                            // indices exactly once across all workers.
+                            f(&mut scratch, unsafe { self.pi_item(i) });
+                        }
                     }
                 });
             }
@@ -341,6 +350,27 @@ mod tests {
         let seq = run(1);
         for t in [2, 4, 8] {
             assert_eq!(seq, run(t), "thread count {t} changed the result");
+        }
+    }
+
+    #[test]
+    fn batched_deal_visits_every_index_exactly_once() {
+        // The batching is a scheduling detail; the one-index-once
+        // contract must survive it at every worker count, including
+        // counts that do not divide the item count.
+        let _guard = OVERRIDE_LOCK.lock().unwrap();
+        for threads in [2usize, 3, 5, 8] {
+            set_num_threads(threads);
+            let n = 1013;
+            let hits: Vec<AtomicUsize> = (0..n).map(|_| AtomicUsize::new(0)).collect();
+            let items: Vec<usize> = (0..n).collect();
+            items.par_chunks(1).for_each(|chunk| {
+                hits[chunk[0]].fetch_add(1, Ordering::Relaxed);
+            });
+            set_num_threads(0);
+            for (i, h) in hits.iter().enumerate() {
+                assert_eq!(h.load(Ordering::Relaxed), 1, "index {i} at {threads} threads");
+            }
         }
     }
 

@@ -1,0 +1,221 @@
+//! Causal-lens report: decomposes real cluster-executor makespans into
+//! critical-path blame (per-kernel compute, inbound-ghost wait, link
+//! serialization, DMA, host preprocess, fence idle), prints the
+//! decomposition per run, and checks the *wall explanation* — the lens
+//! blame shift must locate the narrow-link halo wall at the same chip
+//! count as the analytic estimator sweep. Writes `BENCH_lens.json`.
+//!
+//! `--smoke` runs the level-3 arm only (both protocols, both
+//! interconnect wall series), which is what CI gates on; the full run
+//! adds the level-5 × 4-chip acceptance points and the level-4 wall
+//! series.
+
+use pim_cluster::ClusterProtocol;
+use pim_sim::{InterChipLink, InterconnectKind};
+use wavepim_bench::artifacts;
+use wavepim_bench::cluster::{cluster_scaling_data, halo_walls, swept_chip_counts, CHIP_COUNTS};
+use wavepim_bench::lens::{lens_json, lens_point, lens_wall_series, LensPoint, WallSeries};
+use wavepim_bench::report::{fmt_seconds, Table};
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+
+    // 1. Blame decompositions on the default link, both protocols. The
+    // full run includes the level-5 × 4-chip acceptance points.
+    let mut blame_runs: Vec<(u32, usize)> = vec![(3, 2), (3, 4)];
+    if !smoke {
+        blame_runs.push((5, 4));
+    }
+    let mut points: Vec<LensPoint> = Vec::new();
+    for &(level, chips) in &blame_runs {
+        for protocol in [ClusterProtocol::Fenced, ClusterProtocol::Pipelined] {
+            points.push(lens_point(
+                level,
+                chips,
+                1,
+                InterChipLink::default(),
+                InterconnectKind::HTree,
+                protocol,
+            ));
+        }
+    }
+
+    let mut t = Table::new(
+        "Critical-path blame decomposition (executor runs, default link)".to_string(),
+        &[
+            "Level",
+            "Chips",
+            "Protocol",
+            "Makespan",
+            "Residual",
+            "Dominant",
+            "Halo share",
+            "Skew p95",
+        ],
+    );
+    for p in &points {
+        let a = &p.analysis;
+        t.row(vec![
+            p.level.to_string(),
+            p.chips.to_string(),
+            p.protocol_name().to_string(),
+            fmt_seconds(a.makespan),
+            format!("{:.1e}", (a.blame_total() - a.makespan).abs()),
+            a.dominant().map(|(k, _)| k.to_string()).unwrap_or_default(),
+            format!("{:.2}%", 100.0 * p.halo_blame_share()),
+            fmt_seconds(a.skew.p95),
+        ]);
+    }
+    t.print();
+    println!();
+
+    // The acceptance invariants, on every decomposition: exact blame
+    // sum, nonnegative categories, and zero inbound-ghost wait under
+    // the fenced protocol (its halo lane is contiguously busy through
+    // the fence, so the wait can never be lane-idle).
+    for p in &points {
+        let a = &p.analysis;
+        assert!(
+            (a.blame_total() - a.makespan).abs() <= 1e-9,
+            "blame must sum to the makespan (level {}, {} chips, {})",
+            p.level,
+            p.chips,
+            p.protocol_name()
+        );
+        for (k, &v) in &a.blame {
+            assert!(v >= 0.0, "negative blame {k}={v}");
+        }
+        if p.protocol == ClusterProtocol::Fenced {
+            assert_eq!(
+                a.blame.get("inbound_ghost_wait"),
+                None,
+                "fenced runs must show zero inbound-ghost-wait blame (level {}, {} chips)",
+                p.level,
+                p.chips
+            );
+        }
+    }
+
+    // 2. Wall explanation: the estimator's fenced halo wall on the
+    // narrow link, per (interconnect, level) series, against the lens
+    // wall — the chip count where the *measured* overlap budget of a
+    // real executor run first flips to exposed (busiest-port link
+    // occupancy outruns the Volume window: the estimator's condition
+    // on traced instead of priced quantities).
+    let wall_levels: &[u32] = if smoke { &[3] } else { &[3, 4] };
+    let est_rows = cluster_scaling_data(wall_levels, &CHIP_COUNTS);
+    let est_walls = halo_walls(&est_rows);
+
+    let mut walls: Vec<(WallSeries, Option<usize>)> = Vec::new();
+    for &level in wall_levels {
+        // Executor runs get expensive past the wall; sweeping one count
+        // beyond the largest estimator wall is enough to bracket it.
+        let est_max = est_walls
+            .iter()
+            .filter(|w| w.level == level && w.link_share < 1.0)
+            .filter_map(|w| w.fenced_wall_chips)
+            .max()
+            .unwrap_or(8);
+        let counts: Vec<usize> = swept_chip_counts(level, &CHIP_COUNTS)
+            .into_iter()
+            .filter(|&c| c <= 2 * est_max)
+            .collect();
+        for interconnect in [InterconnectKind::HTree, InterconnectKind::Bus] {
+            let series = lens_wall_series(level, &counts, interconnect);
+            let estimator = est_walls
+                .iter()
+                .find(|w| w.interconnect == interconnect && w.level == level && w.link_share < 1.0)
+                .and_then(|w| w.fenced_wall_chips);
+            println!(
+                "wall {} level {} (link x{:.4}): estimator at {:?} chips, lens at {:?} chips",
+                interconnect.name(),
+                level,
+                series.link_share,
+                estimator,
+                series.lens_wall_chips,
+            );
+            for p in &series.points {
+                println!(
+                    "  {} chips: link {} vs Volume window {} ({}), halo blame {:.2}%, \
+                     compute {:.2}%, dominant {}",
+                    p.chips,
+                    fmt_seconds(p.budget.link_seconds),
+                    fmt_seconds(p.budget.volume_seconds),
+                    if p.budget.link_exposed() { "exposed" } else { "hidden" },
+                    100.0 * p.halo_blame_share(),
+                    100.0 * p.analysis.compute_share(),
+                    p.analysis.dominant().map(|(k, _)| k).unwrap_or("-"),
+                );
+            }
+            // The narrow-link arm exists to put the wall inside the
+            // sweep; both the estimator and the lens must find one.
+            assert!(
+                estimator.is_some() && series.lens_wall_chips.is_some(),
+                "narrow-link series must locate a wall ({} level {}: estimator {:?}, lens {:?})",
+                interconnect.name(),
+                level,
+                estimator,
+                series.lens_wall_chips
+            );
+            // The blame shift around the lens wall: compute-dominated
+            // below it, and every at-or-past-wall point carries strictly
+            // more fence-wait blame than any below-wall point.
+            for p in &series.points {
+                if series.lens_wall_chips.is_some_and(|w| p.chips < w) {
+                    assert!(
+                        p.analysis.compute_share() > p.halo_blame_share(),
+                        "below the wall the critical path must be compute-dominated \
+                         ({} level {}, {} chips)",
+                        interconnect.name(),
+                        level,
+                        p.chips
+                    );
+                }
+            }
+            assert!(
+                series.past_wall_min_halo_share() > series.below_wall_max_halo_share(),
+                "crossing the wall must shift blame toward the fence \
+                 ({} level {}: past-wall min {:.4} vs below-wall max {:.4})",
+                interconnect.name(),
+                level,
+                series.past_wall_min_halo_share(),
+                series.below_wall_max_halo_share()
+            );
+            walls.push((series, estimator));
+        }
+    }
+
+    // The acceptance bar: the lens must locate the wall at the same
+    // chip count as the estimator for at least two (level,
+    // interconnect) series. Where the two disagree the lens is
+    // *measuring* something the probe-scaled estimator only
+    // extrapolates — at level 4 the real Volume window is sublinear in
+    // elements-per-chip above the probe's operating point, so the
+    // measured window is shorter and the wall arrives earlier — and the
+    // artifact records both locations.
+    let agreeing = walls
+        .iter()
+        .filter(|(s, est)| s.lens_wall_chips.is_some() && s.lens_wall_chips == *est)
+        .count();
+    for (s, est) in &walls {
+        if s.lens_wall_chips != *est {
+            println!(
+                "note: {} level {} wall disagreement — lens (measured) at {:?}, \
+                 estimator (priced) at {:?}",
+                s.interconnect.name(),
+                s.level,
+                s.lens_wall_chips,
+                est
+            );
+        }
+    }
+    assert!(
+        agreeing >= 2,
+        "the lens must agree with the estimator wall on at least two series (got {agreeing})"
+    );
+
+    let doc = lens_json(&points, &walls);
+    pim_trace::json::parse(&doc).expect("BENCH_lens.json must be valid JSON");
+    let path = artifacts::write_artifact("BENCH_lens.json", &doc).expect("write BENCH_lens.json");
+    println!("\nWrote {}.", path.display());
+}

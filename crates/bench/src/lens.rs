@@ -1,0 +1,272 @@
+//! The causal-lens study: runs the functional cluster executor with the
+//! summary-lane trace on, feeds the trace through `pim-lens`, and
+//! renders `BENCH_lens.json` — the critical-path blame decomposition of
+//! real cluster makespans, plus the *wall explanation*: the lens blame
+//! shift must locate the narrow-link halo wall at the same chip count
+//! as the analytic estimator sweep (`BENCH_cluster.json`).
+
+use std::fmt::Write as _;
+
+use pim_cluster::{ClusterConfig, ClusterProtocol, ClusterRunner};
+use pim_lens::{Analysis, OverlapBudget};
+use pim_sim::{ChipCapacity, ChipConfig, InterChipLink, InterconnectKind, ProcessNode};
+use pim_trace::json::{escape, number};
+use wavesim_dg::{Acoustic, AcousticMaterial, FluxKind, Solver};
+use wavesim_mesh::{Boundary, HexMesh};
+
+use crate::cluster::{link_share, sweep_link, PROBE_N};
+
+/// Element order all lens runs use — the same order the scaling study's
+/// [`KernelProbe`](pim_cluster::KernelProbe) calibrates at, so the
+/// traced Volume windows and the estimator's priced ones describe the
+/// same operating point.
+pub const LENS_N: usize = PROBE_N;
+
+/// One traced executor run through the lens.
+#[derive(Debug)]
+pub struct LensPoint {
+    pub level: u32,
+    pub chips: usize,
+    pub protocol: ClusterProtocol,
+    pub interconnect: InterconnectKind,
+    pub link_share: f64,
+    pub steps: usize,
+    pub analysis: Analysis,
+    /// Busiest-port link occupancy vs longest Volume window, measured
+    /// from the same trace the blame walk consumed.
+    pub budget: OverlapBudget,
+}
+
+impl LensPoint {
+    pub fn protocol_name(&self) -> &'static str {
+        match self.protocol {
+            ClusterProtocol::Fenced => "fenced",
+            ClusterProtocol::Pipelined => "pipelined",
+        }
+    }
+
+    /// Blame share of the categories that only arise when a fence wait
+    /// is on the critical path — the lens counterpart of the estimator's
+    /// *exposed halo*. Zero below the halo wall, positive past it.
+    pub fn halo_blame_share(&self) -> f64 {
+        self.analysis.share("link_serialization")
+            + self.analysis.share("dma")
+            + self.analysis.share("inbound_ghost_wait")
+    }
+}
+
+/// Runs the executor once with the summary-lane trace on and analyzes
+/// the stepped window. The trace is global process state, so callers
+/// (tests in particular) must not run two traced executors concurrently.
+pub fn lens_point(
+    level: u32,
+    chips: usize,
+    steps: usize,
+    link: InterChipLink,
+    interconnect: InterconnectKind,
+    protocol: ClusterProtocol,
+) -> LensPoint {
+    let mesh = HexMesh::refinement_level(level, Boundary::Periodic);
+    let material = AcousticMaterial::new(2.0, 1.0);
+    let mut reference =
+        Solver::<Acoustic>::uniform(mesh.clone(), LENS_N, FluxKind::Riemann, material);
+    reference.set_initial(|v, x| (x.x + 0.1 * v as f64).sin());
+
+    let chip = ChipConfig { capacity: ChipCapacity::Gb2, interconnect, node: ProcessNode::Nm28 };
+    let mut config = ClusterConfig::uniform(chips, chip).with_protocol(protocol);
+    config.link = link;
+    let mut cluster = ClusterRunner::new(
+        &mesh,
+        LENS_N,
+        FluxKind::Riemann,
+        material,
+        reference.state(),
+        1e-3,
+        config,
+    );
+
+    // Summary lanes only: the lens consumes kernel windows, off-chip
+    // charges and fence spans — not the vastly larger per-block and
+    // per-instruction interconnect streams (tens of millions of events
+    // at level 5) — which is what keeps large levels tractable.
+    pim_trace::set_ring_capacity(1 << 21);
+    pim_trace::set_summary_lanes_only(true);
+    let _ = pim_trace::drain();
+    pim_trace::enable();
+    let t_start = cluster.elapsed();
+    cluster.run(steps);
+    let t_end = cluster.elapsed();
+    pim_trace::disable();
+    pim_trace::set_summary_lanes_only(false);
+    let pids = cluster.trace_pids();
+    let (events, dropped) = pim_trace::drain();
+    assert_eq!(dropped, 0, "lens trace ring overflowed (level {level}, {chips} chips)");
+
+    let analysis = pim_lens::analyze(&events, &pids, t_start, t_end);
+    let budget = pim_lens::overlap_budget(&events, &pids);
+    let residual = (analysis.blame_total() - analysis.makespan).abs();
+    assert!(
+        residual <= 1e-9,
+        "lens blame does not sum to the makespan: residual {residual:e}s \
+         (level {level}, {chips} chips, {protocol:?})"
+    );
+    LensPoint {
+        level,
+        chips,
+        protocol,
+        interconnect,
+        link_share: link_share(&link),
+        steps,
+        analysis,
+        budget,
+    }
+}
+
+/// One (interconnect, level) series of the wall explanation: fenced
+/// executor runs over the swept chip counts on the narrow link, with the
+/// lens-located wall to compare against the estimator's.
+#[derive(Debug)]
+pub struct WallSeries {
+    pub interconnect: InterconnectKind,
+    pub level: u32,
+    pub link_share: f64,
+    pub points: Vec<LensPoint>,
+    /// Smallest swept chip count whose measured [`OverlapBudget`] is
+    /// exposed — the busiest port's link occupancy outran the Volume
+    /// window it hides under, which is the estimator's wall condition
+    /// evaluated on traced instead of priced quantities. `None` when
+    /// the window hides the exchange at every swept count.
+    pub lens_wall_chips: Option<usize>,
+}
+
+impl WallSeries {
+    /// Largest halo blame share among the swept points *below* the lens
+    /// wall (0 when the wall sits at the first point).
+    pub fn below_wall_max_halo_share(&self) -> f64 {
+        self.points
+            .iter()
+            .filter(|p| self.lens_wall_chips.is_none_or(|w| p.chips < w))
+            .map(|p| p.halo_blame_share())
+            .fold(0.0, f64::max)
+    }
+
+    /// Smallest halo blame share among the swept points *at or past*
+    /// the lens wall. The blame shift the lens claims is that this
+    /// strictly exceeds [`Self::below_wall_max_halo_share`].
+    pub fn past_wall_min_halo_share(&self) -> f64 {
+        self.points
+            .iter()
+            .filter(|p| self.lens_wall_chips.is_some_and(|w| p.chips >= w))
+            .map(|p| p.halo_blame_share())
+            .fold(f64::INFINITY, f64::min)
+    }
+}
+
+/// Runs the fenced executor across `chip_counts` on the 1/64 link and
+/// locates the wall from each run's measured overlap budget.
+pub fn lens_wall_series(
+    level: u32,
+    chip_counts: &[usize],
+    interconnect: InterconnectKind,
+) -> WallSeries {
+    let link = sweep_link(1.0 / 64.0);
+    let points: Vec<LensPoint> = chip_counts
+        .iter()
+        .map(|&chips| lens_point(level, chips, 1, link, interconnect, ClusterProtocol::Fenced))
+        .collect();
+    let lens_wall_chips = points.iter().find(|p| p.budget.link_exposed()).map(|p| p.chips);
+    WallSeries { interconnect, level, link_share: 1.0 / 64.0, points, lens_wall_chips }
+}
+
+/// Renders the study as the stable-schema `BENCH_lens.json` document.
+pub fn lens_json(points: &[LensPoint], walls: &[(WallSeries, Option<usize>)]) -> String {
+    let mut out = String::with_capacity(4096);
+    out.push_str("{\n  \"schema_version\": 1,\n  \"points\": [\n");
+    for (i, p) in points.iter().enumerate() {
+        render_point(&mut out, "    ", p);
+        out.push_str(if i + 1 < points.len() { ",\n" } else { "\n" });
+    }
+    out.push_str("  ],\n  \"walls\": [\n");
+    for (i, (w, estimator)) in walls.iter().enumerate() {
+        let _ = writeln!(
+            out,
+            "    {{\"interconnect\": {}, \"level\": {}, \"link_share\": {}, \
+             \"estimator_wall_chips\": {}, \"lens_wall_chips\": {}, \"series\": [",
+            escape(w.interconnect.name()),
+            w.level,
+            number(w.link_share),
+            estimator.unwrap_or(0),
+            w.lens_wall_chips.unwrap_or(0),
+        );
+        for (j, p) in w.points.iter().enumerate() {
+            let dominant = p.analysis.dominant().map(|(k, _)| k.to_string()).unwrap_or_default();
+            let _ = write!(
+                out,
+                "      {{\"chips\": {}, \"halo_blame_share\": {}, \"compute_share\": {}, \
+                 \"dominant\": {}, \"link_seconds\": {}, \"volume_seconds\": {}, \
+                 \"link_exposed\": {}}}",
+                p.chips,
+                number(p.halo_blame_share()),
+                number(p.analysis.compute_share()),
+                escape(&dominant),
+                number(p.budget.link_seconds),
+                number(p.budget.volume_seconds),
+                p.budget.link_exposed(),
+            );
+            out.push_str(if j + 1 < w.points.len() { ",\n" } else { "\n" });
+        }
+        out.push_str("    ]}");
+        out.push_str(if i + 1 < walls.len() { ",\n" } else { "\n" });
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+fn render_point(out: &mut String, indent: &str, p: &LensPoint) {
+    let a = &p.analysis;
+    let _ = write!(
+        out,
+        "{indent}{{\"level\": {}, \"chips\": {}, \"protocol\": {}, \"interconnect\": {}, \
+         \"link_share\": {}, \"steps\": {}, \"makespan_seconds\": {}, \
+         \"blame_total_seconds\": {}, \"blame_residual_seconds\": {}, \"blame\": {{",
+        p.level,
+        p.chips,
+        escape(p.protocol_name()),
+        escape(p.interconnect.name()),
+        number(p.link_share),
+        p.steps,
+        number(a.makespan),
+        number(a.blame_total()),
+        number((a.blame_total() - a.makespan).abs()),
+    );
+    for (i, (k, v)) in a.blame.iter().enumerate() {
+        let _ = write!(out, "{}{}: {}", if i > 0 { ", " } else { "" }, escape(k), number(*v));
+    }
+    let _ =
+        write!(out, "}}, \"critical_path_edges\": {}, \"critical_path\": [", a.critical_path.len());
+    // The full path can be thousands of merged edges on big runs; the
+    // artifact keeps the most recent 64 (the end of the run is where the
+    // makespan was decided), with the total count alongside.
+    for (i, e) in a.critical_path.iter().take(64).enumerate() {
+        let _ = write!(
+            out,
+            "{}{{\"chip\": {}, \"t0\": {}, \"t1\": {}, \"category\": {}}}",
+            if i > 0 { ", " } else { "" },
+            e.chip,
+            number(e.t0),
+            number(e.t1),
+            escape(&e.category),
+        );
+    }
+    let _ = write!(
+        out,
+        "], \"skew\": {{\"count\": {}, \"min\": {}, \"mean\": {}, \"max\": {}, \
+         \"p50\": {}, \"p95\": {}}}}}",
+        a.skew.count,
+        number(a.skew.min),
+        number(a.skew.mean),
+        number(a.skew.max),
+        number(a.skew.p50),
+        number(a.skew.p95),
+    );
+}

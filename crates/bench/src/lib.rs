@@ -10,6 +10,7 @@ pub mod cluster;
 pub mod figures;
 pub mod fleet;
 pub mod host;
+pub mod lens;
 pub mod math;
 pub mod metrics_report;
 pub mod report;

@@ -211,6 +211,139 @@ fn cluster_artifact_schema_tells_a_coherent_scaling_story() {
 }
 
 #[test]
+fn lens_artifact_schema_decomposes_and_locates_the_wall() {
+    // Same schema the `lens_report` binary writes. Real traced runs are
+    // exercised in the `lens_analysis` suite (which owns the
+    // process-global trace in its own binary); here the points are
+    // synthetic so this test can run alongside the other traced tests,
+    // and the invariants are purely about the rendered document.
+    use pim_cluster::ClusterProtocol;
+    use pim_lens::{Analysis, Edge, OverlapBudget, SkewStats};
+    use pim_sim::InterconnectKind;
+    use std::collections::BTreeMap;
+    use wavepim_bench::lens::{lens_json, LensPoint, WallSeries};
+
+    let point = |chips: usize,
+                 protocol: ClusterProtocol,
+                 blame: &[(&str, f64)],
+                 link_seconds: f64,
+                 volume_seconds: f64| {
+        let blame: BTreeMap<String, f64> = blame.iter().map(|&(k, v)| (k.to_string(), v)).collect();
+        let makespan: f64 = blame.values().sum();
+        LensPoint {
+            level: 3,
+            chips,
+            protocol,
+            interconnect: InterconnectKind::HTree,
+            link_share: 1.0 / 64.0,
+            steps: 1,
+            analysis: Analysis {
+                makespan,
+                blame,
+                critical_path: vec![Edge {
+                    chip: 0,
+                    t0: 0.0,
+                    t1: makespan,
+                    category: "compute:Flux".into(),
+                }],
+                skew: SkewStats::default(),
+            },
+            budget: OverlapBudget { link_seconds, volume_seconds },
+        }
+    };
+    let below = point(
+        2,
+        ClusterProtocol::Fenced,
+        &[("compute:Volume", 2e-3), ("compute:Flux", 3e-3), ("link_serialization", 1e-4)],
+        1.3e-3,
+        1.7e-3,
+    );
+    let past = point(
+        4,
+        ClusterProtocol::Pipelined,
+        &[
+            ("compute:Volume", 1e-3),
+            ("compute:Flux", 2e-3),
+            ("link_serialization", 4e-4),
+            ("inbound_ghost_wait", 2e-4),
+        ],
+        1.3e-3,
+        1.2e-3,
+    );
+    let series = WallSeries {
+        interconnect: InterconnectKind::HTree,
+        level: 3,
+        link_share: 1.0 / 64.0,
+        points: vec![below, past],
+        lens_wall_chips: Some(4),
+    };
+    let points = vec![
+        point(2, ClusterProtocol::Fenced, &[("compute:Volume", 5e-3)], 0.0, 2e-3),
+        point(
+            2,
+            ClusterProtocol::Pipelined,
+            &[("compute:Volume", 4e-3), ("inbound_ghost_wait", 5e-4)],
+            0.0,
+            2e-3,
+        ),
+    ];
+    let doc = lens_json(&points, &[(series, Some(4))]);
+    let v = pim_trace::json::parse(&doc).expect("BENCH_lens.json schema must parse");
+    assert_eq!(v.get("schema_version").and_then(|x| x.as_f64()), Some(1.0));
+    let field = |obj: &pim_trace::json::Value, k: &str| {
+        obj.get(k)
+            .and_then(|x| x.as_f64())
+            .unwrap_or_else(|| panic!("BENCH_lens.json missing numeric field {k}"))
+    };
+
+    let rendered = v.get("points").and_then(|x| x.as_array()).unwrap();
+    assert_eq!(rendered.len(), 2);
+    for p in rendered {
+        // The acceptance arithmetic must be checkable from the artifact
+        // alone: the blame map re-sums to the recorded total, and the
+        // recorded residual against the makespan stays within 1e-9.
+        let blame = p.get("blame").unwrap();
+        let total: f64 = ["compute:Volume", "compute:Flux", "inbound_ghost_wait"]
+            .iter()
+            .filter_map(|k| blame.get(k).and_then(|x| x.as_f64()))
+            .sum();
+        assert!((total - field(p, "blame_total_seconds")).abs() <= 1e-15);
+        assert!(field(p, "blame_residual_seconds") <= 1e-9);
+        assert!(field(p, "makespan_seconds") > 0.0);
+        assert_eq!(field(p, "critical_path_edges"), 1.0);
+        assert!(!p.get("critical_path").and_then(|x| x.as_array()).unwrap().is_empty());
+        let protocol = p.get("protocol").and_then(|x| x.as_str()).unwrap();
+        if protocol == "fenced" {
+            assert!(
+                blame.get("inbound_ghost_wait").is_none(),
+                "fenced artifact points must carry zero inbound-ghost-wait blame"
+            );
+        }
+        let skew = p.get("skew").expect("points must carry the skew distribution");
+        for k in ["count", "min", "mean", "max", "p50", "p95"] {
+            assert!(field(skew, k) >= 0.0);
+        }
+    }
+
+    let walls = v.get("walls").and_then(|x| x.as_array()).unwrap();
+    assert_eq!(walls.len(), 1);
+    let w = &walls[0];
+    assert_eq!(field(w, "estimator_wall_chips"), 4.0);
+    assert_eq!(field(w, "lens_wall_chips"), 4.0);
+    let series = w.get("series").and_then(|x| x.as_array()).unwrap();
+    assert_eq!(series.len(), 2);
+    for p in series {
+        // The wall condition is recomputable from the recorded budget.
+        let exposed = p.get("link_exposed").and_then(|x| x.as_bool()).unwrap();
+        assert_eq!(exposed, field(p, "link_seconds") > field(p, "volume_seconds"));
+        assert_eq!(exposed, field(p, "chips") >= field(w, "lens_wall_chips"));
+        assert!(field(p, "halo_blame_share") >= 0.0);
+        assert!(field(p, "compute_share") > 0.0);
+        assert!(p.get("dominant").and_then(|x| x.as_str()).is_some());
+    }
+}
+
+#[test]
 fn metrics_artifact_schema_reconciles_and_stays_bounded() {
     // Same schema and invariants the `profile_report` binary gates CI
     // on, at the smoke configuration: every utilization-like share in

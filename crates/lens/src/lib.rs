@@ -1,0 +1,712 @@
+//! # pim-lens — causal blame decomposition of cluster traces
+//!
+//! The cluster runtime emits a structured trace: per-chip kernel spans
+//! on the compute lane, DMA and inter-chip link charges on the off-chip
+//! lane, fence waits with causal flow ids on the fence lane, and ghost
+//! arrival instants. This crate reconstructs the cross-chip dependency
+//! DAG those events encode and walks its **critical path** backward
+//! from the end of the run, charging every instant of the makespan to
+//! exactly one blame category:
+//!
+//! | category             | meaning                                            |
+//! |----------------------|----------------------------------------------------|
+//! | `compute:<Kernel>`   | a leaf kernel (Volume, Flux, Integration, MathRefine) was the bottleneck |
+//! | `host_preprocess`    | the host-side math gate held the stage open        |
+//! | `link_serialization` | an inter-chip link charge occupied the off-chip lane on the critical chain |
+//! | `dma`                | a store/load DMA occupied the off-chip lane on the critical chain |
+//! | `inbound_ghost_wait` | the off-chip lane sat idle inside a fence window waiting for a *sender* to reach the stage (pipelined floor) |
+//! | `fence_idle`         | no traced work anywhere covered the instant — a pure scheduling hole |
+//!
+//! The walk covers the window `[t_start, t_end]` contiguously, so the
+//! per-category blame **sums to the measured makespan exactly** (the
+//! interval bounds telescope); the `≤ 1e-9` acceptance bound is slack
+//! for float accumulation only.
+//!
+//! The walk is cross-chip: when the current chip has no traced work at
+//! the cursor the walk *hops* to the chip that does (the straggler the
+//! barrier or fence was really waiting on), and an idle lane inside a
+//! fence window hops to the sender chip named by the inbound link
+//! charge's causal flow id. The hop sequence is returned as the
+//! critical-path edge list.
+
+use std::collections::BTreeMap;
+
+use pim_trace::{Event, Kernel, Payload, TID_FENCE, TID_KERNELS, TID_OFFCHIP};
+
+/// Comparisons of simulated times tolerate this much float fuzz
+/// (seconds). Stage times are O(1e-6 .. 1e2); 1e-12 is far below any
+/// real segment and far above f64 rounding on sums of that magnitude.
+const EPS: f64 = 1e-12;
+
+/// One classified interval of the critical path, most recent first in
+/// [`Analysis::critical_path`]. `chip` indexes the `pids` slice handed
+/// to [`analyze`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct Edge {
+    pub chip: usize,
+    pub t0: f64,
+    pub t1: f64,
+    pub category: String,
+}
+
+/// Order statistics of the per-stage cross-chip skew (the spread of
+/// `RkStage` span starts), from the same event set the blame walk uses.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct SkewStats {
+    pub count: usize,
+    pub min: f64,
+    pub mean: f64,
+    pub max: f64,
+    pub p50: f64,
+    pub p95: f64,
+}
+
+/// The result of [`analyze`]: the measured makespan, its exact blame
+/// decomposition, the critical-path edge list that produced it, and the
+/// per-stage skew distribution.
+#[derive(Debug, Clone)]
+pub struct Analysis {
+    /// `t_end - t_start`, the quantity the blame decomposes.
+    pub makespan: f64,
+    /// Blame seconds per category; values are nonnegative and sum to
+    /// [`Self::makespan`] (see [`Self::blame_total`]).
+    pub blame: BTreeMap<String, f64>,
+    /// The walked critical path, latest interval first. Adjacent
+    /// intervals on the same chip and category are merged.
+    pub critical_path: Vec<Edge>,
+    /// Cross-chip spread of each stage's entry, from `RkStage` spans.
+    pub skew: SkewStats,
+}
+
+impl Analysis {
+    /// Sum of all blame categories — equals the makespan by
+    /// construction, modulo float accumulation.
+    pub fn blame_total(&self) -> f64 {
+        self.blame.values().sum()
+    }
+
+    /// One category's fraction of the makespan (0 when the window is
+    /// empty or the category absent).
+    pub fn share(&self, category: &str) -> f64 {
+        if self.makespan <= 0.0 {
+            return 0.0;
+        }
+        self.blame.get(category).copied().unwrap_or(0.0) / self.makespan
+    }
+
+    /// Total blame across the `compute:*` categories.
+    pub fn compute_share(&self) -> f64 {
+        if self.makespan <= 0.0 {
+            return 0.0;
+        }
+        self.blame.iter().filter(|(k, _)| k.starts_with("compute:")).map(|(_, v)| v).sum::<f64>()
+            / self.makespan
+    }
+
+    /// The category carrying the most blame, ties broken by name.
+    pub fn dominant(&self) -> Option<(&str, f64)> {
+        self.blame
+            .iter()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap().then(b.0.cmp(a.0)))
+            .map(|(k, &v)| (k.as_str(), v))
+    }
+}
+
+/// What a chip's compute timeline is doing over one interval.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum ComputeKind {
+    /// A leaf kernel by name (`Volume`, `Flux`, `Integration`,
+    /// `MathRefine`).
+    Kernel(&'static str),
+    /// The host-placed math gate at the stage entry.
+    HostPreprocess,
+    /// A fence wait — sub-classified against the chip's own off-chip
+    /// lane during the walk.
+    Fence,
+}
+
+/// One serialized charge on a chip's off-chip lane.
+#[derive(Debug, Clone, Copy)]
+struct LaneSeg {
+    t0: f64,
+    t1: f64,
+    /// Causal id when this is a link charge (`0` for DMAs and untagged
+    /// charges).
+    flow: u64,
+    /// True for receive-side link charges — the ones whose start can be
+    /// floored by a remote sender.
+    inbound_link: bool,
+    /// True for any link charge (either endpoint).
+    link: bool,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct ComputeSeg {
+    t0: f64,
+    t1: f64,
+    kind: ComputeKind,
+}
+
+/// Per-chip view of the trace: the classified compute timeline and the
+/// serialized off-chip lane, both sorted by start time.
+#[derive(Debug, Default)]
+struct ChipTimeline {
+    compute: Vec<ComputeSeg>,
+    lane: Vec<LaneSeg>,
+}
+
+impl ChipTimeline {
+    /// The latest segment that starts strictly before `t`, as an index,
+    /// from a slice sorted by `t0`.
+    fn last_starting_before<T>(segs: &[T], t: f64, start: impl Fn(&T) -> f64) -> Option<usize> {
+        let mut lo = 0usize;
+        let mut hi = segs.len();
+        while lo < hi {
+            let mid = (lo + hi) / 2;
+            if start(&segs[mid]) < t - EPS {
+                lo = mid + 1;
+            } else {
+                hi = mid;
+            }
+        }
+        lo.checked_sub(1)
+    }
+
+    /// The compute segment covering the instant just before `t`, if any.
+    fn compute_at(&self, t: f64) -> Option<&ComputeSeg> {
+        let i = Self::last_starting_before(&self.compute, t, |s| s.t0)?;
+        let s = &self.compute[i];
+        (s.t1 >= t - EPS).then_some(s)
+    }
+
+    /// The lane segment covering the instant just before `t`, if any,
+    /// plus the index of the first lane segment at or after `t` (the
+    /// charge whose floored start explains an idle gap ending at `t`).
+    fn lane_at(&self, t: f64) -> (Option<&LaneSeg>, Option<&LaneSeg>) {
+        match Self::last_starting_before(&self.lane, t, |s| s.t0) {
+            Some(i) => {
+                let s = &self.lane[i];
+                if s.t1 >= t - EPS {
+                    (Some(s), None)
+                } else {
+                    (None, self.lane.get(i + 1))
+                }
+            }
+            None => (None, self.lane.first()),
+        }
+    }
+
+    /// End time of the latest lane segment ending at or before `t`
+    /// (lower bound for an idle-lane interval that ends at `t`).
+    fn lane_ready_before(&self, t: f64) -> Option<f64> {
+        let i = Self::last_starting_before(&self.lane, t, |s| s.t0)?;
+        Some(self.lane[i].t1.min(t))
+    }
+
+    /// Does any traced segment (compute or lane) cover the instant just
+    /// before `t`?
+    fn busy_at(&self, t: f64) -> bool {
+        self.compute_at(t).is_some() || self.lane_at(t).0.is_some()
+    }
+
+    /// The latest segment end strictly below `t` on either timeline —
+    /// where a totally-idle interval ending at `t` must have begun.
+    fn latest_end_before(&self, t: f64) -> f64 {
+        let mut best = f64::NEG_INFINITY;
+        for s in &self.compute {
+            if s.t1 < t - EPS && s.t1 > best {
+                best = s.t1;
+            }
+            if s.t0 >= t {
+                break;
+            }
+        }
+        for s in &self.lane {
+            if s.t1 < t - EPS && s.t1 > best {
+                best = s.t1;
+            }
+            if s.t0 >= t {
+                break;
+            }
+        }
+        best
+    }
+}
+
+/// One step of the backward walk.
+enum Step {
+    /// Charge `[from, cursor)` to `category`; optionally continue on
+    /// another chip at `from`.
+    Blame { category: String, from: f64, hop: Option<usize> },
+    /// Nothing on this chip at the cursor — continue on another chip at
+    /// the same time.
+    Hop { chip: usize },
+}
+
+/// Reconstructs the causal DAG from `events` and decomposes the window
+/// `[t_start, t_end]` of a cluster run into per-category blame.
+///
+/// `pids` are the cluster's chip trace pids in chip order (from
+/// `ClusterRunner::trace_pids`); events on other pids are ignored.
+/// `t_start`/`t_end` bound the analysis window — pass the cluster's
+/// `elapsed()` immediately before and after the run, because chip
+/// clocks include construction-time charges that are not part of the
+/// stepped makespan.
+///
+/// Panics if `t_end < t_start` or the walk fails to make progress
+/// (which would indicate a malformed trace).
+pub fn analyze(events: &[Event], pids: &[u32], t_start: f64, t_end: f64) -> Analysis {
+    assert!(t_end >= t_start - EPS, "analysis window is reversed: [{t_start}, {t_end}]");
+    let makespan = (t_end - t_start).max(0.0);
+
+    let chip_of = |pid: u32| pids.iter().position(|&p| p == pid);
+
+    // Per-chip timelines plus the flow → sender-chip map from the
+    // send-side link charges.
+    let mut chips: Vec<ChipTimeline> = (0..pids.len()).map(|_| ChipTimeline::default()).collect();
+    let mut flow_sender: BTreeMap<u64, usize> = BTreeMap::new();
+    let mut stage_starts: Vec<Vec<f64>> = vec![Vec::new(); pids.len()];
+    for e in events {
+        let Some(c) = chip_of(e.pid) else { continue };
+        match (e.tid, &e.payload) {
+            (TID_KERNELS, Payload::Kernel { kernel, .. }) => {
+                let kind = match kernel {
+                    Kernel::Volume => Some(ComputeKind::Kernel("Volume")),
+                    Kernel::Flux => Some(ComputeKind::Kernel("Flux")),
+                    Kernel::Integration => Some(ComputeKind::Kernel("Integration")),
+                    Kernel::MathRefine => Some(ComputeKind::Kernel("MathRefine")),
+                    Kernel::HostPreprocess => Some(ComputeKind::HostPreprocess),
+                    // Container spans (RkStage, Step, HaloExchange) and
+                    // split-Flux phases the cluster never emits are not
+                    // leaves of the compute timeline.
+                    _ => None,
+                };
+                if *kernel == Kernel::RkStage {
+                    stage_starts[c].push(e.t0);
+                }
+                if let Some(kind) = kind {
+                    if e.t1 > e.t0 {
+                        chips[c].compute.push(ComputeSeg { t0: e.t0, t1: e.t1, kind });
+                    }
+                }
+            }
+            (TID_FENCE, Payload::Fence { .. }) if e.t1 > e.t0 => {
+                chips[c].compute.push(ComputeSeg { t0: e.t0, t1: e.t1, kind: ComputeKind::Fence });
+            }
+            (TID_OFFCHIP, Payload::Link { flow, inbound, .. }) => {
+                if !inbound && *flow != 0 {
+                    flow_sender.insert(*flow, c);
+                }
+                if e.t1 > e.t0 {
+                    chips[c].lane.push(LaneSeg {
+                        t0: e.t0,
+                        t1: e.t1,
+                        flow: *flow,
+                        inbound_link: *inbound,
+                        link: true,
+                    });
+                }
+            }
+            (TID_OFFCHIP, Payload::Offchip { .. }) if e.t1 > e.t0 => {
+                chips[c].lane.push(LaneSeg {
+                    t0: e.t0,
+                    t1: e.t1,
+                    flow: 0,
+                    inbound_link: false,
+                    link: false,
+                });
+            }
+            _ => {}
+        }
+    }
+    for tl in &mut chips {
+        tl.compute.sort_by(|a, b| a.t0.total_cmp(&b.t0));
+        tl.lane.sort_by(|a, b| a.t0.total_cmp(&b.t0));
+    }
+
+    let skew = skew_stats(&stage_starts);
+
+    let mut blame: BTreeMap<String, f64> = BTreeMap::new();
+    let mut path: Vec<Edge> = Vec::new();
+    if makespan <= 0.0 || pids.is_empty() {
+        return Analysis { makespan, blame, critical_path: path, skew };
+    }
+
+    // Start on the chip whose traced work reaches latest into the
+    // window — the one that set the makespan.
+    let mut chip = (0..chips.len())
+        .max_by(|&a, &b| {
+            chips[a]
+                .latest_end_before(f64::INFINITY)
+                .total_cmp(&chips[b].latest_end_before(f64::INFINITY))
+        })
+        .unwrap_or(0);
+    let mut t = t_end;
+    // Progress is ≥ one segment boundary per two iterations (a Hop is
+    // always followed by a Blame), so this bound is never reached on a
+    // well-formed trace.
+    let max_iters = 4 * events.len() + 1024;
+    let mut iters = 0usize;
+    while t > t_start + EPS {
+        iters += 1;
+        assert!(iters <= max_iters, "lens walk stalled at t={t} on chip {chip}");
+        match step(&chips, chip, t, t_start, &flow_sender) {
+            Step::Blame { category, from, hop } => {
+                let from = from.max(t_start).min(t);
+                let dt = t - from;
+                if dt > 0.0 {
+                    *blame.entry(category.clone()).or_insert(0.0) += dt;
+                    match path.last_mut() {
+                        Some(e)
+                            if e.chip == chip
+                                && e.category == category
+                                && (e.t0 - t).abs() <= EPS =>
+                        {
+                            e.t0 = from;
+                        }
+                        _ => path.push(Edge { chip, t0: from, t1: t, category }),
+                    }
+                }
+                t = from;
+                if let Some(h) = hop {
+                    chip = h;
+                }
+            }
+            Step::Hop { chip: c } => chip = c,
+        }
+    }
+    Analysis { makespan, blame, critical_path: path, skew }
+}
+
+/// Classifies the instant just before `t` on `chip`, returning the
+/// maximal uniform interval ending at `t` and where the walk continues.
+fn step(
+    chips: &[ChipTimeline],
+    chip: usize,
+    t: f64,
+    t_start: f64,
+    flow_sender: &BTreeMap<u64, usize>,
+) -> Step {
+    let tl = &chips[chip];
+    if let Some(seg) = tl.compute_at(t) {
+        return match seg.kind {
+            ComputeKind::Kernel(name) => {
+                Step::Blame { category: format!("compute:{name}"), from: seg.t0, hop: None }
+            }
+            ComputeKind::HostPreprocess => {
+                Step::Blame { category: "host_preprocess".into(), from: seg.t0, hop: None }
+            }
+            // A fence wait is blocked on this chip's own off-chip lane:
+            // sub-classify by what the lane was doing just before `t`.
+            ComputeKind::Fence => {
+                let (busy, next) = tl.lane_at(t);
+                match busy {
+                    Some(l) => Step::Blame {
+                        category: if l.link { "link_serialization" } else { "dma" }.into(),
+                        from: seg.t0.max(l.t0),
+                        hop: None,
+                    },
+                    None => {
+                        // Idle lane inside a fence window: the next
+                        // charge's start was floored by its sender's
+                        // stage entry. Blame the idle on the inbound
+                        // wait and continue on the sender — that chip's
+                        // work is what the floor was really waiting on.
+                        let from = seg.t0.max(tl.lane_ready_before(t).unwrap_or(seg.t0));
+                        let hop = next
+                            .filter(|l| l.inbound_link && l.flow != 0)
+                            .and_then(|l| flow_sender.get(&l.flow).copied());
+                        Step::Blame { category: "inbound_ghost_wait".into(), from, hop }
+                    }
+                }
+            }
+        };
+    }
+    // No compute span: an off-chip charge draining outside any fence
+    // (e.g. the pipelined outbound tail) can still carry the makespan.
+    if let (Some(l), _) = tl.lane_at(t) {
+        return Step::Blame {
+            category: if l.link { "link_serialization" } else { "dma" }.into(),
+            from: l.t0,
+            hop: None,
+        };
+    }
+    // This chip is idle: the barrier/fence it sits at is held by some
+    // other chip that *is* busy — hop to the straggler.
+    if let Some(c) = (0..chips.len()).filter(|&c| c != chip).find(|&c| chips[c].busy_at(t)) {
+        return Step::Hop { chip: c };
+    }
+    // Nobody is doing anything: a pure scheduling hole down to the
+    // latest traced end anywhere (or the window start).
+    let from = chips
+        .iter()
+        .map(|tl| tl.latest_end_before(t))
+        .fold(f64::NEG_INFINITY, f64::max)
+        .max(t_start);
+    Step::Blame { category: "fence_idle".into(), from, hop: None }
+}
+
+/// Cross-chip spread of each stage entry: the k-th `RkStage` span start
+/// on every chip, max minus min.
+fn skew_stats(stage_starts: &[Vec<f64>]) -> SkewStats {
+    let stages = stage_starts.iter().map(Vec::len).min().unwrap_or(0);
+    if stages == 0 || stage_starts.len() < 2 {
+        return SkewStats::default();
+    }
+    let mut spreads: Vec<f64> = (0..stages)
+        .map(|k| {
+            let starts = stage_starts.iter().map(|s| s[k]);
+            let max = starts.clone().fold(f64::NEG_INFINITY, f64::max);
+            let min = starts.fold(f64::INFINITY, f64::min);
+            (max - min).max(0.0)
+        })
+        .collect();
+    spreads.sort_by(f64::total_cmp);
+    let quantile = |q: f64| {
+        let idx = ((spreads.len() - 1) as f64 * q).round() as usize;
+        spreads[idx]
+    };
+    SkewStats {
+        count: spreads.len(),
+        min: spreads[0],
+        mean: spreads.iter().sum::<f64>() / spreads.len() as f64,
+        max: spreads[spreads.len() - 1],
+        p50: quantile(0.50),
+        p95: quantile(0.95),
+    }
+}
+
+/// The overlap budget of a traced cluster run: the busiest chip's
+/// inter-chip link occupancy against the busiest chip's Volume window —
+/// the same two quantities the analytic estimator compares to decide
+/// whether the halo exchange is *exposed* ([`halo wall`]), except both
+/// are **measured** from the trace instead of priced from a probe.
+///
+/// [`halo wall`]: https://en.wikipedia.org/wiki/Halo_exchange
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct OverlapBudget {
+    /// Max over chips of the summed `Link` charge durations (the
+    /// serialization time of the busiest port).
+    pub link_seconds: f64,
+    /// Max over chips of the summed `Volume` kernel span lengths (the
+    /// window the exchange is scheduled to hide under).
+    pub volume_seconds: f64,
+}
+
+impl OverlapBudget {
+    /// `true` when the exchange no longer fits under the Volume window —
+    /// the lens-side statement of the estimator's wall condition.
+    pub fn link_exposed(&self) -> bool {
+        self.link_seconds > self.volume_seconds + EPS
+    }
+}
+
+/// Measures the [`OverlapBudget`] of `pids`' chips over the traced run.
+/// Both maxima are taken independently (on a uniform partition they
+/// coincide on the same chip; on a skewed one the comparison stays
+/// conservative: the longest port against the longest window).
+pub fn overlap_budget(events: &[Event], pids: &[u32]) -> OverlapBudget {
+    let mut budget = OverlapBudget::default();
+    for &pid in pids {
+        let mut link = 0.0;
+        let mut volume = 0.0;
+        for e in events.iter().filter(|e| e.pid == pid) {
+            match e.payload {
+                Payload::Link { .. } => link += e.t1 - e.t0,
+                Payload::Kernel { kernel: Kernel::Volume, .. } => volume += e.t1 - e.t0,
+                _ => {}
+            }
+        }
+        budget.link_seconds = budget.link_seconds.max(link);
+        budget.volume_seconds = budget.volume_seconds.max(volume);
+    }
+    budget
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(pid: u32, tid: u32, t0: f64, t1: f64, payload: Payload) -> Event {
+        Event { pid, tid, t0, t1, seq: 0, payload }
+    }
+
+    fn kernel(pid: u32, t0: f64, t1: f64, k: Kernel) -> Event {
+        ev(pid, TID_KERNELS, t0, t1, Payload::Kernel { kernel: k, stage: 0 })
+    }
+
+    fn close(a: f64, b: f64) -> bool {
+        (a - b).abs() <= 1e-9
+    }
+
+    /// Single chip, compute only: all blame lands on the kernels.
+    #[test]
+    fn pure_compute_blames_kernels_exactly() {
+        let events = vec![
+            kernel(1, 0.0, 2.0, Kernel::Volume),
+            kernel(1, 2.0, 5.0, Kernel::Flux),
+            kernel(1, 5.0, 6.0, Kernel::Integration),
+        ];
+        let a = analyze(&events, &[1], 0.0, 6.0);
+        assert!(close(a.blame_total(), a.makespan), "{a:?}");
+        assert!(close(a.blame["compute:Volume"], 2.0));
+        assert!(close(a.blame["compute:Flux"], 3.0));
+        assert!(close(a.blame["compute:Integration"], 1.0));
+        assert_eq!(a.dominant().unwrap().0, "compute:Flux");
+    }
+
+    /// A fence window fully covered by a link charge on the chip's own
+    /// lane is link serialization, not ghost wait.
+    #[test]
+    fn fence_over_busy_lane_blames_link() {
+        let events = vec![
+            kernel(1, 0.0, 2.0, Kernel::Volume),
+            ev(1, TID_FENCE, 2.0, 3.0, Payload::Fence { kind: "offchip", flow: 7 }),
+            ev(
+                1,
+                TID_OFFCHIP,
+                1.0,
+                3.0,
+                Payload::Link { bytes: 64, energy_j: 0.0, flow: 7, inbound: true },
+            ),
+            kernel(1, 3.0, 4.0, Kernel::Flux),
+        ];
+        let a = analyze(&events, &[1], 0.0, 4.0);
+        assert!(close(a.blame_total(), 4.0), "{a:?}");
+        assert!(close(a.blame["link_serialization"], 1.0), "{a:?}");
+        assert!(!a.blame.contains_key("inbound_ghost_wait"));
+    }
+
+    /// An idle lane inside a fence window is inbound ghost wait, and
+    /// the walk hops to the sender chip named by the flow id.
+    #[test]
+    fn idle_lane_in_fence_blames_sender() {
+        let events = vec![
+            // Chip 1 (the critical receiver): short Volume, then a
+            // fence that waits idle until the inbound charge lands.
+            kernel(1, 0.0, 1.0, Kernel::Volume),
+            ev(1, TID_FENCE, 1.0, 5.0, Payload::Fence { kind: "blocks", flow: 9 }),
+            ev(
+                1,
+                TID_OFFCHIP,
+                4.0,
+                5.0,
+                Payload::Link { bytes: 64, energy_j: 0.0, flow: 9, inbound: true },
+            ),
+            kernel(1, 5.0, 6.0, Kernel::Flux),
+            // Chip 2 (the sender): long Volume explains the floor, and
+            // the send-side charge names it as the flow's origin.
+            kernel(2, 0.0, 4.0, Kernel::Volume),
+            ev(
+                2,
+                TID_OFFCHIP,
+                4.0,
+                5.0,
+                Payload::Link { bytes: 64, energy_j: 0.0, flow: 9, inbound: false },
+            ),
+        ];
+        let a = analyze(&events, &[1, 2], 0.0, 6.0);
+        assert!(close(a.blame_total(), 6.0), "{a:?}");
+        // [5,6) Flux + [4,5) link + [1,4) ghost wait (hop to chip 2
+        // covers [0,1) with the sender's Volume after the wait segment
+        // consumed down to chip 1's lane-ready floor, which is 0 here —
+        // so the wait runs [1,4) and Volume [0,1) lands on chip 2).
+        assert!(close(a.blame["inbound_ghost_wait"], 3.0), "{a:?}");
+        assert!(close(a.blame["link_serialization"], 1.0), "{a:?}");
+        let hop_edge = a.critical_path.iter().find(|e| e.category == "inbound_ghost_wait").unwrap();
+        assert_eq!(hop_edge.chip, 0, "the wait is charged on the receiver");
+        let tail = a.critical_path.last().unwrap();
+        assert_eq!(tail.chip, 1, "the walk ends on the sender");
+    }
+
+    /// An idle chip at a barrier hops to the straggler that held it.
+    #[test]
+    fn barrier_idle_hops_to_straggler() {
+        let events = vec![
+            kernel(1, 0.0, 1.0, Kernel::Volume),
+            kernel(1, 4.0, 5.0, Kernel::Flux),
+            kernel(2, 0.0, 4.0, Kernel::Volume),
+        ];
+        let a = analyze(&events, &[1, 2], 0.0, 5.0);
+        assert!(close(a.blame_total(), 5.0), "{a:?}");
+        // [4,5) Flux on chip 1; [0,4) Volume via the straggler chip 2.
+        assert!(close(a.blame["compute:Volume"], 4.0), "{a:?}");
+        assert!(close(a.blame["compute:Flux"], 1.0), "{a:?}");
+        assert!(!a.blame.contains_key("fence_idle"));
+    }
+
+    /// A hole nobody's trace covers falls back to fence_idle.
+    #[test]
+    fn uncovered_hole_is_fence_idle() {
+        let events = vec![kernel(1, 0.0, 1.0, Kernel::Volume), kernel(1, 3.0, 4.0, Kernel::Flux)];
+        let a = analyze(&events, &[1], 0.0, 4.0);
+        assert!(close(a.blame_total(), 4.0), "{a:?}");
+        assert!(close(a.blame["fence_idle"], 2.0), "{a:?}");
+    }
+
+    /// The window clips spans that straddle its bounds.
+    #[test]
+    fn window_clips_straddling_spans() {
+        let events = vec![kernel(1, 0.0, 10.0, Kernel::Volume)];
+        let a = analyze(&events, &[1], 2.0, 7.0);
+        assert!(close(a.makespan, 5.0));
+        assert!(close(a.blame["compute:Volume"], 5.0), "{a:?}");
+    }
+
+    /// Skew statistics come from the k-th RkStage start across chips.
+    #[test]
+    fn skew_from_rkstage_starts() {
+        let events = vec![
+            kernel(1, 0.0, 1.0, Kernel::RkStage),
+            kernel(1, 1.0, 2.0, Kernel::RkStage),
+            kernel(2, 0.5, 1.5, Kernel::RkStage),
+            kernel(2, 1.25, 2.25, Kernel::RkStage),
+        ];
+        let a = analyze(&events, &[1, 2], 0.0, 2.25);
+        assert_eq!(a.skew.count, 2);
+        assert!(close(a.skew.max, 0.5), "{:?}", a.skew);
+        assert!(close(a.skew.min, 0.25), "{:?}", a.skew);
+    }
+
+    /// An empty window yields an empty decomposition, not a panic.
+    #[test]
+    fn empty_window_is_empty() {
+        let a = analyze(&[], &[1], 3.0, 3.0);
+        assert_eq!(a.makespan, 0.0);
+        assert!(a.blame.is_empty());
+        assert!(a.critical_path.is_empty());
+    }
+
+    /// The overlap budget takes each maximum independently across chips
+    /// and flags exposure only when the busiest port outruns the
+    /// longest Volume window.
+    #[test]
+    fn overlap_budget_takes_per_chip_maxima() {
+        let link = |pid: u32, t0: f64, t1: f64| {
+            ev(
+                pid,
+                TID_OFFCHIP,
+                t0,
+                t1,
+                Payload::Link { bytes: 64, energy_j: 0.0, flow: 1, inbound: false },
+            )
+        };
+        let events = vec![
+            // Chip 1: 3s of Volume, 1s of link. Chip 2: 1s of Volume,
+            // two link charges totalling 2.5s.
+            kernel(1, 0.0, 3.0, Kernel::Volume),
+            link(1, 3.0, 4.0),
+            kernel(2, 0.0, 1.0, Kernel::Volume),
+            link(2, 1.0, 2.0),
+            link(2, 2.0, 3.5),
+        ];
+        let b = overlap_budget(&events, &[1, 2]);
+        assert!(close(b.link_seconds, 2.5), "{b:?}");
+        assert!(close(b.volume_seconds, 3.0), "{b:?}");
+        assert!(!b.link_exposed());
+        // Without chip 1's window the busiest port no longer hides.
+        let b2 = overlap_budget(&events, &[2]);
+        assert!(close(b2.volume_seconds, 1.0), "{b2:?}");
+        assert!(b2.link_exposed());
+    }
+}

@@ -1113,7 +1113,7 @@ impl PimChip {
     /// joins the lanes. Returns the seconds this chip spent on the
     /// message.
     pub fn link_transfer(&mut self, link: &crate::link::InterChipLink, bytes: u64) -> f64 {
-        self.link_transfer_from(link, bytes, 0.0)
+        self.link_transfer_tagged(link, bytes, 0.0, 0, false)
     }
 
     /// Like [`Self::link_transfer`], but the transfer additionally
@@ -1128,13 +1128,34 @@ impl PimChip {
         bytes: u64,
         available_at: f64,
     ) -> f64 {
+        self.link_transfer_tagged(link, bytes, available_at, 0, true)
+    }
+
+    /// The fully-annotated link charge: [`Self::link_transfer_from`]
+    /// plus the causal tags the trace carries — `flow` is the
+    /// cluster-unique id both endpoints of one halo message share
+    /// (0 = untagged) and `inbound` marks the receive side. Timing,
+    /// energy and metrics are identical to the untagged variants.
+    pub fn link_transfer_tagged(
+        &mut self,
+        link: &crate::link::InterChipLink,
+        bytes: u64,
+        available_at: f64,
+        flow: u64,
+        inbound: bool,
+    ) -> f64 {
         let dur = link.duration(bytes);
         let start = self.offchip_ready.max(self.barrier).max(available_at);
         let finish = start + dur;
         self.offchip_ready = finish;
         let joules = link.energy(bytes);
         self.ledger.offchip += joules;
-        self.trace(TID_OFFCHIP, start, finish, Payload::Offchip { bytes, energy_j: joules });
+        self.trace(
+            TID_OFFCHIP,
+            start,
+            finish,
+            Payload::Link { bytes, energy_j: joules, flow, inbound },
+        );
         if pim_metrics::enabled() {
             let metrics = self.metrics();
             metrics.energy[4].add(joules); // "offchip"

@@ -330,6 +330,74 @@ fn kernel_window_open(chip: &PimChip) -> (f64, f64) {
     }
 }
 
+/// Histogram bounds for the per-stage pipelined skew: log-spaced from
+/// 1 ns to 100 ms, wide enough that every swept configuration lands in
+/// an interior bucket.
+const SKEW_BUCKETS: &[f64] = &[1e-9, 1e-8, 1e-7, 1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 1e-1];
+
+/// Emits one [`pim_trace::Payload::Arrival`] instant per ghost block at
+/// the moment its data finished landing — the per-block readiness the
+/// pre-Flux fence joins — tagged with the causal id of the inbound
+/// message that carried the block's data this stage.
+fn record_block_arrivals(chip: &mut PimChip, blocks: &[(BlockId, usize)], flow_base: u64) {
+    if !pim_trace::enabled() {
+        return;
+    }
+    let pid = chip.trace_pid();
+    for &(b, mi) in blocks {
+        let t = chip.block_ready_time(b);
+        pim_trace::record_span(
+            pid,
+            pim_trace::TID_FENCE,
+            t,
+            t,
+            pim_trace::Payload::Arrival { block: b.0, flow: flow_base + mi as u64 },
+        );
+    }
+}
+
+/// Records the trace span of a fence the chip just executed between the
+/// `before` clock read and now. A zero-length wait leaves no span; a
+/// real wait carries the causal id of the inbound message whose ghost
+/// landing released the fence — or flow 0 when the release was not a
+/// ghost landing (e.g. `fence_offchip` held open by an outbound tail).
+fn record_fence_wait(
+    chip: &mut PimChip,
+    kind: &'static str,
+    blocks: &[(BlockId, usize)],
+    flow_base: u64,
+    before: f64,
+) {
+    if !pim_trace::enabled() {
+        return;
+    }
+    let after = chip.elapsed();
+    if after <= before {
+        return;
+    }
+    let mut release: Option<(f64, usize)> = None;
+    for &(b, mi) in blocks {
+        let t = chip.block_ready_time(b);
+        if release.is_none_or(|(rt, _)| t > rt) {
+            release = Some((t, mi));
+        }
+    }
+    let flow = match release {
+        Some((rt, mi)) if (rt - after).abs() <= 1e-12 * after.abs().max(1.0) => {
+            flow_base + mi as u64
+        }
+        _ => 0,
+    };
+    let pid = chip.trace_pid();
+    pim_trace::record_span(
+        pid,
+        pim_trace::TID_FENCE,
+        before,
+        after,
+        pim_trace::Payload::Fence { kind, flow },
+    );
+}
+
 /// One chip's kernel programs, compiled once at construction and
 /// replayed every step (the compile-once program cache). The mesh
 /// topology, shard placement, and kernel structure are fixed for the
@@ -421,6 +489,18 @@ pub struct ClusterRunner {
     /// Deduplicated chip blocks holding each shard's ghost elements —
     /// exactly what the pipelined pre-Flux `fence_blocks` waits on.
     ghost_blocks: Vec<Vec<BlockId>>,
+    /// Per chip: each ghost block paired with the index into `messages`
+    /// of the inbound message carrying its data — the causal map behind
+    /// the per-block `Arrival` instants and the fence-release flow
+    /// attribution. Sorted by block id; where several messages feed one
+    /// block the highest message index wins (receive charges serialize
+    /// in message order, so that is the last contributor).
+    ghost_block_msgs: Vec<Vec<(BlockId, usize)>>,
+    /// Monotonic causal-id allocator: each stage claims one flow id per
+    /// halo message (`flow = flow_counter + message index`), shared by
+    /// that message's send charge, receive charge, ghost arrivals and
+    /// fence release. Starts at 1 — flow 0 means "untagged".
+    flow_counter: u64,
     messages: Vec<HaloMessage>,
     link: InterChipLink,
     dt: f64,
@@ -598,6 +678,22 @@ impl ClusterRunner {
         let programs: Vec<ChipPrograms> = programs.into_iter().map(Option::unwrap).collect();
         let compile_seconds = t0.elapsed().as_secs_f64();
 
+        // The causal map behind the fence/arrival trace spans: which
+        // inbound message lands in which ghost block of which chip.
+        let mut ghost_block_msgs: Vec<Vec<(BlockId, usize)>> = vec![Vec::new(); num_chips];
+        {
+            let mut by_block: Vec<std::collections::BTreeMap<u32, usize>> =
+                vec![Default::default(); num_chips];
+            for (i, m) in messages.iter().enumerate() {
+                for &e in &m.elements {
+                    by_block[m.dst].insert(mappings[m.dst].block_of(e).0, i);
+                }
+            }
+            for (c, map) in by_block.into_iter().enumerate() {
+                ghost_block_msgs[c] = map.into_iter().map(|(b, i)| (BlockId(b), i)).collect();
+            }
+        }
+
         // The static opcode mix of every cached kernel program, per
         // chip — the compiler-level breakdown the profiling report
         // scales by replay counts.
@@ -620,6 +716,8 @@ impl ClusterRunner {
             ghosts,
             send_sets,
             ghost_blocks,
+            ghost_block_msgs,
+            flow_counter: 1,
             messages,
             link: config.link,
             dt,
@@ -801,6 +899,11 @@ impl ClusterRunner {
         let nodes = self.mappings[0].nodes();
         for stage in 0..Lsrk5::STAGES {
             let metrics_on = pim_metrics::enabled();
+            // One causal flow id per halo message this stage, shared by
+            // the message's link endpoints, ghost arrivals and fence
+            // release so a trace consumer can walk the dependency edge.
+            let flow_base = self.flow_counter;
+            self.flow_counter += self.messages.len() as u64;
             // 1. Lockstep barrier at the cluster-wide simulated time
             // (both lanes: a chip still draining its off-chip port holds
             // the whole cluster back, though stages normally end fenced).
@@ -867,10 +970,13 @@ impl ClusterRunner {
             // async prefetch, before Volume's trailing Sync raises the
             // program-order barrier), but in simulated time it rides the
             // off-chip lane concurrently with the kernel.
-            for m in &self.messages {
+            for (i, m) in self.messages.iter().enumerate() {
                 let bytes = m.bytes(nodes);
-                let d_src = self.chips[m.src].link_transfer(&self.link, bytes);
-                let d_dst = self.chips[m.dst].link_transfer(&self.link, bytes);
+                let flow = flow_base + i as u64;
+                let d_src =
+                    self.chips[m.src].link_transfer_tagged(&self.link, bytes, 0.0, flow, false);
+                let d_dst =
+                    self.chips[m.dst].link_transfer_tagged(&self.link, bytes, 0.0, flow, true);
                 self.halo.link_seconds[m.src] += d_src;
                 self.halo.link_seconds[m.dst] += d_dst;
                 self.halo.messages += 1;
@@ -886,6 +992,7 @@ impl ClusterRunner {
             let staging = &self.staging;
             let (mappings, ghosts) = (&self.mappings, &self.ghosts);
             let (programs, cached) = (&self.programs, self.use_program_cache);
+            let ghost_block_msgs = &self.ghost_block_msgs;
             self.chips.par_chunks_mut(1).enumerate().for_each(|(c, chunk)| {
                 let chip = &mut chunk[0];
                 mappings[c].load_vars_subset(chip, staging, &ghosts[c]);
@@ -894,6 +1001,7 @@ impl ClusterRunner {
                 } else {
                     chip.execute(&mappings[c].compile_halo_load_for(&ghosts[c]));
                 }
+                record_block_arrivals(chip, &ghost_block_msgs[c], flow_base);
                 let t1 = chip.offchip_time();
                 end_kernel_span_at(chip, Kernel::HaloExchange, stage as u8, now, t1);
                 if metrics_on {
@@ -961,11 +1069,13 @@ impl ClusterRunner {
             let skip_fence = self.chips.len() == 1
                 && self.math_decisions[0].placement.is_some_and(|p| !p.any_host());
             if !skip_fence {
+                let ghost_block_msgs = &self.ghost_block_msgs;
                 for (c, chip) in self.chips.iter_mut().enumerate() {
                     let before = chip.elapsed();
                     chip.fence_offchip();
                     let exposed = chip.elapsed() - before;
                     self.halo.exposed_seconds[c] += exposed;
+                    record_fence_wait(chip, "offchip", &ghost_block_msgs[c], flow_base, before);
                     if metrics_on {
                         pim_metrics::global()
                             .float_counter(
@@ -1075,6 +1185,11 @@ impl ClusterRunner {
         let nodes = self.mappings[0].nodes();
         for stage in 0..Lsrk5::STAGES {
             let metrics_on = pim_metrics::enabled();
+            // One causal flow id per halo message this stage (see
+            // `step_fenced`); here the id additionally ties the inbound
+            // charge to the *sender's* stage entry that floors it.
+            let flow_base = self.flow_counter;
+            self.flow_counter += self.messages.len() as u64;
             // 1. Per-chip stage cursor. A chip's compute clock already
             // covers everything its own Flux fenced last stage; its
             // outbound tail may still be draining and is *not* waited
@@ -1102,7 +1217,11 @@ impl ClusterRunner {
             let spread = spread.max(0.0);
             self.halo.max_skew_seconds = self.halo.max_skew_seconds.max(spread);
             if metrics_on {
-                pim_metrics::global().gauge("cluster_stage_skew_seconds", &[]).set(spread);
+                // Fixed-bucket histogram so a scrape sees the whole skew
+                // distribution across stages, not just the last sample.
+                pim_metrics::global()
+                    .histogram("cluster_stage_skew_seconds", &[], SKEW_BUCKETS)
+                    .observe(spread);
             }
 
             for (c, chip) in self.chips.iter_mut().enumerate() {
@@ -1161,9 +1280,15 @@ impl ClusterRunner {
             // started computing. The floor is what both bounds the skew
             // and keeps the schedule dominated by the fenced one
             // (`starts[src] ≤` the fenced barrier).
-            for m in &self.messages {
+            for (i, m) in self.messages.iter().enumerate() {
                 let bytes = m.bytes(nodes);
-                let d_dst = self.chips[m.dst].link_transfer_from(&self.link, bytes, starts[m.src]);
+                let d_dst = self.chips[m.dst].link_transfer_tagged(
+                    &self.link,
+                    bytes,
+                    starts[m.src],
+                    flow_base + i as u64,
+                    true,
+                );
                 self.halo.link_seconds[m.dst] += d_dst;
                 self.halo.messages += 1;
                 self.halo.payload_bytes += bytes;
@@ -1175,6 +1300,7 @@ impl ClusterRunner {
             let staging = &self.staging;
             let (mappings, ghosts) = (&self.mappings, &self.ghosts);
             let (programs, cached) = (&self.programs, self.use_program_cache);
+            let ghost_block_msgs = &self.ghost_block_msgs;
             self.chips.par_chunks_mut(1).enumerate().for_each(|(c, chunk)| {
                 let chip = &mut chunk[0];
                 mappings[c].load_vars_subset(chip, staging, &ghosts[c]);
@@ -1183,6 +1309,7 @@ impl ClusterRunner {
                 } else {
                     chip.execute(&mappings[c].compile_halo_load_for(&ghosts[c]));
                 }
+                record_block_arrivals(chip, &ghost_block_msgs[c], flow_base);
             });
 
             // 2d. Outbound (send-side) link charges ride the lane
@@ -1192,9 +1319,15 @@ impl ClusterRunner {
             // Volume in host order so Volume's trailing Sync cannot
             // delay it. The HaloExchange span closes here, where the
             // exchange really ends on each chip's lane.
-            for m in &self.messages {
+            for (i, m) in self.messages.iter().enumerate() {
                 let bytes = m.bytes(nodes);
-                let d_src = self.chips[m.src].link_transfer(&self.link, bytes);
+                let d_src = self.chips[m.src].link_transfer_tagged(
+                    &self.link,
+                    bytes,
+                    0.0,
+                    flow_base + i as u64,
+                    false,
+                );
                 self.halo.link_seconds[m.src] += d_src;
             }
             for (c, chip) in self.chips.iter_mut().enumerate() {
@@ -1262,11 +1395,13 @@ impl ClusterRunner {
                 && self.math_decisions[0].placement.is_some_and(|p| !p.any_host());
             if !skip_fence {
                 let ghost_blocks = &self.ghost_blocks;
+                let ghost_block_msgs = &self.ghost_block_msgs;
                 for (c, chip) in self.chips.iter_mut().enumerate() {
                     let before = chip.elapsed();
                     chip.fence_blocks(&ghost_blocks[c]);
                     let exposed = chip.elapsed() - before;
                     self.halo.exposed_seconds[c] += exposed;
+                    record_fence_wait(chip, "blocks", &ghost_block_msgs[c], flow_base, before);
                     if metrics_on {
                         pim_metrics::global()
                             .float_counter(

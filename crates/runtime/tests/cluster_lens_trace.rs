@@ -1,0 +1,132 @@
+//! The causal-trace contract of the cluster runtime on a real pipelined
+//! run over a narrow link: summary-lane filtering drops the
+//! instruction stream, link charges carry flow ids on both endpoints,
+//! ghost arrivals land after their inbound charge, fence waits name the
+//! releasing flow, and the observed kernel timeline stays
+//! pipeline-compatible per chip.
+
+use pim_cluster::{ClusterConfig, ClusterProtocol, ClusterRunner};
+use pim_sim::InterChipLink;
+use pim_trace::timeline::{
+    kernel_segments, offchip_kernel_overlap, stage_order_is_pipeline_compatible,
+};
+use pim_trace::{Kernel, Payload, TID_FENCE, TID_INTERCONNECT, TID_RESERVED_MIN};
+use wavesim_dg::{Acoustic, AcousticMaterial, FluxKind, Solver};
+use wavesim_mesh::{Boundary, HexMesh};
+
+#[test]
+fn pipelined_narrow_link_trace_is_causal_and_pipeline_compatible() {
+    let mesh = HexMesh::refinement_level(3, Boundary::Periodic);
+    let n = 2;
+    let material = AcousticMaterial::new(2.0, 1.0);
+    let mut reference = Solver::<Acoustic>::uniform(mesh.clone(), n, FluxKind::Riemann, material);
+    reference.set_initial(|v, x| (x.x + 0.1 * v as f64).sin());
+
+    // A 1024×-narrower link makes the exchange long enough that the
+    // per-block fence genuinely waits on every chip.
+    let mut link = InterChipLink::default();
+    link.bandwidth /= 1024.0;
+    let mut config = ClusterConfig::new(4).with_protocol(ClusterProtocol::Pipelined);
+    config.link = link;
+    let mut cluster =
+        ClusterRunner::new(&mesh, n, FluxKind::Riemann, material, reference.state(), 1e-3, config);
+
+    pim_trace::set_ring_capacity(1 << 20);
+    pim_trace::set_summary_lanes_only(true);
+    let _ = pim_trace::drain();
+    pim_trace::enable();
+    cluster.step();
+    pim_trace::disable();
+    pim_trace::set_summary_lanes_only(false);
+    let pids = cluster.trace_pids();
+    let (events, dropped) = pim_trace::drain();
+    assert_eq!(dropped, 0);
+
+    // (a) The filter held: nothing below the reserved-lane range, and
+    // the per-instruction interconnect lane is gone too.
+    assert!(
+        events
+            .iter()
+            .filter(|e| pids.contains(&e.pid))
+            .all(|e| e.tid >= TID_RESERVED_MIN && e.tid != TID_INTERCONNECT),
+        "summary-lanes-only trace must drop block-lane and interconnect events"
+    );
+
+    for &pid in &pids {
+        let mine: Vec<_> = events.iter().filter(|e| e.pid == pid).cloned().collect();
+
+        // (b) Both link endpoints are tagged, and every inbound flow on
+        // this chip has its outbound twin on another chip.
+        let inbound: Vec<_> = mine
+            .iter()
+            .filter_map(|e| match e.payload {
+                Payload::Link { flow, inbound: true, .. } => Some((flow, e.t1)),
+                _ => None,
+            })
+            .collect();
+        assert!(!inbound.is_empty(), "every chip receives halo traffic");
+        for &(flow, _) in &inbound {
+            assert!(flow != 0);
+            assert!(
+                events.iter().any(|e| e.pid != pid
+                    && matches!(e.payload,
+                        Payload::Link { flow: f, inbound: false, .. } if f == flow)),
+                "inbound flow {flow} has no send-side endpoint"
+            );
+        }
+
+        // (c) Every ghost arrival lands at or after its message's
+        // inbound charge finished.
+        let arrivals: Vec<_> = mine
+            .iter()
+            .filter_map(|e| match e.payload {
+                Payload::Arrival { flow, .. } => Some((flow, e.t0)),
+                _ => None,
+            })
+            .collect();
+        assert!(!arrivals.is_empty(), "ghost landings must emit arrivals");
+        for &(flow, t) in &arrivals {
+            let (_, recv_end) = inbound
+                .iter()
+                .copied()
+                .find(|&(f, _)| f == flow)
+                .expect("arrival flow matches an inbound charge");
+            assert!(
+                t >= recv_end - 1e-12,
+                "arrival at {t} precedes its inbound charge ending at {recv_end}"
+            );
+        }
+
+        // (d) The narrow link forces a real per-block fence wait, whose
+        // releasing flow names an arrival at the release time.
+        let fences: Vec<_> = mine
+            .iter()
+            .filter(|e| e.tid == TID_FENCE && matches!(e.payload, Payload::Fence { .. }))
+            .collect();
+        assert!(!fences.is_empty(), "narrow-link pipelined stages must expose fence waits");
+        for f in &fences {
+            let Payload::Fence { kind, flow } = f.payload else { unreachable!() };
+            assert_eq!(kind, "blocks", "pipelined fences wait on ghost blocks");
+            assert!(f.t1 > f.t0);
+            if flow != 0 {
+                assert!(
+                    arrivals.iter().any(|&(af, at)| af == flow && (at - f.t1).abs() <= 1e-12),
+                    "fence release flow {flow} has no arrival at the release time {}",
+                    f.t1
+                );
+            }
+        }
+
+        // (e) The observed kernel timeline is pipeline-compatible and
+        // the exchange genuinely overlaps the Volume windows.
+        let segs = kernel_segments(&events, pid);
+        assert!(
+            stage_order_is_pipeline_compatible(&segs),
+            "chip {pid}: observed kernel timeline violates the pipelined stage order"
+        );
+        assert!(
+            offchip_kernel_overlap(&events, pid, Kernel::Volume) > 0.0,
+            "chip {pid}: halo traffic must overlap the Volume window"
+        );
+    }
+}

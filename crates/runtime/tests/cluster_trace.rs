@@ -63,14 +63,27 @@ fn two_chip_level3_halo_traffic_is_traced_and_reconciles() {
         let offchip: Vec<_> =
             events.iter().filter(|e| e.pid == pid && e.tid == TID_OFFCHIP).collect();
         assert_eq!(offchip.len(), 5 * (128 + 2 + 128), "chip {i}: snapshot + link + ghost events");
+        let mut sends = 0;
+        let mut recvs = 0;
         for e in &offchip {
             match e.payload {
                 Payload::Offchip { bytes, energy_j } => {
                     assert!(bytes > 0 && energy_j > 0.0);
                 }
+                Payload::Link { bytes, energy_j, flow, inbound } => {
+                    assert!(bytes > 0 && energy_j > 0.0);
+                    assert!(flow != 0, "chip {i}: link charges carry a causal id");
+                    if inbound {
+                        recvs += 1;
+                    } else {
+                        sends += 1;
+                    }
+                }
                 ref p => panic!("chip {i}: non-offchip payload on the offchip lane: {p:?}"),
             }
         }
+        // The two link endpoints per stage are one send and one receive.
+        assert_eq!((sends, recvs), (5, 5), "chip {i}: link endpoint mix");
         // Kernel rows carry the halo-exchange window plus the three
         // compute kernels for every stage.
         for kernel in [Kernel::HaloExchange, Kernel::Volume, Kernel::Flux, Kernel::Integration] {

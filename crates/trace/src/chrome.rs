@@ -7,6 +7,16 @@
 //! (block / lane). Timestamps are microseconds, as the format requires;
 //! simulated-second clocks are scaled the same way (1 simulated second =
 //! 1e6 ts units), which Perfetto renders happily.
+//!
+//! Causally-tagged events additionally produce **flow events**: every
+//! [`Payload::Link`] endpoint pair sharing a nonzero `flow` id emits a
+//! flow start (`ph: "s"`) anchored on the send-side span and a step
+//! (`ph: "t"`) on the receive-side span, and a [`Payload::Fence`]
+//! carrying the same id closes the flow (`ph: "f"`, `bp: "e"`) on the
+//! receiver's fence-release — Perfetto draws the sender → receiver →
+//! fence arrows, making the pipelined halo schedule visually auditable.
+//! The shared id doubles as the binding id (`id` and `bind_id` are
+//! emitted with the same value).
 
 use std::fmt::Write as _;
 
@@ -80,6 +90,36 @@ pub fn to_chrome_json(events: &[Event]) -> String {
         push(line, &mut out);
     }
 
+    // Flow events: one s/t/f chain per causal id. The start anchors at
+    // the send-side span's end (the payload leaves the sender), the
+    // step at the receive-side span's end (it lands), and the finish —
+    // bound to the enclosing slice (`bp: "e"`) — at the fence-release
+    // span that waited on it.
+    for e in events {
+        let flow_record = |ph: &str, ts: f64, id: u64, extra: &str| {
+            format!(
+                "{{\"ph\": \"{ph}\", \"name\": \"halo\", \"cat\": \"flow\", \"id\": {id}, \
+                 \"bind_id\": {id}, \"pid\": {pid}, \"tid\": {tid}, \"ts\": {ts}{extra}}}",
+                pid = e.pid,
+                tid = e.tid,
+                ts = number(ts * 1e6),
+            )
+        };
+        match e.payload {
+            Payload::Link { flow, inbound, .. } if flow != 0 => {
+                if inbound {
+                    push(flow_record("t", e.t1, flow, ""), &mut out);
+                } else {
+                    push(flow_record("s", e.t0, flow, ""), &mut out);
+                }
+            }
+            Payload::Fence { flow, .. } if flow != 0 => {
+                push(flow_record("f", e.t1, flow, ", \"bp\": \"e\""), &mut out);
+            }
+            _ => {}
+        }
+    }
+
     out.push_str("\n], \"displayTimeUnit\": \"ns\"}\n");
     out
 }
@@ -90,6 +130,9 @@ fn category(p: &Payload) -> &'static str {
         Payload::BlockOp { .. } => "block",
         Payload::Transfer { .. } => "interconnect",
         Payload::Offchip { .. } => "offchip",
+        Payload::Link { .. } => "link",
+        Payload::Fence { .. } => "fence",
+        Payload::Arrival { .. } => "fence",
         Payload::HostCall { .. } => "host",
         Payload::Counter { .. } => "counter",
     }
@@ -115,6 +158,20 @@ fn payload_args(p: &Payload) -> String {
         Payload::Transfer { bytes, energy_j } | Payload::Offchip { bytes, energy_j } => {
             field("bytes", number(*bytes as f64), &mut s);
             field("energy_j", number(*energy_j), &mut s);
+        }
+        Payload::Link { bytes, energy_j, flow, inbound } => {
+            field("bytes", number(*bytes as f64), &mut s);
+            field("energy_j", number(*energy_j), &mut s);
+            field("flow", number(*flow as f64), &mut s);
+            field("inbound", (if *inbound { "true" } else { "false" }).into(), &mut s);
+        }
+        Payload::Fence { kind, flow } => {
+            field("kind", escape(kind), &mut s);
+            field("flow", number(*flow as f64), &mut s);
+        }
+        Payload::Arrival { block, flow } => {
+            field("block", number(*block as f64), &mut s);
+            field("flow", number(*flow as f64), &mut s);
         }
         Payload::HostCall { count, energy_j, .. } => {
             field("count", number(*count as f64), &mut s);
@@ -170,6 +227,63 @@ mod tests {
         let evs = v.get("traceEvents").unwrap().as_array().unwrap();
         // 1 process_name + 3 thread_name + 3 events.
         assert_eq!(evs.len(), 7);
+    }
+
+    #[test]
+    fn tagged_link_and_fence_events_emit_a_flow_chain() {
+        let events = vec![
+            Event {
+                pid: 1,
+                tid: crate::TID_OFFCHIP,
+                t0: 1e-6,
+                t1: 2e-6,
+                seq: 0,
+                payload: Payload::Link { bytes: 64, energy_j: 1e-12, flow: 9, inbound: false },
+            },
+            Event {
+                pid: 2,
+                tid: crate::TID_OFFCHIP,
+                t0: 1e-6,
+                t1: 2.5e-6,
+                seq: 1,
+                payload: Payload::Link { bytes: 64, energy_j: 1e-12, flow: 9, inbound: true },
+            },
+            Event {
+                pid: 2,
+                tid: crate::TID_FENCE,
+                t0: 3e-6,
+                t1: 4e-6,
+                seq: 2,
+                payload: Payload::Fence { kind: "blocks", flow: 9 },
+            },
+        ];
+        let doc = to_chrome_json(&events);
+        let v = json::parse(&doc).expect("valid JSON");
+        let evs = v.get("traceEvents").unwrap().as_array().unwrap();
+        let phase = |ph: &str| {
+            evs.iter()
+                .find(|e| e.get("ph").and_then(|p| p.as_str()) == Some(ph))
+                .unwrap_or_else(|| panic!("missing flow phase {ph}"))
+        };
+        // s on the sender, t on the receiver, f bound to the fence.
+        assert_eq!(phase("s").get("pid").unwrap().as_f64(), Some(1.0));
+        assert_eq!(phase("t").get("pid").unwrap().as_f64(), Some(2.0));
+        let f = phase("f");
+        assert_eq!(f.get("pid").unwrap().as_f64(), Some(2.0));
+        assert_eq!(f.get("bp").unwrap().as_str(), Some("e"));
+        for ph in ["s", "t", "f"] {
+            let e = phase(ph);
+            assert_eq!(e.get("id").unwrap().as_f64(), Some(9.0));
+            assert_eq!(e.get("bind_id").unwrap().as_f64(), Some(9.0));
+            assert_eq!(e.get("cat").unwrap().as_str(), Some("flow"));
+        }
+        // Untagged events emit no flow records.
+        assert_eq!(
+            evs.iter()
+                .filter(|e| matches!(e.get("ph").and_then(|p| p.as_str()), Some("s" | "t" | "f")))
+                .count(),
+            3
+        );
     }
 
     #[test]

@@ -64,6 +64,23 @@ pub enum Payload {
     Transfer { bytes: u64, energy_j: f64 },
     /// An off-chip (HBM2) DMA transfer.
     Offchip { bytes: u64, energy_j: f64 },
+    /// One endpoint of an inter-chip link transfer. `flow` is a
+    /// cluster-unique causal id shared by the send-side and
+    /// receive-side charges of the same halo message (0 = untagged),
+    /// so analysis layers — and the Chrome exporter's flow arrows —
+    /// can stitch the two endpoints back into one cross-chip edge.
+    /// `inbound` marks the receive side.
+    Link { bytes: u64, energy_j: f64, flow: u64, inbound: bool },
+    /// A fence-wait span on [`TID_FENCE`]: the compute lane stalled
+    /// from `t0` to `t1` in `fence_blocks` (`kind = "blocks"`) or
+    /// `fence_offchip` (`kind = "offchip"`). `flow` is the causal id of
+    /// the inbound link transfer whose ghost landing released the fence
+    /// (0 when the release was not attributable to an inbound message).
+    Fence { kind: &'static str, flow: u64 },
+    /// Instant on [`TID_FENCE`]: one ghost block's landing DMA
+    /// completed — the per-block readiness `fence_blocks` joins.
+    /// `flow` is the causal id of the inbound message that carried it.
+    Arrival { block: u32, flow: u64 },
     /// A host-CPU offload call (sqrt/inverse preprocessing) or the
     /// instruction-dispatch lower bound.
     HostCall { call: &'static str, count: u64, energy_j: f64 },
@@ -79,6 +96,15 @@ impl Payload {
             Payload::BlockOp { op, .. } => op,
             Payload::Transfer { .. } => "transfer",
             Payload::Offchip { .. } => "offchip-dma",
+            Payload::Link { inbound, .. } => {
+                if *inbound {
+                    "link-recv"
+                } else {
+                    "link-send"
+                }
+            }
+            Payload::Fence { kind, .. } => kind,
+            Payload::Arrival { .. } => "arrival",
             Payload::HostCall { call, .. } => call,
             Payload::Counter { name, .. } => name,
         }
@@ -90,6 +116,7 @@ impl Payload {
             Payload::BlockOp { energy_j, .. }
             | Payload::Transfer { energy_j, .. }
             | Payload::Offchip { energy_j, .. }
+            | Payload::Link { energy_j, .. }
             | Payload::HostCall { energy_j, .. } => energy_j,
             _ => 0.0,
         }
@@ -98,7 +125,9 @@ impl Payload {
     /// Bytes moved by this event (transfers only).
     pub fn bytes(&self) -> u64 {
         match *self {
-            Payload::Transfer { bytes, .. } | Payload::Offchip { bytes, .. } => bytes,
+            Payload::Transfer { bytes, .. }
+            | Payload::Offchip { bytes, .. }
+            | Payload::Link { bytes, .. } => bytes,
             _ => 0,
         }
     }
@@ -111,6 +140,12 @@ pub const TID_HOST: u32 = u32::MAX;
 pub const TID_INTERCONNECT: u32 = u32::MAX - 1;
 pub const TID_OFFCHIP: u32 = u32::MAX - 2;
 pub const TID_KERNELS: u32 = u32::MAX - 3;
+pub const TID_FENCE: u32 = u32::MAX - 4;
+
+/// Lower bound of the reserved-lane tid range (slack below [`TID_FENCE`]
+/// leaves room for future lanes without moving the boundary). Everything
+/// below is a plain block lane carrying instruction-level events.
+pub const TID_RESERVED_MIN: u32 = u32::MAX - 7;
 
 /// Human-readable lane label for a tid.
 pub fn tid_label(tid: u32) -> String {
@@ -119,6 +154,7 @@ pub fn tid_label(tid: u32) -> String {
         TID_INTERCONNECT => "interconnect".into(),
         TID_OFFCHIP => "offchip".into(),
         TID_KERNELS => "kernels".into(),
+        TID_FENCE => "fences".into(),
         n => format!("block {n}"),
     }
 }

@@ -53,9 +53,12 @@ use std::sync::{Mutex, OnceLock};
 use std::time::Instant;
 
 pub use event::{tid_label, Event, Kernel, Payload};
-pub use event::{TID_HOST, TID_INTERCONNECT, TID_KERNELS, TID_OFFCHIP};
+pub use event::{
+    TID_FENCE, TID_HOST, TID_INTERCONNECT, TID_KERNELS, TID_OFFCHIP, TID_RESERVED_MIN,
+};
 
 static ENABLED: AtomicBool = AtomicBool::new(false);
+static LANES_ONLY: AtomicBool = AtomicBool::new(false);
 static SEQ: AtomicU64 = AtomicU64::new(0);
 static NEXT_PID: AtomicU32 = AtomicU32::new(1);
 static CAPACITY: AtomicUsize = AtomicUsize::new(ring::DEFAULT_CAPACITY);
@@ -88,6 +91,25 @@ pub fn disable() {
 /// Sets the per-thread ring capacity for rings created *after* this call.
 pub fn set_ring_capacity(events: usize) {
     CAPACITY.store(events.max(1), Ordering::SeqCst);
+}
+
+/// When set, only events on the reserved *summary* lanes — host,
+/// offchip, kernels, fences — are recorded; per-block instruction
+/// spans **and** the per-instruction interconnect broadcast lane
+/// ([`TID_INTERCONNECT`]) are dropped at the record site. The dropped
+/// streams outnumber the summary events by ~1000:1 on real runs
+/// (instruction spans and row broadcasts both scale with the
+/// instruction count), so this is what makes whole-cluster causal
+/// tracing (`pim-lens`) affordable at large refinement levels. Off by
+/// default; reset it when done — the flag is process-global, like
+/// [`enable`].
+pub fn set_summary_lanes_only(on: bool) {
+    LANES_ONLY.store(on, Ordering::SeqCst);
+}
+
+/// Is the summary-lanes-only filter active?
+pub fn summary_lanes_only() -> bool {
+    LANES_ONLY.load(Ordering::Relaxed)
 }
 
 pub(crate) fn ring_capacity() -> usize {
@@ -133,6 +155,9 @@ pub fn wall_now() -> f64 {
 #[inline(always)]
 pub fn record_span(pid: u32, tid: u32, t0: f64, t1: f64, payload: Payload) {
     if !enabled() {
+        return;
+    }
+    if (tid < event::TID_RESERVED_MIN || tid == event::TID_INTERCONNECT) && summary_lanes_only() {
         return;
     }
     record_always(pid, tid, t0, t1, payload);
@@ -229,6 +254,45 @@ mod tests {
         assert!(mine[0].seq < mine[1].seq);
         assert_eq!(mine[0].payload.bytes(), 64);
         assert_eq!(mine[1].duration(), 0.0);
+    }
+
+    #[test]
+    #[cfg_attr(feature = "compiled-off", ignore = "recording is compiled out")]
+    fn summary_lanes_only_drops_block_and_interconnect_events() {
+        let _g = guard();
+        clear();
+        enable();
+        set_summary_lanes_only(true);
+        record_span(11, 0, 0.0, 1.0, Payload::BlockOp { op: "mul", nor_cycles: 1, energy_j: 0.0 });
+        record_span(
+            11,
+            TID_INTERCONNECT,
+            0.0,
+            1.0,
+            Payload::BlockOp { op: "bcast", nor_cycles: 1, energy_j: 0.0 },
+        );
+        record_span(
+            11,
+            TID_KERNELS,
+            0.0,
+            1.0,
+            Payload::Kernel { kernel: Kernel::Volume, stage: 0 },
+        );
+        record_span(11, TID_FENCE, 1.0, 2.0, Payload::Fence { kind: "blocks", flow: 1 });
+        set_summary_lanes_only(false);
+        record_span(11, 0, 1.0, 2.0, Payload::BlockOp { op: "add", nor_cycles: 1, energy_j: 0.0 });
+        disable();
+        let (events, _) = drain();
+        let mine: Vec<_> = events.iter().filter(|e| e.pid == 11).collect();
+        assert_eq!(
+            mine.len(),
+            3,
+            "block-lane and interconnect events must be dropped while filtered: {mine:?}"
+        );
+        assert!(mine.iter().all(|e| {
+            (e.tid >= TID_RESERVED_MIN && e.tid != TID_INTERCONNECT)
+                || matches!(e.payload, Payload::BlockOp { op: "add", .. })
+        }));
     }
 
     #[test]

@@ -23,6 +23,14 @@ fn event_strategy() -> impl Strategy<Value = Event> {
         (0u64..4096, 0.0f64..1e-9).prop_map(|(b, e)| Payload::Transfer { bytes: b, energy_j: e }),
         (0u64..(1 << 20), 0.0f64..1e-6)
             .prop_map(|(b, e)| Payload::Offchip { bytes: b, energy_j: e }),
+        (0u64..(1 << 20), 0.0f64..1e-6, 0u64..128).prop_map(|(b, e, flow)| Payload::Link {
+            bytes: b,
+            energy_j: e,
+            flow: flow / 2,
+            inbound: flow % 2 == 1,
+        }),
+        (0u64..64).prop_map(|flow| Payload::Fence { kind: "blocks", flow }),
+        (0u32..512, 0u64..64).prop_map(|(block, flow)| Payload::Arrival { block, flow }),
         (0u64..1000, 0.0f64..1e-6).prop_map(|(c, e)| Payload::HostCall {
             call: "dispatch",
             count: c,

@@ -13,7 +13,9 @@
 
 use pim_trace::chrome::to_chrome_json;
 use pim_trace::json::{self, Value};
-use pim_trace::{Event, Kernel, Payload, TID_HOST, TID_INTERCONNECT, TID_KERNELS, TID_OFFCHIP};
+use pim_trace::{
+    Event, Kernel, Payload, TID_FENCE, TID_HOST, TID_INTERCONNECT, TID_KERNELS, TID_OFFCHIP,
+};
 
 /// A fixed event set covering every payload class and reserved lane.
 /// Uses raw (unregistered) pids so the export is deterministic without
@@ -84,6 +86,41 @@ fn golden_events() -> Vec<Event> {
             seq: 7,
             payload: Payload::Kernel { kernel: Kernel::Integration, stage: 0 },
         },
+        // A causally-tagged halo message: send endpoint on pid 7,
+        // receive endpoint and fence release on pid 9, all sharing flow
+        // id 42 — this trio pins the flow (`s`/`t`/`f`) emission.
+        Event {
+            pid: 7,
+            tid: TID_OFFCHIP,
+            t0: 3.5e-6,
+            t1: 4.1e-6,
+            seq: 8,
+            payload: Payload::Link { bytes: 2048, energy_j: 8.4e-8, flow: 42, inbound: false },
+        },
+        Event {
+            pid: 9,
+            tid: TID_OFFCHIP,
+            t0: 3.5e-6,
+            t1: 4.3e-6,
+            seq: 9,
+            payload: Payload::Link { bytes: 2048, energy_j: 8.4e-8, flow: 42, inbound: true },
+        },
+        Event {
+            pid: 9,
+            tid: TID_FENCE,
+            t0: 4.3e-6,
+            t1: 4.6e-6,
+            seq: 10,
+            payload: Payload::Fence { kind: "blocks", flow: 42 },
+        },
+        Event {
+            pid: 9,
+            tid: TID_FENCE,
+            t0: 4.3e-6,
+            t1: 4.3e-6,
+            seq: 11,
+            payload: Payload::Arrival { block: 17, flow: 42 },
+        },
     ]
 }
 
@@ -113,6 +150,7 @@ fn export_satisfies_trace_event_format_schema() {
     let mut metadata = 0;
     let mut spans = 0;
     let mut instants = 0;
+    let mut flows = 0;
     for e in traced {
         let ph = e.get("ph").and_then(Value::as_str).expect("every record has ph");
         assert!(e.get("pid").and_then(Value::as_f64).is_some(), "every record has pid");
@@ -141,13 +179,26 @@ fn export_satisfies_trace_event_format_schema() {
                 assert!(e.get("ts").and_then(Value::as_f64).is_some(), "i has ts");
                 assert_eq!(e.get("s").unwrap().as_str(), Some("t"), "instant scope");
             }
+            "s" | "t" | "f" => {
+                flows += 1;
+                assert!(e.get("ts").and_then(Value::as_f64).is_some(), "flow has ts");
+                assert_eq!(e.get("cat").unwrap().as_str(), Some("flow"));
+                let id = e.get("id").and_then(Value::as_f64).expect("flow has id");
+                assert_eq!(e.get("bind_id").and_then(Value::as_f64), Some(id));
+                if ph == "f" {
+                    assert_eq!(e.get("bp").unwrap().as_str(), Some("e"), "finish binds enclosing");
+                }
+            }
             other => panic!("unexpected phase {other}"),
         }
     }
-    // 2 process_name + 7 distinct (pid, tid) lanes.
-    assert_eq!(metadata, 9);
+    // 2 process_name + 9 distinct (pid, tid) lanes.
+    assert_eq!(metadata, 11);
     assert_eq!(spans, events.iter().filter(|e| e.t1 > e.t0).count());
     assert_eq!(instants, events.iter().filter(|e| e.t1 <= e.t0).count());
+    // One flow record per causally-tagged endpoint: send `s`, receive
+    // `t`, fence-release `f` — exactly the flow-42 trio above.
+    assert_eq!(flows, 3);
 
     // Reserved lanes carry their human-readable names.
     let lane_names: Vec<String> = traced
@@ -155,7 +206,7 @@ fn export_satisfies_trace_event_format_schema() {
         .filter(|e| e.get("name").and_then(Value::as_str) == Some("thread_name"))
         .map(|e| e.get("args").unwrap().get("name").unwrap().as_str().unwrap().to_string())
         .collect();
-    for expected in ["host", "interconnect", "offchip", "kernels"] {
+    for expected in ["host", "interconnect", "offchip", "kernels", "fences"] {
         assert!(
             lane_names.iter().any(|n| n == expected),
             "missing reserved lane name {expected} in {lane_names:?}"
